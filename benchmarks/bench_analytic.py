@@ -1,0 +1,49 @@
+"""Ablation — the discrete-event results against first-order closed
+forms built from the same machine constants. Agreement validates that
+the DES timing comes from the modeled physics (compute, pipeline
+fill, message time), not from accidental scheduling artifacts."""
+
+from conftest import emit
+
+from repro.matmul import MatmulCase, run_variant
+from repro.perfmodel import predict
+
+CASES = [
+    ("navp-1d-dsc", 1536, 128, 3),
+    ("navp-1d-pipeline", 1536, 128, 3),
+    ("navp-1d-phase", 1536, 128, 3),
+    ("navp-2d-dsc", 1536, 128, 3),
+    ("navp-2d-pipeline", 1536, 128, 3),
+    ("navp-2d-phase", 1536, 128, 3),
+    ("mpi-gentleman", 1536, 128, 3),
+    ("scalapack-summa", 1536, 128, 3),
+    ("navp-2d-phase", 4608, 128, 3),
+    ("mpi-gentleman", 2048, 128, 2),
+]
+
+
+def _run_all():
+    rows = []
+    for variant, n, ab, g in CASES:
+        case = MatmulCase(n=n, ab=ab, shadow=True)
+        sim = run_variant(variant, case, geometry=g, trace=False).time
+        closed = predict(variant, n, ab, g)
+        rows.append((variant, n, g, sim, closed))
+    return rows
+
+
+def test_analytic_crosscheck(benchmark):
+    rows = benchmark(_run_all)
+    lines = [
+        "DES vs first-order closed forms",
+        f"{'variant':<18} {'n':>5} {'grid':>4} {'sim(s)':>9} "
+        f"{'analytic(s)':>11} {'ratio':>6}",
+    ]
+    for variant, n, g, sim, closed in rows:
+        lines.append(
+            f"{variant:<18} {n:5d} {g:4d} {sim:9.2f} {closed:11.2f} "
+            f"{sim / closed:6.3f}"
+        )
+    emit("analytic", "\n".join(lines))
+    for variant, n, g, sim, closed in rows:
+        assert 0.85 <= sim / closed <= 1.20, (variant, n, g, sim, closed)

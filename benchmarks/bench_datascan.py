@@ -1,0 +1,51 @@
+"""Extension experiment — computation-to-data vs data-to-computation.
+
+Sweeps the dataset size and records the cost of answering a histogram
+query by shipping data to one PE versus scanning with migrating
+messengers versus an SPMD reduction. The DSC scan must win over
+shipping by roughly the ratio of data bytes to partial bytes' transfer
+cost, and the advantage must *grow* with the dataset."""
+
+from conftest import emit
+
+from repro.datascan import (
+    DataScanCase,
+    histogram,
+    run_navp_scan,
+    run_ship_data,
+    run_spmd_reduce,
+)
+
+
+def _sweep():
+    query = histogram(64)
+    rows = []
+    for items in (50_000, 200_000, 800_000):
+        case = DataScanCase(pes=8, items_per_pe=items)
+        rows.append((
+            items,
+            run_ship_data(case, query).time,
+            run_navp_scan(case, query).time,
+            run_navp_scan(case, query, carriers=4).time,
+            run_spmd_reduce(case, query).time,
+        ))
+    return rows
+
+
+def test_datascan(benchmark):
+    rows = benchmark(_sweep)
+    lines = [
+        "histogram(64) over 8 partitions (times in modeled seconds)",
+        f"{'items/PE':>10} {'ship-data':>10} {'scan x1':>9} "
+        f"{'scan x4':>9} {'reduce':>8} {'ship/scan':>10}",
+    ]
+    for items, ship, scan1, scan4, red in rows:
+        lines.append(f"{items:10,d} {ship:10.3f} {scan1:9.3f} "
+                     f"{scan4:9.3f} {red:8.3f} {ship / scan1:9.1f}x")
+    emit("datascan", "\n".join(lines))
+
+    ratios = [ship / scan1 for _i, ship, scan1, _s4, _r in rows]
+    assert all(r > 3 for r in ratios)
+    assert ratios[-1] > ratios[0]          # the gap grows with the data
+    for _items, ship, scan1, scan4, red in rows:
+        assert red <= scan4 <= scan1 < ship

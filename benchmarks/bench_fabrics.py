@@ -1,0 +1,57 @@
+"""Ablation — the same messenger program across all three fabrics:
+virtual-time simulation, real daemon threads (pickled hops), and real
+OS processes (pickled continuations). Correctness must be identical;
+this also measures the harness overhead of each substrate."""
+
+import time
+
+from conftest import emit
+
+from repro import Grid1D, ProcessFabric
+from repro.matmul import MatmulCase, run_phase_1d
+from repro.transform import assemble_c, derive_chain, layout_phase
+from repro.util.validation import assert_allclose, random_matrix
+
+
+def _run_all():
+    case = MatmulCase(n=48, ab=8)
+    reference = case.reference()
+    rows = []
+
+    t0 = time.perf_counter()
+    sim = run_phase_1d(case, 3, fabric="sim")
+    rows.append(("sim (virtual time)", time.perf_counter() - t0, sim.time))
+    assert_allclose(sim.c, reference, what="sim")
+
+    t0 = time.perf_counter()
+    thr = run_phase_1d(case, 3, fabric="thread")
+    rows.append(("threads (pickled hops)", time.perf_counter() - t0,
+                 thr.time))
+    assert_allclose(thr.c, reference, what="thread")
+
+    nb, ab = 3, 16
+    chain = derive_chain(nb)
+    a = random_matrix(nb * ab, 3)
+    b = random_matrix(nb * ab, 4)
+    t0 = time.perf_counter()
+    fabric = ProcessFabric(Grid1D(nb))
+    for coord, node_vars in layout_phase(a, b, nb).items():
+        fabric.load(coord, **node_vars)
+    fabric.inject((0,), chain.phased.main.name)
+    result = fabric.run()
+    rows.append(("processes (pickled continuations)",
+                 time.perf_counter() - t0, result.time))
+    assert_allclose(assemble_c(result.places, nb, ab), a @ b,
+                    what="process")
+    return rows
+
+
+def test_fabric_parity(benchmark):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = [
+        "phase-shifted matmul on all three fabrics (same program model)",
+        f"{'fabric':<34} {'harness wall(s)':>15} {'reported time':>14}",
+    ]
+    for name, wall, reported in rows:
+        lines.append(f"{name:<34} {wall:15.3f} {reported:14.4f}")
+    emit("fabrics", "\n".join(lines))

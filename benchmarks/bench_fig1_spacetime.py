@@ -1,0 +1,23 @@
+"""Figure 1 — the space-time diagrams of the three transformations,
+regenerated from execution traces at the paper's N == P granularity."""
+
+from conftest import emit
+
+from repro.perfmodel import build_figure1, figure1_report
+
+
+def _build():
+    return build_figure1(p=3, ab=64)
+
+
+def test_figure1(benchmark):
+    panels = benchmark(_build)
+    report = figure1_report(panels)
+    parts = [p.diagram + f"\n(makespan {p.time:.4f} s)" for p in panels]
+    parts.append("claims:")
+    parts += [
+        f"  [{'ok' if ok else 'FAIL'}] {claim}  {detail}"
+        for claim, ok, detail in report
+    ]
+    emit("figure1", "\n\n".join(parts))
+    assert all(ok for _c, ok, _d in report)

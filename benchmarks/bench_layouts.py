@@ -1,0 +1,74 @@
+"""Figures 4, 6, 8, 10, 12, 14 — the initial data distributions of
+every stage, rendered as PE maps and cross-checked against the actual
+layout builders by content equality (each builder draws fresh operand
+arrays from the case's deterministic seed)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.fabric import Grid1D, Grid2D, SimFabric
+from repro.matmul import (
+    MatmulCase,
+    layout_1d_a_at_origin,
+    layout_1d_a_row_strips,
+    layout_2d_antidiagonal,
+    layout_2d_natural,
+)
+from repro.viz import (
+    describe_1d_origin,
+    describe_1d_phase,
+    describe_2d_antidiagonal,
+    describe_2d_natural,
+    render_figure,
+)
+
+
+def _render_all():
+    return "\n\n".join([
+        render_figure("Figures 4/6 (1-D DSC and pipelined):",
+                      describe_1d_origin(3)),
+        render_figure("Figure 8 (1-D phase shifted):",
+                      describe_1d_phase(3)),
+        render_figure("Figures 10/12 (2-D DSC and pipelined, "
+                      "anti-diagonal):", describe_2d_antidiagonal(3)),
+        render_figure("Figure 14 (2-D phase shifted, natural):",
+                      describe_2d_natural(3)),
+    ])
+
+
+def _check_aliasing():
+    """The described placements must match what the builders install."""
+    case = MatmulCase(n=48, ab=8)
+    a, b = case.operands()
+
+    fabric = SimFabric(Grid1D(3))
+    layout_1d_a_row_strips(fabric, case, 3)
+    for i in range(3):
+        strip = fabric.place((i,)).vars["A"]
+        assert np.array_equal(strip, a[i * 16 : (i + 1) * 16, :])
+
+    fabric = SimFabric(Grid2D(3))
+    layout_2d_antidiagonal(fabric, case, 3)
+    for line in range(3):
+        arow = fabric.place((2 - line, line)).vars["Arow"]
+        assert np.array_equal(arow, a[(2 - line) * 16 : (3 - line) * 16, :])
+        bcol = fabric.place((2 - line, line)).vars["Bcol"]
+        assert np.array_equal(bcol, b[:, line * 16 : (line + 1) * 16])
+
+    fabric = SimFabric(Grid2D(3))
+    layout_2d_natural(fabric, case, 3)
+    for i in range(3):
+        for j in range(3):
+            blk = fabric.place((i, j)).vars["A"]
+            assert np.array_equal(
+                blk, a[i * 16 : (i + 1) * 16, j * 16 : (j + 1) * 16])
+
+    fabric = SimFabric(Grid1D(3))
+    layout_1d_a_at_origin(fabric, case, 3)
+    assert np.array_equal(fabric.place((0,)).vars["A"], a)
+    return True
+
+
+def test_layout_figures(benchmark):
+    benchmark(_check_aliasing)
+    emit("layouts", _render_all())

@@ -1,0 +1,25 @@
+"""The paper's baseline methodology — cubic least-squares fits of
+sequential times from small problems, extrapolated past the paging
+knee, reproduced inside the model and compared with the paper's
+starred values."""
+
+from conftest import emit
+
+from repro.perfmodel import reproduce_fit
+
+
+def _fit():
+    return reproduce_fit()
+
+
+def test_seqfit(benchmark):
+    report = benchmark(_fit)
+    emit("seqfit", report.render())
+    for n, actual, fitted, paging_free, star in report.rows:
+        # the fit recovers the paging-free cubic essentially exactly
+        assert abs(fitted - paging_free) / paging_free < 0.01
+        # and lands within 5% of the paper's own starred values
+        if star is not None:
+            assert abs(fitted - star) / star < 0.05
+        # while the actual (thrashing) time sits above it at large n
+        assert actual >= paging_free * 0.999

@@ -1,0 +1,53 @@
+"""Section 5 item 3 — "reverse staggering never requires more than two
+communication phases, while forward staggering often requires three".
+Phase counts for both schemes across matrix/grid orders, with explicit
+schedules validating the closed form."""
+
+from conftest import emit
+
+from repro.matmul.staggering import (
+    forward_stagger_permutation,
+    phases_for_permutation,
+    reverse_stagger_permutation,
+    schedule_permutation_phases,
+    staggering_comparison,
+)
+
+
+def _compare():
+    return staggering_comparison(range(2, 33))
+
+
+def test_staggering_phases(benchmark):
+    rows = benchmark(_compare)
+    lines = [
+        "communication phases needed to stagger an order-n matrix",
+        "(each PE at most one transfer per phase; self-moves free)",
+        f"{'n':>4} {'forward (Gentleman/Cannon)':>28} {'reverse (NavP)':>16}",
+    ]
+    for n, fwd, rev in rows:
+        lines.append(f"{n:4d} {fwd:28d} {rev:16d}")
+    forwards = [fwd for _n, fwd, _r in rows]
+    reverses = [rev for _n, _f, rev in rows]
+    lines.append("")
+    lines.append(f"reverse max: {max(reverses)} (paper: never more than 2)")
+    lines.append(
+        f"forward needs 3 for {sum(1 for f in forwards if f == 3)} of "
+        f"{len(forwards)} orders (paper: 'often requires three'; "
+        f"2 only when n is a power of two)"
+    )
+    emit("staggering", "\n".join(lines))
+
+    assert max(reverses) <= 2
+    assert all(
+        fwd == (2 if (n & (n - 1)) == 0 else 3)
+        for n, fwd, _ in rows
+    )
+    # the constructive schedules agree with the closed form
+    for n in (3, 4, 5, 9, 16):
+        for row in range(n):
+            for build in (forward_stagger_permutation,
+                          reverse_stagger_permutation):
+                perm = build(n, row)
+                assert len(schedule_permutation_phases(perm)) == \
+                    phases_for_permutation(perm)

@@ -1,0 +1,23 @@
+"""Table 1 — 1-D performance on 3 PEs: sequential, NavP DSC /
+pipelining / phase shifting, and the ScaLAPACK-style baseline, for
+matrix orders 1536..6144, against the paper's published numbers."""
+
+from conftest import emit
+
+from repro.perfmodel import build_table1
+
+
+def _build():
+    return build_table1()
+
+
+def test_table1(benchmark):
+    comparison = benchmark(_build)
+    text = comparison.render()
+    failures = comparison.failed_shapes()
+    text += "\n\nshape checks: " + (
+        "all passed" if not failures
+        else "; ".join(f"{c} ({d})" for c, _ok, d in failures)
+    )
+    emit("table1", text)
+    assert not failures

@@ -1,0 +1,22 @@
+"""Table 3 — 2x2 grid: MPI Gentleman, the three 2-D NavP stages, and
+SUMMA, for matrix orders 1024..5120, against the paper's numbers."""
+
+from conftest import emit
+
+from repro.perfmodel import build_table3
+
+
+def _build():
+    return build_table3()
+
+
+def test_table3(benchmark):
+    comparison = benchmark(_build)
+    failures = comparison.failed_shapes()
+    text = comparison.render()
+    text += "\n\nshape checks: " + (
+        "all passed" if not failures
+        else "; ".join(f"{c} ({d})" for c, _ok, d in failures)
+    )
+    emit("table3", text)
+    assert not failures

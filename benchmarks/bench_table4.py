@@ -1,0 +1,28 @@
+"""Table 4 — 3x3 grid: the paper's headline comparison. NavP phase
+shifting should win over straightforward MPI Gentleman and sit at or
+above the tuned ScaLAPACK baseline, with the incremental stages
+improving monotonically."""
+
+from conftest import emit
+
+from repro.perfmodel import build_table4
+
+
+def _build():
+    return build_table4()
+
+
+def test_table4(benchmark):
+    comparison = benchmark(_build)
+    failures = comparison.failed_shapes()
+    text = comparison.render()
+    text += "\n\nshape checks: " + (
+        "all passed" if not failures
+        else "; ".join(f"{c} ({d})" for c, _ok, d in failures)
+    )
+    emit("table4", text)
+    assert not failures
+    # the paper's headline: NavP 2-D phase beats MPI Gentleman everywhere
+    for row in comparison.rows:
+        assert (row.cells["navp-2d-phase"].model_time
+                < row.cells["mpi-gentleman"].model_time)

@@ -1,0 +1,53 @@
+"""Extension experiment — the methodology on a dependence-bound
+problem. Pipelined wavefront speedup must track the fill formula
+R*p/(R+p-1), DSC must stay near (actually below) sequential, and the
+NavP pipeline must match the structurally identical MPI version."""
+
+from conftest import emit
+
+from repro.wavefront import (
+    WavefrontCase,
+    pipeline_time_model,
+    run_dsc_wavefront,
+    run_mpi_wavefront,
+    run_pipelined_wavefront,
+    run_sequential_wavefront,
+)
+
+
+def _sweep():
+    case = WavefrontCase(n=8192, b=128, shadow=True)
+    seq = run_sequential_wavefront(case, trace=False).time
+    rows = []
+    for p in (2, 4, 8, 16):
+        dsc = run_dsc_wavefront(case, p, trace=False).time
+        pipe = run_pipelined_wavefront(case, p, trace=False).time
+        mpi = run_mpi_wavefront(case, p, trace=False).time
+        model = pipeline_time_model(case, p)
+        rows.append((p, dsc, pipe, mpi, model))
+    return case, seq, rows
+
+
+def test_wavefront(benchmark):
+    case, seq, rows = benchmark(_sweep)
+    r_blocks = case.nblocks
+    lines = [
+        f"wavefront DP, n={case.n}, block {case.b} "
+        f"({r_blocks} block rows); sequential {seq:.2f} s",
+        f"{'p':>4} {'dsc':>8} {'pipelined':>10} {'mpi':>8} "
+        f"{'fill model':>11} {'speedup':>8} {'ideal':>7}",
+    ]
+    for p, dsc, pipe, mpi, model in rows:
+        ideal = r_blocks * p / (r_blocks + p - 1)
+        lines.append(
+            f"{p:4d} {dsc:8.2f} {pipe:10.2f} {mpi:8.2f} {model:11.2f} "
+            f"{seq / pipe:8.2f} {ideal:7.2f}"
+        )
+    emit("wavefront", "\n".join(lines))
+
+    for p, dsc, pipe, mpi, model in rows:
+        ideal = r_blocks * p / (r_blocks + p - 1)
+        assert pipe < dsc                    # pipelining improves on DSC
+        assert 0.85 <= (seq / pipe) / ideal <= 1.05  # tracks the fill law
+        assert abs(pipe - mpi) / mpi < 0.15  # NavP == MPI structurally
+        assert abs(pipe - model) / model < 0.12

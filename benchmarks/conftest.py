@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (or an
+ablation) and both prints the comparison and writes it under
+``benchmarks/out/`` so results survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report and persist it to benchmarks/out/<name>.txt."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[written to benchmarks/out/{name}.txt]")

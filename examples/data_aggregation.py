@@ -1,0 +1,63 @@
+"""Moving computation to data — the argument that started NavP.
+
+The paper's reference [13] ("Distributed sequential computing using
+mobile code: moving computation to data") motivates the whole
+methodology: when data is big and the computation's state is small,
+migrate the computation. This example answers the same query over a
+distributed dataset four ways on the calibrated 2005 cluster:
+
+  ship-data      every PE ships its partition to one coordinator
+  navp-scan x1   one messenger tours the PEs, carrying a partial (DSC)
+  navp-scan x4   four messengers over disjoint ranges (pipelined DSC)
+  spmd-reduce    local folds + a reduction (the SPMD answer)
+
+All four produce the identical answer; the costs differ by orders of
+magnitude, in the direction the paper predicts.
+
+Run:  python examples/data_aggregation.py
+"""
+
+from repro.datascan import (
+    DataScanCase,
+    histogram,
+    moments,
+    run_navp_scan,
+    run_ship_data,
+    run_spmd_reduce,
+)
+
+
+def main() -> None:
+    pes = 8
+    query = moments()
+    print(f"query: {query.name} (carried partial: "
+          f"{query.partial_nbytes} bytes)\n")
+    print(f"{'items/PE':>10} {'data':>8} {'ship-data':>10} "
+          f"{'scan x1':>9} {'scan x4':>9} {'reduce':>8} {'ship/scan':>10}")
+    for items in (50_000, 200_000, 800_000):
+        case = DataScanCase(pes=pes, items_per_pe=items)
+        ship = run_ship_data(case, query)
+        scan1 = run_navp_scan(case, query)
+        scan4 = run_navp_scan(case, query, carriers=4)
+        reduce_ = run_spmd_reduce(case, query)
+        answers = {r.strategy: r.answer for r in
+                   (ship, scan1, scan4, reduce_)}
+        first = next(iter(answers.values()))
+        # merge order differs per strategy; answers agree to rounding
+        assert all(abs(a["mean"] - first["mean"]) < 1e-12
+                   for a in answers.values())
+        mb = case.pes * items * 4 / 1e6  # model element size
+        print(f"{items:10,d} {mb:6.1f}MB {ship.time:10.3f} "
+              f"{scan1.time:9.3f} {scan4.time:9.3f} {reduce_.time:8.3f} "
+              f"{ship.time / scan1.time:9.1f}x")
+
+    print("\nThe migrating scan carries ~24 bytes per hop; shipping "
+          "moves the dataset.")
+    print("One messenger and zero parallelism already beat the "
+          "ship-everything design;")
+    print("splitting the tour (pipelined DSC) then closes most of the "
+          "gap to full SPMD.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Out-of-core matrix multiplication by DSC — the Table 2 scenario.
+
+"The immediate benefit of DSC is that, with a small amount of work, a
+sequential program can efficiently solve large problems that cannot
+fit in the main memory of one computer ... the DSC program removes
+paging overhead by trading it against a modest amount of network
+communication." (Section 2)
+
+The paper's demonstration: N = 9216 needs ~1 GB for three
+single-precision matrices, but each workstation has 256 MB. The
+sequential run thrashes (36 534 s measured vs 13 921 s of pure
+compute); 1-D DSC over 8 PEs keeps every PE's share in memory and runs
+at 0.93x the *paging-free* sequential speed — using one migrating
+thread, no parallelism at all.
+
+Run:  python examples/out_of_core.py
+"""
+
+from repro import SUN_BLADE_100, MatmulCase, PagingModel, run_variant
+from repro.machine.memory import matmul_working_set
+from repro.matmul import sequential_time_model
+
+
+def main() -> None:
+    machine = SUN_BLADE_100
+    paging = PagingModel(machine.memory)
+    pes = 8
+
+    print(f"machine: {machine.name}")
+    print(f"available memory per PE: "
+          f"{machine.memory.available_bytes / 2**20:.0f} MB\n")
+
+    header = (f"{'n':>6} {'working set':>12} {'seq actual':>11} "
+              f"{'seq no-paging':>13} {'DSC on 8 PEs':>12} {'DSC/no-paging':>13}")
+    print(header)
+    print("-" * len(header))
+    for n in (4608, 6144, 9216):
+        ws = matmul_working_set(n, machine.elem_size)
+        seq_actual, thrash = sequential_time_model(n, machine)
+        seq_free = seq_actual / thrash
+        case = MatmulCase(n=n, ab=128, shadow=True)
+        dsc = run_variant("navp-1d-dsc", case, geometry=pes, trace=False)
+        fits = paging.fits(ws // pes)
+        print(f"{n:6d} {ws / 2**20:10.0f}MB {seq_actual:11.2f} "
+              f"{seq_free:13.2f} {dsc.time:12.2f} {seq_free / dsc.time:13.2f}"
+              + ("" if fits else "  (!) even the share pages"))
+
+    print("\npaper (Table 2, N=9216): sequential 36534.49 s "
+          "(13921.50 s fitted), DSC 14959.42 s -> speedup 0.93")
+    print("The single migrating thread trades paging for network hops;")
+    print("DSC is not parallel, yet beats the thrashing sequential run "
+          "by ~2.4x.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Migrating computations across real OS processes.
+
+MESSENGERS runs a daemon per workstation and ships only computation
+*state* between them. This example does the honest Python equivalent:
+each PE is a ``multiprocessing.Process`` with its own address space;
+a messenger's continuation (program name + control stack + agent
+variables) is pickled and shipped on every ``hop()``, while node
+variables never leave their process.
+
+The program being migrated is the *phase-shifted* matmul that
+``repro.transform`` derived mechanically from the sequential loop nest
+— transformed code running on real processes, end to end.
+
+Run:  python examples/real_processes.py
+"""
+
+import numpy as np
+
+from repro import Grid1D, ProcessFabric
+from repro.transform import (
+    assemble_c,
+    derive_chain,
+    layout_dsc,
+    layout_phase,
+)
+from repro.util.validation import random_matrix
+
+
+def main() -> None:
+    nb, ab = 3, 32
+    n = nb * ab
+    chain = derive_chain(nb)
+    a = random_matrix(n, seed=11)
+    b = random_matrix(n, seed=12)
+    reference = a @ b
+
+    for label, stage, layout in (
+        ("DSC (one migrating thread)", chain.dsc, layout_dsc(a, b, nb)),
+        ("phase-shifted (nb carriers)", chain.phased.main,
+         layout_phase(a, b, nb)),
+    ):
+        fabric = ProcessFabric(Grid1D(nb))
+        for coord, node_vars in layout.items():
+            fabric.load(coord, **node_vars)
+        fabric.inject((0,), stage.name)
+        result = fabric.run()
+        c = assemble_c(result.places, nb, ab)
+        err = float(np.linalg.norm(c - reference) / np.linalg.norm(reference))
+        print(f"{label}: {nb} OS processes, wall {result.time:.3f} s, "
+              f"relative error {err:.2e}")
+        assert err < 1e-12
+
+    # the grand finale: the FULLY derived Figure 15 — six mechanical
+    # transformations away from the sequential loop nest — on a 3x3
+    # grid of real OS processes
+    from repro.fabric.topology import Grid2D
+    from repro.transform import (
+        CarriedSpec,
+        derive_full_chain,
+        layout_carried_natural,
+    )
+
+    g, ab2 = 3, 16
+    full = derive_full_chain(g)
+    spec = CarriedSpec(g=g)
+    a2 = random_matrix(g * ab2, seed=21)
+    b2 = random_matrix(g * ab2, seed=22)
+    fabric = ProcessFabric(Grid2D(g), timeout=120.0)
+    for coord, node_vars in layout_carried_natural(a2, b2, spec).items():
+        fabric.load(coord, **node_vars)
+    for coord, event, args, count in full.phased_2d.initial_signals:
+        fabric.signal_initial(coord, event, *args, count=count)
+    fabric.inject((0, 0), full.phased_2d.main.name)
+    result = fabric.run()
+    c2 = np.empty((g * ab2, g * ab2))
+    for coord, node_vars in result.places.items():
+        for (i, j), block in node_vars.get("C", {}).items():
+            c2[i * ab2 : (i + 1) * ab2, j * ab2 : (j + 1) * ab2] = block
+    err = float(np.linalg.norm(c2 - a2 @ b2) / np.linalg.norm(a2 @ b2))
+    print(f"derived Figure 15 (full 2-D DPC): {g * g} OS processes, "
+          f"wall {result.time:.3f} s, relative error {err:.2e}")
+    assert err < 1e-12
+
+    print("state migrated between processes by pickling continuations; "
+          "node data never moved.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so
+``pip install -e .`` also works on minimal/offline environments whose
+setuptools lacks the PEP 660 editable-wheel path (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

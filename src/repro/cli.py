@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+MESSENGERS lets a programmer "inject a migrating thread at command
+line"; this is the reproduction's equivalent front door — run any
+variant on the modeled cluster, regenerate any of the paper's tables
+or figures, or list what is available, without writing a script.
+
+Commands
+--------
+``variants``                       list runnable matmul variants
+``run VARIANT [--n --ab --geometry --real]``
+                                   run one variant; ``--real`` executes
+                                   the numerics and verifies vs NumPy
+``table {1,2,3,4}``                regenerate a paper table
+``figure1``                        regenerate the space-time panels
+``staggering [--max-n N]``         the Section 5 phase-count comparison
+``wavefront [--n --block --pes]``  the wavefront extension study
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .matmul import (
+    MatmulCase,
+    run_variant,
+    sequential_time_model,
+    staggering_comparison,
+    variant_names,
+)
+from .perfmodel import (
+    build_figure1,
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+    figure1_report,
+)
+from .util.validation import assert_allclose
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Incremental Parallelization Using "
+                    "Navigational Programming' (ICPP 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("variants", help="list runnable matmul variants")
+
+    run_p = sub.add_parser("run", help="run one variant on the model")
+    run_p.add_argument("variant", choices=variant_names())
+    run_p.add_argument("--n", type=int, default=1536,
+                       help="matrix order (default 1536)")
+    run_p.add_argument("--ab", type=int, default=128,
+                       help="algorithmic block order (default 128)")
+    run_p.add_argument("--geometry", type=int, default=3,
+                       help="PE count (1-D) or grid order (2-D)")
+    run_p.add_argument("--real", action="store_true",
+                       help="execute the numerics and verify vs NumPy "
+                            "(default: shadow mode, timing only)")
+
+    table_p = sub.add_parser("table", help="regenerate a paper table")
+    table_p.add_argument("number", type=int, choices=[1, 2, 3, 4])
+
+    sub.add_parser("figure1", help="regenerate the Figure 1 panels")
+
+    stag_p = sub.add_parser("staggering",
+                            help="forward vs reverse staggering phases")
+    stag_p.add_argument("--max-n", type=int, default=16)
+
+    wf_p = sub.add_parser("wavefront", help="the wavefront extension")
+    wf_p.add_argument("--n", type=int, default=4096)
+    wf_p.add_argument("--block", type=int, default=64)
+    wf_p.add_argument("--pes", type=int, default=4)
+
+    ds_p = sub.add_parser("datascan",
+                          help="computation-to-data scan study")
+    ds_p.add_argument("--pes", type=int, default=8)
+    ds_p.add_argument("--items", type=int, default=200_000,
+                      help="items per PE")
+
+    rep_p = sub.add_parser("report",
+                           help="regenerate the whole evaluation at once")
+    rep_p.add_argument("--quick", action="store_true",
+                       help="smallest matrix order per table only")
+    return parser
+
+
+def _cmd_variants() -> int:
+    for name in variant_names():
+        print(name)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    case = MatmulCase(n=args.n, ab=args.ab, shadow=not args.real)
+    result = run_variant(args.variant, case, geometry=args.geometry,
+                         trace=False)
+    seq, thrash = sequential_time_model(args.n)
+    baseline = seq / thrash
+    print(f"{args.variant}: n={args.n} ab={args.ab} "
+          f"geometry={args.geometry}")
+    print(f"  modeled time   {result.time:10.3f} s")
+    print(f"  speedup        {baseline / result.time:10.2f} "
+          f"(vs paging-free sequential {baseline:.2f} s)")
+    if args.real and result.c is not None:
+        err = assert_allclose(result.c, case.reference())
+        print(f"  verified vs NumPy (relative error {err:.2e})")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    builder = {1: build_table1, 2: build_table2,
+               3: build_table3, 4: build_table4}[args.number]
+    comparison = builder()
+    print(comparison.render())
+    failures = comparison.failed_shapes()
+    if failures:
+        print("\nshape check failures:")
+        for claim, _ok, detail in failures:
+            print(f"  {claim}: {detail}")
+        return 1
+    print("\nshape checks: all passed")
+    return 0
+
+
+def _cmd_figure1() -> int:
+    panels = build_figure1()
+    for panel in panels:
+        print(panel.diagram)
+        print(f"(makespan {panel.time:.4f} s)\n")
+    bad = [claim for claim, ok, _d in figure1_report(panels) if not ok]
+    if bad:
+        print("failed claims:", "; ".join(bad))
+        return 1
+    print("all Figure 1 claims hold")
+    return 0
+
+
+def _cmd_staggering(args) -> int:
+    print(f"{'n':>4} {'forward':>8} {'reverse':>8}")
+    for n, fwd, rev in staggering_comparison(range(2, args.max_n + 1)):
+        print(f"{n:4d} {fwd:8d} {rev:8d}")
+    print("\nreverse staggering never needs more than 2 phases; forward "
+          "needs 3\nunless n is a power of two (Section 5, item 3).")
+    return 0
+
+
+def _cmd_wavefront(args) -> int:
+    from .wavefront import (
+        WavefrontCase,
+        run_dsc_wavefront,
+        run_pipelined_wavefront,
+        run_sequential_wavefront,
+    )
+
+    case = WavefrontCase(n=args.n, b=args.block, shadow=True)
+    seq = run_sequential_wavefront(case, trace=False).time
+    dsc = run_dsc_wavefront(case, args.pes, trace=False).time
+    pipe = run_pipelined_wavefront(case, args.pes, trace=False).time
+    print(f"wavefront n={args.n} block={args.block} on {args.pes} PEs")
+    print(f"  sequential {seq:8.3f} s")
+    print(f"  DSC        {dsc:8.3f} s  (speedup {seq / dsc:.2f})")
+    print(f"  pipelined  {pipe:8.3f} s  (speedup {seq / pipe:.2f})")
+    return 0
+
+
+def _cmd_datascan(args) -> int:
+    from .datascan import (
+        DataScanCase,
+        histogram,
+        run_navp_scan,
+        run_ship_data,
+        run_spmd_reduce,
+    )
+
+    case = DataScanCase(pes=args.pes, items_per_pe=args.items)
+    query = histogram(64)
+    ship = run_ship_data(case, query)
+    scan = run_navp_scan(case, query)
+    reduce_ = run_spmd_reduce(case, query)
+    print(f"{query.name} over {args.pes} x {args.items:,} items")
+    print(f"  ship-data    {ship.time:8.3f} s")
+    print(f"  navp-scan    {scan.time:8.3f} s  "
+          f"({ship.time / scan.time:.1f}x over shipping)")
+    print(f"  spmd-reduce  {reduce_.time:8.3f} s")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "variants":
+        return _cmd_variants()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "table":
+        return _cmd_table(args)
+    if args.command == "figure1":
+        return _cmd_figure1()
+    if args.command == "staggering":
+        return _cmd_staggering(args)
+    if args.command == "wavefront":
+        return _cmd_wavefront(args)
+    if args.command == "datascan":
+        return _cmd_datascan(args)
+    if args.command == "report":
+        from .perfmodel.report import generate_report
+
+        text = generate_report(quick=args.quick)
+        print(text)
+        return 0 if "FAILED" not in text else 1
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Data-scan case study: moving computation to data (NavP ref. [13])."""
+
+from .queries import (
+    Query,
+    count_where,
+    histogram,
+    moments,
+    top_k,
+    value_range,
+)
+from .strategies import (
+    DataScanCase,
+    ScanResult,
+    run_navp_scan,
+    run_ship_data,
+    run_spmd_reduce,
+)
+
+__all__ = [
+    "Query",
+    "histogram",
+    "moments",
+    "top_k",
+    "count_where",
+    "value_range",
+    "DataScanCase",
+    "ScanResult",
+    "run_navp_scan",
+    "run_ship_data",
+    "run_spmd_reduce",
+]

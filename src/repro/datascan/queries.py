@@ -1,0 +1,132 @@
+"""Composable aggregation queries for the data-scan case study.
+
+A query is three functions — ``local`` (fold a chunk into a partial),
+``merge`` (combine two partials), ``finish`` (partial to answer) — the
+shape that lets the *same* query run under every execution strategy:
+carried by a migrating messenger, reduced over SPMD ranks, or computed
+centrally after shipping the data. ``partial_nbytes`` bounds the state
+a messenger must carry, which is the whole point of the comparison:
+a histogram travels in a few hundred bytes while the data it summarizes
+is megabytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["Query", "histogram", "moments", "top_k", "count_where",
+           "value_range"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """An aggregation expressible as local-fold + merge + finish."""
+
+    name: str
+    local: Callable[[np.ndarray], Any]
+    merge: Callable[[Any, Any], Any]
+    finish: Callable[[Any], Any]
+    partial_nbytes: int           # modeled size of a carried partial
+    flops_per_item: float = 2.0   # modeled compute per data item
+
+    def over_chunks(self, chunks) -> Any:
+        """Reference evaluation: fold all chunks sequentially."""
+        partial = None
+        for chunk in chunks:
+            piece = self.local(chunk)
+            partial = piece if partial is None else self.merge(partial,
+                                                               piece)
+        return self.finish(partial)
+
+
+def histogram(bins: int = 32, lo: float = 0.0, hi: float = 1.0) -> Query:
+    """Fixed-bin histogram of all values."""
+    edges = np.linspace(lo, hi, bins + 1)
+
+    def local(chunk):
+        counts, _ = np.histogram(chunk, bins=edges)
+        return counts
+
+    return Query(
+        name=f"histogram[{bins}]",
+        local=local,
+        merge=lambda a, b: a + b,
+        finish=lambda p: p,
+        partial_nbytes=bins * 8,
+        flops_per_item=4.0,
+    )
+
+
+def moments() -> Query:
+    """Count, mean and variance via parallel Welford/Chan merging."""
+
+    def local(chunk):
+        n = chunk.size
+        mean = float(chunk.mean()) if n else 0.0
+        m2 = float(((chunk - mean) ** 2).sum()) if n else 0.0
+        return (n, mean, m2)
+
+    def merge(a, b):
+        n_a, mean_a, m2_a = a
+        n_b, mean_b, m2_b = b
+        n = n_a + n_b
+        if n == 0:
+            return (0, 0.0, 0.0)
+        delta = mean_b - mean_a
+        mean = mean_a + delta * n_b / n
+        m2 = m2_a + m2_b + delta * delta * n_a * n_b / n
+        return (n, mean, m2)
+
+    def finish(p):
+        n, mean, m2 = p
+        return {"count": n, "mean": mean,
+                "variance": m2 / n if n else 0.0}
+
+    return Query(name="moments", local=local, merge=merge, finish=finish,
+                 partial_nbytes=24, flops_per_item=6.0)
+
+
+def top_k(k: int = 10) -> Query:
+    """The k largest values across all chunks."""
+
+    def local(chunk):
+        if chunk.size <= k:
+            return np.sort(chunk)[::-1].copy()
+        return np.sort(np.partition(chunk, -k)[-k:])[::-1]
+
+    def merge(a, b):
+        both = np.concatenate([a, b])
+        if both.size <= k:
+            return np.sort(both)[::-1]
+        return np.sort(np.partition(both, -k)[-k:])[::-1]
+
+    return Query(name=f"top{k}", local=local, merge=merge,
+                 finish=lambda p: p, partial_nbytes=k * 8,
+                 flops_per_item=3.0)
+
+
+def count_where(threshold: float) -> Query:
+    """How many values exceed ``threshold``."""
+    return Query(
+        name=f"count>{threshold}",
+        local=lambda chunk: int((chunk > threshold).sum()),
+        merge=lambda a, b: a + b,
+        finish=lambda p: p,
+        partial_nbytes=8,
+        flops_per_item=1.0,
+    )
+
+
+def value_range() -> Query:
+    """(min, max) over all values."""
+    return Query(
+        name="range",
+        local=lambda chunk: (float(chunk.min()), float(chunk.max())),
+        merge=lambda a, b: (min(a[0], b[0]), max(a[1], b[1])),
+        finish=lambda p: p,
+        partial_nbytes=16,
+        flops_per_item=2.0,
+    )

@@ -1,0 +1,227 @@
+"""Three ways to answer a query over distributed data.
+
+Reference [13] of the paper ("Distributed sequential computing using
+mobile code: moving computation to data") is NavP's founding argument:
+when the data is large and the computation's state is small, migrate
+the computation. This module stages the comparison on the calibrated
+cluster:
+
+* :func:`run_ship_data` — the anti-pattern: every PE ships its whole
+  partition to a coordinator, which computes alone. Network bytes =
+  the dataset; one CPU does all the work.
+* :func:`run_navp_scan` — DSC: one messenger tours the PEs, folding
+  each partition where it lives and carrying only the query's partial
+  (a few bytes to a few kB). Sequential compute, negligible traffic.
+* :func:`run_navp_scan` with ``carriers > 1`` — pipelined DSC: the
+  partitions are scanned by several messengers over disjoint PE
+  ranges, whose partials are merged at the end (legal because query
+  merges are associative).
+* :func:`run_spmd_reduce` — the SPMD answer: every rank folds its own
+  partition, then a reduction combines partials.
+
+All strategies produce the identical answer; the benchmark compares
+their modeled cost as the dataset grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..fabric.factory import make_fabric
+from ..fabric.topology import Grid1D
+from ..machine.presets import SUN_BLADE_100
+from ..machine.spec import MachineSpec
+from ..mpi.comm import Comm, run_spmd
+from ..navp.messenger import Messenger
+from .queries import Query
+
+__all__ = ["DataScanCase", "ScanResult", "run_ship_data",
+           "run_navp_scan", "run_spmd_reduce"]
+
+
+@dataclass(frozen=True)
+class DataScanCase:
+    """``pes`` partitions of ``items_per_pe`` float64 values each."""
+
+    pes: int
+    items_per_pe: int
+    seed: int = 5150
+
+    def partitions(self) -> list:
+        rng = np.random.default_rng(self.seed)
+        return [rng.random(self.items_per_pe) for _ in range(self.pes)]
+
+    @property
+    def total_bytes(self) -> int:
+        return self.pes * self.items_per_pe * 8
+
+    def reference(self, query: Query) -> Any:
+        return query.over_chunks(self.partitions())
+
+
+@dataclass
+class ScanResult:
+    strategy: str
+    answer: Any
+    time: float
+    details: dict = field(default_factory=dict)
+
+
+def _load(fabric, case: DataScanCase) -> None:
+    for j, part in enumerate(case.partitions()):
+        fabric.load((j,), data=part)
+
+
+class _ScanMessenger(Messenger):
+    """Tours a PE range folding partitions into a carried partial, then
+    delivers the partial to the merge PE and announces it."""
+
+    def __init__(self, query: Query, stops, items: int, deliver_to: tuple):
+        self._query = query
+        self._stops = list(stops)
+        self._items = items
+        self._deliver_to = tuple(deliver_to)
+        self.mpartial = None  # agent variable: the carried state
+
+    def main(self):
+        query = self._query
+        flops = query.flops_per_item * self._items
+        payload = lambda: (query.partial_nbytes  # noqa: E731
+                           + self.machine.hop_state_bytes)
+        for stop in self._stops:
+            yield self.hop((stop,), nbytes=payload())
+            data = self.vars["data"]
+
+            def fold(data=data):
+                piece = query.local(data)
+                return piece if self.mpartial is None else query.merge(
+                    self.mpartial, piece)
+
+            self.mpartial = yield self.compute(fold, flops=flops)
+        if self.here != self._deliver_to:
+            yield self.hop(self._deliver_to, nbytes=payload())
+        self.vars.setdefault("partials", []).append(self.mpartial)
+        yield self.signal_event("partial-ready")
+
+
+class _Merger(Messenger):
+    """Awaits all carrier partials at the last PE and finishes."""
+
+    def __init__(self, query: Query, expected: int, home: tuple):
+        self._query = query
+        self._expected = expected
+        self._home = home
+
+    def main(self):
+        yield self.hop(self._home)
+        for _ in range(self._expected):
+            yield self.wait_event("partial-ready")
+        partials = self.vars["partials"]
+
+        def combine():
+            out = partials[0]
+            for piece in partials[1:]:
+                out = self._query.merge(out, piece)
+            return self._query.finish(out)
+
+        self.vars["answer"] = yield self.compute(
+            combine, flops=self._expected * 10.0)
+
+
+def run_navp_scan(
+    case: DataScanCase,
+    query: Query,
+    carriers: int = 1,
+    machine: MachineSpec | None = None,
+    fabric: str = "sim",
+) -> ScanResult:
+    """DSC (``carriers=1``) or pipelined DSC over PE ranges."""
+    machine = machine if machine is not None else SUN_BLADE_100
+    if not 1 <= carriers <= case.pes or case.pes % carriers:
+        raise ConfigurationError(
+            f"carriers must divide the PE count ({case.pes})")
+    fab = make_fabric(fabric, Grid1D(case.pes), machine=machine,
+                      trace=False)
+    _load(fab, case)
+    span = case.pes // carriers
+    home = (case.pes - 1,)
+    for c in range(carriers):
+        stops = list(range(c * span, (c + 1) * span))
+        fab.inject((stops[0],),
+                   _ScanMessenger(query, stops, case.items_per_pe, home))
+    fab.inject(home, _Merger(query, carriers, home))
+    result = fab.run()
+    return ScanResult(
+        strategy=f"navp-scan x{carriers}",
+        answer=result.places[home]["answer"],
+        time=result.time,
+        details={"carriers": carriers},
+    )
+
+
+def run_ship_data(
+    case: DataScanCase,
+    query: Query,
+    machine: MachineSpec | None = None,
+) -> ScanResult:
+    """Ship every partition to rank 0, compute centrally."""
+    machine = machine if machine is not None else SUN_BLADE_100
+
+    def program(comm: Comm):
+        j = comm.coord[0]
+        if j != 0:
+            yield comm.send((0,), ("part", j), comm.vars["data"])
+            return
+        chunks = [comm.vars["data"]]
+        for _ in range(case.pes - 1):
+            msg = yield comm.recv(tag=None)
+            chunks.append(msg.payload)
+
+        def compute_all():
+            return query.over_chunks(chunks)
+
+        comm.vars["answer"] = yield comm.compute(
+            compute_all,
+            flops=query.flops_per_item * case.items_per_pe * case.pes,
+            kind=None,
+        )
+
+    result = run_spmd(Grid1D(case.pes), program, machine=machine,
+                      setup=lambda fab: _load(fab, case), trace=False)
+    return ScanResult(
+        strategy="ship-data",
+        answer=result.places[(0,)]["answer"],
+        time=result.time,
+        details={"bytes_moved": case.total_bytes},
+    )
+
+
+def run_spmd_reduce(
+    case: DataScanCase,
+    query: Query,
+    machine: MachineSpec | None = None,
+) -> ScanResult:
+    """Every rank folds locally; a reduction combines the partials."""
+    machine = machine if machine is not None else SUN_BLADE_100
+    group = [(j,) for j in range(case.pes)]
+
+    def program(comm: Comm):
+        local = yield comm.compute(
+            lambda: query.local(comm.vars["data"]),
+            flops=query.flops_per_item * case.items_per_pe, kind=None)
+        combined = yield from comm.reduce(group, (0,), "scan", local,
+                                          query.merge)
+        if comm.coord == (0,):
+            comm.vars["answer"] = query.finish(combined)
+
+    result = run_spmd(Grid1D(case.pes), program, machine=machine,
+                      setup=lambda fab: _load(fab, case), trace=False)
+    return ScanResult(
+        strategy="spmd-reduce",
+        answer=result.places[(0,)]["answer"],
+        time=result.time,
+    )

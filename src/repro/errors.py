@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro package.
+
+Keeping all exceptions in one module lets callers catch
+:class:`ReproError` for anything raised deliberately by this library,
+while still being able to discriminate on the specific subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or invoked with invalid parameters."""
+
+
+class TopologyError(ConfigurationError):
+    """A place/coordinate does not exist in the current topology."""
+
+
+class PartitionError(ConfigurationError):
+    """A matrix order is not divisible as required by a partitioning."""
+
+
+class FabricError(ReproError):
+    """Generic runtime failure inside a fabric executor."""
+
+
+class DeadlockError(FabricError):
+    """The simulation or runtime can make no further progress.
+
+    Raised when runnable work is exhausted while messengers/processes are
+    still blocked on events, resources, or receives.
+    """
+
+
+class NonLocalEventError(FabricError):
+    """An event operation targeted a place other than the current one.
+
+    NavP events are node-local: both ``signalEvent`` and ``waitEvent``
+    always act on the event table of the PE where the messenger
+    currently resides (see Figures 11/13/15 of the paper).
+    """
+
+
+class MigrationError(FabricError):
+    """A messenger could not be migrated (e.g. unpicklable state)."""
+
+
+class ProtocolError(FabricError):
+    """An algorithm-level invariant was violated at runtime.
+
+    Example: an ``ACarrier`` found a B slot holding a block with a
+    mismatched ``k`` index, meaning the pipeline pairing was broken.
+    """
+
+
+class SimulationError(FabricError):
+    """The discrete-event kernel was used incorrectly."""
+
+
+class TransformError(ReproError):
+    """A program transformation could not be applied safely."""
+
+
+class VerificationError(ReproError):
+    """A computed result failed verification against the reference."""

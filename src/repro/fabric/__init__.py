@@ -1,0 +1,35 @@
+"""Execution fabrics: virtual-time DES, real threads, real processes."""
+
+from . import effects
+from .desim import Resource, Semaphore, Simulator, SimProcess, Timeout, Trigger
+from .factory import FABRIC_KINDS, make_fabric
+from .hosts import block_hosts, cyclic_hosts, resolve_hosts
+from .sim import FabricResult, Message, SimFabric, SimPlace
+from .sizes import agent_nbytes, model_nbytes
+from .threads import ThreadFabric, ThreadPlace
+from .topology import Grid1D, Grid2D, Topology
+from .trace import TraceEvent, TraceLog
+
+__all__ = [
+    "effects",
+    "block_hosts",
+    "cyclic_hosts",
+    "resolve_hosts",
+    "Simulator",
+    "SimProcess",
+    "Timeout",
+    "Resource",
+    "Semaphore",
+    "Trigger",
+    "SimFabric",
+    "SimPlace",
+    "Message",
+    "FabricResult",
+    "Grid1D",
+    "Grid2D",
+    "Topology",
+    "TraceEvent",
+    "TraceLog",
+    "agent_nbytes",
+    "model_nbytes",
+]

@@ -1,0 +1,325 @@
+"""A small deterministic discrete-event simulation kernel.
+
+This is the substrate under :class:`repro.fabric.sim.SimFabric`. It is
+a deliberately minimal coroutine-based DES (in the style of SimPy):
+
+* :class:`Simulator` — virtual clock plus a binary-heap event queue;
+  ties are broken by a monotonically increasing sequence number, so
+  simulations are fully deterministic.
+* :class:`SimProcess` — drives a Python generator; the generator
+  *yields* waitables and is resumed when they complete.
+* Waitables: :class:`Timeout`, ``Resource.acquire()`` (FIFO resource
+  with integral capacity — models CPUs and NICs), ``Semaphore.acquire()``
+  (counting semaphore — models NavP events), :class:`Trigger` (one-shot
+  broadcast event carrying a value), and another :class:`SimProcess`
+  (join).
+
+Exceptions raised inside a process abort the simulation and re-raise
+from :meth:`Simulator.run` with the process name attached. If the event
+queue drains while processes are still blocked, :meth:`Simulator.run`
+raises :class:`repro.errors.DeadlockError` naming every blocked process
+and what it is waiting on — invaluable when debugging event protocols
+like the EP/EC handshake of Figures 13/15.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Callable, Generator
+
+from ..errors import DeadlockError, SimulationError
+
+__all__ = [
+    "Simulator",
+    "SimProcess",
+    "Timeout",
+    "Resource",
+    "Semaphore",
+    "Trigger",
+]
+
+
+class Timeout:
+    """Wait for a fixed amount of virtual time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        self.delay = delay
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay!r})"
+
+
+class _Acquire:
+    """Internal waitable returned by Resource/Semaphore ``acquire()``."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target):
+        self.target = target
+
+    def __repr__(self) -> str:
+        return f"Acquire({self.target!r})"
+
+
+class Resource:
+    """A resource with integral capacity (CPU, NIC, ...).
+
+    ``policy`` selects which waiter is served when a slot frees:
+    ``"fifo"`` (the default — the MESSENGERS daemon's ready queue) or
+    ``"lifo"``. Usage inside a process generator::
+
+        yield cpu.acquire()
+        yield Timeout(work_seconds)
+        cpu.release()
+    """
+
+    POLICIES = ("fifo", "lifo")
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "",
+                 policy: str = "fifo"):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        if policy not in self.POLICIES:
+            raise SimulationError(f"unknown resource policy {policy!r}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name or f"resource@{id(self):x}"
+        self.policy = policy
+        self.in_use = 0
+        self._waiters: deque = deque()
+
+    def acquire(self) -> _Acquire:
+        return _Acquire(self)
+
+    def _request(self, process: "SimProcess") -> None:
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            self.sim._schedule(0.0, process._resume, None)
+        else:
+            self._waiters.append(process)
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name}")
+        if self._waiters:
+            process = (self._waiters.popleft() if self.policy == "fifo"
+                       else self._waiters.pop())
+            # capacity slot transfers directly to the next waiter
+            self.sim._schedule(0.0, process._resume, None)
+        else:
+            self.in_use -= 1
+
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def __repr__(self) -> str:
+        return (f"Resource({self.name}, {self.in_use}/{self.capacity} used, "
+                f"{len(self._waiters)} waiting)")
+
+
+class Semaphore:
+    """A counting semaphore — the model for NavP events.
+
+    ``signalEvent`` is :meth:`release`; ``waitEvent`` is
+    ``yield sem.acquire()``. Counting (rather than sticky) semantics
+    are required by the paper's producer/consumer handshake: each
+    ``EP``/``EC`` signal enables exactly one waiter.
+    """
+
+    def __init__(self, sim: "Simulator", initial: int = 0, name: str = ""):
+        if initial < 0:
+            raise SimulationError("semaphore count must be >= 0")
+        self.sim = sim
+        self.count = initial
+        self.name = name or f"semaphore@{id(self):x}"
+        self._waiters: deque = deque()
+
+    def acquire(self) -> _Acquire:
+        return _Acquire(self)
+
+    def _request(self, process: "SimProcess") -> None:
+        if self.count > 0:
+            self.count -= 1
+            self.sim._schedule(0.0, process._resume, None)
+        else:
+            self._waiters.append(process)
+
+    def release(self, n: int = 1) -> None:
+        if n < 1:
+            raise SimulationError("semaphore release count must be >= 1")
+        for _ in range(n):
+            if self._waiters:
+                process = self._waiters.popleft()
+                self.sim._schedule(0.0, process._resume, None)
+            else:
+                self.count += 1
+
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def __repr__(self) -> str:
+        return (f"Semaphore({self.name}, count={self.count}, "
+                f"{len(self._waiters)} waiting)")
+
+
+class Trigger:
+    """A one-shot broadcast event carrying an optional value."""
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name or f"trigger@{id(self):x}"
+        self.fired = False
+        self.value = None
+        self._waiters: list = []
+
+    def fire(self, value=None) -> None:
+        if self.fired:
+            raise SimulationError(f"trigger {self.name} fired twice")
+        self.fired = True
+        self.value = value
+        for process in self._waiters:
+            self.sim._schedule(0.0, process._resume, value)
+        self._waiters.clear()
+
+    def _request(self, process: "SimProcess") -> None:
+        if self.fired:
+            self.sim._schedule(0.0, process._resume, self.value)
+        else:
+            self._waiters.append(process)
+
+    def __repr__(self) -> str:
+        state = "fired" if self.fired else f"{len(self._waiters)} waiting"
+        return f"Trigger({self.name}, {state})"
+
+
+class SimProcess:
+    """A generator-driven simulation process."""
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.name = name or f"process@{id(self):x}"
+        self.done = Trigger(sim, name=f"{self.name}.done")
+        self.result = None
+        self.waiting_on = None
+        self.alive = True
+
+    def _resume(self, value) -> None:
+        self.waiting_on = None
+        try:
+            item = self.gen.send(value)
+        except StopIteration as stop:
+            self.alive = False
+            self.result = stop.value
+            self.done.fire(stop.value)
+            return
+        except Exception as exc:
+            self.alive = False
+            self.sim._fail(self, exc)
+            return
+        self._dispatch(item)
+
+    def _dispatch(self, item) -> None:
+        self.waiting_on = item
+        if isinstance(item, Timeout):
+            self.sim._schedule(item.delay, self._resume, None)
+        elif isinstance(item, _Acquire):
+            item.target._request(self)
+        elif isinstance(item, Trigger):
+            item._request(self)
+        elif isinstance(item, SimProcess):
+            item.done._request(self)
+        else:
+            self.alive = False
+            exc = SimulationError(
+                f"process {self.name} yielded unsupported item {item!r}"
+            )
+            self.sim._fail(self, exc)
+
+    def __repr__(self) -> str:
+        state = f"waiting on {self.waiting_on!r}" if self.alive else "done"
+        return f"SimProcess({self.name}, {state})"
+
+
+class Simulator:
+    """Virtual clock plus deterministic event queue."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._queue: list = []
+        self._seq = 0
+        self._processes: list[SimProcess] = []
+        self._failure: tuple | None = None
+
+    # -- low-level scheduling -------------------------------------------
+    def _schedule(self, delay: float, fn: Callable, arg) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past ({delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, fn, arg))
+
+    def _fail(self, process: SimProcess, exc: Exception) -> None:
+        if self._failure is None:
+            self._failure = (process, exc)
+
+    # -- public API -------------------------------------------------------
+    def resource(self, capacity: int = 1, name: str = "") -> Resource:
+        return Resource(self, capacity, name)
+
+    def semaphore(self, initial: int = 0, name: str = "") -> Semaphore:
+        return Semaphore(self, initial, name)
+
+    def trigger(self, name: str = "") -> Trigger:
+        return Trigger(self, name)
+
+    def spawn(self, gen: Generator, name: str = "",
+              delay: float = 0.0) -> SimProcess:
+        """Add a process; it takes its first step at ``now + delay``."""
+        process = SimProcess(self, gen, name)
+        self._processes.append(process)
+        self._schedule(delay, process._resume, None)
+        return process
+
+    def run(self, until: float | None = None) -> float:
+        """Run until the queue drains (or virtual time ``until``).
+
+        Returns the final virtual time. Raises the first process
+        exception, or :class:`DeadlockError` if blocked processes
+        remain when the queue empties.
+        """
+        while self._queue:
+            if self._failure is not None:
+                break
+            time, _seq, fn, arg = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            if time < self.now:
+                raise SimulationError("event queue time went backwards")
+            self.now = time
+            fn(arg)
+        if self._failure is not None:
+            process, exc = self._failure
+            raise SimulationError(
+                f"process {process.name!r} raised {type(exc).__name__}: {exc}"
+            ) from exc
+        blocked = [p for p in self._processes if p.alive]
+        if blocked and until is None:
+            detail = "; ".join(
+                f"{p.name} waiting on {p.waiting_on!r}" for p in blocked[:20]
+            )
+            more = "" if len(blocked) <= 20 else f" (+{len(blocked) - 20} more)"
+            raise DeadlockError(
+                f"{len(blocked)} process(es) blocked with no pending events: "
+                f"{detail}{more}"
+            )
+        return self.now
+
+    def alive_count(self) -> int:
+        return sum(1 for p in self._processes if p.alive)

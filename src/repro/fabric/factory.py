@@ -1,0 +1,36 @@
+"""Fabric construction by name.
+
+Runners accept ``fabric="sim"`` (virtual time, the default — regenerates
+the paper's tables) or ``fabric="thread"`` (real daemon threads, wall
+clock, pickled hops). The process fabric is not built here: it runs IR
+messengers only and has its own driver in
+:mod:`repro.fabric.process`.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..machine.spec import MachineSpec
+from .sim import SimFabric
+from .threads import ThreadFabric
+from .topology import Topology
+
+__all__ = ["make_fabric", "FABRIC_KINDS"]
+
+FABRIC_KINDS = ("sim", "thread")
+
+
+def make_fabric(
+    kind: str,
+    topology: Topology,
+    machine: MachineSpec | None = None,
+    trace: bool = True,
+):
+    """Build a fabric of the given kind over a topology."""
+    if kind == "sim":
+        return SimFabric(topology, machine=machine, trace=trace)
+    if kind == "thread":
+        return ThreadFabric(topology, machine=machine, trace=trace)
+    raise ConfigurationError(
+        f"unknown fabric kind {kind!r}; expected one of {FABRIC_KINDS}"
+    )

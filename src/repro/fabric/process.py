@@ -1,0 +1,300 @@
+"""ProcessFabric: PEs as OS processes, migration as pickled state.
+
+This is the faithful end of the fabric spectrum: every PE is a real
+``multiprocessing.Process`` with its own address space. Node variables
+never leave their process; when an IR messenger hops, its continuation
+— program name, control stack, agent environment — is pickled and
+shipped through an inter-process queue, exactly the MESSENGERS
+discipline ("the state of the computation is moved on each hop, the
+code is not moved"). Programs are installed into every worker once at
+start-up, like compiled messenger code loaded by each daemon.
+
+Only IR messengers run here: CPython cannot pickle a live generator
+frame, and the IR interpreter's explicit continuation is the honest
+equivalent of MESSENGERS' compiled resumption points (see DESIGN.md).
+
+Termination uses parental accounting: every messenger's completion
+report names the children it injected; the controller is done when the
+set of known messengers equals the set of completed ones — correct
+under arbitrary report reordering across queues, since a parent's
+report both introduces and is required for its children.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+from collections import defaultdict, deque
+
+from ..errors import DeadlockError, FabricError, MigrationError
+from ..machine.presets import SUN_BLADE_100
+from ..machine.spec import MachineSpec
+from ..navp import ir
+from ..navp.interp import Interp
+from ..navp.kernels import get_kernel
+from .hosts import resolve_hosts
+from .sim import FabricResult
+from .topology import Topology
+from .trace import TraceLog
+
+__all__ = ["ProcessFabric"]
+
+
+def _worker(host, coords, host_of, in_queue, host_queues, report_queue):
+    """One host process: executes messenger continuations against the
+    local state of every logical node it carries."""
+    node_vars: dict = {coord: {} for coord in coords}
+    event_counts: dict = defaultdict(int)       # (coord, name, args)
+    event_waiters: dict = defaultdict(deque)
+    ready: deque = deque()
+
+    def execute(task: dict) -> None:
+        interp: Interp = task["interp"]
+        while True:
+            action = interp.next_action(node_vars[task["at"]])
+            if action is None:
+                report_queue.put(("done", task["id"], task["children"]))
+                return
+            kind = action[0]
+            if kind == "hop":
+                dst = tuple(action[1])
+                if dst not in host_of:
+                    raise MigrationError(
+                        f"hop target {dst!r} is not a PE of this fabric"
+                    )
+                if host_of[dst] == host:
+                    task["at"] = dst    # co-hosted: a local hand-over
+                    continue
+                snapshot = {
+                    "id": task["id"],
+                    "children": task["children"],
+                    "seq": task["seq"],
+                    "at": dst,
+                    "interp": interp.agent_snapshot(),
+                }
+                host_queues[host_of[dst]].put(("run", snapshot))
+                return
+            if kind == "compute":
+                _, kname, argvals, out, _cost_kind = action
+                interp.env[out] = get_kernel(kname).fn(*argvals)
+                continue
+            if kind == "wait":
+                key = (task["at"], action[1], action[2])
+                if event_counts[key] > 0:
+                    event_counts[key] -= 1
+                    continue
+                event_waiters[key].append(task)
+                return
+            if kind == "signal":
+                key = (task["at"], action[1], action[2])
+                remaining = action[3]
+                waiters = event_waiters[key]
+                while remaining > 0 and waiters:
+                    ready.append(waiters.popleft())
+                    remaining -= 1
+                event_counts[key] += remaining
+                continue
+            if kind == "inject":
+                child_id = f"{task['id']}/{task['seq']}"
+                task["seq"] += 1
+                task["children"].append(child_id)
+                ready.append({
+                    "id": child_id,
+                    "children": [],
+                    "seq": 0,
+                    "at": task["at"],
+                    "interp": Interp(action[1], action[2]),
+                })
+                continue
+            raise FabricError(f"unsupported action {action!r} on "
+                              f"the process fabric")
+
+    try:
+        while True:
+            if ready:
+                execute(ready.popleft())
+                continue
+            cmd = in_queue.get()
+            op = cmd[0]
+            if op == "run":
+                snap = cmd[1]
+                ready.append({
+                    "id": snap["id"],
+                    "children": snap["children"],
+                    "seq": snap["seq"],
+                    "at": tuple(snap["at"]),
+                    "interp": Interp.from_snapshot(snap["interp"]),
+                })
+            elif op == "register":
+                for program in cmd[1]:
+                    ir.register_program(program, replace=True)
+            elif op == "load":
+                node_vars[cmd[1]].update(cmd[2])
+            elif op == "signal0":
+                coord, _name, args, count = cmd[1]
+                event_counts[(coord, _name, args)] += count
+            elif op == "collect":
+                report_queue.put(("vars", host, node_vars))
+            elif op == "stop":
+                return
+            else:  # pragma: no cover - protocol is closed
+                raise FabricError(f"unknown worker command {op!r}")
+    except BaseException as exc:  # noqa: BLE001 - forwarded to controller
+        report_queue.put(("error", host, f"{type(exc).__name__}: {exc}"))
+
+
+class ProcessFabric:
+    """Multiprocessing executor for IR messengers."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        machine: MachineSpec | None = None,
+        timeout: float = 120.0,
+        hosts=None,
+    ):
+        self.topology = topology
+        self.machine = machine if machine is not None else SUN_BLADE_100
+        self.timeout = timeout
+        self.trace = TraceLog(enabled=False)
+        self._ctx = mp.get_context("fork")
+        self._host_of = resolve_hosts(topology, hosts)
+        self.n_hosts = max(self._host_of.values()) + 1
+        self._loads: dict = defaultdict(dict)
+        self._signals: list = []
+        self._initial: list = []  # (coord, program_name, env)
+        self._programs: dict = {}
+        self._counter = 0
+
+    # -- setup (collected, applied at run()) ------------------------------
+    def load(self, coord, **node_vars) -> None:
+        self._loads[self.topology.normalize(coord)].update(node_vars)
+
+    def signal_initial(self, coord, name: str, *args, count: int = 1) -> None:
+        self._signals.append(
+            (self.topology.normalize(coord), name, tuple(args), count))
+
+    def inject(self, coord, program: str | ir.Program,
+               env: dict | None = None) -> None:
+        """Schedule an IR program for injection at start-up."""
+        if isinstance(program, ir.Program):
+            self._programs[program.name] = program
+            name = program.name
+        else:
+            name = program
+            self._programs[name] = ir.get_program(name)
+        self._collect_referenced(self._programs[name])
+        self._initial.append(
+            (self.topology.normalize(coord), name, dict(env or {})))
+
+    def _collect_referenced(self, program: ir.Program) -> None:
+        """Pull in programs reachable through Inject statements."""
+
+        def walk(body):
+            for stmt in body:
+                if isinstance(stmt, ir.InjectStmt):
+                    if stmt.program not in self._programs:
+                        child = ir.get_program(stmt.program)
+                        self._programs[stmt.program] = child
+                        walk(child.body)
+                elif isinstance(stmt, ir.For):
+                    walk(stmt.body)
+                elif isinstance(stmt, ir.If):
+                    walk(stmt.then)
+                    walk(stmt.orelse)
+
+        walk(program.body)
+
+    # -- execution --------------------------------------------------------
+    def run(self) -> FabricResult:
+        if not self._initial:
+            raise FabricError("no messengers injected")
+        t0 = time.perf_counter()
+        coords = list(self.topology.coords)
+        host_queues = {h: self._ctx.Queue() for h in range(self.n_hosts)}
+        report_queue = self._ctx.Queue()
+        coords_of_host = {
+            h: [c for c in coords if self._host_of[c] == h]
+            for h in range(self.n_hosts)
+        }
+        workers = [
+            self._ctx.Process(
+                target=_worker,
+                args=(h, coords_of_host[h], self._host_of, host_queues[h],
+                      host_queues, report_queue),
+                daemon=True,
+                name=f"host{h}",
+            )
+            for h in range(self.n_hosts)
+        ]
+        for w in workers:
+            w.start()
+        try:
+            programs = list(self._programs.values())
+            for h in range(self.n_hosts):
+                host_queues[h].put(("register", programs))
+            for c in coords:
+                if self._loads[c]:
+                    host_queues[self._host_of[c]].put(
+                        ("load", c, self._loads[c]))
+            for coord, name, args, count in self._signals:
+                host_queues[self._host_of[coord]].put(
+                    ("signal0", (coord, name, args, count)))
+
+            known: set = set()
+            done: set = set()
+            for coord, name, env in self._initial:
+                mid = f"m{self._counter}"
+                self._counter += 1
+                known.add(mid)
+                host_queues[self._host_of[coord]].put(("run", {
+                    "id": mid, "children": [], "seq": 0, "at": coord,
+                    "interp": Interp(name, env).agent_snapshot(),
+                }))
+
+            deadline = time.monotonic() + self.timeout
+            while not known <= done:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlockError(
+                        f"process fabric timed out; "
+                        f"{len(known - done)} messenger(s) unaccounted"
+                    )
+                try:
+                    msg = report_queue.get(timeout=min(remaining, 1.0))
+                except queue_mod.Empty:
+                    continue
+                if msg[0] == "error":
+                    raise FabricError(
+                        f"worker {msg[1]} failed: {msg[2]}")
+                if msg[0] == "done":
+                    done.add(msg[1])
+                    known.update(msg[2])
+
+            for h in range(self.n_hosts):
+                host_queues[h].put(("collect",))
+            places: dict = {}
+            hosts_seen: set = set()
+            while len(hosts_seen) < self.n_hosts:
+                msg = report_queue.get(timeout=self.timeout)
+                if msg[0] == "error":
+                    raise FabricError(f"worker {msg[1]} failed: {msg[2]}")
+                if msg[0] == "vars":
+                    hosts_seen.add(msg[1])
+                    places.update(msg[2])
+        finally:
+            for h in range(self.n_hosts):
+                try:
+                    host_queues[h].put(("stop",))
+                except Exception:  # pragma: no cover - shutdown races
+                    pass
+            for w in workers:
+                w.join(timeout=5.0)
+                if w.is_alive():
+                    w.terminate()
+        return FabricResult(
+            time=time.perf_counter() - t0,
+            trace=self.trace,
+            places=places,
+        )

@@ -1,0 +1,436 @@
+"""SimFabric: virtual-time execution of messengers on a modeled cluster.
+
+Each PE gets a CPU resource (the MESSENGERS daemon executes one ready
+messenger at a time, like a single-core workstation), an outbound NIC
+and an inbound NIC (full-duplex switched Ethernet — concurrent send and
+receive, but each direction serializes, which is what makes owner-side
+contention visible in the ``doall`` experiment). Costs come from a
+:class:`~repro.machine.spec.MachineSpec`.
+
+An uncontended hop or message takes ``latency + nbytes/bandwidth``:
+the sender's NIC is held for the bandwidth term while the in-flight
+portion overlaps it (cut-through pipelining), and the receiver's NIC is
+held for the bandwidth term on arrival.
+
+Numerics always execute (see :class:`repro.fabric.effects.Compute`);
+load :class:`~repro.util.shadow.ShadowArray` node variables to simulate
+paper-scale problems in milliseconds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, NamedTuple
+
+from ..errors import FabricError, TopologyError
+from ..machine import cache_factors as compute_cache_factors
+from ..machine.presets import SUN_BLADE_100
+from ..machine.spec import MachineSpec
+from . import effects as fx
+from .desim import Resource, Semaphore, Simulator, Timeout, Trigger
+from .hosts import resolve_hosts
+from .sizes import agent_nbytes, model_nbytes
+from .topology import Topology
+from .trace import TraceLog
+
+__all__ = ["SimFabric", "SimPlace", "Message", "FabricResult"]
+
+
+class Message(NamedTuple):
+    """A delivered point-to-point message."""
+
+    src: tuple
+    tag: Any
+    payload: Any
+
+
+class _Request:
+    """Handle for a posted non-blocking receive."""
+
+    __slots__ = ("trigger", "message", "done")
+
+    def __init__(self, trigger: Trigger):
+        self.trigger = trigger
+        self.message: Message | None = None
+        self.done = False
+
+    def complete(self, message: Message) -> None:
+        self.message = message
+        self.done = True
+        self.trigger.fire(message)
+
+
+class _SimMailbox:
+    """Per-place mailbox with (src, tag) matching, FIFO on both sides."""
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+        self._pending: deque[Message] = deque()
+        self._waiters: deque[tuple] = deque()  # (src, tag, _Request)
+
+    @staticmethod
+    def _matches(want_src, want_tag, msg: Message) -> bool:
+        if want_src is not fx.ANY_SOURCE and tuple(want_src) != msg.src:
+            return False
+        return want_tag is None or want_tag == msg.tag
+
+    def deposit(self, msg: Message) -> None:
+        for i, (src, tag, request) in enumerate(self._waiters):
+            if self._matches(src, tag, msg):
+                del self._waiters[i]
+                request.complete(msg)
+                return
+        self._pending.append(msg)
+
+    def post(self, src, tag) -> _Request:
+        """Register a receive; completes immediately if a message waits."""
+        request = _Request(self._sim.trigger())
+        for i, msg in enumerate(self._pending):
+            if self._matches(src, tag, msg):
+                del self._pending[i]
+                request.complete(msg)
+                return request
+        self._waiters.append((src, tag, request))
+        return request
+
+    def idle(self) -> bool:
+        return not self._pending and not self._waiters
+
+
+class SimPlace:
+    """One logical node of the simulated cluster.
+
+    Several logical nodes may share a physical ``host``: they then
+    share its CPU and NIC resources, while node variables, events, and
+    the mailbox stay per logical node (MESSENGERS semantics).
+    """
+
+    def __init__(self, sim: Simulator, coord: tuple, index: int,
+                 host: int, cpu, nic_in, nic_out):
+        self.coord = coord
+        self.index = index
+        self.host = host
+        self.vars: dict = {}
+        self.cpu = cpu
+        self.nic_in = nic_in
+        self.nic_out = nic_out
+        self.events: dict = {}
+        self.mailbox = _SimMailbox(sim)
+        self._sim = sim
+
+    def event(self, name: str, args: tuple) -> Semaphore:
+        key = (name, args)
+        sem = self.events.get(key)
+        if sem is None:
+            sem = self._sim.semaphore(0, name=f"{name}{args}@{self.coord}")
+            self.events[key] = sem
+        return sem
+
+    def __repr__(self) -> str:
+        return f"SimPlace{self.coord}"
+
+
+@dataclass
+class _Ctx:
+    """Runtime context bound to a messenger while it executes."""
+
+    fabric: "SimFabric"
+    place: SimPlace
+
+
+@dataclass
+class FabricResult:
+    """Outcome of a fabric run."""
+
+    time: float
+    trace: TraceLog
+    places: dict = field(default_factory=dict)
+
+    def get(self, coord, name: str):
+        """Fetch node variable ``name`` from the place at ``coord``."""
+        if isinstance(coord, int):
+            coord = (coord,)
+        return self.places[tuple(coord)][name]
+
+
+class SimFabric:
+    """Discrete-event executor for messenger programs."""
+
+    # Local (same-PE) hops are pointer swaps plus scheduler work.
+    LOCAL_HOP_SECONDS = 2.0e-5
+
+    def __init__(
+        self,
+        topology: Topology,
+        machine: MachineSpec | None = None,
+        use_cache_model: bool = True,
+        trace: bool = True,
+        hosts=None,
+        cpu_policy: str = "fifo",
+    ):
+        self.topology = topology
+        self.machine = machine if machine is not None else SUN_BLADE_100
+        self.sim = Simulator()
+        self.trace = TraceLog(enabled=trace)
+        host_map = resolve_hosts(topology, hosts)
+        self.n_hosts = max(host_map.values()) + 1
+        host_res = [
+            (Resource(self.sim, 1, name=f"cpu@host{h}", policy=cpu_policy),
+             self.sim.resource(1, name=f"nic_in@host{h}"),
+             self.sim.resource(1, name=f"nic_out@host{h}"))
+            for h in range(self.n_hosts)
+        ]
+        self.places = []
+        for i, coord in enumerate(topology.coords):
+            host = host_map[coord]
+            cpu, nic_in, nic_out = host_res[host]
+            self.places.append(
+                SimPlace(self.sim, coord, i, host, cpu, nic_in, nic_out))
+        self._by_coord = {p.coord: p for p in self.places}
+        self._names: dict = {}
+        self._started = False
+        if use_cache_model:
+            factors = compute_cache_factors(elem_size=self.machine.elem_size)
+            self._cache_factors = {
+                k: factors[k] for k in ("sequential", "navp", "mpi")
+            }
+        else:
+            self._cache_factors = {}
+
+    # -- setup -------------------------------------------------------------
+    def place(self, coord) -> SimPlace:
+        coord = self.topology.normalize(coord)
+        return self._by_coord[coord]
+
+    def load(self, coord, **node_vars) -> None:
+        """Install node variables at a place before the run (time 0)."""
+        self.place(coord).vars.update(node_vars)
+
+    def signal_initial(self, coord, name: str, *args, count: int = 1) -> None:
+        """Pre-signal an event, like Figure 13's "EC(i,j) is signaled
+        on node(i,j) for all values of i,j initially"."""
+        self.place(coord).event(name, tuple(args)).release(count)
+
+    def inject(self, coord, messenger, delay: float = 0.0) -> None:
+        """Inject a messenger at a place at virtual time ``delay``."""
+        if self._started:
+            raise FabricError("cannot inject externally after run() started")
+        self._start(messenger, self.place(coord), delay=delay)
+
+    # -- execution ----------------------------------------------------------
+    def run(self, until: float | None = None) -> FabricResult:
+        self._started = True
+        t = self.sim.run(until=until)
+        return FabricResult(
+            time=t,
+            trace=self.trace,
+            places={p.coord: p.vars for p in self.places},
+        )
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    # -- internals ------------------------------------------------------------
+    def _unique_name(self, messenger) -> str:
+        base = getattr(messenger, "name", None) or type(messenger).__name__
+        count = self._names.get(base, 0)
+        self._names[base] = count + 1
+        return base if count == 0 else f"{base}#{count}"
+
+    def _start(self, messenger, place: SimPlace, delay: float = 0.0) -> None:
+        messenger._ctx = _Ctx(fabric=self, place=place)
+        name = self._unique_name(messenger)
+        messenger._name = name
+        self.sim.spawn(self._driver(messenger), name=name, delay=delay)
+
+    def _driver(self, messenger):
+        gen = messenger.main()
+        value = None
+        while True:
+            try:
+                eff = gen.send(value)
+            except StopIteration:
+                return
+            value = yield from self._perform(messenger, eff)
+
+    def _release_later(self, resource, hold: float):
+        yield Timeout(hold)
+        resource.release()
+
+    def _perform(self, messenger, eff):
+        place = messenger._ctx.place
+        name = messenger._name
+        net = self.machine.network
+        sim = self.sim
+
+        if isinstance(eff, fx.Hop):
+            dst = self.place(eff.coord)
+            t0 = sim.now
+            moved = 0
+            if dst.host == place.host:
+                yield Timeout(self.LOCAL_HOP_SECONDS)
+            else:
+                moved = (
+                    eff.nbytes
+                    if eff.nbytes is not None
+                    else agent_nbytes(messenger, self.machine)
+                )
+                if net.is_small(moved):
+                    yield Timeout(net.latency_s)
+                else:
+                    wire = net.wire_time(moved)
+                    yield place.nic_out.acquire()
+                    sim.spawn(
+                        self._release_later(place.nic_out, wire),
+                        name=f"{name}.nic_out",
+                    )
+                    yield Timeout(net.latency_s)
+                    yield dst.nic_in.acquire()
+                    yield Timeout(wire)
+                    dst.nic_in.release()
+            self.trace.record(
+                t0=t0, t1=sim.now, place=dst.index, actor=name,
+                kind="hop", note=eff.coord and str(eff.coord) or "",
+                src_place=place.index, nbytes=moved,
+            )
+            messenger._ctx.place = dst
+            return None
+
+        if isinstance(eff, fx.Compute):
+            factor = self._cache_factors.get(eff.kind, 1.0)
+            cost = self.machine.flops_time(eff.flops, factor)
+            yield place.cpu.acquire()
+            t0 = sim.now
+            yield Timeout(cost)
+            place.cpu.release()
+            value = eff.fn() if eff.fn is not None else None
+            self.trace.record(
+                t0=t0, t1=sim.now, place=place.index, actor=name,
+                kind="compute", note=eff.note,
+            )
+            return value
+
+        if isinstance(eff, fx.WaitEvent):
+            sem = place.event(eff.name, tuple(eff.args))
+            t0 = sim.now
+            yield sem.acquire()
+            if sim.now > t0:
+                self.trace.record(
+                    t0=t0, t1=sim.now, place=place.index, actor=name,
+                    kind="wait", note=f"{eff.name}{tuple(eff.args)}",
+                )
+            return None
+
+        if isinstance(eff, fx.SignalEvent):
+            if self.machine.event_overhead_s > 0:
+                yield Timeout(self.machine.event_overhead_s)
+            place.event(eff.name, tuple(eff.args)).release(eff.count)
+            return None
+
+        if isinstance(eff, fx.Inject):
+            if self.machine.inject_overhead_s > 0:
+                yield Timeout(self.machine.inject_overhead_s)
+            self._start(eff.messenger, place)
+            self.trace.record(
+                t0=sim.now, t1=sim.now, place=place.index, actor=name,
+                kind="inject", note=type(eff.messenger).__name__,
+            )
+            return None
+
+        if isinstance(eff, fx.Send):
+            dst = self.place(eff.dst)
+            if dst.host == place.host:
+                # local delivery: pointer swap, no network involvement
+                yield Timeout(self.LOCAL_HOP_SECONDS)
+                dst.mailbox.deposit(Message(place.coord, eff.tag, eff.payload))
+                return None
+            nbytes = (
+                eff.nbytes
+                if eff.nbytes is not None
+                else model_nbytes(eff.payload, self.machine) + 64
+            )
+            t0 = sim.now
+            if net.is_small(nbytes):
+                sim.spawn(
+                    self._deliver_small(place, dst, eff.tag, eff.payload),
+                    name=f"{name}.deliver",
+                )
+            elif not eff.blocking:
+                # MPI_Isend: the whole transfer (including queueing for
+                # this PE's outbound NIC) runs in the background
+                sim.spawn(
+                    self._transfer(place, dst, eff.tag, eff.payload,
+                                   net.wire_time(nbytes), name),
+                    name=f"{name}.isend",
+                )
+            else:
+                wire = net.wire_time(nbytes)
+                yield place.nic_out.acquire()
+                sim.spawn(
+                    self._deliver(place, dst, eff.tag, eff.payload, wire,
+                                  name),
+                    name=f"{name}.deliver",
+                )
+                yield Timeout(wire)
+                place.nic_out.release()
+            self.trace.record(
+                t0=t0, t1=sim.now, place=dst.index, actor=name,
+                kind="send", note=str(eff.tag),
+                src_place=place.index, nbytes=nbytes,
+            )
+            return None
+
+        if isinstance(eff, fx.Recv):
+            request = place.mailbox.post(eff.src, eff.tag)
+            return (yield from self._await_request(messenger, request))
+
+        if isinstance(eff, fx.IRecv):
+            return place.mailbox.post(eff.src, eff.tag)
+
+        if isinstance(eff, fx.WaitRequest):
+            return (yield from self._await_request(messenger, eff.request))
+
+        if isinstance(eff, fx.Delay):
+            if eff.seconds > 0:
+                yield Timeout(eff.seconds)
+            return None
+
+        raise FabricError(f"unknown effect {eff!r} from messenger {name}")
+
+    def _deliver(self, src: SimPlace, dst: SimPlace, tag, payload,
+                 wire: float, sender: str):
+        yield Timeout(self.machine.network.latency_s)
+        yield dst.nic_in.acquire()
+        yield Timeout(wire)
+        dst.nic_in.release()
+        dst.mailbox.deposit(Message(src.coord, tag, payload))
+
+    def _deliver_small(self, src: SimPlace, dst: SimPlace, tag, payload):
+        yield Timeout(self.machine.network.latency_s)
+        dst.mailbox.deposit(Message(src.coord, tag, payload))
+
+    def _transfer(self, src: SimPlace, dst: SimPlace, tag, payload,
+                  wire: float, sender: str):
+        """A full background transfer, pipelined like the blocking path:
+        the sender NIC drains while the flight+receiver leg overlaps."""
+        yield src.nic_out.acquire()
+        self.sim.spawn(
+            self._deliver(src, dst, tag, payload, wire, sender),
+            name=f"{sender}.deliver",
+        )
+        yield Timeout(wire)
+        src.nic_out.release()
+
+    def _await_request(self, messenger, request: _Request):
+        place = messenger._ctx.place
+        if request.done:
+            return request.message
+        t0 = self.sim.now
+        value = yield request.trigger
+        self.trace.record(
+            t0=t0, t1=self.sim.now, place=place.index,
+            actor=messenger._name, kind="recv",
+        )
+        return value

@@ -1,0 +1,54 @@
+"""Modeled byte sizes of payloads.
+
+Communication costs are charged against the *model* element size of the
+machine spec (4 bytes for the paper's single-precision matrices), not
+the in-memory size of the Python objects — the numerics may execute in
+float64 for accuracy while costs stay faithful to the paper's data
+volumes. Scalars and small control values are charged a flat overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.spec import MachineSpec
+from ..util.shadow import ShadowArray
+
+__all__ = ["model_nbytes", "agent_nbytes"]
+
+_SMALL_VALUE_BYTES = 16
+
+
+def model_nbytes(obj, machine: MachineSpec) -> int:
+    """Bytes the cost model charges for shipping ``obj``."""
+    if obj is None:
+        return 0
+    if isinstance(obj, (np.ndarray, ShadowArray)):
+        return obj.size * machine.elem_size
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(model_nbytes(x, machine) for x in obj)
+    if isinstance(obj, dict):
+        return sum(
+            model_nbytes(k, machine) + model_nbytes(v, machine)
+            for k, v in obj.items()
+        )
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    # ints, floats, bools, numpy scalars, small objects
+    return _SMALL_VALUE_BYTES
+
+
+def agent_nbytes(messenger, machine: MachineSpec) -> int:
+    """Modeled size of a messenger's agent variables plus hop state.
+
+    Agent variables are the messenger's public instance attributes
+    (everything not starting with ``_``); runtime bookkeeping fields
+    are kept private by convention and are not charged.
+    """
+    total = machine.hop_state_bytes
+    for name, value in vars(messenger).items():
+        if not name.startswith("_"):
+            total += model_nbytes(value, machine)
+    return total

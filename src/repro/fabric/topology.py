@@ -1,0 +1,116 @@
+"""Logical PE networks (1-D chains and 2-D grids of workstations).
+
+The paper addresses PEs by ``HnodeID`` in 1-D (Section 3.1) and by
+``(VnodeID, HnodeID)`` in 2-D (Section 3.4). Coordinates here are
+always tuples — ``(j,)`` in 1-D and ``(i, j)`` in 2-D — and every
+topology provides a dense ``index`` for array-like storage.
+
+All PEs are assumed fully connected through a collision-free switch,
+as the paper assumes for modern hardware; the topology therefore only
+defines naming, not routing.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+
+__all__ = ["Topology", "Grid1D", "Grid2D"]
+
+
+class Topology:
+    """Base class: a finite set of PE coordinates."""
+
+    def __init__(self, coords):
+        self._coords = tuple(tuple(c) for c in coords)
+        if len(set(self._coords)) != len(self._coords):
+            raise TopologyError("duplicate coordinates in topology")
+        self._index = {c: i for i, c in enumerate(self._coords)}
+
+    @property
+    def coords(self) -> tuple:
+        return self._coords
+
+    def __len__(self) -> int:
+        return len(self._coords)
+
+    def __contains__(self, coord) -> bool:
+        return tuple(coord) in self._index
+
+    def index(self, coord) -> int:
+        try:
+            return self._index[tuple(coord)]
+        except KeyError:
+            raise TopologyError(
+                f"coordinate {coord!r} not in {self!r}"
+            ) from None
+
+    def normalize(self, coord) -> tuple:
+        """Accept ints or tuples; return the canonical coordinate tuple."""
+        if isinstance(coord, int):
+            coord = (coord,)
+        coord = tuple(coord)
+        if coord not in self:
+            raise TopologyError(f"coordinate {coord!r} not in {self!r}")
+        return coord
+
+
+class Grid1D(Topology):
+    """A west-to-east chain of ``p`` PEs; ``node(j)`` is PE ``HnodeID = j``."""
+
+    def __init__(self, p: int):
+        if p < 1:
+            raise TopologyError(f"need at least one PE, got {p}")
+        self.p = p
+        super().__init__([(j,) for j in range(p)])
+
+    def node(self, j: int) -> tuple:
+        """The paper's ``node(j)`` map (Figure 5)."""
+        if not 0 <= j < self.p:
+            raise TopologyError(f"node({j}) out of range for {self.p} PEs")
+        return (j,)
+
+    def east(self, j: int) -> tuple:
+        """Neighbour one step east, wrapping (for ring algorithms)."""
+        return ((j + 1) % self.p,)
+
+    def west(self, j: int) -> tuple:
+        return ((j - 1) % self.p,)
+
+    def __repr__(self) -> str:
+        return f"Grid1D({self.p})"
+
+
+class Grid2D(Topology):
+    """An ``rows x cols`` grid; ``node(i, j)`` is PE ``(VnodeID=i, HnodeID=j)``."""
+
+    def __init__(self, rows: int, cols: int | None = None):
+        if cols is None:
+            cols = rows
+        if rows < 1 or cols < 1:
+            raise TopologyError(f"invalid grid {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        super().__init__([(i, j) for i in range(rows) for j in range(cols)])
+
+    def node(self, i: int, j: int) -> tuple:
+        """The paper's ``node(i, j)`` map (Figure 11)."""
+        if not (0 <= i < self.rows and 0 <= j < self.cols):
+            raise TopologyError(
+                f"node({i}, {j}) out of range for {self.rows}x{self.cols}"
+            )
+        return (i, j)
+
+    def east(self, i: int, j: int) -> tuple:
+        return (i, (j + 1) % self.cols)
+
+    def west(self, i: int, j: int) -> tuple:
+        return (i, (j - 1) % self.cols)
+
+    def south(self, i: int, j: int) -> tuple:
+        return ((i + 1) % self.rows, j)
+
+    def north(self, i: int, j: int) -> tuple:
+        return ((i - 1) % self.rows, j)
+
+    def __repr__(self) -> str:
+        return f"Grid2D({self.rows}, {self.cols})"

@@ -1,0 +1,111 @@
+"""Execution traces: who did what, where, when.
+
+Traces power the reproduction of the paper's Figure 1 (the space-time
+diagrams of the sequential → DSC → pipelined → phase-shifted stages)
+via :mod:`repro.viz.spacetime`, and give tests a way to assert
+scheduling properties (e.g. "under phase shifting every PE computes
+from virtual time ~0").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections import defaultdict
+
+__all__ = ["TraceEvent", "TraceLog"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One interval of activity.
+
+    ``kind`` is one of ``"compute"``, ``"hop"``, ``"send"``, ``"recv"``,
+    ``"wait"``, ``"inject"``. For hops, ``place`` is the *destination*
+    and ``src_place`` the origin. ``nbytes`` records the modeled payload
+    of hops and sends (0 for co-hosted moves), so traces double as
+    data-movement ledgers.
+    """
+
+    t0: float
+    t1: float
+    place: int
+    actor: str
+    kind: str
+    note: str = ""
+    src_place: int | None = None
+    nbytes: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+class TraceLog:
+    """An append-only list of :class:`TraceEvent` with query helpers."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+
+    def record(self, **kw) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(**kw))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def at_place(self, place: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.place == place]
+
+    def by_actor(self) -> dict:
+        out: dict = defaultdict(list)
+        for e in self.events:
+            out[e.actor].append(e)
+        return dict(out)
+
+    def busy_time(self, kind: str = "compute") -> dict:
+        """Total seconds each place spent on ``kind`` activity."""
+        out: dict = defaultdict(float)
+        for e in self.events:
+            if e.kind == kind:
+                out[e.place] += e.duration
+        return dict(out)
+
+    def first_compute_start(self) -> dict:
+        """Earliest compute start per place (for phase-shift assertions)."""
+        out: dict = {}
+        for e in self.events:
+            if e.kind == "compute":
+                if e.place not in out or e.t0 < out[e.place]:
+                    out[e.place] = e.t0
+        return out
+
+    def makespan(self) -> float:
+        return max((e.t1 for e in self.events), default=0.0)
+
+    def bytes_moved(self) -> int:
+        """Total modeled bytes that crossed the network."""
+        return sum(e.nbytes for e in self.events)
+
+    def bytes_by_place(self, direction: str = "in") -> dict:
+        """Bytes received at (``"in"``) or sent from (``"out"``) each place."""
+        out: dict = defaultdict(int)
+        for e in self.events:
+            if e.nbytes <= 0:
+                continue
+            if direction == "in":
+                out[e.place] += e.nbytes
+            else:
+                if e.src_place is not None:
+                    out[e.src_place] += e.nbytes
+        return dict(out)
+
+    def message_count(self) -> int:
+        """Network transfers recorded (hops + sends with payload)."""
+        return sum(1 for e in self.events if e.nbytes > 0)

@@ -1,0 +1,34 @@
+"""Machine, network, memory, and cache models (calibrated to the paper)."""
+
+from .cache import (
+    DEFAULT_KAPPA,
+    DEFAULT_L2_BYTES,
+    LRUBlockCache,
+    cache_factors,
+    misses_per_block_op,
+    trace_mpi_gentleman,
+    trace_navp,
+    trace_sequential,
+)
+from .memory import PagingModel, matmul_working_set
+from .presets import FAST_TEST_MACHINE, MODERN_CLUSTER, SUN_BLADE_100
+from .spec import MachineSpec, MemorySpec, NetworkSpec
+
+__all__ = [
+    "MachineSpec",
+    "MemorySpec",
+    "NetworkSpec",
+    "PagingModel",
+    "matmul_working_set",
+    "LRUBlockCache",
+    "cache_factors",
+    "misses_per_block_op",
+    "trace_sequential",
+    "trace_navp",
+    "trace_mpi_gentleman",
+    "DEFAULT_KAPPA",
+    "DEFAULT_L2_BYTES",
+    "SUN_BLADE_100",
+    "MODERN_CLUSTER",
+    "FAST_TEST_MACHINE",
+]

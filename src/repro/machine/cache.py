@@ -1,0 +1,168 @@
+"""Block-granularity LRU cache model.
+
+Section 5 (item 2) of the paper argues that NavP and the sequential
+program share a cache advantage over the block-oriented MPI program:
+
+* sequential: the ``C`` algorithmic block (accumulated in ``t``) stays
+  cache-resident while ``A`` and ``B`` blocks stream past;
+* NavP: the carried ``mA`` block stays resident while ``B``/``C``
+  blocks stream past;
+* MPI (Gentleman): each round pairs each local ``C`` block with a
+  *freshly received* ``A``/``B`` block, so "triplets of A B C blocks
+  are frequently fresh in the cache".
+
+The paper's technical report quantifies the resulting advantage at up
+to ~4%. We reproduce the *mechanism* with an explicit LRU simulation
+over block-access traces of the three inner-loop structures, and
+convert miss counts into a multiplicative compute factor with a single
+calibrated constant ``kappa`` chosen so the simulated NavP-vs-MPI gap
+matches the paper's 4% figure. Because the machine's ``flop_rate`` is
+itself calibrated from *sequential* measurements, factors are
+normalized so the sequential pattern is exactly 1.0.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "LRUBlockCache",
+    "trace_sequential",
+    "trace_navp",
+    "trace_mpi_gentleman",
+    "misses_per_block_op",
+    "cache_factors",
+    "DEFAULT_L2_BYTES",
+    "DEFAULT_KAPPA",
+]
+
+# UltraSPARC-IIe external cache.
+DEFAULT_L2_BYTES = 256 * 1024
+# Seconds-per-miss expressed as a fraction of one block-op; calibrated so
+# that factor(MPI) - factor(NavP) ~= 0.04 (one extra miss per block op).
+DEFAULT_KAPPA = 0.04
+
+
+class LRUBlockCache:
+    """An LRU cache over hashable block keys, counting hits and misses."""
+
+    def __init__(self, capacity_blocks: int):
+        if capacity_blocks < 1:
+            raise ValueError("cache capacity must be at least one block")
+        self.capacity = capacity_blocks
+        self._slots: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, key) -> bool:
+        """Touch ``key``; returns True on a hit."""
+        if key in self._slots:
+            self._slots.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._slots[key] = None
+        if len(self._slots) > self.capacity:
+            self._slots.popitem(last=False)
+        return False
+
+    def run(self, trace: Iterable) -> "LRUBlockCache":
+        for key in trace:
+            self.access(key)
+        return self
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+def trace_sequential(a: int) -> Iterator[tuple]:
+    """Block accesses of the sequential loop nest (Figure 2), blocked.
+
+    ``a`` is the number of algorithmic blocks per axis of the tile
+    being computed. The scalar accumulator ``t`` of the paper becomes,
+    at block level, the C block held across the k loop; it is touched
+    once per (i, j) when stored.
+    """
+    for i in range(a):
+        for j in range(a):
+            for k in range(a):
+                yield ("A", i, k)
+                yield ("B", k, j)
+            yield ("C", i, j)
+
+
+def trace_navp(a: int, rounds: int | None = None) -> Iterator[tuple]:
+    """Block accesses of a NavP carrier visit.
+
+    For each visit (one carried ``mA`` slice, i.e. one ``k``), the
+    carrier sweeps the local C tile: ``mA`` is touched every op but
+    stays resident; B and C blocks stream.
+    """
+    rounds = a if rounds is None else rounds
+    for k in range(rounds):
+        for i in range(a):
+            for j in range(a):
+                yield ("mA", k, i)
+                yield ("B", k, j)
+                yield ("C", i, j)
+            yield ("C", i, "flush", k)  # eviction pressure between sweeps
+
+
+def trace_mpi_gentleman(a: int, rounds: int | None = None) -> Iterator[tuple]:
+    """Block accesses of the straightforward blocked Gentleman rounds.
+
+    Every round, each local (i, j) pairs with an A and a B block that
+    were just received (or pointer-swapped in) — fresh keys per round,
+    matching the paper's "triplets frequently fresh" characterization.
+    """
+    rounds = a if rounds is None else rounds
+    for r in range(rounds):
+        for i in range(a):
+            for j in range(a):
+                yield ("A", i, j, r)
+                yield ("B", i, j, r)
+                yield ("C", i, j)
+
+
+def misses_per_block_op(trace: Iterable, capacity_blocks: int,
+                        n_ops: int) -> float:
+    """LRU misses divided by the number of block multiply-accumulates."""
+    if n_ops <= 0:
+        raise ValueError("n_ops must be positive")
+    cache = LRUBlockCache(capacity_blocks).run(trace)
+    return cache.misses / n_ops
+
+
+def cache_factors(
+    ab: int = 128,
+    elem_size: int = 4,
+    l2_bytes: int = DEFAULT_L2_BYTES,
+    tile_blocks: int = 8,
+    kappa: float = DEFAULT_KAPPA,
+) -> dict:
+    """Per-paradigm compute factors derived from the LRU simulation.
+
+    Returns a dict with keys ``"sequential"``, ``"navp"``, ``"mpi"``;
+    each value multiplies compute time in the DES. The sequential
+    pattern is normalized to exactly 1.0 (the flop rate is calibrated
+    from sequential measurements).
+    """
+    capacity = max(1, l2_bytes // (ab * ab * elem_size))
+    a = tile_blocks
+    n_ops = a * a * a
+    m_seq = misses_per_block_op(trace_sequential(a), capacity, n_ops)
+    m_navp = misses_per_block_op(trace_navp(a), capacity, n_ops)
+    m_mpi = misses_per_block_op(trace_mpi_gentleman(a), capacity, n_ops)
+    return {
+        "sequential": 1.0,
+        "navp": 1.0 + kappa * max(0.0, m_navp - m_seq),
+        "mpi": 1.0 + kappa * max(0.0, m_mpi - m_seq),
+        "misses": {"sequential": m_seq, "navp": m_navp, "mpi": m_mpi},
+        "capacity_blocks": capacity,
+    }

@@ -1,0 +1,132 @@
+"""Machine and network cost model.
+
+The paper's testbed: SUN Blade 100 workstations (502 MHz UltraSPARC-IIe,
+256 MB RAM) on 100 Mb/s switched Ethernet, assumed fully connected via a
+collision-free switch (Section 3.1). This module describes such a
+machine as data; the discrete-event fabric charges every computation and
+communication through these cost functions, so all timing results are
+deterministic functions of the spec.
+
+Calibration policy (see DESIGN.md): the floating-point rate is derived
+from the paper's own sequential measurements (Table 1), and the network
+parameters from the nominal link speed minus protocol overhead. The
+element size used for *cost* purposes is 4 bytes — the paper's statement
+that N = 9216 needs "about 1 GB" (3 * 9216^2 * 4 B = 1.02 GB) pins its
+matrices to single precision — independent of the dtype used when the
+numerics actually execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigurationError
+
+__all__ = ["NetworkSpec", "MemorySpec", "MachineSpec"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Point-to-point network model for a fully connected switch.
+
+    ``transfer_time`` models the bandwidth-proportional part, which
+    occupies the sender's NIC and then the receiver's NIC (capturing
+    endpoint contention — the effect behind the paper's ``doall``
+    discussion in Section 3); ``latency_s`` is the per-message fixed
+    overhead (protocol stack plus, for NavP, the MESSENGERS hop cost).
+    """
+
+    bandwidth_Bps: float = 11.0e6  # effective payload bytes/s of 100 Mb/s
+    latency_s: float = 1.0e-3
+    # Messages at or below this size ride in inter-packet gaps: they are
+    # charged latency but do not occupy NIC bandwidth. A whole-message
+    # FIFO NIC would otherwise make a 512 B control hop (a spawner, an
+    # injector) wait behind multi-hundred-kB block transfers, which real
+    # packet-multiplexed Ethernet does not do.
+    small_message_bytes: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_Bps <= 0 or self.latency_s < 0:
+            raise ConfigurationError("invalid network parameters")
+        if self.small_message_bytes < 0:
+            raise ConfigurationError("small_message_bytes must be >= 0")
+
+    def is_small(self, nbytes: int) -> bool:
+        """True when the message bypasses NIC bandwidth accounting."""
+        return nbytes <= self.small_message_bytes
+
+    def wire_time(self, nbytes: int) -> float:
+        """Bandwidth-proportional occupancy of one endpoint NIC."""
+        if nbytes < 0:
+            raise ConfigurationError(f"negative message size {nbytes}")
+        return nbytes / self.bandwidth_Bps
+
+    def message_time(self, nbytes: int) -> float:
+        """End-to-end time of one uncontended message."""
+        return self.latency_s + self.wire_time(nbytes)
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Per-PE memory for the paging model (Table 2).
+
+    ``available_bytes`` is what a computation can use before the OS
+    starts paging: physical memory minus a resident OS/daemon share.
+    """
+
+    physical_bytes: int = 256 * 1024 * 1024
+    os_reserved_bytes: int = 26 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.os_reserved_bytes >= self.physical_bytes:
+            raise ConfigurationError("OS reservation exceeds physical memory")
+
+    @property
+    def available_bytes(self) -> int:
+        return self.physical_bytes - self.os_reserved_bytes
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One PE plus its NIC, memory, and runtime overheads."""
+
+    name: str = "generic"
+    flop_rate: float = 1.1077e8  # double flops/s; calibrated, see presets
+    elem_size: int = 4           # bytes per matrix element for cost purposes
+    hop_state_bytes: int = 512   # messenger control state shipped per hop
+    inject_overhead_s: float = 2.0e-4
+    event_overhead_s: float = 2.0e-5
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    memory: MemorySpec = field(default_factory=MemorySpec)
+
+    def __post_init__(self) -> None:
+        if self.flop_rate <= 0:
+            raise ConfigurationError("flop_rate must be positive")
+        if self.elem_size <= 0:
+            raise ConfigurationError("elem_size must be positive")
+
+    # -- computation costs ---------------------------------------------
+    def flops_time(self, flops: float, cache_factor: float = 1.0) -> float:
+        """Seconds to execute ``flops`` floating-point operations."""
+        if flops < 0:
+            raise ConfigurationError(f"negative flop count {flops}")
+        return flops * cache_factor / self.flop_rate
+
+    def gemm_flops(self, m: int, k: int, n: int) -> int:
+        """Flop count of an ``m x k`` by ``k x n`` multiply-accumulate."""
+        return 2 * m * k * n
+
+    def gemm_time(self, m: int, k: int, n: int,
+                  cache_factor: float = 1.0) -> float:
+        return self.flops_time(self.gemm_flops(m, k, n), cache_factor)
+
+    # -- data sizes ------------------------------------------------------
+    def matrix_bytes(self, rows: int, cols: int | None = None) -> int:
+        """Model size of a ``rows x cols`` matrix (cols defaults to rows)."""
+        if cols is None:
+            cols = rows
+        return rows * cols * self.elem_size
+
+    def with_(self, **changes) -> "MachineSpec":
+        """A copy of this spec with some fields replaced."""
+        return replace(self, **changes)

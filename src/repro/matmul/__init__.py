@@ -1,0 +1,55 @@
+"""The paper's case study: matrix multiplication, all variants."""
+
+from .cannon import run_cannon
+from .doall import run_doall, run_doall_replicated
+from .gentleman import run_gentleman, run_gentleman_tuned
+from .kinds import MatmulCase, RunResult
+from .layouts import (
+    gather_c_1d,
+    gather_c_2d,
+    layout_1d_a_at_origin,
+    layout_1d_a_row_strips,
+    layout_2d_antidiagonal,
+    layout_2d_natural,
+)
+from .navp1d import run_dsc_1d, run_phase_1d, run_pipelined_1d
+from .navp2d import run_dsc_2d, run_phase_2d, run_pipelined_2d
+from .runner import VARIANTS, run_variant, variant_names
+from .sequential import run_sequential, sequential_time_model
+from .staggering import (
+    phases_for_permutation,
+    phases_for_scheme,
+    staggering_comparison,
+)
+from .summa import run_summa
+
+__all__ = [
+    "MatmulCase",
+    "RunResult",
+    "run_sequential",
+    "sequential_time_model",
+    "run_dsc_1d",
+    "run_pipelined_1d",
+    "run_phase_1d",
+    "run_dsc_2d",
+    "run_pipelined_2d",
+    "run_phase_2d",
+    "run_gentleman",
+    "run_gentleman_tuned",
+    "run_cannon",
+    "run_summa",
+    "run_doall",
+    "run_doall_replicated",
+    "run_variant",
+    "variant_names",
+    "VARIANTS",
+    "phases_for_permutation",
+    "phases_for_scheme",
+    "staggering_comparison",
+    "layout_1d_a_at_origin",
+    "layout_1d_a_row_strips",
+    "layout_2d_antidiagonal",
+    "layout_2d_natural",
+    "gather_c_1d",
+    "gather_c_2d",
+]

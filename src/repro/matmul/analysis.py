@@ -1,0 +1,116 @@
+"""Data-movement accounting across the matmul variants.
+
+The paper's Section 3 leans on Gentleman's classical result: "data
+movement — and not arithmetic operations — is often the limiting
+factor in the performance of algorithms" [9, 12]. Since every simulated
+transfer is recorded in the trace with its modeled byte count, the
+movement of each algorithm is directly measurable; this module turns a
+run into a ledger (total bytes, messages, per-PE peaks, bytes per flop)
+and provides closed-form expectations for cross-checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.presets import SUN_BLADE_100
+from ..machine.spec import MachineSpec
+from .kinds import MatmulCase
+from .runner import run_variant
+
+__all__ = ["MovementReport", "measure_movement", "movement_table",
+           "expected_bytes"]
+
+
+@dataclass(frozen=True)
+class MovementReport:
+    variant: str
+    n: int
+    total_bytes: int
+    messages: int
+    max_in_per_pe: int
+    max_out_per_pe: int
+    time: float
+
+    @property
+    def bytes_per_flop(self) -> float:
+        return self.total_bytes / (2.0 * self.n**3)
+
+    @property
+    def mean_message_bytes(self) -> float:
+        return self.total_bytes / self.messages if self.messages else 0.0
+
+
+def measure_movement(
+    variant: str,
+    case: MatmulCase,
+    geometry: int,
+    machine: MachineSpec | None = None,
+) -> MovementReport:
+    """Run a variant with tracing and account its network traffic."""
+    machine = machine if machine is not None else SUN_BLADE_100
+    result = run_variant(variant, case, geometry=geometry,
+                         machine=machine, trace=True)
+    trace = result.trace
+    per_in = trace.bytes_by_place("in")
+    per_out = trace.bytes_by_place("out")
+    return MovementReport(
+        variant=variant,
+        n=case.n,
+        total_bytes=trace.bytes_moved(),
+        messages=trace.message_count(),
+        max_in_per_pe=max(per_in.values(), default=0),
+        max_out_per_pe=max(per_out.values(), default=0),
+        time=result.time,
+    )
+
+
+def movement_table(
+    variants,
+    case: MatmulCase,
+    geometry: int,
+    machine: MachineSpec | None = None,
+) -> list:
+    return [measure_movement(v, case, geometry, machine=machine)
+            for v in variants]
+
+
+def expected_bytes(variant: str, n: int, ab: int, geometry: int,
+                   machine: MachineSpec | None = None) -> float:
+    """First-order closed forms for the dominant traffic of a variant.
+
+    Small control messengers (injectors, spawners) are ignored; the
+    cross-check tolerance in the tests absorbs them.
+    """
+    machine = machine if machine is not None else SUN_BLADE_100
+    elem = machine.elem_size
+    g = geometry
+
+    if variant == "navp-1d-dsc":
+        # every strip makes P hops carrying ab*n elements (the return
+        # to node(0) wraps around the chain and is remote)
+        strips = n // ab
+        return strips * g * (ab * n) * elem
+    if variant == "navp-1d-pipeline":
+        # strips hop P-1 times (injection at node 0 is local)
+        strips = n // ab
+        return strips * (g - 1) * (ab * n) * elem
+    if variant == "navp-1d-phase":
+        # one staggering hop plus the tour's remaining g-1 hops
+        strips = n // ab
+        return strips * g * (ab * n) * elem
+    if variant == "navp-2d-phase":
+        # every A and B k-slice of every row/column block makes g-1
+        # remote hops (the first is a real staggering hop too)
+        slices = n // ab
+        per_slice = (n // g) * ab * elem
+        return 2 * g * slices * g * per_slice
+    if variant == "mpi-gentleman":
+        # staggering moves at most both matrices once; each of n/ab
+        # rounds ships one edge column of A and row of B per rank
+        a = (n // g) // ab
+        rounds = n // ab
+        edges = rounds * g * g * 2 * (a * ab * ab) * elem
+        stagger = 2 * n * n * elem  # upper bound: every block moves once
+        return edges + stagger
+    raise KeyError(variant)

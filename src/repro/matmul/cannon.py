@@ -1,0 +1,90 @@
+"""Cannon's algorithm — the forward-staggering sibling of Gentleman's.
+
+The paper cites Cannon's algorithm (Section 5 item 3) as the other
+classical SPMD matmul that uses *forward staggering*: the initial skew
+only shifts entries without reversing their order, and on a torus is
+performed stepwise — row ``i`` of A shifts west ``i`` times, column
+``j`` of B shifts north ``j`` times (Figure 16 lines 1-10).
+
+We implement it at distribution-block granularity with exactly that
+stepwise staggering, making it the natural subject for the
+communication-phase comparison in :mod:`repro.matmul.staggering` and a
+second MPI baseline for the benchmarks.
+"""
+
+from __future__ import annotations
+
+from ..fabric.topology import Grid2D
+from ..machine.presets import SUN_BLADE_100
+from ..machine.spec import MachineSpec
+from ..mpi.comm import Comm, run_spmd
+from ..util.blocks import check_divides
+from .kinds import MatmulCase, RunResult
+from .layouts import gather_c_2d, layout_2d_natural
+
+__all__ = ["run_cannon", "cannon_rank"]
+
+
+def cannon_rank(case: MatmulCase, g: int):
+    """Per-rank generator for Cannon's algorithm on a ``g x g`` torus."""
+    db = case.n // g
+    flops = 2.0 * db**3
+
+    def program(comm: Comm):
+        i, j = comm.coord
+        a_cur = comm.vars["A"]
+        b_cur = comm.vars["B"]
+        c_local = comm.vars["C"]
+        west = (i, (j - 1) % g)
+        east = (i, (j + 1) % g)
+        north = ((i - 1) % g, j)
+        south = ((i + 1) % g, j)
+
+        # stepwise forward staggering (Figure 16 lines 1-10)
+        for k in range(g - 1):
+            if i > k:
+                req = yield comm.irecv(src=east, tag=("stagA", k))
+                yield comm.send(west, ("stagA", k), a_cur)
+                a_cur = (yield comm.wait(req)).payload
+            if j > k:
+                req = yield comm.irecv(src=south, tag=("stagB", k))
+                yield comm.send(north, ("stagB", k), b_cur)
+                b_cur = (yield comm.wait(req)).payload
+
+        def update(pa, pb):
+            def fn(pa=pa, pb=pb, c=c_local):
+                c += pa @ pb
+            return fn
+
+        yield comm.compute(update(a_cur, b_cur), flops=flops, kind="mpi",
+                           note="round 0")
+        # shift-and-multiply rounds (Figure 16 lines 14-20)
+        for k in range(g - 1):
+            req_a = yield comm.irecv(src=east, tag=("A", k))
+            req_b = yield comm.irecv(src=south, tag=("B", k))
+            yield comm.send(west, ("A", k), a_cur)
+            yield comm.send(north, ("B", k), b_cur)
+            a_cur = (yield comm.wait(req_a)).payload
+            b_cur = (yield comm.wait(req_b)).payload
+            yield comm.compute(update(a_cur, b_cur), flops=flops,
+                               kind="mpi", note=f"round {k + 1}")
+
+    return program
+
+
+def run_cannon(case: MatmulCase, g: int,
+               machine: MachineSpec | None = None,
+               trace: bool = True, fabric: str = "sim") -> RunResult:
+    """Run Cannon's algorithm on a ``g x g`` torus."""
+    machine = machine if machine is not None else SUN_BLADE_100
+    check_divides(case.n, g, "grid order")
+    result = run_spmd(
+        Grid2D(g), cannon_rank(case, g), machine=machine,
+        setup=lambda fabric: layout_2d_natural(fabric, case, g),
+        trace=trace, fabric=fabric,
+    )
+    return RunResult(
+        variant="mpi-cannon", case=case, time=result.time,
+        c=gather_c_2d(result, case, g), trace=result.trace,
+        details={"grid": g, "rounds": g},
+    )

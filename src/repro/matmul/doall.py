@@ -1,0 +1,158 @@
+"""The naive ``doall`` parallelization (Figure 3) and its contention.
+
+Section 3 of the paper argues that simply turning the outer loops of
+Figure 2 into ``doall`` loops is not a good parallelization: with
+"zero-inventory" scheduling, "contention could happen as multiple PEs
+request the same entries at the same time", and caching copies
+everywhere is non-scalable.
+
+``run_doall`` realizes the zero-inventory version at distribution-block
+granularity: in round ``k``, every rank of row ``i`` needs ``A(i, k)``
+and every rank of column ``j`` needs ``B(k, j)``; the owners serve each
+consumer with a separate unicast (no multicast on switched Ethernet),
+serializing ``2(G-1)`` full-block transfers through their NICs while
+all non-owners sit idle — the contention the paper predicts, growing
+with the grid. There is no prefetching: round ``k``'s data is requested
+when round ``k`` starts, which is what "zero inventory" means.
+"""
+
+from __future__ import annotations
+
+from ..fabric.topology import Grid2D
+from ..machine.presets import SUN_BLADE_100
+from ..machine.spec import MachineSpec
+from ..mpi.comm import Comm, run_spmd
+from ..util.blocks import check_divides
+from .kinds import MatmulCase, RunResult
+from .layouts import gather_c_2d, layout_2d_natural
+
+__all__ = ["run_doall", "run_doall_replicated", "doall_rank",
+           "replicated_rank", "replicated_memory_per_pe"]
+
+
+def doall_rank(case: MatmulCase, g: int):
+    db = case.n // g
+    flops = 2.0 * db**3
+
+    def program(comm: Comm):
+        i, j = comm.coord
+        a_local = comm.vars["A"]
+        b_local = comm.vars["B"]
+        c_local = comm.vars["C"]
+
+        for k in range(g):
+            if j == k:
+                for jj in range(g):
+                    if jj != j:
+                        yield comm.send((i, jj), ("dA", k), a_local)
+                a_k = a_local
+            else:
+                a_k = (yield comm.recv(src=(i, k), tag=("dA", k))).payload
+            if i == k:
+                for ii in range(g):
+                    if ii != i:
+                        yield comm.send((ii, j), ("dB", k), b_local)
+                b_k = b_local
+            else:
+                b_k = (yield comm.recv(src=(k, j), tag=("dB", k))).payload
+
+            def update(pa=a_k, pb=b_k, c=c_local):
+                c += pa @ pb
+
+            yield comm.compute(update, flops=flops, kind="mpi",
+                               note=f"k={k}")
+
+    return program
+
+
+def replicated_rank(case: MatmulCase, g: int):
+    """The paper's other rejected design: "if we cache multiple copies
+    of the same entry on the PEs that require it, we have a non-scalable
+    solution." Every rank first collects the *entire* A row and B column
+    it will ever need (2(G-1) extra blocks resident), then computes with
+    no further communication."""
+    db = case.n // g
+    flops = 2.0 * db**3
+
+    def program(comm: Comm):
+        i, j = comm.coord
+        a_local = comm.vars["A"]
+        b_local = comm.vars["B"]
+        c_local = comm.vars["C"]
+
+        # replication phase: broadcast A along rows, B along columns
+        for jj in range(g):
+            if jj != j:
+                yield comm.send((i, jj), ("rA", j), a_local)
+        for ii in range(g):
+            if ii != i:
+                yield comm.send((ii, j), ("rB", i), b_local)
+        a_row = {j: a_local}
+        b_col = {i: b_local}
+        for jj in range(g):
+            if jj != j:
+                msg = yield comm.recv(src=(i, jj), tag=("rA", jj))
+                a_row[jj] = msg.payload
+        for ii in range(g):
+            if ii != i:
+                msg = yield comm.recv(src=(ii, j), tag=("rB", ii))
+                b_col[ii] = msg.payload
+        comm.vars["resident_copies"] = len(a_row) + len(b_col)
+
+        for k in range(g):
+            def update(pa=a_row[k], pb=b_col[k], c=c_local):
+                c += pa @ pb
+
+            yield comm.compute(update, flops=flops, kind="mpi",
+                               note=f"k={k}")
+
+    return program
+
+
+def replicated_memory_per_pe(case: MatmulCase, g: int,
+                             elem_size: int = 4) -> int:
+    """Resident bytes per PE under full replication: own A, B, C plus
+    G-1 cached copies of each operand — grows linearly with the grid."""
+    db = case.n // g
+    blocks = 3 + 2 * (g - 1)
+    return blocks * db * db * elem_size
+
+
+def run_doall_replicated(case: MatmulCase, g: int,
+                         machine: MachineSpec | None = None,
+                         trace: bool = True, fabric: str = "sim") -> RunResult:
+    """Run the caching variant of doall on a ``g x g`` grid."""
+    machine = machine if machine is not None else SUN_BLADE_100
+    check_divides(case.n, g, "grid order")
+    result = run_spmd(
+        Grid2D(g), replicated_rank(case, g), machine=machine,
+        setup=lambda fabric: layout_2d_natural(fabric, case, g),
+        trace=trace, fabric=fabric,
+    )
+    return RunResult(
+        variant="doall-replicated", case=case, time=result.time,
+        c=gather_c_2d(result, case, g), trace=result.trace,
+        details={
+            "grid": g,
+            "memory_per_pe": replicated_memory_per_pe(
+                case, g, machine.elem_size),
+        },
+    )
+
+
+def run_doall(case: MatmulCase, g: int,
+              machine: MachineSpec | None = None,
+              trace: bool = True, fabric: str = "sim") -> RunResult:
+    """Run the zero-inventory doall parallelization on a ``g x g`` grid."""
+    machine = machine if machine is not None else SUN_BLADE_100
+    check_divides(case.n, g, "grid order")
+    result = run_spmd(
+        Grid2D(g), doall_rank(case, g), machine=machine,
+        setup=lambda fabric: layout_2d_natural(fabric, case, g),
+        trace=trace, fabric=fabric,
+    )
+    return RunResult(
+        variant="doall-naive", case=case, time=result.time,
+        c=gather_c_2d(result, case, g), trace=result.trace,
+        details={"grid": g},
+    )

@@ -1,0 +1,84 @@
+"""Problem descriptions and run outcomes for the matmul case study."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..fabric.trace import TraceLog
+from ..util.blocks import check_divides
+from ..util.shadow import ShadowArray
+from ..util.validation import random_matrix
+
+__all__ = ["MatmulCase", "RunResult"]
+
+
+@dataclass(frozen=True)
+class MatmulCase:
+    """A square matmul instance ``C = A @ B`` of order ``n``.
+
+    ``ab`` is the algorithmic block order (the paper's "Block order"
+    column). With ``shadow=True`` the operands are
+    :class:`~repro.util.shadow.ShadowArray` stand-ins: the same
+    algorithm code runs, communication volumes and flop charges are
+    identical, but no elements exist — this is how paper-scale orders
+    (up to 9216) are simulated quickly.
+    """
+
+    n: int
+    ab: int
+    shadow: bool = False
+    dtype: Any = np.float64
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        check_divides(self.n, self.ab, "algorithmic block order")
+
+    def operands(self) -> tuple:
+        """The (A, B) input pair — real arrays or shadows."""
+        if self.shadow:
+            return (ShadowArray((self.n, self.n), np.float32),
+                    ShadowArray((self.n, self.n), np.float32))
+        a = random_matrix(self.n, self.seed, self.dtype)
+        b = random_matrix(self.n, self.seed + 1, self.dtype)
+        return a, b
+
+    def zeros(self, shape) -> Any:
+        """A zero matrix (or shadow) of the given shape."""
+        if self.shadow:
+            return ShadowArray(shape, np.float32)
+        return np.zeros(shape, dtype=self.dtype)
+
+    def reference(self, a=None, b=None):
+        """NumPy reference product (only meaningful for real operands)."""
+        if self.shadow:
+            raise ConfigurationError("no reference product in shadow mode")
+        if a is None or b is None:
+            a, b = self.operands()
+        return a @ b
+
+    @property
+    def nblocks(self) -> int:
+        return self.n // self.ab
+
+
+@dataclass
+class RunResult:
+    """Outcome of running one matmul variant."""
+
+    variant: str
+    case: MatmulCase
+    time: float
+    c: Any = None  # assembled product (None in shadow mode)
+    trace: TraceLog | None = None
+    details: dict = field(default_factory=dict)
+
+    @property
+    def gflops(self) -> float:
+        """Modeled rate achieved, in Gflop/s."""
+        if self.time <= 0:
+            return float("inf")
+        return 2.0 * self.case.n**3 / self.time / 1e9

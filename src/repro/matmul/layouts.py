@@ -1,0 +1,134 @@
+"""Initial data distributions — Figures 4, 6, 8, 10, 12 and 14.
+
+Each function installs node variables on a fabric according to one of
+the paper's initial layouts, at distribution-block granularity:
+
+* 1-D (``P`` PEs): B and C are split into ``P`` vertical strips of
+  width ``n/P``; ``B(*, j)`` and ``C(*, j)`` live on ``node(j)``.
+  A starts whole on ``node(0)`` (Figures 4, 6) or split into ``P``
+  horizontal strips with ``A(i, *)`` on ``node(i)`` (Figure 8).
+* 2-D (``G x G`` PEs): ``C(i, j)`` lives on ``node(i, j)``. For the
+  2-D DSC/pipelined stages (Figures 10, 12), row block ``A(G-1-l, *)``
+  and column block ``B(*, l)`` both live on the anti-diagonal PE
+  ``node(G-1-l, l)``. For full 2-D DPC (Figure 14) and the SPMD
+  algorithms, A, B and C all start in the natural layout,
+  ``X(i, j)`` on ``node(i, j)``.
+
+Gather helpers reassemble the distributed C for verification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..fabric.sim import FabricResult
+from ..util.blocks import check_divides
+from .kinds import MatmulCase
+
+__all__ = [
+    "layout_1d_a_at_origin",
+    "layout_1d_a_row_strips",
+    "layout_2d_antidiagonal",
+    "layout_2d_natural",
+    "gather_c_1d",
+    "gather_c_2d",
+]
+
+
+def _strips(case: MatmulCase, p: int):
+    check_divides(case.n, p, "PE count")
+    a, b = case.operands()
+    return a, b, case.n // p
+
+
+def layout_1d_a_at_origin(fabric, case: MatmulCase, p: int) -> None:
+    """Figures 4 and 6: A whole on node(0); B, C column strips."""
+    a, b, w = _strips(case, p)
+    fabric.load((0,), A=a)
+    for j in range(p):
+        fabric.load(
+            (j,),
+            B=b[:, j * w : (j + 1) * w],
+            C=case.zeros((case.n, w)),
+        )
+
+
+def layout_1d_a_row_strips(fabric, case: MatmulCase, p: int) -> None:
+    """Figure 8: A split into row strips, ``A(i, *)`` on node(i)."""
+    a, b, w = _strips(case, p)
+    for j in range(p):
+        fabric.load(
+            (j,),
+            A=a[j * w : (j + 1) * w, :],
+            B=b[:, j * w : (j + 1) * w],
+            C=case.zeros((case.n, w)),
+        )
+
+
+def layout_2d_antidiagonal(fabric, case: MatmulCase, g: int) -> None:
+    """Figures 10 and 12: A rows / B columns on the anti-diagonal.
+
+    ``A(G-1-l, *)`` and ``B(*, l)`` on ``node(G-1-l, l)``; zeroed
+    ``C(i, j)`` on every ``node(i, j)``.
+    """
+    a, b, db = _strips(case, g)
+    for line in range(g):
+        fabric.load(
+            (g - 1 - line, line),
+            Arow=a[(g - 1 - line) * db : (g - line) * db, :],
+            Bcol=b[:, line * db : (line + 1) * db],
+        )
+    for i in range(g):
+        for j in range(g):
+            fabric.load((i, j), C=case.zeros((db, db)))
+
+
+def layout_2d_natural(fabric, case: MatmulCase, g: int) -> None:
+    """Figure 14 (and SPMD baselines): ``A/B/C(i, j)`` on ``node(i, j)``."""
+    a, b, db = _strips(case, g)
+    for i in range(g):
+        for j in range(g):
+            fabric.load(
+                (i, j),
+                A=a[i * db : (i + 1) * db, j * db : (j + 1) * db],
+                B=b[i * db : (i + 1) * db, j * db : (j + 1) * db],
+                C=case.zeros((db, db)),
+            )
+
+
+def gather_c_1d(result: FabricResult, case: MatmulCase, p: int,
+                name: str = "C"):
+    """Reassemble C from 1-D column strips (None in shadow mode)."""
+    if case.shadow:
+        return None
+    w = case.n // p
+    out = np.empty((case.n, case.n), dtype=case.dtype)
+    for j in range(p):
+        strip = result.get((j,), name)
+        if strip.shape != (case.n, w):
+            raise ConfigurationError(
+                f"C strip at node({j}) has shape {strip.shape}, "
+                f"expected {(case.n, w)}"
+            )
+        out[:, j * w : (j + 1) * w] = strip
+    return out
+
+
+def gather_c_2d(result: FabricResult, case: MatmulCase, g: int,
+                name: str = "C"):
+    """Reassemble C from 2-D distribution blocks (None in shadow mode)."""
+    if case.shadow:
+        return None
+    db = case.n // g
+    out = np.empty((case.n, case.n), dtype=case.dtype)
+    for i in range(g):
+        for j in range(g):
+            blk = result.get((i, j), name)
+            if blk.shape != (db, db):
+                raise ConfigurationError(
+                    f"C block at node({i},{j}) has shape {blk.shape}, "
+                    f"expected {(db, db)}"
+                )
+            out[i * db : (i + 1) * db, j * db : (j + 1) * db] = blk
+    return out

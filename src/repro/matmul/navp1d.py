@@ -1,0 +1,241 @@
+"""NavP matrix multiplication on a 1-D PE chain — Figures 5, 7 and 9.
+
+The three stages of the paper's first incremental round:
+
+* :func:`run_dsc_1d` — the DSC transformation applied to the
+  sequential code (Figure 5): one computation thread chases the
+  distributed columns of B and C, carrying one row strip of A at a
+  time in the agent variable ``mA``.
+* :func:`run_pipelined_1d` — the Pipelining transformation (Figure 7):
+  one ``RowCarrier`` per strip of A, injected in order at ``node(0)``,
+  following each other through the PE pipeline.
+* :func:`run_phase_1d` — the Phase-shifting transformation (Figure 9):
+  carriers enter the pipeline at different PEs (reverse staggering), so
+  every PE computes from the start.
+
+Granularity: the paper generalizes its fine-grained pseudocode by
+treating "entries" as blocks (Section 3). Here a carrier is responsible
+for one *row of algorithmic blocks* — an ``ab x n`` strip of A — as in
+the paper's actual implementation (Section 5: "The RowCarriers ...
+each of which [is] responsible for the computation of a row of
+algorithmic blocks").
+
+No events are needed in 1-D: the C strips written at a PE are disjoint
+per carrier, and B is read-only (the paper's pseudocode likewise has
+none until the second dimension is introduced).
+"""
+
+from __future__ import annotations
+
+from ..fabric.factory import make_fabric
+from ..fabric.topology import Grid1D
+from ..machine.presets import SUN_BLADE_100
+from ..machine.spec import MachineSpec
+from ..navp.messenger import Messenger
+from ..util.blocks import check_divides, strip_rows
+from .kinds import MatmulCase, RunResult
+from .layouts import gather_c_1d, layout_1d_a_at_origin, layout_1d_a_row_strips
+
+__all__ = [
+    "DSCCarrier1D",
+    "RowCarrier1D",
+    "PhaseRowCarrier1D",
+    "run_dsc_1d",
+    "run_pipelined_1d",
+    "run_phase_1d",
+]
+
+
+def _visit_flops(case: MatmulCase, p: int) -> float:
+    """Flops of one carrier visit: an ``ab x n`` by ``n x n/p`` product."""
+    return 2.0 * case.ab * case.n * (case.n // p)
+
+
+class DSCCarrier1D(Messenger):
+    """Figure 5: the single DSC thread.
+
+    For each strip ``mi`` it hops along all PEs; every time it returns
+    to ``node(0)`` (``mj == 0``) it picks up the next strip of A into
+    the agent variable ``mA``.
+    """
+
+    def __init__(self, case: MatmulCase, p: int):
+        self._case = case
+        self._p = p
+        self.mA = None
+
+    def main(self):
+        case, p = self._case, self._p
+        nstrips = case.nblocks
+        flops = _visit_flops(case, p)
+        for mi in range(nstrips):
+            for mj in range(p):
+                yield self.hop((mj,))
+                if mj == 0:
+                    self.mA = strip_rows(self.vars["A"], mi, case.ab)
+                mA = self.mA
+                b = self.vars["B"]
+                c = self.vars["C"]
+
+                def visit(mA=mA, b=b, c=c, mi=mi):
+                    c[mi * case.ab : (mi + 1) * case.ab, :] = mA @ b
+
+                yield self.compute(visit, flops=flops,
+                                   note=f"strip {mi} @ node({mj})")
+
+
+class _Injector1D(Messenger):
+    """Figure 7's main program: hop to node(0), inject carriers in order."""
+
+    def __init__(self, carriers):
+        self._carriers = carriers
+
+    def main(self):
+        yield self.hop((0,))
+        for carrier in self._carriers:
+            yield self.inject(carrier)
+
+
+class RowCarrier1D(Messenger):
+    """Figure 7: one pipelined carrier per strip of A."""
+
+    def __init__(self, mi: int, case: MatmulCase, p: int):
+        self.mi = mi
+        self._case = case
+        self._p = p
+        self.mA = None
+
+    def main(self):
+        case, p, mi = self._case, self._p, self.mi
+        self.mA = strip_rows(self.vars["A"], mi, case.ab)  # mA(*) = A(mi,*)
+        flops = _visit_flops(case, p)
+        for mj in range(p):
+            yield self.hop((mj,))
+            mA = self.mA
+            b = self.vars["B"]
+            c = self.vars["C"]
+
+            def visit(mA=mA, b=b, c=c, mi=mi):
+                c[mi * case.ab : (mi + 1) * case.ab, :] = mA @ b
+
+            yield self.compute(visit, flops=flops,
+                               note=f"strip {mi} @ node({mj})")
+
+
+class _PhaseInjector1D(Messenger):
+    """Figure 9's main program: hop along the chain, injecting locally."""
+
+    def __init__(self, by_owner: dict):
+        self._by_owner = by_owner
+
+    def main(self):
+        for owner in sorted(self._by_owner):
+            yield self.hop((owner,))
+            for carrier in self._by_owner[owner]:
+                yield self.inject(carrier)
+
+
+class PhaseRowCarrier1D(Messenger):
+    """Figure 9: a phase-shifted carrier.
+
+    A strip owned by PE ``q`` starts its tour at ``node((P-1-q) % P)``
+    — the paper's ``hop(node((N-1-mi+mj) % N))`` schedule lifted to
+    distribution-block granularity (``q`` plays the role of ``mi``).
+    The first hop performs the reverse staggering of Figure 8.
+    """
+
+    def __init__(self, mi: int, owner: int, case: MatmulCase, p: int):
+        self.mi = mi
+        self.owner = owner
+        self._case = case
+        self._p = p
+        self.mA = None
+
+    def main(self):
+        case, p, mi, q = self._case, self._p, self.mi, self.owner
+        local = mi - q * (case.nblocks // p)
+        self.mA = strip_rows(self.vars["A"], local, case.ab)  # mA(*) = A(*)
+        flops = _visit_flops(case, p)
+        for mj in range(p):
+            yield self.hop(((p - 1 - q + mj) % p,))
+            mA = self.mA
+            b = self.vars["B"]
+            c = self.vars["C"]
+
+            def visit(mA=mA, b=b, c=c, mi=mi):
+                c[mi * case.ab : (mi + 1) * case.ab, :] = mA @ b
+
+            yield self.compute(
+                visit, flops=flops,
+                note=f"strip {mi} @ node({(p - 1 - q + mj) % p})",
+            )
+
+
+def _run(case: MatmulCase, p: int, machine, trace, layout, build,
+         fabric_kind: str = "sim"):
+    machine = machine if machine is not None else SUN_BLADE_100
+    check_divides(case.n, p, "PE count")
+    # (the algorithmic block order must divide n — MatmulCase checks
+    # that — but the column-strip width n/p need not be a multiple of
+    # it: carriers work on ab x (n/p) tiles)
+    fabric = make_fabric(fabric_kind, Grid1D(p), machine=machine, trace=trace)
+    layout(fabric, case, p)
+    build(fabric)
+    result = fabric.run()
+    return result
+
+
+def run_dsc_1d(case: MatmulCase, p: int,
+               machine: MachineSpec | None = None,
+               trace: bool = True, fabric: str = "sim") -> RunResult:
+    """Distributed sequential computing on ``p`` PEs (Figure 5)."""
+    result = _run(
+        case, p, machine, trace, layout_1d_a_at_origin,
+        lambda fab: fab.inject((0,), DSCCarrier1D(case, p)),
+        fabric_kind=fabric,
+    )
+    return RunResult(
+        variant="navp-1d-dsc", case=case, time=result.time,
+        c=gather_c_1d(result, case, p), trace=result.trace,
+        details={"pes": p},
+    )
+
+
+def run_pipelined_1d(case: MatmulCase, p: int,
+                     machine: MachineSpec | None = None,
+                     trace: bool = True, fabric: str = "sim") -> RunResult:
+    """Pipelined DSC on ``p`` PEs (Figure 7)."""
+    carriers = [RowCarrier1D(mi, case, p) for mi in range(case.nblocks)]
+    result = _run(
+        case, p, machine, trace, layout_1d_a_at_origin,
+        lambda fab: fab.inject((0,), _Injector1D(carriers)),
+        fabric_kind=fabric,
+    )
+    return RunResult(
+        variant="navp-1d-pipeline", case=case, time=result.time,
+        c=gather_c_1d(result, case, p), trace=result.trace,
+        details={"pes": p, "carriers": len(carriers)},
+    )
+
+
+def run_phase_1d(case: MatmulCase, p: int,
+                 machine: MachineSpec | None = None,
+                 trace: bool = True, fabric: str = "sim") -> RunResult:
+    """Phase-shifted full DPC on ``p`` PEs (Figure 9)."""
+    strips_per_pe = case.nblocks // p
+    by_owner: dict = {}
+    for mi in range(case.nblocks):
+        owner = mi // strips_per_pe
+        by_owner.setdefault(owner, []).append(
+            PhaseRowCarrier1D(mi, owner, case, p)
+        )
+    result = _run(
+        case, p, machine, trace, layout_1d_a_row_strips,
+        lambda fab: fab.inject((0,), _PhaseInjector1D(by_owner)),
+        fabric_kind=fabric,
+    )
+    return RunResult(
+        variant="navp-1d-phase", case=case, time=result.time,
+        c=gather_c_1d(result, case, p), trace=result.trace,
+        details={"pes": p, "carriers": case.nblocks},
+    )

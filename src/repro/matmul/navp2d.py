@@ -1,0 +1,335 @@
+"""NavP matrix multiplication on a 2-D PE grid — Figures 11, 13 and 15.
+
+The paper's second incremental round applies the same three
+transformations hierarchically in the ``i`` dimension:
+
+* :func:`run_dsc_2d` — DSC in the second dimension (Figure 11): the
+  phase-shifted strip carriers of the 1-D stage now run one grid row
+  each, while ``ColCarrier`` messengers ship whole B column blocks down
+  the grid columns, dropping a copy at each PE and signalling ``EP``.
+* :func:`run_pipelined_2d` — pipelining in both dimensions
+  (Figure 13): A *and* B move at algorithmic-block granularity.
+  ``ACarrier(k)`` carries one k-slice of an A row block;
+  ``BCarrier(k)`` carries the matching k-slice of a B column block and
+  parks it in the PE's single B slot under an ``EP``/``EC`` handshake
+  ("a producer BCarrier needs to make sure that the B entry produced
+  by its predecessor in the pipeline is consumed before it puts the B
+  entry it carries in place").
+* :func:`run_phase_2d` — phase shifting in both dimensions
+  (Figure 15): matrices start in the *natural* layout (A, B, C blocks
+  all on ``node(i, j)``) and the rotated hop schedules
+  ``(N-1-mi-mk+mj) % N`` perform the reverse staggering implicitly, so
+  all ``G^2`` PEs compute from the start. This final stage has the
+  structure of Gentleman's algorithm, executed by migrating carriers.
+
+Synchronization faithfully follows the paper: ``EP`` ("B present") and
+``EC`` ("B consumed") on each PE's local event table. We key ``EP`` by
+the global k index — at fine granularity this is what the paper's
+per-node ``EP(i,j)`` achieves positionally — and keep ``EC`` as the
+slot-free semaphore, signalled once per PE initially. Carriers also
+verify the k tag of the slot they consume and raise
+:class:`~repro.errors.ProtocolError` on any pairing violation, so a
+broken pipeline can never silently corrupt the product.
+"""
+
+from __future__ import annotations
+
+from ..errors import ProtocolError
+from ..fabric.factory import make_fabric
+from ..fabric.topology import Grid2D
+from ..machine.presets import SUN_BLADE_100
+from ..machine.spec import MachineSpec
+from ..navp.messenger import Messenger
+from ..util.blocks import check_divides
+from .kinds import MatmulCase, RunResult
+from .layouts import gather_c_2d, layout_2d_antidiagonal, layout_2d_natural
+
+__all__ = [
+    "run_dsc_2d",
+    "run_pipelined_2d",
+    "run_phase_2d",
+    "ColCarrier2D",
+    "StripCarrier2D",
+    "ACarrier2D",
+    "BCarrier2D",
+]
+
+
+# --------------------------------------------------------------------------
+# Stage 4: DSC in the second dimension (Figures 10 and 11)
+# --------------------------------------------------------------------------
+
+class _AntiDiagonalInjector(Messenger):
+    """Figure 11/13 main program: walk the anti-diagonal, inject locally."""
+
+    def __init__(self, factory):
+        self._factory = factory  # (line) -> list of messengers
+
+    def main(self):
+        g = self._factory.g
+        for line in range(g):
+            yield self.hop((g - 1 - line, line))
+            for messenger in self._factory(line):
+                yield self.inject(messenger)
+
+
+class ColCarrier2D(Messenger):
+    """Figure 11 ``ColCarrier``: ships a whole B column block down column
+    ``mj``, dropping a copy (node variable ``B``) and signalling ``EP``
+    at every stop — once per strip carrier that will need it."""
+
+    def __init__(self, mj: int, g: int, strips_per_row: int):
+        self.mj = mj
+        self._g = g
+        self._strips = strips_per_row
+        self.mB = None
+
+    def main(self):
+        g, mj = self._g, self.mj
+        self.mB = self.vars["Bcol"]  # mB(*) = B(*)
+        for mi in range(g):
+            yield self.hop(((g - 1 - mj + mi) % g, mj))
+            self.vars["B"] = self.mB  # B(*) = mB(*)
+            yield self.signal_event("EP", count=self._strips)
+
+
+class StripCarrier2D(Messenger):
+    """Figure 11 ``RowCarrier`` at algorithmic granularity: one carrier
+    per ``ab x n`` strip of A, touring its grid row."""
+
+    def __init__(self, row: int, local_strip: int, case: MatmulCase, g: int):
+        self.row = row
+        self.local_strip = local_strip
+        self._case = case
+        self._g = g
+        self.mA = None
+
+    def main(self):
+        case, g, row, s = self._case, self._g, self.row, self.local_strip
+        ab, db = case.ab, case.n // g
+        self.mA = self.vars["Arow"][s * ab : (s + 1) * ab, :]  # mA(*) = A(*)
+        flops = 2.0 * ab * case.n * db
+        for mj in range(g):
+            col = (g - 1 - row + mj) % g
+            yield self.hop((row, col))
+            yield self.wait_event("EP")
+            mA = self.mA
+            b = self.vars["B"]
+            c = self.vars["C"]
+
+            def visit(mA=mA, b=b, c=c, s=s, ab=ab):
+                c[s * ab : (s + 1) * ab, :] = mA @ b
+
+            yield self.compute(visit, flops=flops,
+                               note=f"A strip ({row},{s}) @ {(row, col)}")
+
+
+def run_dsc_2d(case: MatmulCase, g: int,
+               machine: MachineSpec | None = None,
+               trace: bool = True, fabric: str = "sim") -> RunResult:
+    """DSC in the second dimension on a ``g x g`` grid (Figure 11)."""
+    machine = machine if machine is not None else SUN_BLADE_100
+    check_divides(case.n, g, "grid order")
+    db = case.n // g
+    check_divides(db, case.ab, "algorithmic block order")
+    strips = db // case.ab
+
+    fab = make_fabric(fabric, Grid2D(g), machine=machine, trace=trace)
+    layout_2d_antidiagonal(fab, case, g)
+
+    def factory(line: int):
+        row = g - 1 - line
+        out = [StripCarrier2D(row, s, case, g) for s in range(strips)]
+        out.append(ColCarrier2D(line, g, strips))
+        return out
+
+    factory.g = g
+    fab.inject((g - 1, 0), _AntiDiagonalInjector(factory))
+    result = fab.run()
+    return RunResult(
+        variant="navp-2d-dsc", case=case, time=result.time,
+        c=gather_c_2d(result, case, g), trace=result.trace,
+        details={"grid": g, "strip_carriers": g * strips},
+    )
+
+
+# --------------------------------------------------------------------------
+# Stages 5 and 6: pipelining / phase shifting in both dimensions
+# (Figures 13 and 15)
+# --------------------------------------------------------------------------
+
+class ACarrier2D(Messenger):
+    """Figures 13/15 ``ACarrier``: carries one ``db x ab`` k-slice of an
+    A row block through its grid row; at each stop waits for the
+    matching B slice (``EP`` keyed by k), accumulates into the local C
+    block, and signals ``EC`` to free the slot."""
+
+    def __init__(self, row: int, k: int, shift: int, case: MatmulCase, g: int,
+                 pick_local: bool):
+        self.row = row
+        self.k = k          # global k-slice index, 0 .. n/ab - 1
+        self.shift = shift  # extra column shift: 0 (Fig 13) or mk (Fig 15)
+        self._case = case
+        self._g = g
+        self._pick_local = pick_local
+        self.mA = None
+
+    def main(self):
+        case, g, row, k = self._case, self._g, self.row, self.k
+        ab, db = case.ab, case.n // g
+        if self._pick_local:
+            # Figure 15: the slice comes out of the local A block.
+            local_k = k % (db // ab)
+            self.mA = self.vars["A"][:, local_k * ab : (local_k + 1) * ab]
+        else:
+            # Figure 13: all slices of the row block start on the
+            # anti-diagonal PE that holds the whole row block.
+            self.mA = self.vars["Arow"][:, k * ab : (k + 1) * ab]
+        flops = 2.0 * db * ab * db
+        for mj in range(g):
+            col = (g - 1 - row - self.shift + mj) % g
+            yield self.hop((row, col))
+            yield self.wait_event("EP", k)
+            slot_k, b = self.vars["Bslot"]
+            if slot_k != k:
+                raise ProtocolError(
+                    f"B slot at node({row},{col}) holds k={slot_k}, "
+                    f"ACarrier expected k={k}"
+                )
+            mA = self.mA
+            c = self.vars["C"]
+
+            def visit(mA=mA, b=b, c=c):
+                c += mA @ b
+
+            yield self.compute(visit, flops=flops,
+                               note=f"A(k={k}) @ {(row, col)}")
+            yield self.signal_event("EC")
+
+
+class BCarrier2D(Messenger):
+    """Figures 13/15 ``BCarrier``: carries one ``ab x db`` k-slice of a
+    B column block down its grid column; at each stop waits until the
+    predecessor's slice was consumed (``EC``), parks its slice in the
+    PE's B slot, and announces it (``EP`` keyed by k)."""
+
+    def __init__(self, col: int, k: int, shift: int, case: MatmulCase, g: int,
+                 pick_local: bool):
+        self.col = col
+        self.k = k
+        self.shift = shift
+        self._case = case
+        self._g = g
+        self._pick_local = pick_local
+        self.mB = None
+
+    def main(self):
+        case, g, col, k = self._case, self._g, self.col, self.k
+        ab, db = case.ab, case.n // g
+        if self._pick_local:
+            local_k = k % (db // ab)
+            self.mB = self.vars["B"][local_k * ab : (local_k + 1) * ab, :]
+        else:
+            self.mB = self.vars["Bcol"][k * ab : (k + 1) * ab, :]
+        for mi in range(g):
+            row = (g - 1 - col - self.shift + mi) % g
+            yield self.hop((row, col))
+            yield self.wait_event("EC")
+            self.vars["Bslot"] = (k, self.mB)
+            yield self.signal_event("EP", k)
+
+
+class _PhaseSpawnerColumn(Messenger):
+    """Figure 15 ``spawner(mj)``: walk down column mj, enable the local
+    slot (EC), and inject the local A and B slice carriers."""
+
+    def __init__(self, mj: int, case: MatmulCase, g: int):
+        self.mj = mj
+        self._case = case
+        self._g = g
+
+    def main(self):
+        case, g, mj = self._case, self._g, self.mj
+        slices = (case.n // g) // case.ab
+        for mi in range(g):
+            yield self.hop((mi, mj))
+            yield self.signal_event("EC")
+            for s in range(slices):
+                k_a = mj * slices + s   # k of the local A block's slices
+                k_b = mi * slices + s   # k of the local B block's slices
+                yield self.inject(
+                    ACarrier2D(mi, k_a, shift=mj, case=case, g=g,
+                               pick_local=True)
+                )
+                yield self.inject(
+                    BCarrier2D(mj, k_b, shift=mi, case=case, g=g,
+                               pick_local=True)
+                )
+
+
+class _PhaseInjector2D(Messenger):
+    """Figure 15 main program: inject one spawner at the top of each column."""
+
+    def __init__(self, case: MatmulCase, g: int):
+        self._case = case
+        self._g = g
+
+    def main(self):
+        for mj in range(self._g):
+            yield self.hop((0, mj))
+            yield self.inject(_PhaseSpawnerColumn(mj, self._case, self._g))
+
+
+def run_pipelined_2d(case: MatmulCase, g: int,
+                     machine: MachineSpec | None = None,
+                     trace: bool = True, fabric: str = "sim") -> RunResult:
+    """Pipelining in both dimensions on a ``g x g`` grid (Figure 13)."""
+    machine = machine if machine is not None else SUN_BLADE_100
+    check_divides(case.n, g, "grid order")
+    check_divides(case.n // g, case.ab, "algorithmic block order")
+    nk = case.nblocks  # k-slices across the full k dimension
+
+    fab = make_fabric(fabric, Grid2D(g), machine=machine, trace=trace)
+    layout_2d_antidiagonal(fab, case, g)
+    for i in range(g):
+        for j in range(g):
+            fab.signal_initial((i, j), "EC")  # slot initially free
+
+    def factory(line: int):
+        row = g - 1 - line
+        out = []
+        for k in range(nk):  # Figure 13 spawner: inject per mk, A then B
+            out.append(ACarrier2D(row, k, shift=0, case=case, g=g,
+                                  pick_local=False))
+            out.append(BCarrier2D(line, k, shift=0, case=case, g=g,
+                                  pick_local=False))
+        return out
+
+    factory.g = g
+    fab.inject((g - 1, 0), _AntiDiagonalInjector(factory))
+    result = fab.run()
+    return RunResult(
+        variant="navp-2d-pipeline", case=case, time=result.time,
+        c=gather_c_2d(result, case, g), trace=result.trace,
+        details={"grid": g, "a_carriers": g * nk, "b_carriers": g * nk},
+    )
+
+
+def run_phase_2d(case: MatmulCase, g: int,
+                 machine: MachineSpec | None = None,
+                 trace: bool = True, fabric: str = "sim") -> RunResult:
+    """Full DPC via phase shifting in both dimensions (Figure 15)."""
+    machine = machine if machine is not None else SUN_BLADE_100
+    check_divides(case.n, g, "grid order")
+    check_divides(case.n // g, case.ab, "algorithmic block order")
+
+    fab = make_fabric(fabric, Grid2D(g), machine=machine, trace=trace)
+    layout_2d_natural(fab, case, g)
+    fab.inject((0, 0), _PhaseInjector2D(case, g))
+    result = fab.run()
+    nk = case.nblocks
+    return RunResult(
+        variant="navp-2d-phase", case=case, time=result.time,
+        c=gather_c_2d(result, case, g), trace=result.trace,
+        details={"grid": g, "a_carriers": g * nk, "b_carriers": g * nk},
+    )

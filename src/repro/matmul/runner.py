@@ -1,0 +1,83 @@
+"""Uniform entry point over every matmul variant in the case study.
+
+The benchmark harness and the examples address algorithms by name;
+this registry maps names to runners with a common signature::
+
+    run_variant("navp-2d-phase", case, geometry=3)   # 3x3 grid
+    run_variant("navp-1d-dsc", case, geometry=3)     # 3-PE chain
+    run_variant("scalapack-1d", case, geometry=3)    # SUMMA on 1x3
+
+``geometry`` is the PE count for 1-D variants and the grid order for
+2-D variants; the sequential baseline ignores it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..errors import ConfigurationError
+from ..machine.spec import MachineSpec
+from .cannon import run_cannon
+from .doall import run_doall, run_doall_replicated
+from .gentleman import run_gentleman, run_gentleman_tuned
+from .kinds import MatmulCase, RunResult
+from .navp1d import run_dsc_1d, run_phase_1d, run_pipelined_1d
+from .navp2d import run_dsc_2d, run_phase_2d, run_pipelined_2d
+from .sequential import run_sequential
+from .summa import run_summa
+
+__all__ = ["VARIANTS", "run_variant", "variant_names"]
+
+
+def _seq(case, geometry, machine, trace):
+    return run_sequential(case, machine=machine, trace=trace)
+
+
+def _summa_1d(case, geometry, machine, trace):
+    result = run_summa(case, 1, geometry, machine=machine, trace=trace)
+    result.variant = "scalapack-1d"
+    return result
+
+
+def _wrap(fn):
+    return lambda case, geometry, machine, trace: fn(
+        case, geometry, machine=machine, trace=trace)
+
+
+VARIANTS: dict[str, Callable] = {
+    "sequential": _seq,
+    "navp-1d-dsc": _wrap(run_dsc_1d),
+    "navp-1d-pipeline": _wrap(run_pipelined_1d),
+    "navp-1d-phase": _wrap(run_phase_1d),
+    "navp-2d-dsc": _wrap(run_dsc_2d),
+    "navp-2d-pipeline": _wrap(run_pipelined_2d),
+    "navp-2d-phase": _wrap(run_phase_2d),
+    "mpi-gentleman": _wrap(run_gentleman),
+    "mpi-gentleman-tuned": _wrap(run_gentleman_tuned),
+    "mpi-cannon": _wrap(run_cannon),
+    "scalapack-summa": _wrap(run_summa),
+    "scalapack-1d": _summa_1d,
+    "doall-naive": _wrap(run_doall),
+    "doall-replicated": _wrap(run_doall_replicated),
+}
+
+
+def variant_names() -> list:
+    return sorted(VARIANTS)
+
+
+def run_variant(
+    name: str,
+    case: MatmulCase,
+    geometry: int = 1,
+    machine: MachineSpec | None = None,
+    trace: bool = True,
+) -> RunResult:
+    """Run one named variant on the given case and geometry."""
+    try:
+        runner = VARIANTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown variant {name!r}; known: {', '.join(variant_names())}"
+        ) from None
+    return runner(case, geometry, machine, trace)

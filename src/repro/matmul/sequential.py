@@ -1,0 +1,84 @@
+"""Sequential matrix multiplication (Figure 2) — the starting point.
+
+The paper's incremental-parallelization journey begins from the plain
+triple loop. We model it as a single messenger on a one-PE fabric so
+its timing comes from the same calibrated machine model as everything
+else; when the working set exceeds physical memory the paging model
+multiplies the cost, which is exactly the thrashing phenomenon that
+motivates the paper's curve-fitted baselines (Tables 1-2).
+
+:func:`sequential_time_model` is the closed-form version used when
+building tables (identical arithmetic, no DES involved).
+"""
+
+from __future__ import annotations
+
+from ..fabric.factory import make_fabric
+from ..fabric.topology import Grid1D
+from ..machine.memory import PagingModel, matmul_working_set
+from ..machine.presets import SUN_BLADE_100
+from ..machine.spec import MachineSpec
+from ..navp.messenger import Messenger
+from .kinds import MatmulCase, RunResult
+
+__all__ = ["SequentialMatmul", "run_sequential", "sequential_time_model"]
+
+
+class SequentialMatmul(Messenger):
+    """One messenger computing ``C = A @ B`` where the data lives."""
+
+    def __init__(self, case: MatmulCase):
+        self._case = case
+
+    def main(self):
+        case = self._case
+        a = self.vars["A"]
+        b = self.vars["B"]
+        paging = PagingModel(self.machine.memory)
+        working_set = matmul_working_set(case.n, self.machine.elem_size)
+        thrash = paging.thrash_factor(working_set)
+        flops = 2.0 * case.n**3 * thrash
+        c = yield self.compute(
+            fn=lambda: a @ b, flops=flops, kind="sequential",
+            note=f"n={case.n} thrash={thrash:.3f}",
+        )
+        self.vars["C"] = c
+        self.vars["thrash_factor"] = thrash
+
+
+def run_sequential(
+    case: MatmulCase,
+    machine: MachineSpec | None = None,
+    trace: bool = True,
+    fabric: str = "sim",
+) -> RunResult:
+    """Run the sequential program on a single modeled PE."""
+    machine = machine if machine is not None else SUN_BLADE_100
+    fab = make_fabric(fabric, Grid1D(1), machine=machine, trace=trace)
+    a, b = case.operands()
+    fab.load((0,), A=a, B=b)
+    fab.inject((0,), SequentialMatmul(case))
+    result = fab.run()
+    return RunResult(
+        variant="sequential",
+        case=case,
+        time=result.time,
+        c=None if case.shadow else result.get((0,), "C"),
+        trace=result.trace,
+        details={"thrash_factor": result.get((0,), "thrash_factor")},
+    )
+
+
+def sequential_time_model(
+    n: int, machine: MachineSpec | None = None
+) -> tuple[float, float]:
+    """Closed-form (time, thrash_factor) for the sequential program.
+
+    ``time`` corresponds to an *actual* run including paging; dividing
+    by ``thrash_factor`` recovers the paging-free (curve-fit style)
+    baseline the paper stars in its tables.
+    """
+    machine = machine if machine is not None else SUN_BLADE_100
+    paging = PagingModel(machine.memory)
+    thrash = paging.thrash_factor(matmul_working_set(n, machine.elem_size))
+    return machine.flops_time(2.0 * n**3) * thrash, thrash

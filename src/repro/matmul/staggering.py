@@ -1,0 +1,157 @@
+"""Forward vs. reverse initial staggering — Section 5, item 3.
+
+The paper contrasts two ways of skewing A and B before the systolic
+multiply:
+
+* **forward staggering** (Gentleman, Cannon): a row's chain of entries
+  only *shifts*: row ``i`` of A moves ``i`` positions west, entry
+  ``(i, j)`` landing at column ``(j - i) mod N``;
+* **reverse staggering** (NavP): the chain is both shifted and
+  *reverse-ordered*: entry ``(i, j)`` starts its tour at column
+  ``(N - 1 - i - j) mod N`` (the first hop of Figures 9/15).
+
+The claim: "reverse staggering never requires more than two
+communication phases, while forward staggering often requires three."
+
+Formalization. Staggering one row is routing a permutation of its
+entries over the PEs. A **communication phase** lets each PE take part
+in at most one transfer (the endpoint is busy streaming — the
+half-duplex constraint of the paper's analysis); scheduling a
+permutation is then an edge coloring of its transfer graph, which
+decomposes by cycles:
+
+* a fixed point is free (a pointer swap);
+* a transposition (2-cycle) takes 2 phases (a sends to b, b to a);
+* a cycle of even length ``L >= 4`` takes 2 phases (alternate edges);
+* a cycle of odd length ``L >= 3`` takes 3 phases (an odd cycle is not
+  2-edge-colorable).
+
+Reverse staggering is an *involution* — ``j -> (N-1-i-j) mod N``
+applied twice is the identity — so its cycles are only fixed points
+and transpositions: **never more than 2 phases**. Forward staggering
+by ``i`` is a cyclic shift whose cycles have length
+``N / gcd(N, i)``; whenever that is odd and > 1 (e.g. every nonzero
+shift when N itself is odd, as on the paper's 3x3 grid) it needs
+**3 phases**. This module makes the whole argument executable.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "forward_stagger_permutation",
+    "reverse_stagger_permutation",
+    "cycles_of",
+    "phases_for_permutation",
+    "schedule_permutation_phases",
+    "phases_for_scheme",
+    "staggering_comparison",
+]
+
+
+def forward_stagger_permutation(n: int, row: int) -> list:
+    """Destination of each column of a row under forward staggering."""
+    return [(j - row) % n for j in range(n)]
+
+
+def reverse_stagger_permutation(n: int, row: int) -> list:
+    """Destination of each column of a row under reverse staggering."""
+    return [(n - 1 - row - j) % n for j in range(n)]
+
+
+def _check_permutation(perm) -> list:
+    perm = list(perm)
+    if sorted(perm) != list(range(len(perm))):
+        raise ConfigurationError(f"not a permutation: {perm!r}")
+    return perm
+
+
+def cycles_of(perm) -> list:
+    """Cycle decomposition (each cycle a list of positions)."""
+    perm = _check_permutation(perm)
+    seen = [False] * len(perm)
+    cycles = []
+    for start in range(len(perm)):
+        if seen[start]:
+            continue
+        cycle = []
+        j = start
+        while not seen[j]:
+            seen[j] = True
+            cycle.append(j)
+            j = perm[j]
+        cycles.append(cycle)
+    return cycles
+
+
+def phases_for_permutation(perm) -> int:
+    """Minimum communication phases to route ``perm`` (closed form)."""
+    worst = 0
+    for cycle in cycles_of(perm):
+        length = len(cycle)
+        if length == 1:
+            continue
+        worst = max(worst, 2 if length % 2 == 0 else 3)
+    return worst
+
+
+def schedule_permutation_phases(perm) -> list:
+    """An explicit phase schedule achieving :func:`phases_for_permutation`.
+
+    Returns a list of phases, each a list of ``(src, dst)`` transfers
+    in which no PE appears twice. Used by tests to verify the closed
+    form constructively.
+    """
+    phases: list[list] = []
+
+    def put(level: int, edge) -> None:
+        while len(phases) <= level:
+            phases.append([])
+        phases[level].append(edge)
+
+    for cycle in cycles_of(perm):
+        length = len(cycle)
+        if length == 1:
+            continue
+        # edges of the cycle: cycle[t] -> cycle[(t+1) % L]... note
+        # cycle[t+1] == perm[cycle[t]] by construction.
+        edges = [(cycle[t], cycle[(t + 1) % length]) for t in range(length)]
+        for t, edge in enumerate(edges):
+            if t == length - 1 and length % 2 == 1:
+                put(2, edge)  # the odd leftover edge
+            else:
+                put(t % 2, edge)
+    # drop empty levels (identity permutation)
+    return [p for p in phases if p]
+
+
+def phases_for_scheme(n: int, scheme: str) -> int:
+    """Worst-case phases over all rows of an order-``n`` staggering."""
+    if scheme == "forward":
+        build = forward_stagger_permutation
+    elif scheme == "reverse":
+        build = reverse_stagger_permutation
+    else:
+        raise ConfigurationError(f"unknown staggering scheme {scheme!r}")
+    return max(
+        (phases_for_permutation(build(n, row)) for row in range(n)),
+        default=0,
+    )
+
+
+def forward_cycle_length(n: int, row: int) -> int:
+    """Cycle length of the forward shift by ``row`` (``n/gcd(n,row)``)."""
+    if row % n == 0:
+        return 1
+    return n // gcd(n, row % n)
+
+
+def staggering_comparison(orders) -> list:
+    """Rows ``(n, forward phases, reverse phases)`` for given orders."""
+    return [
+        (n, phases_for_scheme(n, "forward"), phases_for_scheme(n, "reverse"))
+        for n in orders
+    ]

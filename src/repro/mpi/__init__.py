@@ -1,0 +1,5 @@
+"""MPI-like SPMD substrate over the simulation fabric."""
+
+from .comm import Comm, RankProgram, run_spmd
+
+__all__ = ["Comm", "RankProgram", "run_spmd"]

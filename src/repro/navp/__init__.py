@@ -1,0 +1,14 @@
+"""Navigational Programming runtime: messengers, IR, interpreters."""
+
+from . import ir, kernels
+from .interp import Interp, IRMessenger, run_ir_on_fabric
+from .messenger import Messenger
+
+__all__ = [
+    "Messenger",
+    "Interp",
+    "IRMessenger",
+    "run_ir_on_fabric",
+    "ir",
+    "kernels",
+]

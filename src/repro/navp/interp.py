@@ -1,0 +1,225 @@
+"""Interpreter for navigational IR programs.
+
+An :class:`Interp` holds a *continuation*: the registered program's
+name, a control stack of (path, pc, loop) frames addressing positions
+in the program tree, and the agent environment. All three are plain
+picklable data — this is what the process fabric ships on a hop.
+
+The interpreter communicates with its host (an :class:`IRMessenger` on
+the sim/thread fabrics, or a worker loop on the process fabric) through
+:func:`Interp.next_action`: free statements (loops, assignments, node
+writes) execute inline; effectful statements return an action tuple and
+leave the continuation already advanced past them, so the host can
+resume after performing the effect — or pickle the whole interpreter
+and resume it elsewhere.
+
+Action tuples::
+
+    ("hop",     coord)
+    ("compute", kernel_name, argvals, out_var, kind)
+    ("wait",    event, args)
+    ("signal",  event, args, count)
+    ("inject",  program_name, env_dict)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import ConfigurationError, FabricError
+from . import ir
+from .kernels import get_kernel
+from .messenger import Messenger
+
+__all__ = ["Interp", "IRMessenger", "run_ir_on_fabric"]
+
+
+class Interp:
+    """A resumable, picklable IR continuation."""
+
+    def __init__(self, program: str, env: dict | None = None):
+        ir.get_program(program)  # validate eagerly
+        self.program = program
+        self.env: dict = dict(env or {})
+        self.stack: list = [[(), 0, None]]  # [path, pc, loop]
+
+    # -- expression evaluation -----------------------------------------
+    def eval(self, expr: ir.Expr, node_vars: dict) -> Any:
+        if isinstance(expr, ir.Const):
+            return expr.value
+        if isinstance(expr, ir.Var):
+            try:
+                return self.env[expr.name]
+            except KeyError:
+                raise FabricError(
+                    f"agent variable {expr.name!r} is unbound in "
+                    f"{self.program}"
+                ) from None
+        if isinstance(expr, ir.Bin):
+            left = self.eval(expr.left, node_vars)
+            right = self.eval(expr.right, node_vars)
+            return ir._BIN_OPS[expr.op](left, right)
+        if isinstance(expr, ir.NodeGet):
+            key = self._key(expr.idx, node_vars)
+            store = node_vars.get(expr.name)
+            if store is None:
+                raise FabricError(
+                    f"node variable {expr.name!r} absent at this PE"
+                )
+            return store[key] if key is not None else store
+        if isinstance(expr, ir.Index):
+            base = self.eval(expr.base, node_vars)
+            key = self._key(expr.idx, node_vars)
+            return base[key]
+        raise ConfigurationError(f"unknown expression {expr!r}")
+
+    def _key(self, idx: tuple, node_vars: dict):
+        if not idx:
+            return None
+        vals = tuple(self.eval(e, node_vars) for e in idx)
+        return vals[0] if len(vals) == 1 else vals
+
+    # -- control ------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return not self.stack
+
+    def _program(self) -> ir.Program:
+        return ir.get_program(self.program)
+
+    def next_action(self, node_vars: dict):
+        """Advance to the next effect; None when the program finished."""
+        prog = self._program()
+        while self.stack:
+            frame = self.stack[-1]
+            path, pc, loop = frame
+            body = ir.body_at(prog, path)
+            if pc >= len(body):
+                if loop is not None:
+                    var, count = loop
+                    self.env[var] += 1
+                    if self.env[var] < count:
+                        frame[1] = 0
+                        continue
+                self.stack.pop()
+                continue
+
+            stmt = body[pc]
+
+            if isinstance(stmt, ir.For):
+                frame[1] = pc + 1
+                count = self.eval(stmt.count, node_vars)
+                if count > 0:
+                    self.env[stmt.var] = 0
+                    self.stack.append([path + (pc,), 0, (stmt.var, count)])
+                continue
+
+            if isinstance(stmt, ir.If):
+                frame[1] = pc + 1
+                branch = "then" if self.eval(stmt.cond, node_vars) else "else"
+                target = stmt.then if branch == "then" else stmt.orelse
+                if target:
+                    self.stack.append([path + ((pc, branch),), 0, None])
+                continue
+
+            if isinstance(stmt, ir.Assign):
+                self.env[stmt.var] = self.eval(stmt.expr, node_vars)
+                frame[1] = pc + 1
+                continue
+
+            if isinstance(stmt, ir.NodeSet):
+                key = self._key(stmt.idx, node_vars)
+                value = self.eval(stmt.expr, node_vars)
+                if key is None:
+                    node_vars[stmt.name] = value
+                else:
+                    node_vars.setdefault(stmt.name, {})[key] = value
+                frame[1] = pc + 1
+                continue
+
+            # effectful statements: advance past, then report
+            frame[1] = pc + 1
+
+            if isinstance(stmt, ir.HopStmt):
+                coord = tuple(self.eval(e, node_vars) for e in stmt.place)
+                return ("hop", coord)
+            if isinstance(stmt, ir.ComputeStmt):
+                argvals = tuple(
+                    self.eval(e, node_vars) for e in stmt.args)
+                return ("compute", stmt.kernel, argvals, stmt.out, stmt.kind)
+            if isinstance(stmt, ir.WaitStmt):
+                args = tuple(self.eval(e, node_vars) for e in stmt.args)
+                return ("wait", stmt.event, args)
+            if isinstance(stmt, ir.SignalStmt):
+                args = tuple(self.eval(e, node_vars) for e in stmt.args)
+                return ("signal", stmt.event, args,
+                        self.eval(stmt.count, node_vars))
+            if isinstance(stmt, ir.InjectStmt):
+                child_env = {
+                    var: self.eval(e, node_vars)
+                    for var, e in stmt.bindings
+                }
+                return ("inject", stmt.program, child_env)
+
+            raise ConfigurationError(f"unknown statement {stmt!r}")
+        return None
+
+    def agent_snapshot(self) -> dict:
+        """What a hop must carry: the continuation as plain data."""
+        return {
+            "program": self.program,
+            "env": self.env,
+            "stack": [list(f) for f in self.stack],
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "Interp":
+        interp = cls.__new__(cls)
+        interp.program = snap["program"]
+        interp.env = snap["env"]
+        interp.stack = [list(f) for f in snap["stack"]]
+        return interp
+
+
+class IRMessenger(Messenger):
+    """Runs an IR program as a messenger on the sim/thread fabrics."""
+
+    def __init__(self, program: str, env: dict | None = None):
+        self.name = program
+        self.interp = Interp(program, env)
+
+    def main(self):
+        interp = self.interp
+        while True:
+            action = interp.next_action(self.vars)
+            if action is None:
+                return
+            kind = action[0]
+            if kind == "hop":
+                yield self.hop(action[1])
+            elif kind == "compute":
+                _, kname, argvals, out, cost_kind = action
+                kernel = get_kernel(kname)
+                value = yield self.compute(
+                    fn=lambda k=kernel, a=argvals: k.fn(*a),
+                    flops=kernel.flops(*argvals),
+                    kind=cost_kind,
+                    note=kname,
+                )
+                interp.env[out] = value
+            elif kind == "wait":
+                yield self.wait_event(action[1], *action[2])
+            elif kind == "signal":
+                yield self.signal_event(action[1], *action[2],
+                                        count=action[3])
+            elif kind == "inject":
+                yield self.inject(IRMessenger(action[1], action[2]))
+            else:  # pragma: no cover - next_action is exhaustive
+                raise ConfigurationError(f"unknown action {action!r}")
+
+
+def run_ir_on_fabric(fabric, program: str, env: dict | None = None,
+                     at=(0,)):
+    """Inject an IR program at a place and run the fabric to completion."""
+    fabric.inject(at, IRMessenger(program, env))
+    return fabric.run()

@@ -1,0 +1,107 @@
+"""The NavP programming model: self-migrating messengers.
+
+A messenger is written as a plain Python class whose :meth:`main`
+generator is the navigational program. Small data travels with the
+messenger in **agent variables** (instance attributes — by the paper's
+convention named ``mX``); large data stays put in **node variables**
+(``self.vars[...]``, resident at the current PE and shared by all
+messengers there). Navigation and synchronization are expressed by
+*yielding* the helpers below, mirroring the paper's pseudocode
+one-for-one::
+
+    class RowCarrier(Messenger):            # Figure 7
+        def __init__(self, mi, nodemap):
+            self.mi = mi
+            self._node = nodemap
+
+        def main(self):
+            self.mA = self.vars["A"][self.mi]        # mA(*) = A(mi,*)
+            for mj in range(self.N):
+                yield self.hop(self._node(mj))       # hop(node(mj))
+                ...
+                yield self.compute(fn, flops=...)    # the k loop
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import FabricError
+from ..fabric import effects as fx
+
+__all__ = ["Messenger"]
+
+
+class Messenger:
+    """Base class for self-migrating computations.
+
+    Subclasses implement :meth:`main` as a generator. Attributes not
+    starting with ``_`` are agent variables: they are charged against
+    the network on every hop and, on the process fabric, pickled and
+    shipped. Keep references to node data out of agent variables —
+    read node variables through :attr:`vars` at the current place
+    instead (that is the whole point of hopping).
+    """
+
+    _ctx = None  # bound by the fabric while running
+    _name = ""
+
+    def main(self):
+        raise NotImplementedError
+
+    # -- where am I ------------------------------------------------------
+    @property
+    def vars(self) -> dict:
+        """Node variables of the PE the messenger currently resides on."""
+        if self._ctx is None:
+            raise FabricError("messenger is not running on a fabric")
+        return self._ctx.place.vars
+
+    @property
+    def here(self) -> tuple:
+        """Coordinate of the current PE."""
+        if self._ctx is None:
+            raise FabricError("messenger is not running on a fabric")
+        return self._ctx.place.coord
+
+    @property
+    def machine(self):
+        """The machine spec of the hosting fabric (for cost formulas)."""
+        if self._ctx is None:
+            raise FabricError("messenger is not running on a fabric")
+        return self._ctx.fabric.machine
+
+    # -- navigational commands (yield these) ---------------------------
+    def hop(self, coord, nbytes: int | None = None) -> fx.Hop:
+        """``hop(node(...))`` — migrate, carrying the agent variables."""
+        return fx.Hop(coord=tuple(coord) if not isinstance(coord, int)
+                      else (coord,), nbytes=nbytes)
+
+    def inject(self, messenger: "Messenger") -> fx.Inject:
+        """Spawn another messenger here (injection is always local)."""
+        return fx.Inject(messenger=messenger)
+
+    def wait_event(self, name: str, *args) -> fx.WaitEvent:
+        """``waitEvent(name(args))`` on the current PE (counting)."""
+        return fx.WaitEvent(name=name, args=tuple(args))
+
+    def signal_event(self, name: str, *args, count: int = 1) -> fx.SignalEvent:
+        """``signalEvent(name(args))`` on the current PE."""
+        return fx.SignalEvent(name=name, args=tuple(args), count=count)
+
+    def compute(
+        self,
+        fn: Callable[[], Any] | None = None,
+        flops: float = 0.0,
+        kind: str | None = "navp",
+        note: str = "",
+    ) -> fx.Compute:
+        """Run ``fn`` on the current PE, charging ``flops`` of CPU time."""
+        return fx.Compute(fn=fn, flops=flops, kind=kind, note=note)
+
+    def delay(self, seconds: float) -> fx.Delay:
+        return fx.Delay(seconds=seconds)
+
+    def __repr__(self) -> str:
+        where = self._ctx.place.coord if self._ctx is not None else "unbound"
+        return f"{type(self).__name__}({where})"

@@ -1,0 +1,54 @@
+"""Performance reproduction: paper data, table builders, figures, analytics."""
+
+from .analytic import PREDICTORS, predict
+from .figures import Figure1Panel, build_figure1, figure1_report
+from .paperdata import TABLE1, TABLE2, TABLE3, TABLE4, PaperRow, PaperTable
+from .sensitivity import (
+    CLAIMS,
+    Perturbation,
+    default_perturbations,
+    evaluate_claims,
+    sensitivity_sweep,
+)
+from .report import generate_report
+from .seqfit import SeqFitReport, reproduce_fit
+from .tables import (
+    ComparisonCell,
+    ComparisonRow,
+    TableComparison,
+    build_table,
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+)
+
+__all__ = [
+    "predict",
+    "PREDICTORS",
+    "build_figure1",
+    "figure1_report",
+    "Figure1Panel",
+    "TABLE1",
+    "TABLE2",
+    "TABLE3",
+    "TABLE4",
+    "PaperRow",
+    "PaperTable",
+    "reproduce_fit",
+    "generate_report",
+    "SeqFitReport",
+    "sensitivity_sweep",
+    "evaluate_claims",
+    "default_perturbations",
+    "Perturbation",
+    "CLAIMS",
+    "build_table",
+    "build_table1",
+    "build_table2",
+    "build_table3",
+    "build_table4",
+    "ComparisonCell",
+    "ComparisonRow",
+    "TableComparison",
+]

@@ -1,0 +1,119 @@
+"""Closed-form timing predictions, cross-checking the DES.
+
+For every variant the simulator runs, a first-order analytic model
+predicts the makespan from the same machine constants. These formulas
+are deliberately simple — fill/drain terms plus dominant communication
+— and the benchmark ``bench_analytic`` verifies that the discrete-event
+results track them (they should agree to within ~15%; the DES resolves
+contention and handshake effects the formulas wave away).
+
+Notation: ``P`` PEs (or ``G x G``), matrix order ``n``, algorithmic
+block order ``ab``, ``M = n/ab`` strips, ``db = n/G``.
+"""
+
+from __future__ import annotations
+
+from ..machine.presets import SUN_BLADE_100
+from ..machine.spec import MachineSpec
+from ..matmul.sequential import sequential_time_model
+
+__all__ = ["predict", "PREDICTORS"]
+
+
+def _msg(machine: MachineSpec, nbytes: float) -> float:
+    return machine.network.message_time(int(nbytes))
+
+
+def predict_sequential(n, ab, geometry, machine):
+    time, _ = sequential_time_model(n, machine)
+    return time
+
+
+def predict_dsc_1d(n, ab, p, machine):
+    """One thread: all visits serialized, plus every strip hop."""
+    m = n // ab
+    visit = machine.gemm_time(ab, n, n // p)
+    hop = _msg(machine, ab * n * machine.elem_size)
+    return m * p * (visit + hop)
+
+
+def predict_pipelined_1d(n, ab, p, machine):
+    """Per-PE work plus pipeline fill, hops overlapped."""
+    m = n // ab
+    visit = machine.gemm_time(ab, n, n // p)
+    hop = _msg(machine, ab * n * machine.elem_size)
+    return (m + p - 1) * visit + (p - 1) * hop
+
+
+def predict_phase_1d(n, ab, p, machine):
+    """All PEs busy from the start; one staggering hop up front."""
+    m = n // ab
+    visit = machine.gemm_time(ab, n, n // p)
+    hop = _msg(machine, ab * n * machine.elem_size)
+    return m * visit + 2 * hop
+
+
+def predict_dsc_2d(n, ab, g, machine):
+    """Per grid row: a strip pipeline of depth g."""
+    db = n // g
+    strips = db // ab
+    visit = machine.gemm_time(ab, n, db)
+    colhop = _msg(machine, n * db * machine.elem_size)
+    return (strips + g - 1) * visit + g * colhop
+
+
+def predict_pipelined_2d(n, ab, g, machine):
+    """k-slice pipeline of depth g per node."""
+    db = n // g
+    nk = n // ab
+    slice_t = machine.gemm_time(db, ab, db)
+    hop = _msg(machine, db * ab * machine.elem_size)
+    return (nk + g - 1) * slice_t + g * hop
+
+
+def predict_phase_2d(n, ab, g, machine):
+    db = n // g
+    nk = n // ab
+    slice_t = machine.gemm_time(db, ab, db)
+    hop = _msg(machine, db * ab * machine.elem_size)
+    return nk * slice_t + 2 * hop
+
+
+def predict_gentleman(n, ab, g, machine, cache_factor: float = 1.04):
+    """Per round: a full local update plus the unoverlapped edge swap."""
+    db = n // g
+    a = db // ab
+    nk = n // ab
+    round_compute = machine.flops_time(a * a * 2.0 * ab**3, cache_factor)
+    edge = _msg(machine, a * ab * ab * machine.elem_size)
+    stagger = 2 * _msg(machine, db * db * machine.elem_size)
+    return nk * (round_compute + 2 * edge) + stagger
+
+
+def predict_summa(n, ab, g, machine):
+    db = n // g
+    nk = n // ab
+    panel_compute = machine.gemm_time(db, ab, db)
+    panel_bcast = (g - 1) * _msg(machine, db * ab * machine.elem_size)
+    # the two broadcasts overlap each other but not the compute
+    return nk * (panel_compute + panel_bcast)
+
+
+PREDICTORS = {
+    "sequential": predict_sequential,
+    "navp-1d-dsc": predict_dsc_1d,
+    "navp-1d-pipeline": predict_pipelined_1d,
+    "navp-1d-phase": predict_phase_1d,
+    "navp-2d-dsc": predict_dsc_2d,
+    "navp-2d-pipeline": predict_pipelined_2d,
+    "navp-2d-phase": predict_phase_2d,
+    "mpi-gentleman": predict_gentleman,
+    "scalapack-summa": predict_summa,
+}
+
+
+def predict(variant: str, n: int, ab: int, geometry: int,
+            machine: MachineSpec | None = None) -> float:
+    """Analytic makespan prediction for a variant (seconds)."""
+    machine = machine if machine is not None else SUN_BLADE_100
+    return PREDICTORS[variant](n, ab, geometry, machine)

@@ -1,0 +1,79 @@
+"""One-shot reproduction report: every table and figure in one text.
+
+``python -m repro report`` (or :func:`generate_report`) regenerates
+Tables 1-4, the Figure 1 claims, the staggering comparison, and the
+curve-fit reproduction in a single run, and states which shape checks
+passed — the whole paper, one command.
+"""
+
+from __future__ import annotations
+
+import io
+
+from ..machine.spec import MachineSpec
+from ..matmul.staggering import staggering_comparison
+from .figures import build_figure1, figure1_report
+from .seqfit import reproduce_fit
+from .tables import build_table1, build_table2, build_table3, build_table4
+
+__all__ = ["generate_report"]
+
+
+def generate_report(machine: MachineSpec | None = None,
+                    quick: bool = False) -> str:
+    """Regenerate the full evaluation; returns the report text.
+
+    ``quick=True`` restricts each table to its smallest matrix order
+    (useful for smoke runs); the default reproduces every row.
+    """
+    out = io.StringIO()
+    total_checks = failed_checks = 0
+
+    def section(title: str) -> None:
+        out.write("\n" + "=" * 72 + "\n" + title + "\n" + "=" * 72 + "\n")
+
+    for builder, quick_orders in (
+        (build_table1, {1536}),
+        (build_table2, {9216}),
+        (build_table3, {1024}),
+        (build_table4, {1536}),
+    ):
+        comparison = builder(machine=machine,
+                             orders=quick_orders if quick else None)
+        section(comparison.name)
+        out.write(comparison.render() + "\n")
+        report = comparison.shape_report()
+        bad = [entry for entry in report if not entry[1]]
+        total_checks += len(report)
+        failed_checks += len(bad)
+        out.write(f"shape checks: {len(report) - len(bad)}/{len(report)} "
+                  f"passed\n")
+        for claim, _ok, detail in bad:
+            out.write(f"  FAILED: {claim} ({detail})\n")
+
+    section("Figure 1: the transformation space-time diagrams")
+    panels = build_figure1()
+    for panel in panels:
+        out.write(panel.diagram + "\n\n")
+    fig_report = figure1_report(panels)
+    bad = [entry for entry in fig_report if not entry[1]]
+    total_checks += len(fig_report)
+    failed_checks += len(bad)
+    out.write(f"figure claims: {len(fig_report) - len(bad)}/"
+              f"{len(fig_report)} hold\n")
+
+    section("Section 5 item 3: staggering communication phases")
+    out.write(f"{'n':>4} {'forward':>8} {'reverse':>8}\n")
+    for n, fwd, rev in staggering_comparison(range(2, 13)):
+        out.write(f"{n:4d} {fwd:8d} {rev:8d}\n")
+        total_checks += 1
+        if rev > 2:
+            failed_checks += 1
+
+    section("Curve-fitted sequential baselines (the starred values)")
+    out.write(reproduce_fit(machine=machine).render() + "\n")
+
+    section("Summary")
+    out.write(f"{total_checks - failed_checks}/{total_checks} "
+              f"reproduction checks passed\n")
+    return out.getvalue()

@@ -1,0 +1,100 @@
+"""Sensitivity analysis: which conclusions depend on which constants.
+
+The machine model has calibrated parameters (flop rate, bandwidth,
+latency, per-hop state). A reproduction is only trustworthy if its
+*qualitative* conclusions do not hinge on the exact values, so this
+module perturbs each parameter across a band and re-evaluates the
+paper's core shape claims:
+
+1. the 1-D incremental chain is monotone (DSC > pipelined > phase);
+2. the 2-D incremental chain is monotone;
+3. 1-D DSC stays within 15% of sequential;
+4. NavP 2-D phase beats straightforward MPI Gentleman.
+
+The result is a claim-by-perturbation truth table; `bench_sensitivity`
+prints it and asserts the claims hold across the calibrated
+neighbourhood (claim 4 is known — and shown — to dissolve on much
+faster networks; see ``bench_network_model``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.presets import SUN_BLADE_100
+from ..machine.spec import MachineSpec, NetworkSpec
+from ..matmul.kinds import MatmulCase
+from ..matmul.runner import run_variant
+from ..matmul.sequential import sequential_time_model
+
+__all__ = ["Perturbation", "CLAIMS", "evaluate_claims",
+           "sensitivity_sweep", "default_perturbations"]
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    label: str
+    machine: MachineSpec
+
+
+def default_perturbations(base: MachineSpec | None = None) -> list:
+    base = base if base is not None else SUN_BLADE_100
+    net = base.network
+
+    def with_net(**kw):
+        return base.with_(network=NetworkSpec(
+            bandwidth_Bps=kw.get("bandwidth_Bps", net.bandwidth_Bps),
+            latency_s=kw.get("latency_s", net.latency_s),
+            small_message_bytes=net.small_message_bytes,
+        ))
+
+    return [
+        Perturbation("calibrated", base),
+        Perturbation("flops x0.5", base.with_(flop_rate=base.flop_rate / 2)),
+        Perturbation("flops x2", base.with_(flop_rate=base.flop_rate * 2)),
+        Perturbation("bandwidth x0.5",
+                     with_net(bandwidth_Bps=net.bandwidth_Bps / 2)),
+        Perturbation("bandwidth x1.5",
+                     with_net(bandwidth_Bps=net.bandwidth_Bps * 1.5)),
+        Perturbation("latency x10", with_net(latency_s=net.latency_s * 10)),
+        Perturbation("latency /10", with_net(latency_s=net.latency_s / 10)),
+        Perturbation("hop state x16",
+                     base.with_(hop_state_bytes=base.hop_state_bytes * 16)),
+    ]
+
+
+def _times(machine: MachineSpec, n: int = 1536, ab: int = 128) -> dict:
+    case = MatmulCase(n=n, ab=ab, shadow=True)
+    variants = ("navp-1d-dsc", "navp-1d-pipeline", "navp-1d-phase",
+                "navp-2d-dsc", "navp-2d-pipeline", "navp-2d-phase",
+                "mpi-gentleman")
+    out = {
+        v: run_variant(v, case, geometry=3, machine=machine,
+                       trace=False).time
+        for v in variants
+    }
+    out["sequential"], _ = sequential_time_model(n, machine)
+    return out
+
+
+CLAIMS = {
+    "1-D chain monotone": lambda t: (
+        t["navp-1d-dsc"] > t["navp-1d-pipeline"] > t["navp-1d-phase"]),
+    "2-D chain monotone": lambda t: (
+        t["navp-2d-dsc"] > t["navp-2d-pipeline"] > t["navp-2d-phase"]),
+    "DSC within 15% of sequential": lambda t: (
+        t["navp-1d-dsc"] < 1.15 * t["sequential"]),
+    "phase beats MPI": lambda t: (
+        t["navp-2d-phase"] < t["mpi-gentleman"]),
+}
+
+
+def evaluate_claims(machine: MachineSpec) -> dict:
+    times = _times(machine)
+    return {claim: bool(check(times)) for claim, check in CLAIMS.items()}
+
+
+def sensitivity_sweep(perturbations=None) -> list:
+    """(label, {claim: holds}) rows across the perturbation set."""
+    perturbations = perturbations or default_perturbations()
+    return [(p.label, evaluate_claims(p.machine)) for p in perturbations]

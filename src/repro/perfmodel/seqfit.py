@@ -1,0 +1,76 @@
+"""Reproduction of the paper's curve-fitted sequential baselines.
+
+"In order to obtain fair speedup numbers, we calculate sequential
+timing for large problems using least squared curve fitting with a
+polynomial of order 3 using performance numbers collected with small
+problems." (Section 5)
+
+:func:`reproduce_fit` runs that procedure inside the model: simulate
+the *actual* sequential times (which include paging once the working
+set crosses physical memory), fit the cubic on the small, unpaged
+orders, and extrapolate to the large ones. The extrapolations are then
+compared with both the model's paging-free times (they should agree
+essentially exactly — the unpaged model is cubic) and the paper's
+starred values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.presets import SUN_BLADE_100
+from ..machine.spec import MachineSpec
+from ..matmul.sequential import sequential_time_model
+from ..util.curvefit import PolynomialFit, fit_sequential_times
+
+__all__ = ["SeqFitReport", "reproduce_fit"]
+
+
+@dataclass
+class SeqFitReport:
+    fit: PolynomialFit
+    fit_orders: tuple
+    fit_times: tuple
+    rows: list  # (n, actual_model, fitted_model, paging_free, paper_star)
+
+    def render(self) -> str:
+        lines = [
+            "Cubic least-squares baseline reproduction "
+            f"(fit on n = {', '.join(str(n) for n in self.fit_orders)})",
+            f"{'n':>6} {'actual(model)':>14} {'fit(model)':>12} "
+            f"{'paging-free':>12} {'paper*':>10}",
+        ]
+        for n, actual, fitted, free, star in self.rows:
+            star_s = f"{star:10.2f}" if star is not None else "         -"
+            lines.append(
+                f"{n:6d} {actual:14.2f} {fitted:12.2f} {free:12.2f} {star_s}"
+            )
+        return "\n".join(lines)
+
+
+def reproduce_fit(
+    fit_orders=(768, 1536, 2304, 3072),
+    eval_orders=(4608, 5376, 6144, 9216),
+    paper_stars={4608: 1745.94, 5376: 2735.69, 6144: 4268.16,
+                 9216: 13921.50},
+    machine: MachineSpec | None = None,
+) -> SeqFitReport:
+    """Run the paper's baseline-fitting procedure against the model."""
+    machine = machine if machine is not None else SUN_BLADE_100
+    times = []
+    for n in fit_orders:
+        actual, _ = sequential_time_model(n, machine)
+        times.append(actual)
+    fit = fit_sequential_times(fit_orders, times, degree=3)
+    rows = []
+    for n in eval_orders:
+        actual, thrash = sequential_time_model(n, machine)
+        rows.append((
+            n,
+            actual,
+            float(fit(n)),
+            actual / thrash,
+            paper_stars.get(n),
+        ))
+    return SeqFitReport(fit=fit, fit_orders=tuple(fit_orders),
+                        fit_times=tuple(times), rows=rows)

@@ -1,0 +1,84 @@
+"""The paper's transformations as mechanical IR rewrites.
+
+"The NavP transformations are at least partially automatable. Building
+tools to automate them is part of our future work." (Section 6) —
+this package is that tool, for the class of loop-nest programs the
+paper's derivation covers. :func:`derive_full_chain` replays the whole
+case study mechanically: Figure 2 -> 5 (``dsc``) -> 7 (``pipelining``)
+-> 9 (``phase_shift``) -> 11 (``second_dim``) -> 13
+(``reassociate_reduction`` + ``pipeline_carried``) -> 15
+(``phase_shift_carried``), every stage runnable and verified.
+"""
+
+from .carried import (
+    CarriedSpec,
+    CarriedSuite,
+    layout_carried_antidiagonal,
+    layout_carried_natural,
+    phase_shift_carried,
+    pipeline_carried,
+)
+from .deps import check_carries_read_only, check_loop_independent
+from .dsc import DSCSpec, dsc
+from .examples import (
+    FullChain2D,
+    TransformChain,
+    assemble_c,
+    derive_chain,
+    derive_full_chain,
+    layout_dsc,
+    layout_phase,
+    layout_sequential,
+    sequential_program,
+    split_a_rows,
+    split_b_blocks,
+)
+from .reduction import ASSOCIATIVE_KERNELS, ReductionSpec, reassociate_reduction
+from .phase_shift import PhaseShiftSpec, phase_shift
+from .pipeline import PipelinedSuite, PipelineSpec, pipelining
+from .second_dim import (
+    SecondDimSpec,
+    SecondDimSuite,
+    layout_second_dim,
+    second_dim,
+)
+from .verify import ChainReport, run_stage, verify_chain
+
+__all__ = [
+    "dsc",
+    "DSCSpec",
+    "pipelining",
+    "PipelineSpec",
+    "PipelinedSuite",
+    "phase_shift",
+    "PhaseShiftSpec",
+    "check_loop_independent",
+    "check_carries_read_only",
+    "sequential_program",
+    "derive_chain",
+    "TransformChain",
+    "layout_sequential",
+    "layout_dsc",
+    "layout_phase",
+    "split_a_rows",
+    "split_b_blocks",
+    "assemble_c",
+    "second_dim",
+    "SecondDimSpec",
+    "SecondDimSuite",
+    "layout_second_dim",
+    "derive_full_chain",
+    "FullChain2D",
+    "reassociate_reduction",
+    "ReductionSpec",
+    "ASSOCIATIVE_KERNELS",
+    "pipeline_carried",
+    "phase_shift_carried",
+    "CarriedSpec",
+    "CarriedSuite",
+    "layout_carried_antidiagonal",
+    "layout_carried_natural",
+    "run_stage",
+    "verify_chain",
+    "ChainReport",
+]

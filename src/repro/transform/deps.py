@@ -1,0 +1,133 @@
+"""Dependence guard rails for the transformations.
+
+"The basic idea behind the transformations is to spread out
+computations ... as soon as possible *without violating any dependency
+conditions*" (Section 2). Before a loop is distributed (DSC) or split
+into concurrent messengers (pipelining), these checks verify the
+conditions the matmul derivation relies on, conservatively:
+
+* every node-variable *write* inside the loop must be indexed by the
+  loop variable (distinct iterations write distinct entries);
+* no node variable may be both written and read inside the loop unless
+  every read's key expression is *structurally identical* to one of the
+  write keys — i.e. the read provably touches only the same iteration's
+  entry. A read like ``D[r-1, c]`` against a write ``D[r, c]`` uses the
+  loop variable but aliases the previous iteration's write, which is
+  exactly the flow dependence that makes wavefront rows unpipelinable;
+  the structural rule catches it.
+
+These are sufficient conditions for iteration independence over the
+paradigm's dictionary-shaped node variables, not a general dependence
+analyzer; anything the checks cannot prove raises
+:class:`~repro.errors.TransformError`, never silently proceeds. (Note
+the *DSC* transformation does not need this check at all — a single
+migrating thread preserves program order; it only needs its carried
+variables to be read-only, see :func:`check_carries_read_only`.)
+"""
+
+from __future__ import annotations
+
+from ..errors import TransformError
+from ..navp import ir
+from .rewrite import collect, find_unique_loop
+
+__all__ = ["check_loop_independent", "check_carries_read_only", "uses_var"]
+
+
+def uses_var(expr: ir.Expr, var: str) -> bool:
+    """Does ``expr`` mention agent/loop variable ``var``?"""
+    if isinstance(expr, ir.Var):
+        return expr.name == var
+    if isinstance(expr, ir.Const):
+        return False
+    if isinstance(expr, ir.Bin):
+        return uses_var(expr.left, var) or uses_var(expr.right, var)
+    if isinstance(expr, (ir.NodeGet, ir.Index)):
+        inner = expr.base if isinstance(expr, ir.Index) else None
+        return any(uses_var(e, var) for e in expr.idx) or (
+            inner is not None and uses_var(inner, var))
+    raise TransformError(f"unknown expression {expr!r}")
+
+
+def _reads_in(stmt: ir.Stmt) -> list:
+    """All NodeGet expressions appearing in a statement."""
+    reads = []
+
+    def visit(expr: ir.Expr):
+        if isinstance(expr, ir.NodeGet):
+            reads.append(expr)
+            for e in expr.idx:
+                visit(e)
+        elif isinstance(expr, ir.Bin):
+            visit(expr.left)
+            visit(expr.right)
+        elif isinstance(expr, ir.Index):
+            visit(expr.base)
+            for e in expr.idx:
+                visit(e)
+
+    if isinstance(stmt, ir.Assign):
+        visit(stmt.expr)
+    elif isinstance(stmt, ir.ComputeStmt):
+        for e in stmt.args:
+            visit(e)
+    elif isinstance(stmt, ir.NodeSet):
+        visit(stmt.expr)
+        for e in stmt.idx:
+            visit(e)
+    elif isinstance(stmt, (ir.HopStmt,)):
+        for e in stmt.place:
+            visit(e)
+    elif isinstance(stmt, ir.If):
+        visit(stmt.cond)
+    elif isinstance(stmt, ir.For):
+        visit(stmt.count)
+    return reads
+
+
+def check_loop_independent(program: ir.Program, loop_var: str) -> None:
+    """Raise TransformError unless iterations of the loop are independent."""
+    _path, loop = find_unique_loop(program, loop_var)
+    stmts = collect(loop.body, lambda s: True)
+
+    writes = [s for s in stmts if isinstance(s, ir.NodeSet)]
+    write_keys: dict = {}
+    for w in writes:
+        if not any(uses_var(e, loop_var) for e in w.idx):
+            raise TransformError(
+                f"{program.name}: node write {w.name}{list(w.idx)!r} is not "
+                f"indexed by loop variable {loop_var!r}; iterations would "
+                f"collide"
+            )
+        write_keys.setdefault(w.name, set()).add(tuple(w.idx))
+
+    for stmt in stmts:
+        for read in _reads_in(stmt):
+            if read.name not in write_keys:
+                continue
+            if tuple(read.idx) not in write_keys[read.name]:
+                raise TransformError(
+                    f"{program.name}: {read.name}{list(read.idx)!r} is read "
+                    f"but the loop writes {read.name} at different keys; a "
+                    f"loop-carried dependence may exist over {loop_var!r}"
+                )
+
+
+def check_carries_read_only(program: ir.Program, loop_var: str,
+                            carried_names) -> None:
+    """The DSC legality condition: carried node variables are read-only.
+
+    DSC inserts hops into a *single* thread, so program order — and
+    with it every dependence — is preserved; the only thing that can go
+    stale is a value copied into an agent variable at the pickup point
+    and then used while the node copy changes. Refuse if any carried
+    source is written inside the loop.
+    """
+    _path, loop = find_unique_loop(program, loop_var)
+    for stmt in collect(loop.body, lambda s: isinstance(s, ir.NodeSet)):
+        if stmt.name in set(carried_names):
+            raise TransformError(
+                f"{program.name}: {stmt.name!r} is carried in an agent "
+                f"variable but written inside the {loop_var!r} loop; the "
+                f"carried copy would go stale"
+            )

@@ -1,0 +1,119 @@
+"""The Phase-shifting transformation (Figures 1c-1d; matmul: Fig 7 -> 9).
+
+"Sometimes the dependency among different computations allows different
+DSC threads to enter the pipeline from different PEs. In these
+situations, we can phase shift the DSC threads to achieve full
+parallelism."
+
+Mechanics on a pipelined suite:
+
+1. the injector no longer funnels every carrier through one PE: it
+   walks the chain and injects each carrier where its data lives
+   (Figure 9's ``hop(node(mi)); inject(RowCarrier(mi))``) — so the
+   carried data distribution must follow (A moves from node(0) to row
+   strips, Figure 8);
+2. the carrier's tour schedule is rotated so that carrier ``mi`` starts
+   at a different PE: the hop target ``node(mj)`` becomes
+   ``node((N-1-mi+mj) % N)`` — the reverse staggering.
+
+The legality condition is the paper's: each tour stop's computation
+must be valid in any order of ``mj`` (for matmul, the k-accumulation
+into a private ``t`` commutes over the distributed loop only because
+each stop computes a *different* C entry; what must hold is that the
+stop's statements depend on the *current place*, not on how many stops
+came before). We verify that mechanically by checking that the loop
+body never reads an agent variable it wrote in an earlier iteration
+except the accumulator pattern produced by our own DSC step, and —
+decisively — by semantic verification: every transformed suite is run
+and compared against its source (see :mod:`repro.transform.verify`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TransformError
+from ..navp import ir
+from .pipeline import PipelinedSuite
+from .rewrite import find_unique_loop, replace_at, substitute_expr
+
+__all__ = ["PhaseShiftSpec", "phase_shift"]
+
+
+@dataclass(frozen=True)
+class PhaseShiftSpec:
+    """The phase-shifting decisions.
+
+    Formally, phase shifting is a *reindexing* of the carrier's tour:
+    ``for mj: body(mj)`` becomes ``for mj: body(sigma(mi, mj))`` with
+    ``sigma = (N-1-mi+mj) % N``, so carrier ``mi`` starts its tour at
+    stop ``N-1-mi`` and wraps around. In the paper's pseudocode only
+    the ``hop()`` target appears to change because ``B(k)`` and
+    ``C(mi)`` are *place-local* names; with global block keys the same
+    substitution must (and mechanically does) apply to every use of the
+    tour variable in the body. Legality: the tour's iterations must be
+    valid in any order — which holds exactly when each stop touches
+    only its own place's data, the property the DSC dependence check
+    established.
+
+    start_place:
+        Where carrier ``mi`` is injected (and its data lives):
+        ``(Var("mi"),)`` at fine granularity.
+    schedule:
+        The reindexing expression ``sigma(mi, mj)``.
+    tour:
+        The carrier's tour loop variable (``mj``).
+    """
+
+    start_place: tuple
+    schedule: ir.Expr
+    tour: str
+
+
+def phase_shift(suite: PipelinedSuite, spec: PhaseShiftSpec,
+                name: str | None = None) -> PipelinedSuite:
+    """Apply the Phase-shifting transformation to a pipelined suite."""
+    # -- carrier: reindex the tour body by sigma ---------------------------
+    path, tour_loop = find_unique_loop(suite.carrier, spec.tour)
+    if not tour_loop.body or not isinstance(tour_loop.body[0], ir.HopStmt):
+        raise TransformError(
+            "phase shifting expects the tour loop to start with a hop"
+        )
+    rotated = ir.For(
+        tour_loop.var, tour_loop.count,
+        substitute_expr(tour_loop.body, ir.Var(spec.tour), spec.schedule),
+    )
+    carrier = replace_at(suite.carrier, path, rotated)
+    carrier = ir.Program(f"{suite.carrier.name}-phase", carrier.body,
+                         carrier.params)
+
+    # -- main: inject each carrier at its own PE -----------------------------
+    main = suite.main
+    if (
+        len(main.body) != 2
+        or not isinstance(main.body[0], ir.HopStmt)
+        or not isinstance(main.body[1], ir.For)
+    ):
+        raise TransformError(
+            "phase shifting expects a pipelined main program "
+            "(hop + injection loop)"
+        )
+    inject_loop = main.body[1]
+    if len(inject_loop.body) != 1 or not isinstance(
+        inject_loop.body[0], ir.InjectStmt
+    ):
+        raise TransformError("injection loop must contain a single inject")
+    inject = inject_loop.body[0]
+    new_main = ir.Program(
+        name or f"{main.name.removesuffix('-pipe')}-phase",
+        (
+            ir.For(inject_loop.var, inject_loop.count, (
+                ir.HopStmt(spec.start_place),
+                ir.InjectStmt(carrier.name, inject.bindings),
+            )),
+        ),
+    )
+    return PipelinedSuite(
+        main=ir.register_program(new_main, replace=True),
+        carrier=ir.register_program(carrier, replace=True),
+    )

@@ -1,0 +1,113 @@
+"""The Pipelining transformation (Figures 1b-1c; matmul: Fig 5 -> 7).
+
+"The basic idea is to overlap the execution of multiple DSC threads by
+staggering their starting times."
+
+Mechanics on a DSC program whose top level is a single loop over the
+work items (``mi``):
+
+1. the loop body becomes a new *carrier* program parameterized by the
+   loop variable (``RowCarrier(mi)``);
+2. any pickup guarded by the DSC pickup condition is hoisted to the
+   carrier's start — a carrier is injected where its data lives, picks
+   it up once, and carries it for its whole life (Figure 7 line 2);
+3. the main program reduces to hopping to the injection PE and
+   injecting one carrier per iteration, in order — the ordered
+   injection *is* the staggering.
+
+Pipelining requires the same iteration independence the DSC step
+checked over the distributed loop, now over the outer loop: carriers
+run concurrently. (For matmul no further events are needed; the paper
+notes synchronization "may be necessary" in general — that is what the
+2-D stage's EP/EC events do.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TransformError
+from ..navp import ir
+from .deps import check_loop_independent
+from .rewrite import find_unique_loop
+
+__all__ = ["PipelineSpec", "PipelinedSuite", "pipelining"]
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    outer: str                  # loop variable becoming the carrier index
+    carrier_name: str           # name for the generated carrier program
+    inject_at: tuple            # coordinate exprs of the injection PE
+
+
+@dataclass(frozen=True)
+class PipelinedSuite:
+    """A transformed program pair: the injector plus its carriers."""
+
+    main: ir.Program
+    carrier: ir.Program
+
+    @property
+    def programs(self) -> tuple:
+        return (self.main, self.carrier)
+
+
+def _hoist_pickups(body: tuple, outer: str) -> tuple:
+    """Split a DSC loop body into (pickups, remaining loop body).
+
+    Looks for the inner pattern ``For(mj): [Hop, If(cond, pickups),
+    ...rest]`` produced by the DSC transformation and hoists the
+    pickups out of the conditional: the carrier executes them once at
+    birth instead of once per tour lap.
+    """
+    if len(body) != 1 or not isinstance(body[0], ir.For):
+        raise TransformError(
+            "pipelining expects the outer loop to wrap a single inner "
+            "(distributed) loop"
+        )
+    inner = body[0]
+    if (
+        len(inner.body) >= 2
+        and isinstance(inner.body[0], ir.HopStmt)
+        and isinstance(inner.body[1], ir.If)
+        and not inner.body[1].orelse
+    ):
+        pickups = inner.body[1].then
+        stripped = ir.For(
+            inner.var, inner.count,
+            (inner.body[0],) + inner.body[2:],
+        )
+        return pickups, (stripped,)
+    return (), body
+
+
+def pipelining(program: ir.Program, spec: PipelineSpec) -> PipelinedSuite:
+    """Apply the Pipelining transformation to a DSC program."""
+    check_loop_independent(program, spec.outer)
+    path, outer_loop = find_unique_loop(program, spec.outer)
+    if path != (0,) or len(program.body) != 1:
+        raise TransformError(
+            "pipelining expects the program to be a single outer loop"
+        )
+
+    pickups, carrier_body = _hoist_pickups(outer_loop.body, spec.outer)
+    carrier = ir.Program(
+        name=spec.carrier_name,
+        body=tuple(pickups) + carrier_body,
+        params=(spec.outer,),
+    )
+    main = ir.Program(
+        name=f"{program.name}-pipe",
+        body=(
+            ir.HopStmt(spec.inject_at),
+            ir.For(spec.outer, outer_loop.count, (
+                ir.InjectStmt(spec.carrier_name,
+                              ((spec.outer, ir.Var(spec.outer)),)),
+            )),
+        ),
+    )
+    return PipelinedSuite(
+        main=ir.register_program(main, replace=True),
+        carrier=ir.register_program(carrier, replace=True),
+    )

@@ -1,0 +1,125 @@
+"""Reduction reassociation — the enabling rewrite for k-pipelining.
+
+The sequential inner product accumulates into a private scalar::
+
+    t = 0.0
+    do k: t += A(k) * B(k)
+    C(i, j) = t
+
+Splitting the k dimension across *concurrent* carriers (Figure 13's
+ACarriers) requires the accumulation to live somewhere all of them can
+reach — the C node variable — and requires reassociating the reduction
+(each carrier adds its own term, in whatever order they arrive)::
+
+    do k: C(i, j) += A(k) * B(k)        # C initialized to 0
+
+This is exactly why Figures 13/15 state "C(i,j) (initialized to 0)"
+where Figure 5 did not. :func:`reassociate_reduction` performs the
+rewrite mechanically; its legality condition is that the combining
+kernel is associative and commutative (true of ``gemm_acc``'s
+additive accumulation), declared per kernel in
+:data:`ASSOCIATIVE_KERNELS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TransformError
+from ..navp import ir
+
+__all__ = ["ReductionSpec", "reassociate_reduction",
+           "ASSOCIATIVE_KERNELS"]
+
+# kernels whose accumulation commutes, making the rewrite legal
+ASSOCIATIVE_KERNELS = frozenset({"gemm_acc"})
+
+
+@dataclass(frozen=True)
+class ReductionSpec:
+    """Names the accumulator pattern to eliminate.
+
+    acc_var:
+        The private accumulator (``"t"``).
+    target:
+        The node variable receiving the result (``"C"``) — it must be
+        zero-initialized by the data distribution, which the caller's
+        layout asserts.
+    """
+
+    acc_var: str = "t"
+    target: str = "C"
+
+
+def _rewrite_body(body: tuple, spec: ReductionSpec) -> tuple:
+    out: list = []
+    i = 0
+    body = list(body)
+    while i < len(body):
+        stmt = body[i]
+        matched = _match_reduction(body, i, spec)
+        if matched is not None:
+            out.append(matched)
+            i += 3
+            continue
+        if isinstance(stmt, ir.For):
+            out.append(ir.For(stmt.var, stmt.count,
+                              _rewrite_body(stmt.body, spec)))
+        elif isinstance(stmt, ir.If):
+            out.append(ir.If(stmt.cond, _rewrite_body(stmt.then, spec),
+                             _rewrite_body(stmt.orelse, spec)))
+        else:
+            out.append(stmt)
+        i += 1
+    return tuple(out)
+
+
+def _match_reduction(body: list, i: int, spec: ReductionSpec):
+    """Match [init t; for k: t = kernel(t, ...); target[...] = t]."""
+    if i + 2 >= len(body):
+        return None
+    init, loop, store = body[i], body[i + 1], body[i + 2]
+    if not (isinstance(init, ir.ComputeStmt) and init.out == spec.acc_var):
+        return None
+    if not (isinstance(loop, ir.For) and len(loop.body) == 1):
+        return None
+    step = loop.body[0]
+    if not (isinstance(step, ir.ComputeStmt) and step.out == spec.acc_var
+            and step.args and step.args[0] == ir.Var(spec.acc_var)):
+        return None
+    if step.kernel not in ASSOCIATIVE_KERNELS:
+        raise TransformError(
+            f"cannot reassociate through non-associative kernel "
+            f"{step.kernel!r}"
+        )
+    if not (isinstance(store, ir.NodeSet) and store.name == spec.target
+            and store.expr == ir.Var(spec.acc_var)):
+        return None
+    # the accumulator disappears; each term folds into the target,
+    # which the layout must zero-initialize
+    folded = ir.ComputeStmt(
+        step.kernel,
+        (ir.NodeGet(spec.target, store.idx),) + step.args[1:],
+        out=spec.acc_var,
+        kind=step.kind,
+    )
+    return ir.For(loop.var, loop.count, (
+        folded,
+        ir.NodeSet(spec.target, store.idx, ir.Var(spec.acc_var)),
+    ))
+
+
+def reassociate_reduction(program: ir.Program, spec: ReductionSpec,
+                          name: str | None = None) -> ir.Program:
+    """Fold a private-accumulator reduction into its target node var."""
+    new_body = _rewrite_body(program.body, spec)
+    if new_body == program.body:
+        raise TransformError(
+            f"no [init {spec.acc_var}; accumulate; store to "
+            f"{spec.target!r}] pattern found in {program.name}"
+        )
+    return ir.register_program(
+        ir.Program(name or f"{program.name}-reassoc", new_body,
+                   program.params),
+        replace=True,
+    )

@@ -1,0 +1,151 @@
+"""Structural rewriting utilities over the navigational IR.
+
+The three paper transformations are implemented as tree rewrites; this
+module provides the generic machinery: bottom-up expression mapping,
+statement-tree rebuilding, and structural search.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..errors import TransformError
+from ..navp import ir
+
+__all__ = [
+    "map_expr",
+    "map_stmt_exprs",
+    "substitute_expr",
+    "find_loops",
+    "find_unique_loop",
+    "collect",
+]
+
+
+def map_expr(fn: Callable, expr: ir.Expr) -> ir.Expr:
+    """Rebuild ``expr`` bottom-up, applying ``fn`` to every node."""
+    if isinstance(expr, (ir.Const, ir.Var)):
+        return fn(expr)
+    if isinstance(expr, ir.Bin):
+        return fn(ir.Bin(expr.op, map_expr(fn, expr.left),
+                         map_expr(fn, expr.right)))
+    if isinstance(expr, ir.NodeGet):
+        return fn(ir.NodeGet(expr.name,
+                             tuple(map_expr(fn, e) for e in expr.idx)))
+    if isinstance(expr, ir.Index):
+        return fn(ir.Index(map_expr(fn, expr.base),
+                           tuple(map_expr(fn, e) for e in expr.idx)))
+    raise TransformError(f"unknown expression {expr!r}")
+
+
+def map_stmt_exprs(fn: Callable, stmt: ir.Stmt) -> ir.Stmt:
+    """Rebuild a statement, applying ``fn`` to every contained expr."""
+    m = lambda e: map_expr(fn, e)  # noqa: E731
+    if isinstance(stmt, ir.For):
+        return ir.For(stmt.var, m(stmt.count),
+                      tuple(map_stmt_exprs(fn, s) for s in stmt.body))
+    if isinstance(stmt, ir.If):
+        return ir.If(m(stmt.cond),
+                     tuple(map_stmt_exprs(fn, s) for s in stmt.then),
+                     tuple(map_stmt_exprs(fn, s) for s in stmt.orelse))
+    if isinstance(stmt, ir.Assign):
+        return ir.Assign(stmt.var, m(stmt.expr))
+    if isinstance(stmt, ir.ComputeStmt):
+        return ir.ComputeStmt(stmt.kernel, tuple(m(e) for e in stmt.args),
+                              stmt.out, stmt.kind)
+    if isinstance(stmt, ir.NodeSet):
+        return ir.NodeSet(stmt.name, tuple(m(e) for e in stmt.idx),
+                          m(stmt.expr))
+    if isinstance(stmt, ir.HopStmt):
+        return ir.HopStmt(tuple(m(e) for e in stmt.place))
+    if isinstance(stmt, ir.InjectStmt):
+        return ir.InjectStmt(stmt.program,
+                             tuple((v, m(e)) for v, e in stmt.bindings))
+    if isinstance(stmt, ir.WaitStmt):
+        return ir.WaitStmt(stmt.event, tuple(m(e) for e in stmt.args))
+    if isinstance(stmt, ir.SignalStmt):
+        return ir.SignalStmt(stmt.event, tuple(m(e) for e in stmt.args),
+                             m(stmt.count))
+    raise TransformError(f"unknown statement {stmt!r}")
+
+
+def substitute_expr(body: tuple, old: ir.Expr, new: ir.Expr) -> tuple:
+    """Replace every expression structurally equal to ``old`` by ``new``."""
+
+    def sub(expr: ir.Expr) -> ir.Expr:
+        return new if expr == old else expr
+
+    return tuple(map_stmt_exprs(sub, s) for s in body)
+
+
+def find_loops(body: tuple, var: str, _path=()) -> list:
+    """All (path, For) pairs binding loop variable ``var``."""
+    hits = []
+    for i, stmt in enumerate(body):
+        if isinstance(stmt, ir.For):
+            if stmt.var == var:
+                hits.append((_path + (i,), stmt))
+            hits.extend(find_loops(stmt.body, var, _path + (i,)))
+        elif isinstance(stmt, ir.If):
+            hits.extend(find_loops(stmt.then, var, _path + ((i, "then"),)))
+            hits.extend(find_loops(stmt.orelse, var, _path + ((i, "else"),)))
+    return hits
+
+
+def find_unique_loop(program: ir.Program, var: str) -> tuple:
+    """The single loop over ``var``; TransformError otherwise."""
+    hits = find_loops(program.body, var)
+    if len(hits) != 1:
+        raise TransformError(
+            f"expected exactly one loop over {var!r} in {program.name}, "
+            f"found {len(hits)}"
+        )
+    return hits[0]
+
+
+def _replace_at(body: tuple, path: tuple, new_stmt: ir.Stmt) -> tuple:
+    """Rebuild ``body`` with the statement at ``path`` replaced."""
+    step = path[0]
+    if isinstance(step, tuple):
+        idx, branch = step
+        stmt = body[idx]
+        if branch == "then":
+            inner = _replace_at(stmt.then, path[1:], new_stmt) \
+                if len(path) > 1 else path_error()
+            replaced = ir.If(stmt.cond, inner, stmt.orelse)
+        else:
+            inner = _replace_at(stmt.orelse, path[1:], new_stmt)
+            replaced = ir.If(stmt.cond, stmt.then, inner)
+        return body[:idx] + (replaced,) + body[idx + 1 :]
+    if len(path) == 1:
+        return body[:step] + (new_stmt,) + body[step + 1 :]
+    stmt = body[step]
+    inner = _replace_at(stmt.body, path[1:], new_stmt)
+    return body[:step] + (ir.For(stmt.var, stmt.count, inner),) \
+        + body[step + 1 :]
+
+
+def replace_at(program: ir.Program, path: tuple,
+               new_stmt: ir.Stmt) -> ir.Program:
+    """A copy of ``program`` with the statement at ``path`` replaced."""
+    return ir.Program(program.name,
+                      _replace_at(program.body, path, new_stmt),
+                      program.params)
+
+
+def collect(body: tuple, predicate: Callable) -> list:
+    """All statements (recursively) satisfying ``predicate``."""
+    out = []
+    for stmt in body:
+        if predicate(stmt):
+            out.append(stmt)
+        if isinstance(stmt, ir.For):
+            out.extend(collect(stmt.body, predicate))
+        elif isinstance(stmt, ir.If):
+            out.extend(collect(stmt.then, predicate))
+            out.extend(collect(stmt.orelse, predicate))
+    return out
+
+
+def path_error():  # pragma: no cover - defensive
+    raise TransformError("invalid rewrite path")

@@ -1,0 +1,35 @@
+"""Shared utilities: blocking, shadow arrays, curve fitting, tables."""
+
+from .blocks import (
+    Blocking,
+    block_slices,
+    block_view,
+    check_divides,
+    strip_cols,
+    strip_rows,
+)
+from .curvefit import PolynomialFit, fit_polynomial, fit_sequential_times
+from .shadow import ShadowArray, is_shadow, shadow_like, shadow_zeros
+from .texttable import format_value, render_table
+from .validation import assert_allclose, random_matrix, relative_error
+
+__all__ = [
+    "Blocking",
+    "block_slices",
+    "block_view",
+    "check_divides",
+    "strip_cols",
+    "strip_rows",
+    "PolynomialFit",
+    "fit_polynomial",
+    "fit_sequential_times",
+    "ShadowArray",
+    "is_shadow",
+    "shadow_like",
+    "shadow_zeros",
+    "format_value",
+    "render_table",
+    "assert_allclose",
+    "random_matrix",
+    "relative_error",
+]

@@ -1,0 +1,89 @@
+"""Least-squares polynomial curve fitting for sequential baselines.
+
+The paper (Section 5) cannot time the sequential program at large
+matrix orders without thrashing, so it estimates those baselines by a
+least-squares fit of a *polynomial of order 3* to timings collected at
+small orders, then uses the fitted values to compute speedups (the
+starred entries of Tables 1-4).
+
+This module reimplements that procedure. The fit is solved through the
+normal equations on a Vandermonde basis scaled to [0, 1] for numerical
+stability (matrix orders up to 9216 cubed would otherwise produce a
+wildly ill-conditioned system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PolynomialFit", "fit_polynomial", "fit_sequential_times"]
+
+
+@dataclass(frozen=True)
+class PolynomialFit:
+    """A fitted polynomial ``t(x) = sum_k coeffs[k] * (x/scale)**k``."""
+
+    coeffs: tuple
+    scale: float
+    degree: int
+
+    def __call__(self, x):
+        xs = np.asarray(x, dtype=float) / self.scale
+        acc = np.zeros_like(xs)
+        for c in reversed(self.coeffs):  # Horner
+            acc = acc * xs + c
+        return float(acc) if np.isscalar(x) or np.ndim(x) == 0 else acc
+
+    def residuals(self, xs, ys):
+        """Per-point residuals ``fit(x) - y``."""
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        return self(xs) - ys
+
+
+def fit_polynomial(xs, ys, degree: int = 3) -> PolynomialFit:
+    """Least-squares fit of a polynomial of the given degree.
+
+    Parameters
+    ----------
+    xs, ys:
+        Sample coordinates. Requires ``len(xs) >= degree + 1``.
+    degree:
+        Polynomial degree; the paper uses 3 (matmul time is cubic in
+        the matrix order).
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.ndim != 1 or xs.shape != ys.shape:
+        raise ValueError("xs and ys must be 1-D arrays of equal length")
+    if len(xs) < degree + 1:
+        raise ValueError(
+            f"need at least {degree + 1} samples for degree {degree}, got {len(xs)}"
+        )
+    scale = float(np.max(np.abs(xs)))
+    if scale == 0.0:
+        raise ValueError("all sample abscissae are zero")
+    v = np.vander(xs / scale, degree + 1, increasing=True)
+    # Normal equations; for degree 3 on scaled data this is well posed.
+    gram = v.T @ v
+    rhs = v.T @ ys
+    coeffs = np.linalg.solve(gram, rhs)
+    return PolynomialFit(coeffs=tuple(float(c) for c in coeffs),
+                         scale=scale, degree=degree)
+
+
+def fit_sequential_times(orders, times, degree: int = 3) -> PolynomialFit:
+    """Fit sequential run time vs. matrix order, as the paper does.
+
+    Thin wrapper over :func:`fit_polynomial` that validates the inputs
+    are positive and increasing, which timing series must be.
+    """
+    orders = np.asarray(orders, dtype=float)
+    times = np.asarray(times, dtype=float)
+    if np.any(orders <= 0) or np.any(times <= 0):
+        raise ValueError("orders and times must be positive")
+    if np.any(np.diff(orders) <= 0):
+        raise ValueError("orders must be strictly increasing")
+    return fit_polynomial(orders, times, degree=degree)

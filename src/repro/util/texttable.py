@@ -1,0 +1,90 @@
+"""Plain-text table rendering for benchmark and experiment reports.
+
+All table/figure reproductions print through this module so the output
+format is uniform: fixed-width columns, optional grouped headers (the
+paper's tables group a "Time (s)" and "Speedup" column per variant),
+and right-aligned numerics.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(v, ndigits: int = 2) -> str:
+    """Render a cell: floats with fixed decimals, None as blank."""
+    if v is None:
+        return ""
+    if isinstance(v, float):
+        return f"{v:.{ndigits}f}"
+    return str(v)
+
+
+def render_table(
+    headers,
+    rows,
+    title: str | None = None,
+    group_headers=None,
+    ndigits: int = 2,
+) -> str:
+    """Render rows into an aligned text table.
+
+    Parameters
+    ----------
+    headers:
+        Column header strings.
+    rows:
+        Iterable of row sequences (same length as ``headers``).
+    title:
+        Optional title line printed above the table.
+    group_headers:
+        Optional list of ``(label, span)`` pairs describing a first
+        header row that groups columns, e.g.
+        ``[("", 2), ("Sequential", 2), ("NavP (1D DSC)", 2)]``.
+    ndigits:
+        Decimal places for float cells.
+    """
+    str_rows = [[format_value(c, ndigits) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    ncol = len(headers)
+    for r in str_rows:
+        if len(r) != ncol:
+            raise ValueError(f"row has {len(r)} cells, expected {ncol}")
+
+    widths = [len(h) for h in headers]
+    for r in str_rows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+
+    if group_headers is not None:
+        if sum(span for _, span in group_headers) != ncol:
+            raise ValueError("group header spans must cover all columns")
+        # Widen columns if a group label is wider than its columns.
+        idx = 0
+        for label, span in group_headers:
+            cur = sum(widths[idx : idx + span]) + 2 * (span - 1)
+            need = len(label)
+            while cur < need:
+                widths[idx + (cur - need) % span] += 1
+                cur += 1
+            idx += span
+
+    def fmt_row(cells) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    if group_headers is not None:
+        parts = []
+        idx = 0
+        for label, span in group_headers:
+            width = sum(widths[idx : idx + span]) + 2 * (span - 1)
+            parts.append(label.center(width))
+            idx += span
+        lines.append("  ".join(parts).rstrip())
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append(fmt_row(r))
+    return "\n".join(lines)

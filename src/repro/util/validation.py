@@ -1,0 +1,41 @@
+"""Result verification helpers.
+
+Every matmul variant in this library — including ones running on the
+virtual-time simulator — can execute the real block numerics, and the
+test suite verifies each against a NumPy reference through these
+helpers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import VerificationError
+
+__all__ = ["assert_allclose", "relative_error", "random_matrix"]
+
+
+def relative_error(actual, expected) -> float:
+    """Frobenius-norm relative error ``|actual - expected| / |expected|``."""
+    actual = np.asarray(actual, dtype=float)
+    expected = np.asarray(expected, dtype=float)
+    denom = np.linalg.norm(expected)
+    if denom == 0.0:
+        return float(np.linalg.norm(actual))
+    return float(np.linalg.norm(actual - expected) / denom)
+
+
+def assert_allclose(actual, expected, rtol: float = 1e-10, what: str = "result"):
+    """Raise :class:`VerificationError` if matrices differ beyond ``rtol``."""
+    err = relative_error(actual, expected)
+    if not np.isfinite(err) or err > rtol:
+        raise VerificationError(
+            f"{what} differs from reference: relative error {err:.3e} > {rtol:.1e}"
+        )
+    return err
+
+
+def random_matrix(n: int, seed: int, dtype=np.float64):
+    """Deterministic random test matrix (values in [-1, 1))."""
+    rng = np.random.default_rng(seed)
+    return (rng.random((n, n), dtype=np.float64) * 2.0 - 1.0).astype(dtype)

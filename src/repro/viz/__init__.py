@@ -1,0 +1,26 @@
+"""Text renderings: space-time diagrams and data-layout maps."""
+
+from .gantt import render_gantt, to_chrome_trace
+from .irprint import format_body, format_program
+from .layout import (
+    describe_1d_origin,
+    describe_1d_phase,
+    describe_2d_antidiagonal,
+    describe_2d_natural,
+    render_figure,
+)
+from .spacetime import actor_labels, render_spacetime
+
+__all__ = [
+    "render_spacetime",
+    "actor_labels",
+    "render_gantt",
+    "to_chrome_trace",
+    "format_program",
+    "format_body",
+    "describe_1d_origin",
+    "describe_1d_phase",
+    "describe_2d_antidiagonal",
+    "describe_2d_natural",
+    "render_figure",
+]

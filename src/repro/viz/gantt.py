@@ -1,0 +1,83 @@
+"""Per-actor Gantt rendering and Chrome trace-viewer export.
+
+The space-time view (:mod:`repro.viz.spacetime`) shows PEs over time,
+like the paper's Figure 1; the Gantt view transposes that to one row
+per *messenger*, which is the natural way to read carrier pipelines.
+:func:`to_chrome_trace` exports any :class:`~repro.fabric.trace.TraceLog`
+to the Chrome trace-viewer JSON format (load via ``chrome://tracing``
+or https://ui.perfetto.dev) for interactive inspection of large runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..fabric.trace import TraceLog
+
+__all__ = ["render_gantt", "to_chrome_trace"]
+
+
+def render_gantt(
+    trace: TraceLog,
+    width: int = 64,
+    kinds: tuple = ("compute",),
+    max_actors: int = 24,
+) -> str:
+    """One row per actor; blocks mark activity, digits the PE index."""
+    events = [e for e in trace if e.kind in kinds]
+    if not events:
+        return "(no activity)"
+    makespan = max(e.t1 for e in events)
+    actors: list = []
+    for event in sorted(events, key=lambda e: (e.t0, e.actor)):
+        if event.actor not in actors:
+            actors.append(event.actor)
+    clipped = actors[:max_actors]
+    name_width = max(len(a) for a in clipped)
+    lines = [f"{'actor':<{name_width}} |{'time -->':<{width}}|"]
+    for actor in clipped:
+        row = [" "] * width
+        for event in events:
+            if event.actor != actor:
+                continue
+            lo = int(event.t0 / makespan * (width - 1))
+            hi = max(lo + 1, int(event.t1 / makespan * (width - 1)) + 1)
+            mark = str(event.place % 10)
+            for x in range(lo, min(hi, width)):
+                row[x] = mark
+        lines.append(f"{actor:<{name_width}} |{''.join(row)}|")
+    if len(actors) > max_actors:
+        lines.append(f"... (+{len(actors) - max_actors} more actors)")
+    lines.append(f"(digits are PE indices mod 10; span = "
+                 f"{makespan:.4f} s)")
+    return "\n".join(lines)
+
+
+def to_chrome_trace(trace: TraceLog, time_scale: float = 1e6) -> str:
+    """Serialize a trace to Chrome trace-viewer JSON.
+
+    Each place becomes a "process", each actor a "thread"; durations
+    are scaled by ``time_scale`` (default: seconds to microseconds).
+    """
+    events = []
+    tids: dict = {}
+    for event in trace:
+        tid = tids.setdefault(event.actor, len(tids) + 1)
+        events.append({
+            "name": event.note or event.kind,
+            "cat": event.kind,
+            "ph": "X",
+            "ts": event.t0 * time_scale,
+            "dur": max(0.0, (event.t1 - event.t0) * time_scale),
+            "pid": event.place,
+            "tid": tid,
+            "args": ({"from_place": event.src_place}
+                     if event.src_place is not None else {}),
+        })
+    meta = [
+        {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+         "args": {"name": actor}}
+        for actor, tid in tids.items()
+    ]
+    return json.dumps({"traceEvents": events + meta,
+                       "displayTimeUnit": "ms"})

@@ -1,0 +1,59 @@
+"""Pretty-printing navigational IR as the paper's pseudocode style.
+
+The transformation chain is easiest to inspect when programs print the
+way Figures 2-15 read — ``hop(node[...])``, ``inject(...)``, numbered
+loops. Used by the transform demo and the tests that compare derived
+programs against the figures.
+"""
+
+from __future__ import annotations
+
+from ..navp import ir
+
+__all__ = ["format_program", "format_body"]
+
+
+def format_program(program: ir.Program) -> str:
+    params = f"({', '.join(program.params)})" if program.params else ""
+    lines = [f"program {program.name}{params}"]
+    lines.extend(format_body(program.body, indent="  "))
+    return "\n".join(lines)
+
+
+def format_body(body, indent: str = "") -> list:
+    lines = []
+    for stmt in body:
+        lines.extend(_format_stmt(stmt, indent))
+    return lines
+
+
+def _format_stmt(stmt: ir.Stmt, indent: str) -> list:
+    if isinstance(stmt, ir.For):
+        head = f"{indent}for {stmt.var} in 0..{stmt.count!r}-1:"
+        return [head] + format_body(stmt.body, indent + "  ")
+    if isinstance(stmt, ir.If):
+        lines = [f"{indent}if {stmt.cond!r}:"]
+        lines += format_body(stmt.then, indent + "  ")
+        if stmt.orelse:
+            lines.append(f"{indent}else:")
+            lines += format_body(stmt.orelse, indent + "  ")
+        return lines
+    if isinstance(stmt, ir.HopStmt):
+        return [f"{indent}hop(node{list(stmt.place)!r})"]
+    if isinstance(stmt, ir.InjectStmt):
+        args = ", ".join(f"{var}={expr!r}" for var, expr in stmt.bindings)
+        return [f"{indent}inject({stmt.program}({args}))"]
+    if isinstance(stmt, ir.WaitStmt):
+        return [f"{indent}waitEvent({stmt.event}{list(stmt.args)!r})"]
+    if isinstance(stmt, ir.SignalStmt):
+        suffix = "" if stmt.count == ir.Const(1) else f" x{stmt.count!r}"
+        return [f"{indent}signalEvent({stmt.event}"
+                f"{list(stmt.args)!r}){suffix}"]
+    if isinstance(stmt, ir.Assign):
+        return [f"{indent}{stmt.var} = {stmt.expr!r}"]
+    if isinstance(stmt, ir.ComputeStmt):
+        args = ", ".join(repr(a) for a in stmt.args)
+        return [f"{indent}{stmt.out} = {stmt.kernel}({args})"]
+    if isinstance(stmt, ir.NodeSet):
+        return [f"{indent}{stmt.name}{list(stmt.idx)!r} = {stmt.expr!r}"]
+    return [f"{indent}{stmt!r}"]

@@ -1,0 +1,84 @@
+"""SPMD baseline for the wavefront solver.
+
+The message-passing version every textbook gives: rank ``c`` owns a
+column strip; for each block row it receives the left boundary from
+rank ``c-1``, solves its block, and sends its right boundary to rank
+``c+1``. Structurally this is the same pipeline the NavP carriers form
+— which is the point: for wavefronts, message passing and pipelined
+DSC threads coincide, whereas arriving at the NavP version took two
+mechanical steps from the sequential code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fabric.topology import Grid1D
+from ..machine.presets import SUN_BLADE_100
+from ..machine.spec import MachineSpec
+from ..mpi.comm import Comm, run_spmd
+from ..util.blocks import check_divides
+from .navp import WavefrontResult
+from .problem import WavefrontCase, block_flops, solve_block
+
+__all__ = ["run_mpi_wavefront", "wavefront_rank"]
+
+
+def wavefront_rank(case: WavefrontCase, p: int):
+    width = case.n // p
+    flops = block_flops(case.b, width)
+
+    def program(comm: Comm):
+        c = comm.coord[0]
+        w = comm.vars["W"]
+        d_store = comm.vars["D"]
+        bottom = {}
+        for r in range(case.nblocks):
+            left = None
+            if c > 0:
+                msg = yield comm.recv(src=(c - 1,), tag=("edge", r))
+                left = msg.payload
+
+            def visit(r=r, left=left):
+                top = bottom.get(r - 1)
+                block = solve_block(
+                    w[r * case.b : (r + 1) * case.b, :], top=top,
+                    left=left)
+                d_store[r] = block
+                bottom[r] = block[-1, :]
+                return block[:, -1]
+
+            edge = yield comm.compute(visit, flops=flops, kind="mpi",
+                                      note=f"block ({r},{c})")
+            if c < p - 1:
+                yield comm.send((c + 1,), ("edge", r), edge)
+
+    return program
+
+
+def run_mpi_wavefront(
+    case: WavefrontCase,
+    p: int,
+    machine: MachineSpec | None = None,
+    trace: bool = True,
+) -> WavefrontResult:
+    machine = machine if machine is not None else SUN_BLADE_100
+    check_divides(case.n, p, "PE count")
+    w = case.weights()
+    width = case.n // p
+
+    def setup(fabric):
+        for c in range(p):
+            fabric.load((c,), W=w[:, c * width : (c + 1) * width], D={})
+
+    result = run_spmd(Grid1D(p), wavefront_rank(case, p),
+                      machine=machine, setup=setup, trace=trace)
+    d = None
+    if not case.shadow:
+        d = np.empty((case.n, case.n))
+        for c in range(p):
+            for r, block in result.places[(c,)]["D"].items():
+                d[r * case.b : (r + 1) * case.b,
+                  c * width : (c + 1) * width] = block
+    return WavefrontResult("wavefront-mpi", case, result.time, d=d,
+                           trace=result.trace, details={"pes": p})

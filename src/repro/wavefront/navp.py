@@ -1,0 +1,231 @@
+"""NavP derivation of the wavefront solver: sequential, DSC, pipelined.
+
+The incremental chain, exactly as the paper's method prescribes:
+
+1. **Sequential** — one PE fills the table block row by block row.
+2. **DSC** — column strips of weights distributed over the chain; one
+   messenger traverses block rows west-to-east, carrying the right-edge
+   column of the block it just solved (its agent variable). No events:
+   a single thread cannot outrun its own writes.
+3. **Pipelined** — one carrier per block row, injected in order. The
+   carriers now race: carrier R needs the bottom row that carrier R-1
+   writes at each PE, so a per-node event ``BDONE(R-1)`` guards the
+   compute — the synchronization Section 2 warns becomes necessary.
+
+There is deliberately **no phase-shifted stage**: carrier R's first
+block (R, 0) already depends on carrier R-1's block (R-1, 0), so no
+carrier may enter the pipeline anywhere but behind its predecessor.
+``tests/test_wavefront.py`` shows the transformation framework's
+dependence check refusing the rotation mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..fabric.factory import make_fabric
+from ..fabric.topology import Grid1D
+from ..fabric.trace import TraceLog
+from ..machine.presets import SUN_BLADE_100
+from ..machine.spec import MachineSpec
+from ..navp.messenger import Messenger
+from ..util.blocks import check_divides
+from .problem import WavefrontCase, block_flops, solve_block
+
+__all__ = [
+    "WavefrontResult",
+    "run_sequential_wavefront",
+    "run_dsc_wavefront",
+    "run_pipelined_wavefront",
+    "pipeline_time_model",
+]
+
+
+@dataclass
+class WavefrontResult:
+    variant: str
+    case: WavefrontCase
+    time: float
+    d: object = None
+    trace: TraceLog | None = None
+    details: dict = field(default_factory=dict)
+
+
+def _layout(fabric, case: WavefrontCase, p: int) -> None:
+    """Column strips of the weight table; empty result stores."""
+    w = case.weights()
+    width = case.n // p
+    for c in range(p):
+        fabric.load(
+            (c,),
+            W=w[:, c * width : (c + 1) * width],
+            D={},       # solved blocks, keyed by block-row index
+            bottom={},  # bottom boundary rows, keyed by block-row index
+        )
+
+
+def _gather(result, case: WavefrontCase, p: int):
+    if case.shadow:
+        return None
+    width = case.n // p
+    out = np.empty((case.n, case.n))
+    for c in range(p):
+        blocks = result.places[(c,)]["D"]
+        for r, block in blocks.items():
+            out[r * case.b : (r + 1) * case.b,
+                c * width : (c + 1) * width] = block
+    return out
+
+
+class _BlockRowVisit:
+    """Shared per-visit logic: solve this PE's block of row R."""
+
+    @staticmethod
+    def compute(messenger, r: int, medge, flops: float):
+        w = messenger.vars["W"]
+        d_store = messenger.vars["D"]
+        bottom = messenger.vars["bottom"]
+        b = messenger._wf_case.b
+
+        def visit(w=w, d_store=d_store, bottom=bottom, r=r, medge=medge):
+            top = bottom.get(r - 1)
+            block = solve_block(w[r * b : (r + 1) * b, :], top=top,
+                                left=medge)
+            d_store[r] = block
+            bottom[r] = block[-1, :]
+            return block[:, -1]  # the right edge, to carry east
+
+        return messenger.compute(visit, flops=flops,
+                                 note=f"block ({r},{messenger.here[0]})")
+
+
+class SequentialWavefront(Messenger):
+    """Whole table on one PE, block rows in order."""
+
+    def __init__(self, case: WavefrontCase):
+        self._wf_case = case
+
+    def main(self):
+        case = self._wf_case
+        flops = block_flops(case.b, case.n)
+        for r in range(case.nblocks):
+            yield _BlockRowVisit.compute(self, r, None, flops)
+
+
+class DSCWavefront(Messenger):
+    """Figure-5 analogue: one thread chases the column strips."""
+
+    def __init__(self, case: WavefrontCase, p: int):
+        self._wf_case = case
+        self._p = p
+        self.medge = None  # agent variable: the carried right edge
+
+    def main(self):
+        case, p = self._wf_case, self._p
+        flops = block_flops(case.b, case.n // p)
+        for r in range(case.nblocks):
+            self.medge = None  # each row starts at the global left edge
+            for c in range(p):
+                yield self.hop((c,))
+                self.medge = yield _BlockRowVisit.compute(
+                    self, r, self.medge, flops)
+
+
+class RowCarrierWavefront(Messenger):
+    """Figure-7 analogue: one carrier per block row, event-guarded."""
+
+    def __init__(self, r: int, case: WavefrontCase, p: int):
+        self.r = r
+        self._wf_case = case
+        self._p = p
+        self.medge = None
+
+    def main(self):
+        case, p, r = self._wf_case, self._p, self.r
+        flops = block_flops(case.b, case.n // p)
+        for c in range(p):
+            yield self.hop((c,))
+            if r > 0:
+                # the dependence the paper warns about: wait until the
+                # previous carrier finished this PE's block of row r-1
+                yield self.wait_event("BDONE", r - 1)
+            self.medge = yield _BlockRowVisit.compute(
+                self, r, self.medge, flops)
+            yield self.signal_event("BDONE", r)
+
+
+class _Injector(Messenger):
+    def __init__(self, carriers):
+        self._carriers = carriers
+
+    def main(self):
+        yield self.hop((0,))
+        for carrier in self._carriers:
+            yield self.inject(carrier)
+
+
+def _run(case, p, machine, trace, fabric_kind, build):
+    machine = machine if machine is not None else SUN_BLADE_100
+    check_divides(case.n, p, "PE count")
+    fabric = make_fabric(fabric_kind, Grid1D(p), machine=machine,
+                         trace=trace)
+    _layout(fabric, case, p)
+    build(fabric)
+    return fabric.run()
+
+
+def run_sequential_wavefront(
+    case: WavefrontCase,
+    machine: MachineSpec | None = None,
+    trace: bool = True,
+    fabric: str = "sim",
+) -> WavefrontResult:
+    result = _run(case, 1, machine, trace, fabric,
+                  lambda fab: fab.inject((0,), SequentialWavefront(case)))
+    return WavefrontResult("wavefront-sequential", case, result.time,
+                           d=_gather(result, case, 1), trace=result.trace)
+
+
+def run_dsc_wavefront(
+    case: WavefrontCase,
+    p: int,
+    machine: MachineSpec | None = None,
+    trace: bool = True,
+    fabric: str = "sim",
+) -> WavefrontResult:
+    result = _run(case, p, machine, trace, fabric,
+                  lambda fab: fab.inject((0,), DSCWavefront(case, p)))
+    return WavefrontResult("wavefront-dsc", case, result.time,
+                           d=_gather(result, case, p), trace=result.trace,
+                           details={"pes": p})
+
+
+def run_pipelined_wavefront(
+    case: WavefrontCase,
+    p: int,
+    machine: MachineSpec | None = None,
+    trace: bool = True,
+    fabric: str = "sim",
+) -> WavefrontResult:
+    carriers = [RowCarrierWavefront(r, case, p)
+                for r in range(case.nblocks)]
+    result = _run(case, p, machine, trace, fabric,
+                  lambda fab: fab.inject((0,), _Injector(carriers)))
+    return WavefrontResult("wavefront-pipelined", case, result.time,
+                           d=_gather(result, case, p), trace=result.trace,
+                           details={"pes": p, "carriers": len(carriers)})
+
+
+def pipeline_time_model(case: WavefrontCase, p: int,
+                        machine: MachineSpec | None = None) -> float:
+    """First-order makespan of the pipelined stage.
+
+    ``R`` block rows over ``p`` PEs pipeline to ``(R + p - 1)`` block
+    slots, plus one boundary-column hop per stage of the fill.
+    """
+    machine = machine if machine is not None else SUN_BLADE_100
+    block = machine.flops_time(block_flops(case.b, case.n // p))
+    hop = machine.network.message_time(case.b * machine.elem_size)
+    return (case.nblocks + p - 1) * block + (p - 1) * hop

@@ -1,0 +1,32 @@
+"""Shared fixtures: machines and matmul cases sized for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import FAST_TEST_MACHINE, SUN_BLADE_100
+from repro.matmul import MatmulCase
+
+
+@pytest.fixture
+def paper_machine():
+    """The calibrated SUN Blade 100 model."""
+    return SUN_BLADE_100
+
+
+@pytest.fixture
+def test_machine():
+    """Slow flops, fast network: compute-dominated, easy to reason about."""
+    return FAST_TEST_MACHINE
+
+
+@pytest.fixture
+def small_case():
+    """A real (non-shadow) case divisible by 2, 3 and 4 PE geometries."""
+    return MatmulCase(n=48, ab=4, seed=101)
+
+
+@pytest.fixture
+def paper_case_shadow():
+    """Table 1/4's smallest row, in shadow mode."""
+    return MatmulCase(n=1536, ab=128, shadow=True)

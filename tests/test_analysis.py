@@ -1,0 +1,84 @@
+"""Data-movement accounting."""
+
+import pytest
+
+from repro.fabric.trace import TraceLog
+from repro.matmul import MatmulCase
+from repro.matmul.analysis import (
+    expected_bytes,
+    measure_movement,
+    movement_table,
+)
+
+
+class TestTraceLedger:
+    def _log(self):
+        log = TraceLog()
+        log.record(t0=0, t1=1, place=1, actor="m", kind="hop",
+                   src_place=0, nbytes=100)
+        log.record(t0=1, t1=2, place=2, actor="m", kind="send",
+                   src_place=1, nbytes=50)
+        log.record(t0=2, t1=3, place=2, actor="m", kind="hop",
+                   src_place=2, nbytes=0)  # co-hosted: free
+        log.record(t0=0, t1=4, place=0, actor="m", kind="compute")
+        return log
+
+    def test_bytes_moved(self):
+        assert self._log().bytes_moved() == 150
+
+    def test_message_count_excludes_free_moves(self):
+        assert self._log().message_count() == 2
+
+    def test_bytes_by_place(self):
+        log = self._log()
+        assert log.bytes_by_place("in") == {1: 100, 2: 50}
+        assert log.bytes_by_place("out") == {0: 100, 1: 50}
+
+
+class TestMovementReports:
+    @pytest.fixture(scope="class")
+    def case(self):
+        # large enough that block payloads dwarf the per-hop state
+        # bytes; at toy sizes the 512 B control overhead distorts the
+        # volume comparisons
+        return MatmulCase(n=384, ab=32, shadow=True)
+
+    def test_pipeline_is_leanest_1d(self, case):
+        reports = {r.variant: r for r in movement_table(
+            ["navp-1d-dsc", "navp-1d-pipeline", "navp-1d-phase"],
+            case, 3)}
+        assert (reports["navp-1d-pipeline"].total_bytes
+                < reports["navp-1d-phase"].total_bytes)
+        assert (reports["navp-1d-pipeline"].total_bytes
+                < reports["navp-1d-dsc"].total_bytes)
+
+    def test_navp_phase_moves_less_than_gentleman(self, case):
+        phase = measure_movement("navp-2d-phase", case, 3)
+        gentleman = measure_movement("mpi-gentleman", case, 3)
+        assert phase.total_bytes < gentleman.total_bytes
+
+    def test_closed_forms_track_measurements(self, case):
+        for variant in ("navp-1d-dsc", "navp-1d-pipeline",
+                        "navp-2d-phase", "mpi-gentleman"):
+            measured = measure_movement(variant, case, 3).total_bytes
+            expected = expected_bytes(variant, case.n, case.ab, 3)
+            assert 0.7 <= measured / expected <= 1.1, variant
+
+    def test_derived_metrics(self, case):
+        report = measure_movement("navp-1d-pipeline", case, 3)
+        assert report.bytes_per_flop == pytest.approx(
+            report.total_bytes / (2 * case.n**3))
+        assert report.mean_message_bytes == pytest.approx(
+            report.total_bytes / report.messages)
+
+    def test_unknown_variant_closed_form(self):
+        with pytest.raises(KeyError):
+            expected_bytes("doall-naive", 96, 8, 3)
+
+    def test_movement_independent_of_shadow_mode(self):
+        shadow = measure_movement(
+            "navp-1d-phase", MatmulCase(n=48, ab=8, shadow=True), 3)
+        real = measure_movement(
+            "navp-1d-phase", MatmulCase(n=48, ab=8), 3)
+        assert shadow.total_bytes == real.total_bytes
+        assert shadow.messages == real.messages

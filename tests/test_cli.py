@@ -1,0 +1,74 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "no-such-variant"])
+
+    def test_table_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "5"])
+
+
+class TestCommands:
+    def test_variants(self, capsys):
+        assert main(["variants"]) == 0
+        out = capsys.readouterr().out
+        assert "navp-2d-phase" in out
+        assert "mpi-gentleman" in out
+
+    def test_run_shadow(self, capsys):
+        code = main(["run", "navp-1d-phase", "--n", "1536",
+                     "--geometry", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_run_real_verifies(self, capsys):
+        code = main(["run", "navp-2d-pipeline", "--n", "24", "--ab", "4",
+                     "--geometry", "3", "--real"])
+        assert code == 0
+        assert "verified vs NumPy" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "9216" in out
+        assert "all passed" in out
+
+    def test_staggering(self, capsys):
+        assert main(["staggering", "--max-n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "reverse" in out
+
+    def test_wavefront(self, capsys):
+        code = main(["wavefront", "--n", "512", "--block", "64",
+                     "--pes", "2"])
+        assert code == 0
+        assert "pipelined" in capsys.readouterr().out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        assert "all Figure 1 claims hold" in capsys.readouterr().out
+
+    def test_datascan(self, capsys):
+        assert main(["datascan", "--pes", "4", "--items", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "navp-scan" in out
+        assert "x over shipping" in out
+
+    def test_report_quick(self, capsys):
+        assert main(["report", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "reproduction checks passed" in out
+        assert "FAILED" not in out

@@ -1,0 +1,138 @@
+"""The data-scan case study: query algebra and strategy equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datascan import (
+    DataScanCase,
+    count_where,
+    histogram,
+    moments,
+    run_navp_scan,
+    run_ship_data,
+    run_spmd_reduce,
+    top_k,
+    value_range,
+)
+from repro.errors import ConfigurationError
+
+ALL_QUERIES = [histogram(8), moments(), top_k(4), count_where(0.5),
+               value_range()]
+
+
+def _assert_same(got, want):
+    if isinstance(want, np.ndarray):
+        assert np.allclose(got, want)
+    elif isinstance(want, dict):
+        for key, value in want.items():
+            assert got[key] == pytest.approx(value)
+    elif isinstance(want, tuple):
+        assert np.allclose(got, want)
+    else:
+        assert got == want
+
+
+class TestQueryAlgebra:
+    @given(st.integers(0, 100), st.integers(2, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_merge_associativity_via_splits(self, seed, parts):
+        """Any chunking of the data yields the same answer."""
+        rng = np.random.default_rng(seed)
+        data = rng.random(240)
+        chunks = np.array_split(data, parts)
+        for query in ALL_QUERIES:
+            whole = query.over_chunks([data])
+            split = query.over_chunks(chunks)
+            _assert_same(split, whole)
+
+    def test_moments_match_numpy(self):
+        rng = np.random.default_rng(3)
+        data = rng.random(10_000)
+        out = moments().over_chunks(np.array_split(data, 7))
+        assert out["count"] == 10_000
+        assert out["mean"] == pytest.approx(float(data.mean()))
+        assert out["variance"] == pytest.approx(float(data.var()),
+                                                rel=1e-9)
+
+    def test_topk_matches_sort(self):
+        rng = np.random.default_rng(4)
+        data = rng.random(500)
+        out = top_k(10).over_chunks(np.array_split(data, 5))
+        assert np.allclose(out, np.sort(data)[::-1][:10])
+
+    def test_histogram_counts_everything(self):
+        data = np.linspace(0.001, 0.999, 777)
+        counts = histogram(16).over_chunks([data])
+        assert counts.sum() == 777
+
+    def test_partial_sizes_are_small(self):
+        for query in ALL_QUERIES:
+            assert query.partial_nbytes <= 1024
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("query", ALL_QUERIES,
+                             ids=[q.name for q in ALL_QUERIES])
+    def test_all_strategies_agree(self, query):
+        case = DataScanCase(pes=4, items_per_pe=2000)
+        want = case.reference(query)
+        for result in (
+            run_navp_scan(case, query),
+            run_navp_scan(case, query, carriers=2),
+            run_navp_scan(case, query, carriers=4),
+            run_ship_data(case, query),
+            run_spmd_reduce(case, query),
+        ):
+            _assert_same(result.answer, want)
+
+    def test_scan_on_thread_fabric(self):
+        case = DataScanCase(pes=3, items_per_pe=1000)
+        query = moments()
+        result = run_navp_scan(case, query, fabric="thread")
+        _assert_same(result.answer, case.reference(query))
+
+    def test_carriers_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            run_navp_scan(DataScanCase(pes=4, items_per_pe=10),
+                          histogram(4), carriers=3)
+
+    def test_single_pe(self):
+        case = DataScanCase(pes=1, items_per_pe=100)
+        query = count_where(0.5)
+        _assert_same(run_navp_scan(case, query).answer,
+                     case.reference(query))
+
+
+class TestTimingShape:
+    """The founding claim: move computation, not data."""
+
+    @pytest.fixture(scope="class")
+    def times(self):
+        case = DataScanCase(pes=8, items_per_pe=250_000)
+        query = histogram(64)
+        return {
+            "ship": run_ship_data(case, query).time,
+            "scan": run_navp_scan(case, query).time,
+            "scan4": run_navp_scan(case, query, carriers=4).time,
+            "reduce": run_spmd_reduce(case, query).time,
+        }
+
+    def test_scan_beats_shipping(self, times):
+        assert times["scan"] < times["ship"] / 3
+
+    def test_pipelining_helps_the_scan(self, times):
+        assert times["scan4"] < times["scan"] / 2
+
+    def test_spmd_reduce_is_the_parallel_bound(self, times):
+        assert times["reduce"] <= times["scan4"]
+
+    def test_ship_cost_is_network_bound(self, times):
+        """The receiver's inbound link (7 partitions at the model's
+        4 B/element) lower-bounds the shipping strategy."""
+        from repro.machine import SUN_BLADE_100
+
+        inbound = 7 * 250_000 * SUN_BLADE_100.elem_size
+        wire = inbound / SUN_BLADE_100.network.bandwidth_Bps
+        assert times["ship"] > 0.8 * wire

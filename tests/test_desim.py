@@ -1,0 +1,371 @@
+"""The discrete-event kernel: clock, resources, semaphores, triggers,
+determinism, and failure modes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeadlockError, SimulationError
+from repro.fabric.desim import Resource, Semaphore, Simulator, Timeout, Trigger
+
+
+class TestClockAndTimeouts:
+    def test_sequential_timeouts(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield Timeout(1.0)
+            log.append(sim.now)
+            yield Timeout(2.5)
+            log.append(sim.now)
+
+        sim.spawn(proc())
+        assert sim.run() == 3.5
+        assert log == [1.0, 3.5]
+
+    def test_spawn_delay(self):
+        sim = Simulator()
+        seen = []
+
+        def proc(tag):
+            seen.append((tag, sim.now))
+            yield Timeout(0.0)
+
+        sim.spawn(proc("late"), delay=5.0)
+        sim.spawn(proc("early"))
+        sim.run()
+        assert seen == [("early", 0.0), ("late", 5.0)]
+
+    def test_fifo_tiebreak_at_equal_times(self):
+        """Events at the same instant fire in scheduling order."""
+        sim = Simulator()
+        order = []
+
+        def proc(tag):
+            yield Timeout(1.0)
+            order.append(tag)
+
+        for tag in range(5):
+            sim.spawn(proc(tag))
+        sim.run()
+        assert order == list(range(5))
+
+    def test_run_until(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(10.0)
+
+        sim.spawn(proc())
+        assert sim.run(until=3.0) == 3.0
+        assert sim.alive_count() == 1
+        assert sim.run() == 10.0
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-0.1)
+
+    def test_process_return_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            return 42
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.result == 42
+        assert not p.alive
+
+    def test_join_another_process(self):
+        sim = Simulator()
+        log = []
+
+        def worker():
+            yield Timeout(2.0)
+            return "done"
+
+        def waiter(w):
+            value = yield w
+            log.append((sim.now, value))
+
+        w = sim.spawn(worker())
+        sim.spawn(waiter(w))
+        sim.run()
+        assert log == [(2.0, "done")]
+
+
+class TestResources:
+    def test_serializes_at_capacity(self):
+        sim = Simulator()
+        res = sim.resource(1)
+        spans = []
+
+        def proc():
+            yield res.acquire()
+            t0 = sim.now
+            yield Timeout(1.0)
+            res.release()
+            spans.append((t0, sim.now))
+
+        for _ in range(3):
+            sim.spawn(proc())
+        sim.run()
+        assert spans == [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]
+
+    def test_capacity_two_overlaps(self):
+        sim = Simulator()
+        res = sim.resource(2)
+        done = []
+
+        def proc():
+            yield res.acquire()
+            yield Timeout(1.0)
+            res.release()
+            done.append(sim.now)
+
+        for _ in range(4):
+            sim.spawn(proc())
+        sim.run()
+        assert done == [1.0, 1.0, 2.0, 2.0]
+
+    def test_fifo_grant_order(self):
+        sim = Simulator()
+        res = sim.resource(1)
+        order = []
+
+        def holder():
+            yield res.acquire()
+            yield Timeout(1.0)
+            res.release()
+
+        def waiter(tag, delay):
+            yield Timeout(delay)
+            yield res.acquire()
+            order.append(tag)
+            res.release()
+
+        sim.spawn(holder())
+        sim.spawn(waiter("first", 0.1))
+        sim.spawn(waiter("second", 0.2))
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_release_idle_raises(self):
+        sim = Simulator()
+        res = sim.resource(1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), 0)
+
+    def test_waiting_count(self):
+        sim = Simulator()
+        res = sim.resource(1)
+
+        def holder():
+            yield res.acquire()
+            yield Timeout(5.0)
+            res.release()
+
+        def waiter():
+            yield res.acquire()
+            res.release()
+
+        sim.spawn(holder())
+        sim.spawn(waiter())
+        sim.run(until=1.0)
+        assert res.waiting() == 1
+
+
+class TestSemaphores:
+    def test_signal_then_wait(self):
+        sim = Simulator()
+        sem = sim.semaphore(1)
+        log = []
+
+        def proc():
+            yield sem.acquire()
+            log.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert log == [0.0]
+
+    def test_wait_then_signal(self):
+        sim = Simulator()
+        sem = sim.semaphore(0)
+        log = []
+
+        def consumer():
+            yield sem.acquire()
+            log.append(sim.now)
+
+        def producer():
+            yield Timeout(2.0)
+            sem.release()
+
+        sim.spawn(consumer())
+        sim.spawn(producer())
+        sim.run()
+        assert log == [2.0]
+
+    def test_counting_semantics(self):
+        """Each signal enables exactly one waiter (the EP/EC need)."""
+        sim = Simulator()
+        sem = sim.semaphore(0)
+        woken = []
+
+        def consumer(tag):
+            yield sem.acquire()
+            woken.append(tag)
+
+        def producer():
+            yield Timeout(1.0)
+            sem.release()
+            yield Timeout(1.0)
+            sem.release(2)
+
+        for tag in range(3):
+            sim.spawn(consumer(tag))
+        sim.spawn(producer())
+        sim.run()
+        assert woken == [0, 1, 2]
+
+    def test_release_count_validation(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.semaphore(0).release(0)
+        with pytest.raises(SimulationError):
+            Semaphore(sim, initial=-1)
+
+    def test_fifo_wakeup(self):
+        sim = Simulator()
+        sem = sim.semaphore(0)
+        order = []
+
+        def consumer(tag, delay):
+            yield Timeout(delay)
+            yield sem.acquire()
+            order.append(tag)
+
+        sim.spawn(consumer("a", 0.1))
+        sim.spawn(consumer("b", 0.2))
+
+        def producer():
+            yield Timeout(1.0)
+            sem.release(2)
+
+        sim.spawn(producer())
+        sim.run()
+        assert order == ["a", "b"]
+
+
+class TestTriggers:
+    def test_broadcast_with_value(self):
+        sim = Simulator()
+        trig = sim.trigger()
+        got = []
+
+        def waiter():
+            value = yield trig
+            got.append((sim.now, value))
+
+        def firer():
+            yield Timeout(3.0)
+            trig.fire("payload")
+
+        sim.spawn(waiter())
+        sim.spawn(waiter())
+        sim.spawn(firer())
+        sim.run()
+        assert got == [(3.0, "payload"), (3.0, "payload")]
+
+    def test_wait_after_fire_is_immediate(self):
+        sim = Simulator()
+        trig = sim.trigger()
+        trig.fire(7)
+        got = []
+
+        def waiter():
+            value = yield trig
+            got.append(value)
+
+        sim.spawn(waiter())
+        sim.run()
+        assert got == [7]
+
+    def test_double_fire_rejected(self):
+        trig = Trigger(Simulator())
+        trig.fire()
+        with pytest.raises(SimulationError):
+            trig.fire()
+
+
+class TestFailureModes:
+    def test_deadlock_detected_and_named(self):
+        sim = Simulator()
+        sem = sim.semaphore(0)
+
+        def stuck():
+            yield sem.acquire()
+
+        sim.spawn(stuck(), name="starving")
+        with pytest.raises(DeadlockError, match="starving"):
+            sim.run()
+
+    def test_process_exception_propagates(self):
+        sim = Simulator()
+
+        def boom():
+            yield Timeout(1.0)
+            raise ValueError("kapow")
+
+        sim.spawn(boom(), name="bomb")
+        with pytest.raises(SimulationError, match="kapow") as exc_info:
+            sim.run()
+        assert isinstance(exc_info.value.__cause__, ValueError)
+
+    def test_unsupported_yield(self):
+        sim = Simulator()
+
+        def bad():
+            yield "a string"
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError, match="unsupported"):
+            sim.run()
+
+
+class TestDeterminism:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0.0, 5.0, allow_nan=False),
+                              st.integers(0, 2)),
+                    min_size=1, max_size=20))
+    def test_same_workload_same_schedule(self, work):
+        """Two runs of the same random workload produce identical logs."""
+
+        def run_once():
+            sim = Simulator()
+            res = sim.resource(1)
+            log = []
+
+            def proc(tag, delay, kind):
+                yield Timeout(delay)
+                if kind == 0:
+                    yield res.acquire()
+                    yield Timeout(0.5)
+                    res.release()
+                elif kind == 1:
+                    yield Timeout(delay)
+                log.append((tag, round(sim.now, 9)))
+
+            for tag, (delay, kind) in enumerate(work):
+                sim.spawn(proc(tag, delay, kind))
+            sim.run()
+            return log
+
+        assert run_once() == run_once()

@@ -1,0 +1,139 @@
+"""Conservation laws and safety invariants of the simulation fabric."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric import Grid1D, Grid2D, SimFabric
+from repro.fabric.desim import Resource, Simulator, Timeout
+from repro.machine import SUN_BLADE_100
+from repro.matmul import MatmulCase, run_variant
+from repro.navp import ir
+from repro.navp.interp import Interp
+
+
+class TestComputeConservation:
+    """Total traced compute time must equal total charged flops/rate
+    (adjusted by cache factors) — virtual time cannot leak."""
+
+    @pytest.mark.parametrize("variant,geometry,kind", [
+        ("navp-1d-dsc", 3, "navp"),
+        ("navp-1d-phase", 3, "navp"),
+        ("navp-2d-pipeline", 3, "navp"),
+        ("scalapack-summa", 3, "sequential"),
+    ])
+    def test_busy_time_equals_charged_flops(self, variant, geometry, kind):
+        from repro.machine import cache_factors
+
+        case = MatmulCase(n=1536, ab=128, shadow=True)
+        result = run_variant(variant, case, geometry=geometry,
+                             machine=SUN_BLADE_100)
+        busy = sum(result.trace.busy_time("compute").values())
+        # total useful flops of the product, at the variant's block-LRU
+        # cache factor — not a flop more, not a flop less
+        factor = cache_factors(elem_size=SUN_BLADE_100.elem_size)[kind]
+        expected = SUN_BLADE_100.flops_time(2.0 * case.n**3) * factor
+        assert busy == pytest.approx(expected, rel=1e-9)
+
+    def test_mpi_carries_its_cache_penalty(self):
+        case = MatmulCase(n=1536, ab=128, shadow=True)
+        result = run_variant("mpi-gentleman", case, geometry=3,
+                             machine=SUN_BLADE_100)
+        busy = sum(result.trace.busy_time("compute").values())
+        base = SUN_BLADE_100.flops_time(2.0 * case.n**3)
+        factor = busy / base
+        assert 1.02 <= factor <= 1.06  # the block-LRU mpi factor
+
+    def test_makespan_bounds(self):
+        """Makespan is at least busy/P and at most the serial total."""
+        case = MatmulCase(n=1536, ab=128, shadow=True)
+        result = run_variant("navp-2d-phase", case, geometry=3,
+                             machine=SUN_BLADE_100)
+        busy = sum(result.trace.busy_time("compute").values())
+        assert busy / 9 <= result.time <= busy * 1.5
+
+
+class TestResourceSafety:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 4),
+           st.lists(st.tuples(st.floats(0.0, 2.0, allow_nan=False),
+                              st.floats(0.01, 1.0, allow_nan=False)),
+                    min_size=1, max_size=25))
+    def test_capacity_never_exceeded(self, capacity, jobs):
+        """Instrumented occupancy stays within capacity under random
+        concurrent acquire/hold/release workloads."""
+        sim = Simulator()
+        res = Resource(sim, capacity)
+        peak = [0]
+
+        def proc(delay, hold):
+            yield Timeout(delay)
+            yield res.acquire()
+            peak[0] = max(peak[0], res.in_use)
+            assert res.in_use <= capacity
+            yield Timeout(hold)
+            res.release()
+
+        for delay, hold in jobs:
+            sim.spawn(proc(delay, hold))
+        sim.run()
+        assert res.in_use == 0              # everything released
+        assert peak[0] <= capacity
+        if len(jobs) >= capacity:
+            assert peak[0] >= 1
+
+    def test_nic_occupancy_during_contention(self):
+        """The matmul runs leave every resource idle at the end."""
+        case = MatmulCase(n=96, ab=8, shadow=True)
+        from repro.matmul.navp2d import _PhaseInjector2D
+        from repro.matmul.layouts import layout_2d_natural
+
+        fabric = SimFabric(Grid2D(3), machine=SUN_BLADE_100)
+        layout_2d_natural(fabric, case, 3)
+        fabric.inject((0, 0), _PhaseInjector2D(case, 3))
+        fabric.run()
+        for place in fabric.places:
+            assert place.cpu.in_use == 0
+            assert place.nic_in.in_use == 0
+            assert place.nic_out.in_use == 0
+            for sem in place.events.values():
+                assert sem.waiting() == 0
+
+
+class TestContinuationThroughBranches:
+    def test_pickle_inside_if_body(self):
+        """A continuation parked inside an If region must resume there
+        after a pickle round-trip (the process-fabric path)."""
+        import pickle
+
+        ir.register_program(ir.Program("inv-if-hop", (
+            ir.For("i", ir.Const(4), (
+                ir.If(ir.Bin("==", ir.Bin("%", ir.Var("i"), ir.Const(2)),
+                             ir.Const(0)),
+                      then=(
+                          ir.HopStmt((ir.Const(1),)),
+                          ir.NodeSet("even", (ir.Var("i"),),
+                                     ir.Const(True)),
+                      ),
+                      orelse=(
+                          ir.HopStmt((ir.Const(0),)),
+                          ir.NodeSet("odd", (ir.Var("i"),),
+                                     ir.Const(True)),
+                      )),
+            )),
+        )), replace=True)
+
+        places = {(0,): {}, (1,): {}}
+        interp = Interp("inv-if-hop")
+        at = (0,)
+        while True:
+            action = interp.next_action(places[at])
+            if action is None:
+                break
+            assert action[0] == "hop"
+            at = action[1]
+            # migrate: pickle exactly at the point inside the branch
+            interp = Interp.from_snapshot(
+                pickle.loads(pickle.dumps(interp.agent_snapshot())))
+        assert places[(1,)]["even"] == {0: True, 2: True}
+        assert places[(0,)]["odd"] == {1: True, 3: True}

@@ -1,0 +1,99 @@
+"""Payload size modeling and trace bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.fabric.sizes import agent_nbytes, model_nbytes
+from repro.fabric.trace import TraceEvent, TraceLog
+from repro.machine import SUN_BLADE_100
+from repro.navp import Messenger
+from repro.util.shadow import ShadowArray
+
+
+class TestModelNbytes:
+    def test_ndarray_uses_model_element_size(self):
+        """Costs follow the paper's 4-byte elements even for float64."""
+        a = np.zeros((10, 10), dtype=np.float64)
+        assert model_nbytes(a, SUN_BLADE_100) == 400
+
+    def test_shadow_matches_real(self):
+        real = np.zeros((7, 9), dtype=np.float64)
+        shadow = ShadowArray((7, 9), np.float32)
+        assert model_nbytes(real, SUN_BLADE_100) == \
+            model_nbytes(shadow, SUN_BLADE_100)
+
+    def test_none_is_free(self):
+        assert model_nbytes(None, SUN_BLADE_100) == 0
+
+    def test_containers_sum(self):
+        a = np.zeros(10)
+        assert model_nbytes([a, a], SUN_BLADE_100) == 80
+        assert model_nbytes((a,), SUN_BLADE_100) == 40
+        assert model_nbytes({"k": a}, SUN_BLADE_100) > 40
+
+    def test_bytes_and_str(self):
+        assert model_nbytes(b"abcd", SUN_BLADE_100) == 4
+        assert model_nbytes("abcd", SUN_BLADE_100) == 4
+
+    def test_scalars_flat_charge(self):
+        assert model_nbytes(7, SUN_BLADE_100) == 16
+        assert model_nbytes(3.14, SUN_BLADE_100) == 16
+
+
+class _Carrier(Messenger):
+    def __init__(self):
+        self.mA = np.zeros((4, 100), dtype=np.float64)  # agent: charged
+        self.mi = 3                                     # agent: charged
+        self._config = np.zeros(10_000)                 # private: free
+
+    def main(self):
+        yield self.hop((0,))
+
+
+class TestAgentNbytes:
+    def test_counts_public_attributes_only(self):
+        messenger = _Carrier()
+        total = agent_nbytes(messenger, SUN_BLADE_100)
+        expected = SUN_BLADE_100.hop_state_bytes + 400 * 4 + 16
+        assert total == expected
+
+
+class TestTraceLog:
+    def _sample(self):
+        log = TraceLog()
+        log.record(t0=0.0, t1=1.0, place=0, actor="a", kind="compute")
+        log.record(t0=1.0, t1=1.5, place=1, actor="a", kind="hop",
+                   src_place=0)
+        log.record(t0=0.5, t1=2.0, place=1, actor="b", kind="compute")
+        return log
+
+    def test_filters(self):
+        log = self._sample()
+        assert len(log.of_kind("compute")) == 2
+        assert len(log.at_place(1)) == 2
+        assert set(log.by_actor()) == {"a", "b"}
+
+    def test_busy_time(self):
+        busy = self._sample().busy_time("compute")
+        assert busy == {0: 1.0, 1: 1.5}
+
+    def test_first_compute_start(self):
+        starts = self._sample().first_compute_start()
+        assert starts == {0: 0.0, 1: 0.5}
+
+    def test_makespan(self):
+        assert self._sample().makespan() == 2.0
+        assert TraceLog().makespan() == 0.0
+
+    def test_disabled_records_nothing(self):
+        log = TraceLog(enabled=False)
+        log.record(t0=0, t1=1, place=0, actor="x", kind="compute")
+        assert len(log) == 0
+
+    def test_event_duration(self):
+        event = TraceEvent(t0=1.0, t1=3.5, place=0, actor="x",
+                           kind="compute")
+        assert event.duration == 2.5
+
+    def test_iteration(self):
+        assert len(list(self._sample())) == 3

@@ -1,0 +1,182 @@
+"""Stress and robustness: many messengers, deep pipelines, policies."""
+
+import numpy as np
+import pytest
+
+from repro.fabric import Grid1D, Grid2D, SimFabric, ThreadFabric
+from repro.fabric.desim import Resource, Simulator, Timeout
+from repro.errors import SimulationError
+from repro.machine import FAST_TEST_MACHINE
+from repro.navp import Messenger
+
+
+class _Worker(Messenger):
+    """Random-route worker accumulating into per-place counters."""
+
+    def __init__(self, route, wid):
+        self.route = route
+        self.wid = wid
+
+    def main(self):
+        for coord in self.route:
+            yield self.hop(coord)
+            counts = self.vars.setdefault("counts", {})
+
+            def bump(counts=counts):
+                counts[self.wid] = counts.get(self.wid, 0) + 1
+
+            yield self.compute(bump, flops=10)
+
+
+def _routes(n_workers, hops, places, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        [(int(rng.integers(places)),) for _ in range(hops)]
+        for _ in range(n_workers)
+    ]
+
+
+class TestManyMessengers:
+    @pytest.mark.parametrize("fabric_cls", [SimFabric, ThreadFabric])
+    def test_200_workers_all_complete(self, fabric_cls):
+        places = 5
+        routes = _routes(200, 8, places, seed=3)
+        fabric = fabric_cls(Grid1D(places), machine=FAST_TEST_MACHINE)
+        for wid, route in enumerate(routes):
+            fabric.inject(route[0], _Worker(route, wid))
+        result = fabric.run()
+        total = sum(
+            sum(result.places[(j,)].get("counts", {}).values())
+            for j in range(places)
+        )
+        assert total == 200 * 8
+
+    def test_sim_and_thread_agree_on_counts(self):
+        places = 4
+        routes = _routes(60, 6, places, seed=9)
+
+        def run(fabric_cls):
+            fabric = fabric_cls(Grid1D(places),
+                                machine=FAST_TEST_MACHINE)
+            for wid, route in enumerate(routes):
+                fabric.inject(route[0], _Worker(route, wid))
+            result = fabric.run()
+            return {
+                j: dict(sorted(result.places[(j,)].get("counts",
+                                                       {}).items()))
+                for j in range(places)
+            }
+
+        assert run(SimFabric) == run(ThreadFabric)
+
+    def test_deep_event_chain(self):
+        """1000-stage producer/consumer chain through one event table."""
+        depth = 1000
+
+        class Stage(Messenger):
+            def __init__(self, k):
+                self.k = k
+
+            def main(self):
+                yield self.wait_event("stage", self.k)
+                yield self.signal_event("stage", self.k + 1)
+
+        fabric = SimFabric(Grid1D(1), machine=FAST_TEST_MACHINE)
+        for k in range(depth):
+            fabric.inject((0,), Stage(k))
+
+        class Kick(Messenger):
+            def main(self):
+                yield self.signal_event("stage", 0)
+
+        class Last(Messenger):
+            def main(self):
+                yield self.wait_event("stage", depth)
+                self.vars["done"] = True
+
+        fabric.inject((0,), Last())
+        fabric.inject((0,), Kick())
+        result = fabric.run()
+        assert result.places[(0,)]["done"]
+
+    def test_big_grid(self):
+        """A 10x10 simulated grid with a sweep messenger per row."""
+        grid = Grid2D(10)
+
+        class RowSweep(Messenger):
+            def __init__(self, i):
+                self.i = i
+
+            def main(self):
+                for j in range(10):
+                    yield self.hop((self.i, j))
+                    self.vars["visited"] = True
+
+        fabric = SimFabric(grid, machine=FAST_TEST_MACHINE)
+        for i in range(10):
+            fabric.inject((i, 0), RowSweep(i))
+        result = fabric.run()
+        assert all(result.places[c].get("visited")
+                   for c in grid.coords)
+
+
+class TestResourcePolicies:
+    def _grant_order(self, policy):
+        sim = Simulator()
+        res = Resource(sim, 1, policy=policy)
+        order = []
+
+        def holder():
+            yield res.acquire()
+            yield Timeout(1.0)
+            res.release()
+
+        def waiter(tag, delay):
+            yield Timeout(delay)
+            yield res.acquire()
+            order.append(tag)
+            res.release()
+
+        sim.spawn(holder())
+        for tag, delay in (("a", 0.1), ("b", 0.2), ("c", 0.3)):
+            sim.spawn(waiter(tag, delay))
+        sim.run()
+        return order
+
+    def test_fifo_vs_lifo(self):
+        assert self._grant_order("fifo") == ["a", "b", "c"]
+        assert self._grant_order("lifo") == ["c", "b", "a"]
+
+    def test_unknown_policy(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), 1, policy="priority")
+
+    def test_lifo_fabric_still_correct(self):
+        from repro.matmul import MatmulCase
+        from repro.matmul.layouts import gather_c_2d, layout_2d_natural
+        from repro.matmul.navp2d import _PhaseInjector2D
+        from repro.util.validation import assert_allclose
+
+        case = MatmulCase(n=24, ab=4, seed=13)
+        fabric = SimFabric(Grid2D(3), machine=FAST_TEST_MACHINE,
+                           cpu_policy="lifo")
+        layout_2d_natural(fabric, case, 3)
+        fabric.inject((0, 0), _PhaseInjector2D(case, 3))
+        result = fabric.run()
+        assert_allclose(gather_c_2d(result, case, 3), case.reference())
+
+
+class TestSensitivityUnit:
+    def test_calibrated_point_passes_all_claims(self):
+        from repro.perfmodel import evaluate_claims
+        from repro.machine import SUN_BLADE_100
+
+        verdicts = evaluate_claims(SUN_BLADE_100)
+        assert all(verdicts.values()), verdicts
+
+    def test_perturbation_set_is_labelled(self):
+        from repro.perfmodel import default_perturbations
+
+        labels = [p.label for p in default_perturbations()]
+        assert "calibrated" in labels
+        assert len(labels) == len(set(labels)) >= 8

@@ -1,0 +1,181 @@
+"""Logical-node virtualization: mapping, cost semantics, correctness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fabric import Grid1D, Grid2D, SimFabric, ThreadFabric
+from repro.fabric.hosts import block_hosts, cyclic_hosts, resolve_hosts
+from repro.fabric.process import ProcessFabric
+from repro.machine import FAST_TEST_MACHINE, SUN_BLADE_100
+from repro.matmul.ir2d import build_fig15, run_ir2d_suite
+from repro.navp import Messenger
+from repro.util.validation import assert_allclose, random_matrix
+
+
+class TestMappings:
+    def test_identity_default(self):
+        mapping = resolve_hosts(Grid1D(3), None)
+        assert sorted(mapping.values()) == [0, 1, 2]
+
+    def test_block_hosts(self):
+        mapping = block_hosts(Grid1D(6), 3)
+        assert [mapping[(j,)] for j in range(6)] == [0, 0, 1, 1, 2, 2]
+
+    def test_cyclic_hosts(self):
+        mapping = cyclic_hosts(Grid1D(6), 3)
+        assert [mapping[(j,)] for j in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_callable_spec(self):
+        mapping = resolve_hosts(Grid2D(2), lambda c: c[0])
+        assert mapping[(0, 1)] == 0
+        assert mapping[(1, 0)] == 1
+
+    def test_dense_required(self):
+        with pytest.raises(ConfigurationError, match="dense"):
+            resolve_hosts(Grid1D(2), {(0,): 0, (1,): 2})
+
+    def test_complete_required(self):
+        with pytest.raises(ConfigurationError, match="misses"):
+            resolve_hosts(Grid1D(3), {(0,): 0, (1,): 0})
+
+    def test_host_count_bounds(self):
+        with pytest.raises(ConfigurationError):
+            block_hosts(Grid1D(3), 4)
+        with pytest.raises(ConfigurationError):
+            cyclic_hosts(Grid1D(3), 0)
+
+
+class _Tour(Messenger):
+    def __init__(self, route, flops=0.0):
+        self._route = route
+        self._flops = flops
+
+    def main(self):
+        for coord in self._route:
+            yield self.hop(coord, nbytes=100_000)
+            if self._flops:
+                yield self.compute(None, flops=self._flops)
+        self.vars["done"] = True
+
+
+class TestSimSemantics:
+    def test_cohosted_hops_are_local(self):
+        fabric = SimFabric(Grid1D(4), machine=SUN_BLADE_100,
+                           hosts=block_hosts(Grid1D(4), 2))
+        fabric.inject((0,), _Tour([(1,)]))  # 0 and 1 share host 0
+        local = fabric.run().time
+        fabric2 = SimFabric(Grid1D(4), machine=SUN_BLADE_100,
+                            hosts=block_hosts(Grid1D(4), 2))
+        fabric2.inject((0,), _Tour([(2,)]))  # crosses to host 1
+        remote = fabric2.run().time
+        assert local == pytest.approx(SimFabric.LOCAL_HOP_SECONDS)
+        assert remote > 100 * local
+
+    def test_cohosted_places_share_cpu(self):
+        """Two messengers computing at different logical nodes of one
+        host serialize; on separate hosts they overlap."""
+
+        def run(hosts):
+            fabric = SimFabric(Grid1D(2), machine=FAST_TEST_MACHINE,
+                               hosts=hosts, use_cache_model=False)
+            fabric.inject((0,), _Tour([(0,)], flops=1e6))
+            fabric.inject((1,), _Tour([(1,)], flops=1e6))
+            return fabric.run().time
+
+        shared = run({(0,): 0, (1,): 0})
+        separate = run(None)
+        assert shared == pytest.approx(2 * separate, rel=0.05)
+
+    def test_node_vars_stay_per_logical_node(self):
+        fabric = SimFabric(Grid1D(2), machine=FAST_TEST_MACHINE,
+                           hosts={(0,): 0, (1,): 0})
+        fabric.load((0,), tag="a")
+        fabric.load((1,), tag="b")
+
+        class Reader(Messenger):
+            def main(self):
+                self.vars["seen"] = self.vars["tag"]
+                yield self.hop((1,))
+                self.vars["seen"] = self.vars["tag"]
+
+        fabric.inject((0,), Reader())
+        result = fabric.run()
+        assert result.places[(0,)]["seen"] == "a"
+        assert result.places[(1,)]["seen"] == "b"
+
+    def test_more_hosts_never_slower(self):
+        """Fine-grained fig15 on 1, 3 and 9 hosts: time decreases."""
+        times = {}
+        for n_hosts in (1, 3, 9):
+            a = random_matrix(3 * 64, 301)
+            b = random_matrix(3 * 64, 302)
+            suite = build_fig15(3, a, b, ab=64)
+            from repro.fabric.topology import Grid2D as G2
+
+            fabric = SimFabric(G2(3), machine=SUN_BLADE_100,
+                               hosts=block_hosts(G2(3), n_hosts))
+            for coord, node_vars in suite.layout.items():
+                fabric.load(coord, **node_vars)
+            from repro.navp.interp import IRMessenger
+
+            fabric.inject((0, 0), IRMessenger(suite.entry.name))
+            result = fabric.run()
+            times[n_hosts] = result.time
+            c = _gather_c(result, 3, 64)
+            assert_allclose(c, a @ b, what=f"fig15 on {n_hosts} hosts")
+        assert times[9] < times[3] < times[1]
+        # 9 logical nodes on one host serialize all compute; at this
+        # problem size communication takes part of the win back
+        assert times[1] > 3 * times[9]
+
+
+def _gather_c(result, g, ab):
+    import numpy as np
+
+    c = np.empty((g * ab, g * ab))
+    for (i, j), node_vars in result.places.items():
+        c[i * ab : (i + 1) * ab, j * ab : (j + 1) * ab] = node_vars["C"]
+    return c
+
+
+class TestThreadSemantics:
+    def test_correct_with_two_hosts(self):
+        from repro.matmul import MatmulCase
+        from repro.matmul.navp1d import run_phase_1d
+
+        # run on the thread fabric with an explicit virtualized build
+        a = random_matrix(24, 310)
+        b = random_matrix(24, 311)
+        fabric = ThreadFabric(Grid1D(4), hosts=block_hosts(Grid1D(4), 2))
+        case = MatmulCase(n=24, ab=2, seed=77)
+        from repro.matmul.layouts import gather_c_1d, layout_1d_a_row_strips
+        from repro.matmul.navp1d import _PhaseInjector1D, PhaseRowCarrier1D
+
+        layout_1d_a_row_strips(fabric, case, 4)
+        by_owner = {}
+        for mi in range(case.nblocks):
+            owner = mi // (case.nblocks // 4)
+            by_owner.setdefault(owner, []).append(
+                PhaseRowCarrier1D(mi, owner, case, 4))
+        fabric.inject((0,), _PhaseInjector1D(by_owner))
+        result = fabric.run()
+        assert_allclose(gather_c_1d(result, case, 4), case.reference())
+
+
+class TestProcessSemantics:
+    def test_ir2d_on_fewer_processes(self):
+        """9 logical PEs on 3 OS processes, full 2-D phase matmul."""
+        a = random_matrix(24, 320)
+        b = random_matrix(24, 321)
+        suite = build_fig15(3, a, b)
+        from repro.fabric.topology import Grid2D as G2
+
+        fabric = ProcessFabric(G2(3), timeout=90.0,
+                               hosts=block_hosts(G2(3), 3))
+        for coord, node_vars in suite.layout.items():
+            fabric.load(coord, **node_vars)
+        for coord, event, args, count in suite.initial_signals:
+            fabric.signal_initial(coord, event, *args, count=count)
+        fabric.inject((0, 0), suite.entry.name)
+        result = fabric.run()
+        assert_allclose(_gather_c(result, 3, 8), a @ b)

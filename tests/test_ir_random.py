@@ -1,0 +1,249 @@
+"""Property-based testing of the IR stack with randomly generated
+programs.
+
+A small independent evaluator executes programs directly by recursion
+over the tree (no continuations, no fabrics); hypothesis then generates
+random navigational programs — nested loops, branches, arithmetic,
+node reads/writes, hops — and every execution path of the real stack
+must agree with it:
+
+* the continuation interpreter (``Interp.next_action`` driving),
+* the same interpreter with the continuation pickled at every step
+  (what process migration does),
+* ``IRMessenger`` on the SimFabric,
+* ``IRMessenger`` on the ThreadFabric.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric import Grid1D, SimFabric, ThreadFabric
+from repro.machine import FAST_TEST_MACHINE
+from repro.navp import ir
+from repro.navp.interp import Interp, IRMessenger
+from repro.navp.kernels import get_kernel
+
+PLACES = 3
+
+# ---------------------------------------------------------------------------
+# reference evaluator: direct recursion, no continuations
+# ---------------------------------------------------------------------------
+
+
+def ref_eval(expr, env, node_vars):
+    if isinstance(expr, ir.Const):
+        return expr.value
+    if isinstance(expr, ir.Var):
+        return env[expr.name]
+    if isinstance(expr, ir.Bin):
+        left = ref_eval(expr.left, env, node_vars)
+        right = ref_eval(expr.right, env, node_vars)
+        return ir._BIN_OPS[expr.op](left, right)
+    if isinstance(expr, ir.NodeGet):
+        key = tuple(ref_eval(e, env, node_vars) for e in expr.idx)
+        store = node_vars[expr.name]
+        if not expr.idx:
+            return store
+        return store[key[0] if len(key) == 1 else key]
+    if isinstance(expr, ir.Index):
+        base = ref_eval(expr.base, env, node_vars)
+        key = tuple(ref_eval(e, env, node_vars) for e in expr.idx)
+        return base[key[0] if len(key) == 1 else key]
+    raise AssertionError(expr)
+
+
+def ref_run(program: ir.Program, places: dict, start=(0,), env=None):
+    """Execute directly; returns final per-place node vars."""
+    state = {"at": start}
+    env = dict(env or {})
+
+    def run_body(body):
+        for stmt in body:
+            node_vars = places[state["at"]]
+            if isinstance(stmt, ir.For):
+                count = ref_eval(stmt.count, env, node_vars)
+                for i in range(count):
+                    env[stmt.var] = i
+                    run_body(stmt.body)
+            elif isinstance(stmt, ir.If):
+                if ref_eval(stmt.cond, env, node_vars):
+                    run_body(stmt.then)
+                else:
+                    run_body(stmt.orelse)
+            elif isinstance(stmt, ir.Assign):
+                env[stmt.var] = ref_eval(stmt.expr, env, node_vars)
+            elif isinstance(stmt, ir.NodeSet):
+                key = tuple(ref_eval(e, env, node_vars) for e in stmt.idx)
+                value = ref_eval(stmt.expr, env, node_vars)
+                if not stmt.idx:
+                    node_vars[stmt.name] = value
+                else:
+                    node_vars.setdefault(stmt.name, {})[
+                        key[0] if len(key) == 1 else key] = value
+            elif isinstance(stmt, ir.ComputeStmt):
+                argvals = tuple(ref_eval(e, env, node_vars)
+                                for e in stmt.args)
+                env[stmt.out] = get_kernel(stmt.kernel).fn(*argvals)
+            elif isinstance(stmt, ir.HopStmt):
+                coord = tuple(ref_eval(e, env, node_vars)
+                              for e in stmt.place)
+                state["at"] = coord
+            else:
+                raise AssertionError(stmt)
+
+    run_body(program.body)
+    return places
+
+
+# ---------------------------------------------------------------------------
+# random program generation
+# ---------------------------------------------------------------------------
+
+_COUNTER = [0]
+
+
+@st.composite
+def int_expr(draw, loop_vars, depth=0):
+    """An integer-valued expression over in-scope loop variables."""
+    options = ["const"]
+    if loop_vars:
+        options.append("var")
+    if depth < 2:
+        options.append("bin")
+    kind = draw(st.sampled_from(options))
+    if kind == "const":
+        return ir.Const(draw(st.integers(0, 7)))
+    if kind == "var":
+        return ir.Var(draw(st.sampled_from(sorted(loop_vars))))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(int_expr(loop_vars, depth + 1))
+    right = draw(int_expr(loop_vars, depth + 1))
+    return ir.Bin(op, left, right)
+
+
+@st.composite
+def place_expr(draw, loop_vars):
+    """An expression guaranteed to evaluate into [0, PLACES)."""
+    inner = draw(int_expr(loop_vars))
+    # |expr| % PLACES: the generator may produce negatives via '-'
+    squared = ir.Bin("*", inner, inner)
+    return ir.Bin("%", squared, ir.Const(PLACES))
+
+
+@st.composite
+def statements(draw, loop_vars, depth):
+    n = draw(st.integers(1, 3 if depth else 4))
+    out = []
+    for _ in range(n):
+        choices = ["assign", "nodeset", "hop", "compute"]
+        if depth < 2:
+            choices += ["for", "if"]
+        kind = draw(st.sampled_from(choices))
+        if kind == "for":
+            var = f"v{len(loop_vars)}_{depth}"
+            body = draw(statements(loop_vars | {var}, depth + 1))
+            out.append(ir.For(var, ir.Const(draw(st.integers(0, 3))),
+                              tuple(body)))
+        elif kind == "if":
+            cond = ir.Bin("==",
+                          ir.Bin("%", draw(int_expr(loop_vars)),
+                                 ir.Const(2)),
+                          ir.Const(0))
+            then = draw(statements(loop_vars, depth + 1))
+            orelse = draw(statements(loop_vars, depth + 1)) \
+                if draw(st.booleans()) else ()
+            out.append(ir.If(cond, tuple(then), tuple(orelse)))
+        elif kind == "assign":
+            out.append(ir.Assign(
+                draw(st.sampled_from(["a", "b", "c"])),
+                draw(int_expr(loop_vars))))
+        elif kind == "nodeset":
+            out.append(ir.NodeSet(
+                "out", (draw(int_expr(loop_vars)),),
+                draw(int_expr(loop_vars))))
+        elif kind == "hop":
+            out.append(ir.HopStmt((draw(place_expr(loop_vars)),)))
+        elif kind == "compute":
+            out.append(ir.ComputeStmt(
+                "copy", (draw(int_expr(loop_vars)),),
+                out=draw(st.sampled_from(["a", "b", "c"]))))
+    return out
+
+
+@st.composite
+def programs(draw):
+    body = draw(statements(frozenset(), 0))
+    _COUNTER[0] += 1
+    return ir.register_program(
+        ir.Program(f"random-prog-{_COUNTER[0]}", tuple(body)),
+        replace=True)
+
+
+def fresh_places():
+    return {(j,): {"seed": j} for j in range(PLACES)}
+
+
+def run_with_interp(program, migrate_every_step=False):
+    places = fresh_places()
+    interp = Interp(program.name, env={"a": 0, "b": 0, "c": 0})
+    at = (0,)
+    while True:
+        action = interp.next_action(places[at])
+        if action is None:
+            return places
+        if migrate_every_step:
+            snap = pickle.loads(pickle.dumps(interp.agent_snapshot()))
+            interp = Interp.from_snapshot(snap)
+        kind = action[0]
+        if kind == "hop":
+            at = action[1]
+        elif kind == "compute":
+            _, kname, argvals, out, _ck = action
+            interp.env[out] = get_kernel(kname).fn(*argvals)
+        else:
+            raise AssertionError(action)
+
+
+def run_on_fabric(program, fabric_cls):
+    fabric = fabric_cls(Grid1D(PLACES), machine=FAST_TEST_MACHINE)
+    for coord, node_vars in fresh_places().items():
+        fabric.load(coord, **node_vars)
+    fabric.inject((0,), IRMessenger(program.name,
+                                    env={"a": 0, "b": 0, "c": 0}))
+    result = fabric.run()
+    return {coord: dict(node_vars)
+            for coord, node_vars in result.places.items()}
+
+
+class TestRandomPrograms:
+    @settings(max_examples=60, deadline=None)
+    @given(programs())
+    def test_interpreter_matches_reference(self, program):
+        expected = ref_run(program, fresh_places(),
+                           env={"a": 0, "b": 0, "c": 0})
+        assert run_with_interp(program) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(programs())
+    def test_pickled_continuations_match_reference(self, program):
+        expected = ref_run(program, fresh_places(),
+                           env={"a": 0, "b": 0, "c": 0})
+        assert run_with_interp(program, migrate_every_step=True) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(programs())
+    def test_sim_fabric_matches_reference(self, program):
+        expected = ref_run(program, fresh_places(),
+                           env={"a": 0, "b": 0, "c": 0})
+        assert run_on_fabric(program, SimFabric) == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(programs())
+    def test_thread_fabric_matches_reference(self, program):
+        expected = ref_run(program, fresh_places(),
+                           env={"a": 0, "b": 0, "c": 0})
+        assert run_on_fabric(program, ThreadFabric) == expected

@@ -1,0 +1,57 @@
+"""IR pretty-printer: the derived programs must read like the figures."""
+
+from repro.navp import ir
+from repro.transform import derive_chain
+from repro.viz import format_program
+
+V = ir.Var
+C = ir.Const
+
+
+class TestFormatting:
+    def test_figure2_reads_like_the_paper(self):
+        chain = derive_chain(3)
+        text = format_program(chain.sequential)
+        assert "for mi in 0..3-1:" in text
+        assert "t = gemm_acc(t, A[mi][k], B[k, mj])" in text
+        assert "C[mi, mj] = t" in text
+
+    def test_figure5_hop_and_pickup(self):
+        chain = derive_chain(3)
+        text = format_program(chain.dsc)
+        assert "hop(node[mj])" in text
+        assert "if (mj == 0):" in text
+        assert "mA = A[mi]" in text
+        # the A reads were redirected to the agent variable
+        assert "A[mi][k]" not in text
+
+    def test_figure7_injection_loop(self):
+        chain = derive_chain(3)
+        text = format_program(chain.pipelined.main)
+        assert text.splitlines()[0] == "program mm-seq-3-dsc-pipe"
+        assert "inject(mm-rowcarrier-3(mi=mi))" in text
+        carrier = format_program(chain.pipelined.carrier)
+        assert carrier.splitlines()[0] == "program mm-rowcarrier-3(mi)"
+
+    def test_figure9_reverse_stagger_schedule(self):
+        chain = derive_chain(3)
+        text = format_program(chain.phased.carrier)
+        assert "hop(node[(((2 - mi) + mj) % 3)])" in text
+
+    def test_events_and_counted_signals(self):
+        program = ir.Program("fmt-ev", (
+            ir.WaitStmt("EP", (V("k"),)),
+            ir.SignalStmt("EC", (), C(3)),
+        ))
+        text = format_program(program)
+        assert "waitEvent(EP[k])" in text
+        assert "signalEvent(EC[]) x3" in text
+
+    def test_if_else(self):
+        program = ir.Program("fmt-if", (
+            ir.If(ir.Bin("==", V("x"), C(0)),
+                  (ir.Assign("y", C(1)),),
+                  (ir.Assign("y", C(2)),)),
+        ))
+        text = format_program(program)
+        assert "else:" in text

@@ -1,0 +1,176 @@
+"""Machine spec, calibration, paging model, and cost arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.machine import (
+    FAST_TEST_MACHINE,
+    MODERN_CLUSTER,
+    SUN_BLADE_100,
+    MachineSpec,
+    MemorySpec,
+    NetworkSpec,
+    PagingModel,
+    matmul_working_set,
+)
+
+
+class TestCalibration:
+    """The preset must reproduce the paper's own sequential anchors."""
+
+    def test_flop_rate_from_table1(self):
+        t = SUN_BLADE_100.flops_time(2 * 1536**3)
+        assert t == pytest.approx(65.44, rel=1e-12)
+
+    @pytest.mark.parametrize("n,paper", [(2304, 219.71), (3072, 520.30)])
+    def test_cross_check_unpaged_rows(self, n, paper):
+        t = SUN_BLADE_100.flops_time(2 * n**3)
+        assert t == pytest.approx(paper, rel=0.01)
+
+    def test_element_size_matches_memory_statement(self):
+        """3 * 9216^2 * elem ~ 'about 1GB' (Section 5)."""
+        ws = matmul_working_set(9216, SUN_BLADE_100.elem_size)
+        assert 0.9e9 < ws < 1.15e9
+
+    def test_network_near_nominal(self):
+        net = SUN_BLADE_100.network
+        assert 0.8 * 12.5e6 <= net.bandwidth_Bps <= 12.5e6
+
+
+class TestModernPreset:
+    def test_orders_of_magnitude(self):
+        assert MODERN_CLUSTER.flop_rate / SUN_BLADE_100.flop_rate > 100
+        assert (MODERN_CLUSTER.network.bandwidth_Bps
+                / SUN_BLADE_100.network.bandwidth_Bps) > 50
+
+    def test_compute_comm_ratio_comparable(self):
+        """Both generations moved together; the ratio changed < 10x,
+        which is why the paper's orderings transport (bench ablation)."""
+
+        def ratio(machine):
+            return machine.flop_rate / machine.network.bandwidth_Bps
+
+        assert 0.1 < ratio(MODERN_CLUSTER) / ratio(SUN_BLADE_100) < 10
+
+
+class TestNetworkSpec:
+    def test_message_time(self):
+        net = NetworkSpec(bandwidth_Bps=1e6, latency_s=0.001)
+        assert net.message_time(1000) == pytest.approx(0.002)
+
+    def test_wire_time_zero_bytes(self):
+        assert NetworkSpec().wire_time(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkSpec().wire_time(-1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            NetworkSpec(bandwidth_Bps=0)
+        with pytest.raises(ConfigurationError):
+            NetworkSpec(latency_s=-1)
+        with pytest.raises(ConfigurationError):
+            NetworkSpec(small_message_bytes=-1)
+
+    def test_small_message_classification(self):
+        net = NetworkSpec(small_message_bytes=2048)
+        assert net.is_small(512)
+        assert net.is_small(2048)
+        assert not net.is_small(2049)
+
+
+class TestMachineSpec:
+    def test_gemm_flops(self):
+        assert SUN_BLADE_100.gemm_flops(2, 3, 4) == 48
+
+    def test_gemm_time_with_cache_factor(self):
+        base = FAST_TEST_MACHINE.gemm_time(10, 10, 10)
+        worse = FAST_TEST_MACHINE.gemm_time(10, 10, 10, cache_factor=1.04)
+        assert worse == pytest.approx(base * 1.04)
+
+    def test_matrix_bytes(self):
+        assert SUN_BLADE_100.matrix_bytes(10) == 400
+        assert SUN_BLADE_100.matrix_bytes(10, 20) == 800
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SUN_BLADE_100.flops_time(-1)
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(flop_rate=0)
+        with pytest.raises(ConfigurationError):
+            MachineSpec(elem_size=0)
+
+    def test_with_changes(self):
+        faster = SUN_BLADE_100.with_(flop_rate=2e8)
+        assert faster.flop_rate == 2e8
+        assert faster.network == SUN_BLADE_100.network
+        assert SUN_BLADE_100.flop_rate != 2e8  # original untouched
+
+
+class TestMemorySpec:
+    def test_available(self):
+        mem = MemorySpec(physical_bytes=100, os_reserved_bytes=30)
+        assert mem.available_bytes == 70
+
+    def test_reservation_must_fit(self):
+        with pytest.raises(ConfigurationError):
+            MemorySpec(physical_bytes=100, os_reserved_bytes=100)
+
+
+class TestPagingModel:
+    def test_no_paging_below_memory(self):
+        model = PagingModel()
+        assert model.thrash_factor(0) == 1.0
+        assert model.thrash_factor(model.memory.available_bytes) == 1.0
+
+    def test_paper_anchor_9216(self):
+        """The measured/fitted ratio of Table 2 must be reproduced."""
+        model = PagingModel(SUN_BLADE_100.memory)
+        ws = matmul_working_set(9216, SUN_BLADE_100.elem_size)
+        assert model.thrash_factor(ws) == pytest.approx(2.62, rel=0.02)
+
+    def test_paper_anchor_6144(self):
+        model = PagingModel(SUN_BLADE_100.memory)
+        ws = matmul_working_set(6144, SUN_BLADE_100.elem_size)
+        assert model.thrash_factor(ws) == pytest.approx(
+            5055.93 / 4268.16, rel=0.02)
+
+    @given(st.integers(0, 4 * 2**30), st.integers(0, 4 * 2**30))
+    def test_monotone(self, ws1, ws2):
+        model = PagingModel()
+        lo, hi = sorted((ws1, ws2))
+        assert model.thrash_factor(lo) <= model.thrash_factor(hi) + 1e-12
+
+    @given(st.integers(0, 8 * 2**30))
+    def test_at_least_one(self, ws):
+        assert PagingModel().thrash_factor(ws) >= 1.0
+
+    def test_extrapolation_beyond_last_anchor(self):
+        model = PagingModel()
+        big = model.thrash_factor(8 * 2**30)
+        huge = model.thrash_factor(16 * 2**30)
+        assert huge > big > 2.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PagingModel().thrash_factor(-1)
+
+    def test_fits(self):
+        model = PagingModel()
+        assert model.fits(model.memory.available_bytes)
+        assert not model.fits(model.memory.available_bytes + 1)
+
+    def test_bad_anchors(self):
+        with pytest.raises(ValueError):
+            PagingModel(anchors=((1.0, 1.0),))
+        with pytest.raises(ValueError):
+            PagingModel(anchors=((1.0, 0.5), (2.0, 1.0)))
+
+    def test_working_set_formula(self):
+        assert matmul_working_set(100, 4) == 3 * 100 * 100 * 4
+        assert matmul_working_set(100, 8, matrices=2) == 2 * 100 * 100 * 8

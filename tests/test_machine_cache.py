@@ -1,0 +1,118 @@
+"""Block-LRU cache model: mechanism and invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.cache import (
+    LRUBlockCache,
+    cache_factors,
+    misses_per_block_op,
+    trace_mpi_gentleman,
+    trace_navp,
+    trace_sequential,
+)
+
+keys = st.integers(0, 15)
+
+
+class TestLRU:
+    def test_cold_misses_then_hits(self):
+        cache = LRUBlockCache(4)
+        assert not cache.access("a")
+        assert cache.access("a")
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUBlockCache(2)
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")        # refresh a; b is now LRU
+        cache.access("c")        # evicts b
+        assert cache.access("a")
+        assert not cache.access("b")
+
+    def test_capacity_one(self):
+        cache = LRUBlockCache(1)
+        cache.access("x")
+        cache.access("y")
+        assert not cache.access("x")
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LRUBlockCache(0)
+
+    def test_miss_rate_empty(self):
+        assert LRUBlockCache(2).miss_rate == 0.0
+
+    @given(st.lists(keys, max_size=200), st.integers(1, 8))
+    def test_counters_consistent(self, trace, capacity):
+        cache = LRUBlockCache(capacity).run(trace)
+        assert cache.hits + cache.misses == len(trace)
+        assert cache.misses >= len(set(trace)) - capacity
+        assert cache.misses >= min(len(set(trace)), 1) if trace else True
+
+    @given(st.lists(keys, min_size=1, max_size=200), st.integers(1, 8))
+    def test_bigger_cache_never_worse(self, trace, capacity):
+        """LRU is a stack algorithm: misses decrease with capacity."""
+        small = LRUBlockCache(capacity).run(trace)
+        large = LRUBlockCache(capacity + 1).run(trace)
+        assert large.misses <= small.misses
+
+    @given(st.lists(keys, min_size=1, max_size=100))
+    def test_infinite_cache_misses_once_per_key(self, trace):
+        cache = LRUBlockCache(1000).run(trace)
+        assert cache.misses == len(set(trace))
+
+
+class TestTraces:
+    def test_trace_lengths(self):
+        a = 4
+        assert len(list(trace_sequential(a))) == a * a * (2 * a + 1)
+        # navp: 3 accesses per op plus one flush mark per (k, i)
+        assert len(list(trace_navp(a))) == a * a * (3 * a + 1)
+        assert len(list(trace_mpi_gentleman(a))) == 3 * a * a * a
+
+    def test_mpi_blocks_are_fresh_every_round(self):
+        keys = list(trace_mpi_gentleman(2, rounds=2))
+        a_keys = {k for k in keys if k[0] == "A"}
+        assert len(a_keys) == 8  # 2 rounds x 4 positions, all distinct
+
+    def test_navp_carried_block_repeats(self):
+        keys = [k for k in trace_navp(3, rounds=1) if k[0] == "mA"]
+        assert len(set(keys)) == 3  # one per (k=0, i)
+        assert len(keys) == 9
+
+
+class TestFactors:
+    def test_normalization(self):
+        factors = cache_factors()
+        assert factors["sequential"] == 1.0
+
+    def test_mpi_worst(self):
+        factors = cache_factors()
+        assert factors["mpi"] > factors["navp"] >= 1.0
+
+    def test_capacity_derivation(self):
+        factors = cache_factors(ab=128, elem_size=4, l2_bytes=256 * 1024)
+        assert factors["capacity_blocks"] == 4
+
+    def test_capacity_helps_reuse_patterns_only(self):
+        """A huge cache makes the reusing patterns nearly miss-free,
+        but the MPI pattern still pays — its blocks are fresh from the
+        network every round by construction."""
+        factors = cache_factors(ab=8, elem_size=4, l2_bytes=256 * 1024,
+                                tile_blocks=4)
+        misses = factors["misses"]
+        assert misses["sequential"] <= 1.0
+        assert misses["navp"] <= 1.1
+        assert misses["mpi"] >= 2.0
+
+    def test_miss_ordering(self):
+        misses = cache_factors()["misses"]
+        assert misses["sequential"] <= misses["navp"] + 0.2
+        assert misses["navp"] < misses["mpi"]
+
+    def test_misses_per_block_op_requires_positive_ops(self):
+        with pytest.raises(ValueError):
+            misses_per_block_op([], 4, 0)

@@ -1,0 +1,121 @@
+"""Every matmul variant must compute exactly C = A @ B.
+
+This is the backbone of the reproduction: the *same* messenger code
+whose virtual-time schedule regenerates the paper's tables also
+produces the numerically verified product here.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, PartitionError
+from repro.matmul import MatmulCase, run_variant, variant_names
+from repro.util.validation import assert_allclose
+
+ALL_1D = ["navp-1d-dsc", "navp-1d-pipeline", "navp-1d-phase",
+          "scalapack-1d"]
+ALL_2D = ["navp-2d-dsc", "navp-2d-pipeline", "navp-2d-phase",
+          "mpi-gentleman", "mpi-gentleman-tuned", "mpi-cannon",
+          "scalapack-summa", "doall-naive", "doall-replicated"]
+
+
+class TestAllVariants:
+    @pytest.mark.parametrize("variant", ALL_1D)
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    def test_1d_variants(self, variant, p):
+        case = MatmulCase(n=24, ab=2, seed=3)
+        result = run_variant(variant, case, geometry=p, trace=False)
+        assert_allclose(result.c, case.reference(),
+                        what=f"{variant} on {p} PEs")
+
+    @pytest.mark.parametrize("variant", ALL_2D)
+    @pytest.mark.parametrize("g", [1, 2, 3])
+    def test_2d_variants(self, variant, g):
+        case = MatmulCase(n=24, ab=4, seed=4)
+        result = run_variant(variant, case, geometry=g, trace=False)
+        assert_allclose(result.c, case.reference(),
+                        what=f"{variant} on {g}x{g}")
+
+    def test_sequential(self):
+        case = MatmulCase(n=32, ab=8)
+        result = run_variant("sequential", case)
+        assert_allclose(result.c, case.reference())
+
+    @pytest.mark.parametrize("variant", ALL_2D)
+    def test_2d_nonsquare_blocks_per_pe(self, variant):
+        """Several algorithmic blocks per distribution block."""
+        case = MatmulCase(n=36, ab=3, seed=5)
+        result = run_variant(variant, case, geometry=3, trace=False)
+        assert_allclose(result.c, case.reference(), what=variant)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.sampled_from(["navp-1d-phase", "navp-2d-pipeline",
+                         "navp-2d-phase", "mpi-gentleman"]),
+        st.integers(1, 4),   # blocks per distribution block per axis
+        st.integers(1, 3),   # grid order
+        st.integers(1, 5),   # algorithmic block order
+        st.integers(0, 10),  # seed
+    )
+    def test_random_geometries(self, variant, per_db, g, ab, seed):
+        n = g * per_db * ab
+        case = MatmulCase(n=n, ab=ab, seed=seed)
+        result = run_variant(variant, case, geometry=g, trace=False)
+        assert_allclose(result.c, case.reference(), what=variant)
+
+    def test_float32(self):
+        case = MatmulCase(n=24, ab=4, dtype=np.float32)
+        result = run_variant("navp-2d-phase", case, geometry=3, trace=False)
+        assert_allclose(result.c, case.reference(), rtol=1e-4)
+
+
+class TestShadowMode:
+    @pytest.mark.parametrize("variant", ALL_1D + ALL_2D)
+    def test_shadow_runs_and_returns_no_c(self, variant):
+        geometry = 3
+        case = MatmulCase(n=48, ab=8, shadow=True)
+        result = run_variant(variant, case, geometry=geometry, trace=False)
+        assert result.c is None
+        assert result.time > 0
+
+    def test_shadow_time_equals_real_time(self):
+        """The virtual schedule must not depend on the data mode."""
+        real = MatmulCase(n=48, ab=8, seed=1)
+        shadow = MatmulCase(n=48, ab=8, shadow=True)
+        for variant, g in [("navp-1d-phase", 3), ("navp-2d-pipeline", 3),
+                           ("mpi-gentleman", 3), ("scalapack-summa", 3)]:
+            t_real = run_variant(variant, real, geometry=g, trace=False).time
+            t_shadow = run_variant(variant, shadow, geometry=g,
+                                   trace=False).time
+            assert t_real == pytest.approx(t_shadow, rel=1e-12), variant
+
+    def test_shadow_reference_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MatmulCase(n=8, ab=2, shadow=True).reference()
+
+
+class TestCaseValidation:
+    def test_block_must_divide(self):
+        with pytest.raises(PartitionError):
+            MatmulCase(n=10, ab=3)
+
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigurationError, match="unknown variant"):
+            run_variant("navp-3d", MatmulCase(n=8, ab=2))
+
+    def test_variant_names_complete(self):
+        names = variant_names()
+        for expected in ALL_1D + ALL_2D + ["sequential"]:
+            assert expected in names
+
+    def test_geometry_must_divide(self):
+        with pytest.raises(PartitionError):
+            run_variant("navp-1d-dsc", MatmulCase(n=8, ab=2), geometry=3)
+
+    def test_gflops_property(self):
+        case = MatmulCase(n=24, ab=4)
+        result = run_variant("sequential", case)
+        assert result.gflops == pytest.approx(
+            2 * 24**3 / result.time / 1e9)

@@ -1,0 +1,81 @@
+"""The 2-D matmul stages as IR, across all three fabrics."""
+
+import numpy as np
+import pytest
+
+from repro.matmul.ir2d import (
+    build_fig11,
+    build_fig13,
+    build_fig15,
+    run_ir2d_suite,
+)
+from repro.util.validation import assert_allclose, random_matrix
+
+BUILDERS = [build_fig11, build_fig13, build_fig15]
+
+
+@pytest.fixture(scope="module")
+def operands():
+    a = random_matrix(24, 201)
+    b = random_matrix(24, 202)
+    return a, b, a @ b
+
+
+class TestSimFabric:
+    @pytest.mark.parametrize("builder", BUILDERS)
+    @pytest.mark.parametrize("g", [2, 3])
+    def test_correct(self, builder, g):
+        a = random_matrix(g * 8, 210)
+        b = random_matrix(g * 8, 211)
+        suite = builder(g, a, b)
+        c, _result = run_ir2d_suite(suite, "sim")
+        assert_allclose(c, a @ b, what=f"{suite.name} g={g}")
+
+    def test_fig15_natural_layout(self, operands):
+        a, b, _ref = operands
+        suite = build_fig15(3, a, b)
+        for (i, j), node_vars in suite.layout.items():
+            assert np.array_equal(
+                node_vars["A"], a[i * 8 : (i + 1) * 8, j * 8 : (j + 1) * 8])
+            assert not node_vars["C"].any()
+
+    def test_fig13_antidiagonal_layout(self, operands):
+        a, b, _ref = operands
+        suite = build_fig13(3, a, b)
+        assert "Arow" in suite.layout[(2, 0)]
+        assert "Arow" not in suite.layout[(0, 0)]
+        assert set(suite.layout[(2, 0)]["Arow"]) == {0, 1, 2}
+
+    def test_fig13_initial_ec_everywhere(self, operands):
+        a, b, _ref = operands
+        suite = build_fig13(2, a, b)
+        assert len(suite.initial_signals) == 4
+        assert all(sig[1] == "EC" for sig in suite.initial_signals)
+
+    def test_programs_registered(self, operands):
+        from repro.navp import ir
+
+        a, b, _ref = operands
+        suite = build_fig15(3, a, b)
+        for program in suite.programs:
+            assert ir.get_program(program.name) == program
+
+
+class TestThreadFabric:
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_correct(self, builder, operands):
+        a, b, ref = operands
+        suite = builder(3, a, b)
+        c, _result = run_ir2d_suite(suite, "thread")
+        assert_allclose(c, ref, what=f"{suite.name} threads")
+
+
+class TestProcessFabric:
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_correct_on_real_processes(self, builder):
+        a = random_matrix(16, 220)
+        b = random_matrix(16, 221)
+        suite = builder(2, a, b)
+        c, result = run_ir2d_suite(suite, "process")
+        assert_allclose(c, a @ b, what=f"{suite.name} processes")
+        assert result.time > 0

@@ -1,0 +1,124 @@
+"""Structural properties of the algorithms: hop routes, carrier counts,
+pipeline protocol, Gentleman's staggering arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.fabric import Grid1D, Grid2D, SimFabric
+from repro.machine import FAST_TEST_MACHINE
+from repro.matmul import MatmulCase, run_variant
+from repro.matmul.gentleman import stagger_single_step
+from repro.matmul.navp2d import ACarrier2D
+from repro.mpi import Comm, run_spmd
+from repro.util.blocks import to_block_grid
+
+
+class TestCarrierRoutes:
+    def test_phase_1d_reverse_staggered_first_stops(self):
+        """Carriers from PE q start their tour at PE (P-1-q) % P."""
+        case = MatmulCase(n=48, ab=8, shadow=True)
+        result = run_variant("navp-1d-phase", case, geometry=3)
+        hops = [e for e in result.trace.of_kind("hop")
+                if e.actor.startswith("PhaseRowCarrier")]
+        first_hop = {}
+        for e in hops:
+            first_hop.setdefault(e.actor, e)
+        # strips per PE = 2; carriers born at q go first to 2-q
+        for e in first_hop.values():
+            assert (e.src_place + e.place) % 3 == 2
+
+    def test_carrier_counts(self):
+        case = MatmulCase(n=48, ab=4, shadow=True)
+        r1 = run_variant("navp-1d-pipeline", case, geometry=3)
+        assert r1.details["carriers"] == 12  # n/ab strips
+        r2 = run_variant("navp-2d-pipeline", case, geometry=3)
+        assert r2.details["a_carriers"] == 3 * 12
+        assert r2.details["b_carriers"] == 3 * 12
+
+    def test_2d_rows_stay_in_their_row(self):
+        """ACarriers only ever visit PEs of their own grid row."""
+        case = MatmulCase(n=24, ab=4, shadow=True)
+        result = run_variant("navp-2d-phase", case, geometry=2)
+        for e in result.trace.of_kind("hop"):
+            if e.actor.startswith("ACarrier"):
+                # Grid2D(2) index: row = index // 2
+                src_row = e.src_place // 2
+                dst_row = e.place // 2
+                assert src_row == dst_row
+
+
+class TestPipelineProtocol:
+    def test_b_slot_tag_mismatch_raises(self):
+        """A corrupted B slot must be detected, not silently consumed."""
+        fabric = SimFabric(Grid2D(1), machine=FAST_TEST_MACHINE)
+        case = MatmulCase(n=8, ab=8)
+        a, b = case.operands()
+        fabric.load((0, 0), A=a, C=case.zeros((8, 8)),
+                    Bslot=(99, b))  # wrong k tag pre-parked
+        fabric.signal_initial((0, 0), "EP", 0)
+        carrier = ACarrier2D(row=0, k=0, shift=0, case=case, g=1,
+                             pick_local=True)
+        fabric.inject((0, 0), carrier)
+        with pytest.raises(Exception, match="slot"):
+            fabric.run()
+
+    def test_ep_ec_alternation_counts(self):
+        """Every B park is matched by exactly one consume."""
+        case = MatmulCase(n=24, ab=4, shadow=True)
+        result = run_variant("navp-2d-pipeline", case, geometry=3)
+        # run completed without deadlock -> handshake balanced; and C
+        # was fully accumulated (checked in shadow: all carriers done)
+        assert result.time > 0
+
+
+class TestGentlemanStaggering:
+    @pytest.mark.parametrize("g,a", [(2, 2), (3, 2), (3, 4), (4, 3)])
+    def test_positions_match_the_skew(self, g, a):
+        """After single-step staggering, rank (i,j) must hold exactly the
+        A blocks Gentleman's skew assigns it."""
+        nb = g * a
+        ab = 2
+        n = nb * ab
+
+        # label each block with its global (gi, gj)
+        full = np.zeros((n, n))
+        for gi in range(nb):
+            for gj in range(nb):
+                full[gi * ab : (gi + 1) * ab, gj * ab : (gj + 1) * ab] = (
+                    gi * nb + gj)
+
+        collected = {}
+
+        def program(comm):
+            i, j = comm.coord
+            grid = to_block_grid(
+                full[i * a * ab : (i + 1) * a * ab,
+                     j * a * ab : (j + 1) * a * ab], ab)
+            staggered = yield from stagger_single_step(
+                comm, grid, a, g, "A", block_row_shift=False)
+            collected[(i, j)] = [
+                [int(blk[0, 0]) for blk in row] for row in staggered
+            ]
+
+        run_spmd(Grid2D(g), program, machine=FAST_TEST_MACHINE)
+
+        for i in range(g):
+            for j in range(g):
+                for x in range(a):
+                    for y in range(a):
+                        gi = i * a + x
+                        gj_staggered = j * a + y
+                        # block now at column gj' came from (gi, gj'+gi)
+                        origin_gj = (gj_staggered + gi) % nb
+                        assert collected[(i, j)][x][y] == gi * nb + origin_gj
+
+    def test_round_count(self):
+        case = MatmulCase(n=24, ab=4, shadow=True)
+        result = run_variant("mpi-gentleman", case, geometry=3)
+        assert result.details["rounds"] == 6  # n/ab
+
+    def test_cannon_round_count(self):
+        case = MatmulCase(n=24, ab=4, shadow=True)
+        result = run_variant("mpi-cannon", case, geometry=3)
+        assert result.details["rounds"] == 3  # G

@@ -1,0 +1,89 @@
+"""The Messenger programming surface."""
+
+import pytest
+
+from repro.errors import FabricError
+from repro.fabric import Grid1D, SimFabric
+from repro.fabric import effects as fx
+from repro.machine import FAST_TEST_MACHINE
+from repro.navp import Messenger
+
+
+class TestEffectBuilders:
+    def test_hop_normalizes_coord(self):
+        m = Messenger()
+        assert m.hop(2) == fx.Hop(coord=(2,), nbytes=None)
+        assert m.hop((1, 2)) == fx.Hop(coord=(1, 2), nbytes=None)
+        assert m.hop((3,), nbytes=10).nbytes == 10
+
+    def test_event_builders(self):
+        m = Messenger()
+        assert m.wait_event("EP", 1, 2) == fx.WaitEvent("EP", (1, 2))
+        sig = m.signal_event("EC", 3, count=2)
+        assert sig == fx.SignalEvent("EC", (3,), 2)
+
+    def test_compute_defaults_to_navp_kind(self):
+        eff = Messenger().compute(None, flops=10.0)
+        assert eff.kind == "navp"
+        assert eff.flops == 10.0
+
+    def test_inject_wraps(self):
+        child = Messenger()
+        assert Messenger().inject(child).messenger is child
+
+    def test_delay(self):
+        assert Messenger().delay(0.5).seconds == 0.5
+
+
+class TestUnboundAccess:
+    def test_vars_requires_fabric(self):
+        with pytest.raises(FabricError):
+            Messenger().vars
+
+    def test_here_requires_fabric(self):
+        with pytest.raises(FabricError):
+            Messenger().here
+
+    def test_machine_requires_fabric(self):
+        with pytest.raises(FabricError):
+            Messenger().machine
+
+    def test_repr_unbound(self):
+        assert "unbound" in repr(Messenger())
+
+
+class TestBoundContext:
+    def test_here_and_machine_update_on_hop(self):
+        seen = []
+
+        class Walker(Messenger):
+            def main(self):
+                seen.append(self.here)
+                assert self.machine is FAST_TEST_MACHINE
+                yield self.hop((1,))
+                seen.append(self.here)
+
+        fabric = SimFabric(Grid1D(2), machine=FAST_TEST_MACHINE)
+        fabric.inject((0,), Walker())
+        fabric.run()
+        assert seen == [(0,), (1,)]
+
+    def test_vars_follow_location(self):
+        values = []
+
+        class Reader(Messenger):
+            def main(self):
+                for j in range(3):
+                    yield self.hop((j,))
+                    values.append(self.vars["tag"])
+
+        fabric = SimFabric(Grid1D(3), machine=FAST_TEST_MACHINE)
+        for j in range(3):
+            fabric.load((j,), tag=f"pe{j}")
+        fabric.inject((0,), Reader())
+        fabric.run()
+        assert values == ["pe0", "pe1", "pe2"]
+
+    def test_abstract_main(self):
+        with pytest.raises(NotImplementedError):
+            Messenger().main()

@@ -1,0 +1,118 @@
+"""The extended collective operations of the MPI substrate."""
+
+import operator
+
+import pytest
+
+from repro.fabric import Grid1D, Grid2D
+from repro.machine import FAST_TEST_MACHINE
+from repro.mpi import run_spmd
+
+
+def chain(p):
+    return [(j,) for j in range(p)]
+
+
+class TestGatherScatter:
+    def test_gather_collects_everything(self):
+        def program(comm):
+            j = comm.coord[0]
+            out = yield from comm.gather(chain(4), (0,), 1, j * j)
+            comm.vars["out"] = out
+
+        result = run_spmd(Grid1D(4), program, machine=FAST_TEST_MACHINE)
+        assert result.places[(0,)]["out"] == {
+            (0,): 0, (1,): 1, (2,): 4, (3,): 9}
+        assert result.places[(2,)]["out"] is None
+
+    def test_scatter_distributes(self):
+        def program(comm):
+            payloads = None
+            if comm.coord == (1,):
+                payloads = {(j,): f"item{j}" for j in range(3)}
+            mine = yield from comm.scatter(chain(3), (1,), 2, payloads)
+            comm.vars["mine"] = mine
+
+        result = run_spmd(Grid1D(3), program, machine=FAST_TEST_MACHINE)
+        for j in range(3):
+            assert result.places[(j,)]["mine"] == f"item{j}"
+
+    def test_scatter_validates_payloads(self):
+        def program(comm):
+            yield from comm.scatter(chain(2), (0,), 3,
+                                    {(0,): 1} if comm.coord == (0,)
+                                    else None)
+
+        with pytest.raises(Exception, match="one payload per"):
+            run_spmd(Grid1D(2), program, machine=FAST_TEST_MACHINE)
+
+    def test_gather_root_membership(self):
+        def program(comm):
+            yield from comm.gather([(0,)], (1,), 4, 0)
+
+        with pytest.raises(Exception, match="root"):
+            run_spmd(Grid1D(2), program, machine=FAST_TEST_MACHINE)
+
+
+class TestReduce:
+    def test_reduce_sum(self):
+        def program(comm):
+            j = comm.coord[0]
+            total = yield from comm.reduce(chain(4), (0,), 5, j + 1,
+                                           operator.add)
+            comm.vars["total"] = total
+
+        result = run_spmd(Grid1D(4), program, machine=FAST_TEST_MACHINE)
+        assert result.places[(0,)]["total"] == 10
+        assert result.places[(3,)]["total"] is None
+
+    def test_allreduce_everyone_gets_it(self):
+        def program(comm):
+            j = comm.coord[0]
+            best = yield from comm.allreduce(chain(5), 6, (j * 7) % 5, max)
+            comm.vars["best"] = best
+
+        result = run_spmd(Grid1D(5), program, machine=FAST_TEST_MACHINE)
+        for j in range(5):
+            assert result.places[(j,)]["best"] == 4
+
+    def test_allreduce_on_grid_rows(self):
+        """Independent allreduces per grid row must not interfere."""
+
+        def program(comm):
+            i, j = comm.coord
+            row = [(i, jj) for jj in range(3)]
+            total = yield from comm.allreduce(row, ("row", i), j,
+                                              operator.add)
+            comm.vars["total"] = total
+
+        result = run_spmd(Grid2D(2, 3), program, machine=FAST_TEST_MACHINE)
+        for i in range(2):
+            for j in range(3):
+                assert result.places[(i, j)]["total"] == 3
+
+
+class TestSendrecv:
+    def test_ring_rotation(self):
+        def program(comm):
+            p = comm.size
+            j = comm.coord[0]
+            got = yield from comm.sendrecv(
+                ((j + 1) % p,), ((j - 1) % p,), 7, payload=j)
+            comm.vars["got"] = got
+
+        result = run_spmd(Grid1D(4), program, machine=FAST_TEST_MACHINE)
+        for j in range(4):
+            assert result.places[(j,)]["got"] == (j - 1) % 4
+
+    def test_pairwise_swap(self):
+        def program(comm):
+            j = comm.coord[0]
+            other = (1 - j,)
+            got = yield from comm.sendrecv(other, other, 8,
+                                           payload=f"from{j}")
+            comm.vars["got"] = got
+
+        result = run_spmd(Grid1D(2), program, machine=FAST_TEST_MACHINE)
+        assert result.places[(0,)]["got"] == "from1"
+        assert result.places[(1,)]["got"] == "from0"

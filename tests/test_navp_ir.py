@@ -1,0 +1,104 @@
+"""The navigational IR: construction, registry, paths, picklability."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.navp import ir
+
+V = ir.Var
+C = ir.Const
+
+
+def tiny_program(name="tiny"):
+    return ir.Program(name, body=(
+        ir.For("i", C(2), (
+            ir.HopStmt((V("i"),)),
+            ir.If(ir.Bin("==", V("i"), C(0)), (
+                ir.Assign("x", C(10)),
+            )),
+            ir.NodeSet("out", (V("i"),), V("x")),
+        )),
+    ))
+
+
+class TestExpressions:
+    def test_bin_validates_op(self):
+        with pytest.raises(ConfigurationError):
+            ir.Bin("**", C(1), C(2))
+
+    def test_reprs_read_like_pseudocode(self):
+        expr = ir.Bin("%", ir.Bin("+", V("mi"), V("mj")), C(3))
+        assert repr(expr) == "((mi + mj) % 3)"
+        assert repr(ir.NodeGet("B", (V("k"), V("mj")))) == "B[k, mj]"
+        assert repr(ir.Index(V("mA"), (V("k"),))) == "mA[k]"
+
+    def test_expressions_are_hashable_values(self):
+        assert V("x") == V("x")
+        assert V("x") != V("y")
+        assert ir.NodeGet("A", (V("i"),)) == ir.NodeGet("A", (V("i"),))
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        program = tiny_program("reg-test-1")
+        ir.register_program(program, replace=True)
+        assert ir.get_program("reg-test-1") is program
+
+    def test_identical_reregistration_ok(self):
+        program = tiny_program("reg-test-2")
+        ir.register_program(program, replace=True)
+        ir.register_program(tiny_program("reg-test-2"))  # equal: fine
+
+    def test_conflicting_registration_rejected(self):
+        ir.register_program(tiny_program("reg-test-3"), replace=True)
+        other = ir.Program("reg-test-3", body=())
+        with pytest.raises(ConfigurationError):
+            ir.register_program(other)
+
+    def test_replace(self):
+        ir.register_program(tiny_program("reg-test-4"), replace=True)
+        other = ir.Program("reg-test-4", body=())
+        ir.register_program(other, replace=True)
+        assert ir.get_program("reg-test-4") is other
+
+    def test_unknown_program(self):
+        with pytest.raises(ConfigurationError):
+            ir.get_program("no-such-program")
+
+
+class TestPaths:
+    def test_root_body(self):
+        program = tiny_program()
+        assert ir.body_at(program, ()) == program.body
+
+    def test_descend_for_and_if(self):
+        program = tiny_program()
+        loop_body = ir.body_at(program, (0,))
+        assert isinstance(loop_body[0], ir.HopStmt)
+        then = ir.body_at(program, (0, (1, "then")))
+        assert isinstance(then[0], ir.Assign)
+
+    def test_bad_paths(self):
+        program = tiny_program()
+        with pytest.raises(ConfigurationError):
+            ir.body_at(program, (1,))  # index 1 isn't a For at root...
+        with pytest.raises((ConfigurationError, IndexError)):
+            ir.body_at(program, (0, 5))
+
+    def test_node_at(self):
+        program = tiny_program()
+        assert isinstance(ir.node_at(program, (0,), 2), ir.NodeSet)
+
+
+class TestPicklability:
+    def test_programs_pickle(self):
+        program = tiny_program("pickle-test")
+        clone = pickle.loads(pickle.dumps(program))
+        assert clone == program
+
+    def test_statements_are_immutable(self):
+        stmt = ir.Assign("x", C(1))
+        with pytest.raises(AttributeError):
+            stmt.var = "y"

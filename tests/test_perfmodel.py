@@ -1,0 +1,133 @@
+"""The evaluation layer: paper data integrity, table builders, figures,
+the curve-fit reproduction, and the analytic predictors."""
+
+import pytest
+
+from repro.perfmodel import (
+    TABLE1,
+    TABLE2,
+    TABLE3,
+    TABLE4,
+    build_figure1,
+    build_table,
+    build_table1,
+    build_table4,
+    figure1_report,
+    predict,
+    reproduce_fit,
+)
+
+
+class TestPaperDataIntegrity:
+    """The transcription itself must be internally consistent: the
+    paper's printed speedups equal baseline/time within rounding."""
+
+    @pytest.mark.parametrize("table", [TABLE1, TABLE2, TABLE3, TABLE4])
+    def test_speedups_consistent(self, table):
+        for row in table.rows:
+            for variant, (time, speedup) in row.variants.items():
+                implied = row.baseline / time
+                assert implied == pytest.approx(speedup, abs=0.011), (
+                    table.name, row.n, variant)
+
+    def test_sequential_speedup_is_one(self):
+        for table in (TABLE1, TABLE3, TABLE4):
+            for row in table.rows:
+                assert row.baseline <= row.seq * 1.0001
+
+    def test_geometries(self):
+        assert TABLE1.geometry == 3 and TABLE1.dims == 1
+        assert TABLE2.geometry == 8 and TABLE2.dims == 1
+        assert TABLE3.geometry == 2 and TABLE3.dims == 2
+        assert TABLE4.geometry == 3 and TABLE4.dims == 2
+
+    def test_row_counts(self):
+        assert len(TABLE1.rows) == 6
+        assert len(TABLE2.rows) == 1
+        assert len(TABLE3.rows) == 5
+        assert len(TABLE4.rows) == 6
+
+
+class TestTableBuilders:
+    def test_subset_by_orders(self):
+        comparison = build_table1(orders={1536})
+        assert len(comparison.rows) == 1
+        assert comparison.rows[0].n == 1536
+
+    def test_columns_follow_paper(self):
+        comparison = build_table1(orders={1536})
+        assert comparison.columns == [
+            "navp-1d-dsc", "navp-1d-pipeline", "navp-1d-phase",
+            "scalapack-1d"]
+
+    def test_cells_populated(self):
+        comparison = build_table1(orders={1536})
+        cell = comparison.rows[0].cells["navp-1d-phase"]
+        assert cell.paper_time == 24.55
+        assert cell.model_time > 0
+        assert cell.speedup_ratio == pytest.approx(
+            cell.model_speedup / 2.67)
+
+    def test_render_contains_both_sources(self):
+        comparison = build_table1(orders={1536})
+        text = comparison.render()
+        assert "65.44" in text      # paper sequential
+        assert "navp-1d-phase" in text
+
+    def test_full_table4_shapes(self):
+        comparison = build_table4()
+        assert comparison.failed_shapes() == []
+
+    def test_shape_report_structure(self):
+        comparison = build_table1(orders={1536})
+        report = comparison.shape_report()
+        assert all(len(entry) == 3 for entry in report)
+        assert any("improves on" in claim for claim, _ok, _d in report)
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        # ab=64 keeps the runs compute-dominated, as in the paper's
+        # schematic; at tiny blocks the staggering latency of (d) can
+        # exceed its fill-time win over (c).
+        return build_figure1(p=3, ab=64)
+
+    def test_four_panels(self, panels):
+        assert [p.label for p in panels] == ["(a)", "(b)", "(c)", "(d)"]
+
+    def test_all_claims_hold(self, panels):
+        report = figure1_report(panels)
+        assert all(ok for _c, ok, _d in report), report
+
+    def test_diagrams_render(self, panels):
+        for panel in panels:
+            assert "PE0" in panel.diagram
+            assert "legend" in panel.diagram
+
+
+class TestSeqFit:
+    def test_fit_matches_paper_stars(self):
+        report = reproduce_fit()
+        for n, _actual, fitted, _free, star in report.rows:
+            if star is not None:
+                assert fitted == pytest.approx(star, rel=0.05), n
+
+    def test_render(self):
+        assert "9216" in reproduce_fit().render()
+
+
+class TestAnalytic:
+    def test_known_variants(self):
+        for variant in ("sequential", "navp-1d-dsc", "navp-2d-phase",
+                        "mpi-gentleman", "scalapack-summa"):
+            assert predict(variant, 1536, 128, 3) > 0
+
+    def test_sequential_matches_model(self):
+        t = predict("sequential", 1536, 128, 1)
+        assert t == pytest.approx(65.44, rel=0.001)
+
+    def test_phase_faster_than_dsc_analytically(self):
+        dsc = predict("navp-1d-dsc", 1536, 128, 3)
+        phase = predict("navp-1d-phase", 1536, 128, 3)
+        assert phase < dsc / 2

@@ -1,0 +1,134 @@
+"""ProcessFabric: migration across real OS processes.
+
+Kept deliberately small-scale (each test forks worker processes); the
+heavier end-to-end coverage of transformed programs on processes lives
+in test_transform_chain.py and the real_processes example.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError, FabricError
+from repro.fabric import Grid1D
+from repro.fabric.process import ProcessFabric
+from repro.navp import ir
+
+V = ir.Var
+C = ir.Const
+
+
+def register(name, body, params=()):
+    return ir.register_program(
+        ir.Program(name, tuple(body), tuple(params)), replace=True)
+
+
+class TestMigration:
+    def test_state_travels_data_stays(self):
+        """Node variables stay in their process; agent state migrates."""
+        register("pf-tour", [
+            ir.Assign("acc", C(0)),
+            ir.For("i", C(3), (
+                ir.HopStmt((V("i"),)),
+                ir.Assign("acc", ir.Bin("+", V("acc"),
+                                        ir.NodeGet("chunk"))),
+            )),
+            ir.NodeSet("total", (), V("acc")),
+        ])
+        fabric = ProcessFabric(Grid1D(3), timeout=60.0)
+        for j in range(3):
+            fabric.load((j,), chunk=10 ** j)
+        fabric.inject((0,), "pf-tour")
+        result = fabric.run()
+        assert result.places[(2,)]["total"] == 111
+        # node data never moved
+        for j in range(3):
+            assert result.places[(j,)]["chunk"] == 10 ** j
+
+    def test_numpy_agent_payloads(self):
+        register("pf-array", [
+            ir.Assign("m", ir.NodeGet("block")),
+            ir.HopStmt((C(1),)),
+            ir.ComputeStmt("gemm_acc",
+                           (ir.NodeGet("acc"), V("m"), ir.NodeGet("other")),
+                           out="r"),
+            ir.NodeSet("result", (), V("r")),
+        ])
+        a = np.arange(4.0).reshape(2, 2)
+        b = np.eye(2)
+        fabric = ProcessFabric(Grid1D(2), timeout=60.0)
+        fabric.load((0,), block=a)
+        fabric.load((1,), other=b, acc=np.zeros((2, 2)))
+        fabric.inject((0,), "pf-array")
+        result = fabric.run()
+        assert np.array_equal(result.places[(1,)]["result"], a)
+
+
+class TestEventsAndInjection:
+    def test_inject_and_events_within_a_worker(self):
+        register("pf-child", [
+            ir.NodeSet("child_ran", (), C(True)),
+            ir.SignalStmt("done"),
+        ], params=("mi",))
+        register("pf-parent", [
+            ir.InjectStmt("pf-child", (("mi", C(1)),)),
+            ir.WaitStmt("done"),
+            ir.NodeSet("parent_done", (), C(True)),
+        ])
+        fabric = ProcessFabric(Grid1D(1), timeout=60.0)
+        fabric.inject((0,), "pf-parent")
+        result = fabric.run()
+        assert result.places[(0,)]["child_ran"]
+        assert result.places[(0,)]["parent_done"]
+
+    def test_termination_with_grandchildren(self):
+        """Parental accounting must track spawn chains across hops."""
+        register("pf-leaf", [
+            ir.HopStmt((C(0),)),
+            ir.NodeSet("leaves", (V("mi"),), C(True)),
+        ], params=("mi",))
+        register("pf-mid", [
+            ir.HopStmt((C(1),)),
+            ir.InjectStmt("pf-leaf", (("mi", V("mi")),)),
+        ], params=("mi",))
+        register("pf-root", [
+            ir.For("i", C(3), (
+                ir.InjectStmt("pf-mid", (("mi", V("i")),)),
+            )),
+        ])
+        fabric = ProcessFabric(Grid1D(2), timeout=60.0)
+        fabric.inject((0,), "pf-root")
+        result = fabric.run()
+        assert set(result.places[(0,)]["leaves"]) == {0, 1, 2}
+
+    def test_signal_initial(self):
+        register("pf-waiter", [
+            ir.WaitStmt("EC"),
+            ir.NodeSet("ok", (), C(True)),
+        ])
+        fabric = ProcessFabric(Grid1D(1), timeout=60.0)
+        fabric.signal_initial((0,), "EC")
+        fabric.inject((0,), "pf-waiter")
+        assert fabric.run().places[(0,)]["ok"]
+
+
+class TestFailureModes:
+    def test_deadlock_times_out(self):
+        register("pf-stuck", [ir.WaitStmt("never")])
+        fabric = ProcessFabric(Grid1D(1), timeout=3.0)
+        fabric.inject((0,), "pf-stuck")
+        with pytest.raises(DeadlockError):
+            fabric.run()
+
+    def test_worker_error_surfaces(self):
+        register("pf-bad", [
+            ir.Assign("x", ir.NodeGet("missing_var")),
+        ])
+        fabric = ProcessFabric(Grid1D(1), timeout=30.0)
+        fabric.inject((0,), "pf-bad")
+        with pytest.raises(FabricError, match="missing_var"):
+            fabric.run()
+
+    def test_no_messengers_rejected(self):
+        fabric = ProcessFabric(Grid1D(1))
+        with pytest.raises(FabricError):
+            fabric.run()

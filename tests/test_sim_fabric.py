@@ -1,0 +1,385 @@
+"""SimFabric: cost arithmetic, contention, events, messaging, failure."""
+
+import pytest
+
+from repro.errors import DeadlockError, FabricError
+from repro.fabric import Grid1D, Grid2D, SimFabric
+from repro.fabric import effects as fx
+from repro.machine import SUN_BLADE_100, MachineSpec, NetworkSpec
+from repro.navp import Messenger
+
+
+def plain_machine(**net_kw):
+    """A machine with zeroed overheads for exact cost arithmetic."""
+    return MachineSpec(
+        flop_rate=1e6,
+        elem_size=4,
+        hop_state_bytes=0,
+        inject_overhead_s=0.0,
+        event_overhead_s=0.0,
+        network=NetworkSpec(
+            bandwidth_Bps=net_kw.pop("bandwidth_Bps", 1e6),
+            latency_s=net_kw.pop("latency_s", 0.01),
+            small_message_bytes=net_kw.pop("small_message_bytes", 0),
+        ),
+    )
+
+
+class _Hopper(Messenger):
+    def __init__(self, route, nbytes):
+        self._route = route
+        self._nbytes = nbytes
+
+    def main(self):
+        for coord in self._route:
+            yield self.hop(coord, nbytes=self._nbytes)
+
+
+class _Computer(Messenger):
+    def __init__(self, flops, fn=None):
+        self._flops = flops
+        self._fn = fn
+
+    def main(self):
+        yield self.compute(self._fn, flops=self._flops)
+
+
+class TestHopCosts:
+    def test_uncontended_hop_is_latency_plus_wire(self):
+        fabric = SimFabric(Grid1D(2), machine=plain_machine())
+        fabric.inject((0,), _Hopper([(1,)], nbytes=10_000))
+        result = fabric.run()
+        assert result.time == pytest.approx(0.01 + 0.01)
+
+    def test_local_hop_is_cheap(self):
+        fabric = SimFabric(Grid1D(2), machine=plain_machine())
+        fabric.inject((0,), _Hopper([(0,)], nbytes=10_000))
+        result = fabric.run()
+        assert result.time == pytest.approx(SimFabric.LOCAL_HOP_SECONDS)
+
+    def test_small_message_bypass(self):
+        machine = plain_machine(small_message_bytes=2048)
+        fabric = SimFabric(Grid1D(2), machine=machine)
+        fabric.inject((0,), _Hopper([(1,)], nbytes=512))
+        result = fabric.run()
+        assert result.time == pytest.approx(0.01)  # latency only
+
+    def test_sender_nic_contention_serializes(self):
+        """Two big hops out of the same PE share its outbound NIC."""
+        fabric = SimFabric(Grid1D(3), machine=plain_machine())
+        fabric.inject((0,), _Hopper([(1,)], nbytes=10_000))
+        fabric.inject((0,), _Hopper([(2,)], nbytes=10_000))
+        result = fabric.run()
+        # second wire start waits 0.01; arrival 0.01+0.01+0.01
+        assert result.time == pytest.approx(0.03)
+
+    def test_receiver_nic_contention_serializes(self):
+        fabric = SimFabric(Grid1D(3), machine=plain_machine())
+        fabric.inject((0,), _Hopper([(2,)], nbytes=10_000))
+        fabric.inject((1,), _Hopper([(2,)], nbytes=10_000))
+        result = fabric.run()
+        assert result.time == pytest.approx(0.03)
+
+    def test_agent_payload_charged_automatically(self):
+        import numpy as np
+
+        class Carrier(Messenger):
+            def __init__(self):
+                self.mA = np.zeros(250, dtype=np.float64)  # 1000 model bytes
+
+            def main(self):
+                yield self.hop((1,))
+
+        machine = plain_machine()
+        fabric = SimFabric(Grid1D(2), machine=machine)
+        fabric.inject((0,), Carrier())
+        result = fabric.run()
+        assert result.time == pytest.approx(0.01 + 0.001)
+
+
+class TestComputeCosts:
+    def test_flops_to_seconds(self):
+        fabric = SimFabric(Grid1D(1), machine=plain_machine(),
+                           use_cache_model=False)
+        fabric.inject((0,), _Computer(flops=5e5))
+        assert fabric.run().time == pytest.approx(0.5)
+
+    def test_cpu_serializes_messengers(self):
+        fabric = SimFabric(Grid1D(1), machine=plain_machine(),
+                           use_cache_model=False)
+        fabric.inject((0,), _Computer(flops=1e6))
+        fabric.inject((0,), _Computer(flops=1e6))
+        assert fabric.run().time == pytest.approx(2.0)
+
+    def test_fn_executes_and_returns(self):
+        log = []
+
+        class M(Messenger):
+            def main(self):
+                value = yield self.compute(lambda: 41 + 1, flops=1)
+                log.append(value)
+
+        fabric = SimFabric(Grid1D(1), machine=plain_machine())
+        fabric.inject((0,), M())
+        fabric.run()
+        assert log == [42]
+
+    def test_cache_kind_factor_applied(self):
+        fabric = SimFabric(Grid2D(1), machine=SUN_BLADE_100,
+                           use_cache_model=True)
+        flops = SUN_BLADE_100.flop_rate  # exactly 1 second at factor 1
+
+        class M(Messenger):
+            def main(self):
+                yield self.compute(None, flops=flops, kind="mpi")
+
+        fabric.inject((0, 0), M())
+        t_mpi = fabric.run().time
+        assert t_mpi > 1.0  # the mpi factor is > 1
+
+    def test_cache_model_disabled(self):
+        fabric = SimFabric(Grid2D(1), machine=SUN_BLADE_100,
+                           use_cache_model=False)
+        flops = SUN_BLADE_100.flop_rate
+
+        class M(Messenger):
+            def main(self):
+                yield self.compute(None, flops=flops, kind="mpi")
+
+        fabric.inject((0, 0), M())
+        assert fabric.run().time == pytest.approx(1.0)
+
+
+class TestEvents:
+    def test_producer_consumer(self):
+        order = []
+
+        class Producer(Messenger):
+            def main(self):
+                yield self.compute(None, flops=1e6)
+                self.vars["data"] = "ready"
+                yield self.signal_event("EP")
+
+        class Consumer(Messenger):
+            def main(self):
+                yield self.wait_event("EP")
+                order.append(self.vars["data"])
+
+        fabric = SimFabric(Grid1D(1), machine=plain_machine())
+        fabric.inject((0,), Consumer())
+        fabric.inject((0,), Producer())
+        fabric.run()
+        assert order == ["ready"]
+
+    def test_events_are_place_local(self):
+        """A signal at node 0 must not release a waiter at node 1."""
+        fabric = SimFabric(Grid1D(2), machine=plain_machine())
+
+        class Signaler(Messenger):
+            def main(self):
+                yield self.signal_event("E")
+
+        class Waiter(Messenger):
+            def main(self):
+                yield self.wait_event("E")
+
+        fabric.inject((0,), Signaler())
+        fabric.inject((1,), Waiter())
+        with pytest.raises(DeadlockError):
+            fabric.run()
+
+    def test_counting_not_sticky(self):
+        """One signal wakes exactly one of two waiters."""
+        fabric = SimFabric(Grid1D(1), machine=plain_machine())
+
+        class Waiter(Messenger):
+            def main(self):
+                yield self.wait_event("E")
+
+        class Signaler(Messenger):
+            def main(self):
+                yield self.signal_event("E")
+
+        fabric.inject((0,), Waiter())
+        fabric.inject((0,), Waiter())
+        fabric.inject((0,), Signaler())
+        with pytest.raises(DeadlockError):
+            fabric.run()
+
+    def test_signal_count_releases_batch(self):
+        fabric = SimFabric(Grid1D(1), machine=plain_machine())
+        done = []
+
+        class Waiter(Messenger):
+            def main(self):
+                yield self.wait_event("E", 1, 2)
+                done.append(1)
+
+        class Signaler(Messenger):
+            def main(self):
+                yield self.signal_event("E", 1, 2, count=2)
+
+        fabric.inject((0,), Waiter())
+        fabric.inject((0,), Waiter())
+        fabric.inject((0,), Signaler())
+        fabric.run()
+        assert done == [1, 1]
+
+    def test_signal_initial(self):
+        fabric = SimFabric(Grid1D(1), machine=plain_machine())
+        fabric.signal_initial((0,), "EC")
+        done = []
+
+        class Waiter(Messenger):
+            def main(self):
+                yield self.wait_event("EC")
+                done.append(True)
+
+        fabric.inject((0,), Waiter())
+        fabric.run()
+        assert done == [True]
+
+
+class TestMessaging:
+    def test_send_recv(self):
+        got = []
+
+        class Sender(Messenger):
+            def main(self):
+                yield fx.Send(dst=(1,), tag="t", payload=123, nbytes=100)
+
+        class Receiver(Messenger):
+            def main(self):
+                msg = yield fx.Recv(src=(0,), tag="t")
+                got.append((msg.src, msg.payload))
+
+        fabric = SimFabric(Grid1D(2), machine=plain_machine())
+        fabric.inject((0,), Sender())
+        fabric.inject((1,), Receiver())
+        fabric.run()
+        assert got == [((0,), 123)]
+
+    def test_irecv_wait(self):
+        got = []
+
+        class Sender(Messenger):
+            def main(self):
+                yield self.compute(None, flops=1e6)
+                yield fx.Send(dst=(1,), tag=7, payload="late", nbytes=64)
+
+        class Receiver(Messenger):
+            def main(self):
+                request = yield fx.IRecv(src=(0,), tag=7)
+                yield self.compute(None, flops=5e5)  # overlap
+                msg = yield fx.WaitRequest(request=request)
+                got.append(msg.payload)
+
+        fabric = SimFabric(Grid1D(2), machine=plain_machine())
+        fabric.inject((0,), Sender())
+        fabric.inject((1,), Receiver())
+        fabric.run()
+        assert got == ["late"]
+
+    def test_any_source(self):
+        got = []
+
+        class Sender(Messenger):
+            def main(self):
+                yield fx.Send(dst=(1,), tag="x", payload=self.here,
+                              nbytes=64)
+
+        class Receiver(Messenger):
+            def main(self):
+                msg = yield fx.Recv(tag="x")
+                got.append(msg.payload)
+
+        fabric = SimFabric(Grid1D(2), machine=plain_machine())
+        fabric.inject((0,), Sender())
+        fabric.inject((1,), Receiver())
+        fabric.run()
+        assert got == [(0,)]
+
+    def test_tag_matching_keeps_order_per_tag(self):
+        got = []
+
+        class Sender(Messenger):
+            def main(self):
+                yield fx.Send(dst=(1,), tag="a", payload=1, nbytes=64)
+                yield fx.Send(dst=(1,), tag="b", payload=2, nbytes=64)
+
+        class Receiver(Messenger):
+            def main(self):
+                msg_b = yield fx.Recv(tag="b")
+                msg_a = yield fx.Recv(tag="a")
+                got.extend([msg_b.payload, msg_a.payload])
+
+        fabric = SimFabric(Grid1D(2), machine=plain_machine())
+        fabric.inject((0,), Sender())
+        fabric.inject((1,), Receiver())
+        fabric.run()
+        assert got == [2, 1]
+
+    def test_local_send(self):
+        got = []
+
+        class SelfTalker(Messenger):
+            def main(self):
+                yield fx.Send(dst=(0,), tag="loop", payload=9, nbytes=1000)
+                msg = yield fx.Recv(tag="loop")
+                got.append(msg.payload)
+
+        fabric = SimFabric(Grid1D(1), machine=plain_machine())
+        fabric.inject((0,), SelfTalker())
+        result = fabric.run()
+        assert got == [9]
+        assert result.time < 0.001  # pointer swap, not a network trip
+
+
+class TestLifecycle:
+    def test_inject_after_run_rejected(self):
+        fabric = SimFabric(Grid1D(1), machine=plain_machine())
+        fabric.inject((0,), _Computer(flops=1))
+        fabric.run()
+        with pytest.raises(FabricError):
+            fabric.inject((0,), _Computer(flops=1))
+
+    def test_messenger_exception_wrapped(self):
+        class Bad(Messenger):
+            def main(self):
+                yield self.compute(None, flops=1)
+                raise RuntimeError("inner failure")
+
+        fabric = SimFabric(Grid1D(1), machine=plain_machine())
+        fabric.inject((0,), Bad())
+        with pytest.raises(Exception, match="inner failure"):
+            fabric.run()
+
+    def test_unknown_effect_rejected(self):
+        class Weird(Messenger):
+            def main(self):
+                yield object()
+
+        fabric = SimFabric(Grid1D(1), machine=plain_machine())
+        fabric.inject((0,), Weird())
+        with pytest.raises(Exception):
+            fabric.run()
+
+    def test_result_get(self):
+        class Writer(Messenger):
+            def main(self):
+                self.vars["out"] = 5
+                yield self.compute(None, flops=1)
+
+        fabric = SimFabric(Grid1D(2), machine=plain_machine())
+        fabric.inject((1,), Writer())
+        result = fabric.run()
+        assert result.get(1, "out") == 5
+        assert result.get((1,), "out") == 5
+
+    def test_unique_names(self):
+        fabric = SimFabric(Grid1D(1), machine=plain_machine())
+        a, b = _Computer(flops=1), _Computer(flops=1)
+        fabric.inject((0,), a)
+        fabric.inject((0,), b)
+        fabric.run()
+        assert a._name != b._name

@@ -1,0 +1,41 @@
+"""SPMD baselines on the thread fabric: same numerics, real threads."""
+
+import pytest
+
+from repro.matmul import (
+    MatmulCase,
+    run_cannon,
+    run_doall,
+    run_doall_replicated,
+    run_gentleman,
+    run_gentleman_tuned,
+    run_summa,
+)
+from repro.util.validation import assert_allclose
+from repro.wavefront import WavefrontCase, run_mpi_wavefront
+
+
+@pytest.mark.parametrize("runner", [
+    run_gentleman, run_gentleman_tuned, run_cannon, run_summa,
+    run_doall, run_doall_replicated,
+])
+def test_matmul_spmd_on_threads(runner):
+    case = MatmulCase(n=24, ab=4, seed=31)
+    result = runner(case, 2, fabric="thread")
+    assert_allclose(result.c, case.reference(),
+                    what=f"{result.variant} on threads")
+
+
+def test_gentleman_3x3_on_threads():
+    case = MatmulCase(n=36, ab=3, seed=32)
+    result = run_gentleman(case, 3, fabric="thread")
+    assert_allclose(result.c, case.reference())
+
+
+def test_wavefront_mpi_runs_on_sim_only_api():
+    """The wavefront MPI baseline keeps its own signature (sim)."""
+    case = WavefrontCase(n=16, b=4)
+    result = run_mpi_wavefront(case, 2)
+    import numpy as np
+
+    assert np.allclose(result.d, case.reference())

@@ -1,0 +1,105 @@
+"""Staggering analysis — Section 5 item 3 as properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.matmul.staggering import (
+    cycles_of,
+    forward_cycle_length,
+    forward_stagger_permutation,
+    phases_for_permutation,
+    phases_for_scheme,
+    reverse_stagger_permutation,
+    schedule_permutation_phases,
+    staggering_comparison,
+)
+
+orders = st.integers(2, 24)
+permutations = st.permutations(list(range(8)))
+
+
+class TestMaps:
+    @given(orders, st.integers(0, 23))
+    def test_forward_is_a_cyclic_shift(self, n, row):
+        row = row % n
+        perm = forward_stagger_permutation(n, row)
+        assert sorted(perm) == list(range(n))
+        for j in range(n):
+            assert perm[j] == (j - row) % n
+
+    @given(orders, st.integers(0, 23))
+    def test_reverse_is_an_involution(self, n, row):
+        """Applying reverse staggering twice is the identity — this is
+        why it never needs more than two phases."""
+        row = row % n
+        perm = reverse_stagger_permutation(n, row)
+        assert sorted(perm) == list(range(n))
+        for j in range(n):
+            assert perm[perm[j]] == j
+
+    @given(orders, st.integers(0, 23))
+    def test_forward_cycle_length_formula(self, n, row):
+        row = row % n
+        cycles = cycles_of(forward_stagger_permutation(n, row))
+        lengths = {len(c) for c in cycles}
+        assert lengths == {forward_cycle_length(n, row)}
+
+
+class TestPhaseCounts:
+    @given(orders)
+    def test_reverse_never_exceeds_two(self, n):
+        assert phases_for_scheme(n, "reverse") <= 2
+
+    @given(orders)
+    def test_forward_three_unless_power_of_two(self, n):
+        expected = 2 if (n & (n - 1)) == 0 else 3
+        assert phases_for_scheme(n, "forward") == expected
+
+    def test_paper_grids(self):
+        """On the paper's 3x3 grid: forward 3 phases, reverse 2."""
+        assert phases_for_scheme(3, "forward") == 3
+        assert phases_for_scheme(3, "reverse") == 2
+
+    def test_identity_needs_none(self):
+        assert phases_for_permutation(list(range(5))) == 0
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            phases_for_scheme(4, "sideways")
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            phases_for_permutation([0, 0, 1])
+
+    def test_comparison_rows(self):
+        rows = staggering_comparison([3, 4])
+        assert rows == [(3, 3, 2), (4, 2, 2)]
+
+
+class TestSchedules:
+    @given(permutations)
+    def test_schedule_is_valid_and_optimal(self, perm):
+        """For ANY permutation: the schedule moves every non-fixed
+        entry exactly once, no PE is used twice in a phase, and the
+        phase count matches the cycle-parity closed form."""
+        phases = schedule_permutation_phases(perm)
+        assert len(phases) == phases_for_permutation(perm)
+        moved = []
+        for phase in phases:
+            endpoints = [x for pair in phase for x in pair]
+            assert len(set(endpoints)) == len(endpoints)
+            moved.extend(phase)
+        expected = sorted((j, perm[j]) for j in range(len(perm))
+                          if perm[j] != j)
+        assert sorted(moved) == expected
+
+    @given(orders, st.integers(0, 23))
+    def test_both_schemes_schedule_consistently(self, n, row):
+        row = row % n
+        for build in (forward_stagger_permutation,
+                      reverse_stagger_permutation):
+            perm = build(n, row)
+            phases = schedule_permutation_phases(perm)
+            assert len(phases) == phases_for_permutation(perm)

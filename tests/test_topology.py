@@ -1,0 +1,95 @@
+"""Topologies: coordinates, node maps, neighbours."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.fabric.topology import Grid1D, Grid2D, Topology
+
+
+class TestGrid1D:
+    def test_coords_and_index(self):
+        grid = Grid1D(3)
+        assert grid.coords == ((0,), (1,), (2,))
+        assert grid.index((1,)) == 1
+        assert len(grid) == 3
+
+    def test_node_map(self):
+        grid = Grid1D(4)
+        assert grid.node(2) == (2,)
+        with pytest.raises(TopologyError):
+            grid.node(4)
+        with pytest.raises(TopologyError):
+            grid.node(-1)
+
+    @given(st.integers(1, 16), st.integers(0, 15))
+    def test_ring_neighbours_inverse(self, p, j):
+        grid = Grid1D(p)
+        j = j % p
+        assert grid.west(*grid.east(j)) == (j,)
+        assert grid.east(*grid.west(j)) == (j,)
+
+    def test_normalize_accepts_ints(self):
+        grid = Grid1D(3)
+        assert grid.normalize(2) == (2,)
+        assert grid.normalize((2,)) == (2,)
+        with pytest.raises(TopologyError):
+            grid.normalize(3)
+
+    def test_needs_at_least_one(self):
+        with pytest.raises(TopologyError):
+            Grid1D(0)
+
+
+class TestGrid2D:
+    def test_square_default(self):
+        grid = Grid2D(3)
+        assert grid.rows == grid.cols == 3
+        assert len(grid) == 9
+
+    def test_rectangular(self):
+        grid = Grid2D(2, 5)
+        assert len(grid) == 10
+        assert (1, 4) in grid
+        assert (2, 0) not in grid
+
+    def test_index_row_major(self):
+        grid = Grid2D(3)
+        assert grid.index((0, 0)) == 0
+        assert grid.index((1, 0)) == 3
+        assert grid.index((2, 2)) == 8
+
+    def test_node_map(self):
+        grid = Grid2D(3)
+        assert grid.node(2, 1) == (2, 1)
+        with pytest.raises(TopologyError):
+            grid.node(3, 0)
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(0, 35))
+    def test_torus_neighbours_inverse(self, rows, cols, seed):
+        grid = Grid2D(rows, cols)
+        i, j = seed % rows, (seed // 6) % cols
+        assert grid.north(*grid.south(i, j)) == (i, j)
+        assert grid.west(*grid.east(i, j)) == (i, j)
+
+    def test_gentleman_shift_directions(self):
+        """A moves west, B moves north (Figure 16 semantics)."""
+        grid = Grid2D(3)
+        assert grid.west(0, 0) == (0, 2)   # wraps
+        assert grid.north(0, 1) == (2, 1)  # wraps
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            Grid2D(0, 3)
+
+
+class TestTopologyBase:
+    def test_duplicate_coords_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology([(0,), (0,)])
+
+    def test_unknown_coord(self):
+        grid = Grid1D(2)
+        with pytest.raises(TopologyError):
+            grid.index((5,))

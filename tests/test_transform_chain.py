@@ -1,0 +1,129 @@
+"""End-to-end transformation chain: semantics, improvement, processes."""
+
+import pytest
+
+from repro.fabric import Grid1D
+from repro.fabric.process import ProcessFabric
+from repro.machine import FAST_TEST_MACHINE, SUN_BLADE_100
+from repro.transform import (
+    assemble_c,
+    derive_chain,
+    layout_dsc,
+    layout_phase,
+    layout_sequential,
+    run_stage,
+    verify_chain,
+)
+from repro.util.validation import assert_allclose, random_matrix
+
+
+class TestSemanticPreservation:
+    @pytest.mark.parametrize("nb,ab", [(2, 4), (3, 8), (4, 4), (5, 3)])
+    def test_all_stages_exact(self, nb, ab):
+        chain = derive_chain(nb)
+        report = verify_chain(chain, ab=ab)
+        assert len(report) == 4
+        assert all(err < 1e-12 for _name, _t, err in report)
+
+    def test_chain_on_thread_fabric(self):
+        chain = derive_chain(3)
+        report = verify_chain(chain, ab=8, fabric="thread")
+        assert all(err < 1e-12 for _name, _t, err in report)
+
+    def test_report_renders(self):
+        chain = derive_chain(2)
+        text = verify_chain(chain, ab=4).render()
+        assert "phase-shifted" in text
+
+
+class TestImprovementLadder:
+    def test_each_stage_improves_when_compute_dominates(self):
+        """The paper's property (2): every intermediate program is an
+        improvement over its predecessor."""
+        chain = derive_chain(4)
+        report = verify_chain(chain, ab=8, machine=FAST_TEST_MACHINE)
+        times = {name: t for name, t, _err in report}
+        assert times["pipelined"] < times["dsc"]
+        assert times["phase-shifted"] < times["pipelined"]
+
+    def test_dsc_close_to_sequential(self):
+        chain = derive_chain(3)
+        report = verify_chain(chain, ab=8, machine=FAST_TEST_MACHINE)
+        times = {name: t for name, t, _err in report}
+        assert times["dsc"] < times["sequential"] * 1.25
+
+
+class TestLayouts:
+    def test_sequential_layout_all_on_node0(self):
+        a = random_matrix(12, 0)
+        b = random_matrix(12, 1)
+        layout = layout_sequential(a, b, 3)
+        assert set(layout) == {(0,)}
+        assert set(layout[(0,)]["A"]) == {0, 1, 2}
+        assert len(layout[(0,)]["B"]) == 9
+
+    def test_dsc_layout_columns(self):
+        a = random_matrix(12, 0)
+        b = random_matrix(12, 1)
+        layout = layout_dsc(a, b, 3)
+        assert "A" in layout[(0,)]
+        assert "A" not in layout[(1,)]
+        for j in range(3):
+            keys = set(layout[(j,)]["B"])
+            assert keys == {(k, j) for k in range(3)}
+
+    def test_phase_layout_rows(self):
+        a = random_matrix(12, 0)
+        b = random_matrix(12, 1)
+        layout = layout_phase(a, b, 3)
+        for i in range(3):
+            assert set(layout[(i,)]["A"]) == {i}
+
+    def test_assemble_rejects_incomplete(self):
+        with pytest.raises(ValueError, match="missing"):
+            assemble_c({(0,): {"C": {(0, 0): random_matrix(4, 0)}}},
+                       nb=2, ab=4)
+
+
+class TestOnProcesses:
+    def test_derived_dsc_runs_on_real_processes(self):
+        nb, ab = 3, 8
+        chain = derive_chain(nb)
+        a = random_matrix(nb * ab, 21)
+        b = random_matrix(nb * ab, 22)
+        fabric = ProcessFabric(Grid1D(nb), timeout=60.0)
+        for coord, node_vars in layout_dsc(a, b, nb).items():
+            fabric.load(coord, **node_vars)
+        fabric.inject((0,), chain.dsc.name)
+        result = fabric.run()
+        assert_allclose(assemble_c(result.places, nb, ab), a @ b)
+
+    def test_derived_phase_runs_on_real_processes(self):
+        nb, ab = 3, 8
+        chain = derive_chain(nb)
+        a = random_matrix(nb * ab, 23)
+        b = random_matrix(nb * ab, 24)
+        fabric = ProcessFabric(Grid1D(nb), timeout=60.0)
+        for coord, node_vars in layout_phase(a, b, nb).items():
+            fabric.load(coord, **node_vars)
+        fabric.inject((0,), chain.phased.main.name)
+        result = fabric.run()
+        assert_allclose(assemble_c(result.places, nb, ab), a @ b)
+
+
+class TestRunStage:
+    def test_timing_consistent_with_handwritten(self):
+        """The IR DSC program's modeled time is in the same regime as
+        the handwritten Figure 5 messenger at matching granularity."""
+        from repro.matmul import MatmulCase, run_dsc_1d
+
+        nb, ab = 3, 64
+        chain = derive_chain(nb)
+        a = random_matrix(nb * ab, 31)
+        b = random_matrix(nb * ab, 32)
+        _c, result = run_stage(chain.dsc, layout_dsc(a, b, nb),
+                               places=nb, nb=nb, ab=ab,
+                               machine=SUN_BLADE_100)
+        handwritten = run_dsc_1d(MatmulCase(n=nb * ab, ab=ab), nb,
+                                 machine=SUN_BLADE_100)
+        assert result.time == pytest.approx(handwritten.time, rel=0.35)

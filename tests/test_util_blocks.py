@@ -1,0 +1,122 @@
+"""Unit and property tests for block partitioning helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.util.blocks import (
+    Blocking,
+    block_slices,
+    block_view,
+    check_divides,
+    from_block_grid,
+    strip_cols,
+    strip_rows,
+    to_block_grid,
+)
+
+
+class TestCheckDivides:
+    def test_accepts_divisible(self):
+        check_divides(128, 32)
+
+    def test_rejects_nondivisible(self):
+        with pytest.raises(PartitionError):
+            check_divides(100, 32)
+
+    @pytest.mark.parametrize("n,b", [(0, 4), (4, 0), (-8, 2), (8, -2)])
+    def test_rejects_nonpositive(self, n, b):
+        with pytest.raises(PartitionError):
+            check_divides(n, b)
+
+
+class TestBlockViews:
+    def test_block_slices(self):
+        si, sj = block_slices(2, 1, 8)
+        assert (si.start, si.stop) == (16, 24)
+        assert (sj.start, sj.stop) == (8, 16)
+
+    def test_block_view_is_a_view(self):
+        a = np.arange(64.0).reshape(8, 8)
+        blk = block_view(a, 1, 1, 4)
+        assert np.shares_memory(blk, a)
+        blk[0, 0] = -1.0
+        assert a[4, 4] == -1.0
+
+    def test_strip_rows_and_cols(self):
+        a = np.arange(36.0).reshape(6, 6)
+        assert np.array_equal(strip_rows(a, 1, 2), a[2:4, :])
+        assert np.array_equal(strip_cols(a, 2, 2), a[:, 4:6])
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(0, 5),
+           st.integers(0, 5))
+    def test_blocks_tile_the_matrix(self, bi, bj, i, j):
+        """Every element belongs to exactly the block its indices say."""
+        n = 6 * max(bi, bj)
+        a = np.arange(float(n * n)).reshape(n, n)
+        b = n // 6
+        blk = block_view(a, i, j, b)
+        assert blk.shape == (b, b)
+        assert blk[0, 0] == a[i * b, j * b]
+
+
+class TestBlockGrid:
+    def test_roundtrip(self):
+        a = np.arange(144.0).reshape(12, 12)
+        grid = to_block_grid(a, 4)
+        out = np.zeros_like(a)
+        from_block_grid(grid, out)
+        assert np.array_equal(out, a)
+
+    def test_rotation_is_pointer_swap(self):
+        """Shifting the nested-list representation copies no elements."""
+        a = np.arange(64.0).reshape(8, 8)
+        grid = to_block_grid(a, 4)
+        first = grid[0][0]
+        grid[0] = grid[0][1:] + [grid[0][0]]
+        assert grid[0][-1] is first
+
+    def test_rejects_nondivisible(self):
+        with pytest.raises(PartitionError):
+            to_block_grid(np.zeros((10, 10)), 4)
+
+    def test_from_empty_grid_rejected(self):
+        with pytest.raises(PartitionError):
+            from_block_grid([], np.zeros((4, 4)))
+
+
+class TestBlocking:
+    def test_derived_quantities(self):
+        blocking = Blocking(n=1536, grid=3, ab=128)
+        assert blocking.db == 512
+        assert blocking.blocks_per_db == 4
+        assert blocking.nblocks == 12
+
+    def test_invalid_combinations(self):
+        with pytest.raises(PartitionError):
+            Blocking(n=100, grid=3, ab=10)
+        with pytest.raises(PartitionError):
+            Blocking(n=96, grid=3, ab=10)
+
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4))
+    def test_owner_local_global_roundtrip(self, grid, per_db, ab):
+        blocking = Blocking(n=grid * per_db * ab, grid=grid, ab=ab)
+        for idx in range(blocking.nblocks):
+            owner = blocking.owner(idx)
+            local = blocking.local_index(idx)
+            assert 0 <= owner < grid
+            assert 0 <= local < blocking.blocks_per_db
+            assert blocking.global_index(owner, local) == idx
+
+    def test_out_of_range(self):
+        blocking = Blocking(n=24, grid=3, ab=4)
+        with pytest.raises(PartitionError):
+            blocking.owner(6)
+        with pytest.raises(PartitionError):
+            blocking.local_index(-1)
+        with pytest.raises(PartitionError):
+            blocking.global_index(3, 0)
+        with pytest.raises(PartitionError):
+            blocking.global_index(0, 2)

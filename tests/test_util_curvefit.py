@@ -1,0 +1,64 @@
+"""The cubic least-squares fit must recover polynomials exactly."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.curvefit import fit_polynomial, fit_sequential_times
+
+coeff = st.floats(-10.0, 10.0, allow_nan=False)
+
+
+class TestExactRecovery:
+    @given(st.tuples(coeff, coeff, coeff, coeff))
+    def test_recovers_random_cubics(self, coeffs):
+        xs = np.array([512.0, 1024.0, 1536.0, 2048.0, 3072.0])
+        scaled = xs / xs.max()
+        ys = sum(c * scaled**k for k, c in enumerate(coeffs))
+        fit = fit_polynomial(xs, ys, degree=3)
+        predict_at = np.array([4608.0, 9216.0])
+        expected = sum(c * (predict_at / xs.max()) ** k
+                       for k, c in enumerate(coeffs))
+        assert np.allclose(fit(predict_at), expected, rtol=1e-8, atol=1e-8)
+
+    def test_matmul_like_series(self):
+        """A pure O(n^3) series extrapolates exactly."""
+        rate = 1.1e8
+        xs = np.array([768, 1536, 2304, 3072], dtype=float)
+        ys = 2 * xs**3 / rate
+        fit = fit_sequential_times(xs, ys)
+        assert fit(9216) == pytest.approx(2 * 9216**3 / rate, rel=1e-9)
+
+    def test_scalar_and_array_calls(self):
+        fit = fit_polynomial([1, 2, 3, 4], [1, 8, 27, 64], degree=3)
+        assert isinstance(fit(5), float)
+        out = fit(np.array([5.0, 6.0]))
+        assert out.shape == (2,)
+
+    def test_residuals(self):
+        fit = fit_polynomial([1, 2, 3, 4, 5], [1, 4, 9, 16, 25], degree=2)
+        res = fit.residuals([1, 2, 3], [1, 4, 9])
+        assert np.allclose(res, 0.0, atol=1e-9)
+
+
+class TestValidation:
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_polynomial([1, 2, 3], [1, 2, 3], degree=3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_polynomial([1, 2, 3, 4], [1, 2, 3], degree=2)
+
+    def test_all_zero_abscissae(self):
+        with pytest.raises(ValueError):
+            fit_polynomial([0, 0, 0, 0], [1, 2, 3, 4], degree=3)
+
+    def test_sequential_requires_increasing(self):
+        with pytest.raises(ValueError):
+            fit_sequential_times([1536, 1024, 2048, 3072], [1, 2, 3, 4])
+
+    def test_sequential_requires_positive(self):
+        with pytest.raises(ValueError):
+            fit_sequential_times([512, 1024, 2048, 3072], [1, -2, 3, 4])

@@ -1,0 +1,94 @@
+"""Text tables, validation helpers, and the error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.util.texttable import format_value, render_table
+from repro.util.validation import assert_allclose, random_matrix, relative_error
+
+
+class TestTextTable:
+    def test_alignment_and_separator(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].split() == ["1", "2.50"]
+
+    def test_title_and_groups(self):
+        out = render_table(
+            ["n", "t", "sp"],
+            [[1536, 65.44, 1.0]],
+            title="Table X",
+            group_headers=[("", 1), ("Sequential", 2)],
+        )
+        assert out.splitlines()[0] == "Table X"
+        assert "Sequential" in out.splitlines()[1]
+
+    def test_group_span_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1, 2]], group_headers=[("x", 1)])
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_wide_group_label_widens_columns(self):
+        out = render_table(["a", "b"], [[1, 2]],
+                           group_headers=[("a very long group label", 2)])
+        group_row = out.splitlines()[0]
+        assert "a very long group label" in group_row
+
+    def test_format_value(self):
+        assert format_value(None) == ""
+        assert format_value(1.23456, 3) == "1.235"
+        assert format_value("x") == "x"
+        assert format_value(7) == "7"
+
+
+class TestValidation:
+    def test_relative_error_zero(self):
+        a = np.ones((4, 4))
+        assert relative_error(a, a) == 0.0
+
+    def test_relative_error_zero_reference(self):
+        assert relative_error(np.ones(3), np.zeros(3)) == pytest.approx(
+            np.sqrt(3.0))
+
+    def test_assert_allclose_raises(self):
+        with pytest.raises(errors.VerificationError):
+            assert_allclose(np.ones((2, 2)), np.zeros((2, 2)) + 2.0)
+
+    def test_assert_allclose_returns_error(self):
+        err = assert_allclose(np.ones(3) + 1e-14, np.ones(3))
+        assert err < 1e-12
+
+    def test_random_matrix_deterministic(self):
+        a = random_matrix(8, 42)
+        b = random_matrix(8, 42)
+        c = random_matrix(8, 43)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+        assert np.abs(a).max() <= 1.0
+
+    def test_random_matrix_dtype(self):
+        assert random_matrix(4, 0, dtype=np.float32).dtype == np.float32
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.ConfigurationError, errors.TopologyError,
+        errors.PartitionError, errors.FabricError, errors.DeadlockError,
+        errors.NonLocalEventError, errors.MigrationError,
+        errors.ProtocolError, errors.SimulationError,
+        errors.TransformError, errors.VerificationError,
+    ])
+    def test_all_are_repro_errors(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_specific_parents(self):
+        assert issubclass(errors.TopologyError, errors.ConfigurationError)
+        assert issubclass(errors.PartitionError, errors.ConfigurationError)
+        assert issubclass(errors.DeadlockError, errors.FabricError)
+        assert issubclass(errors.ProtocolError, errors.FabricError)

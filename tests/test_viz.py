@@ -1,0 +1,80 @@
+"""Space-time rendering and layout descriptions."""
+
+from repro.fabric.trace import TraceLog
+from repro.viz import (
+    actor_labels,
+    describe_1d_origin,
+    describe_1d_phase,
+    describe_2d_antidiagonal,
+    describe_2d_natural,
+    render_figure,
+    render_spacetime,
+)
+
+
+def sample_trace():
+    log = TraceLog()
+    log.record(t0=0.0, t1=2.0, place=0, actor="w0", kind="compute")
+    log.record(t0=2.0, t1=4.0, place=1, actor="w0", kind="compute")
+    log.record(t0=2.0, t1=4.0, place=0, actor="w1", kind="compute")
+    return log
+
+
+class TestSpacetime:
+    def test_labels_in_first_compute_order(self):
+        labels = actor_labels(sample_trace())
+        assert labels == {"w0": "0", "w1": "1"}
+
+    def test_grid_contents(self):
+        out = render_spacetime(sample_trace(), 2, buckets=4)
+        lines = out.splitlines()
+        assert lines[0].split() == ["time", "PE0", "PE1"]
+        # first half: w0 on PE0, PE1 idle
+        assert "0" in lines[1] and "." in lines[1]
+        # second half: w1 on PE0, w0 on PE1 (skip the time column)
+        assert lines[3].split()[1:] == ["1", "0"]
+        assert "legend" in lines[-1]
+
+    def test_title(self):
+        out = render_spacetime(sample_trace(), 2, buckets=2, title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_empty_trace(self):
+        out = render_spacetime(TraceLog(), 2, buckets=4)
+        assert "(no activity)" in out
+
+    def test_many_actors_wrap_symbols(self):
+        log = TraceLog()
+        for i in range(70):
+            log.record(t0=float(i), t1=float(i + 1), place=0,
+                       actor=f"m{i}", kind="compute")
+        labels = actor_labels(log)
+        assert len(labels) == 70  # labels repeat but all actors mapped
+
+
+class TestLayoutDescriptions:
+    def test_1d_origin(self):
+        placement = describe_1d_origin(3)
+        assert "A (entire matrix)" in placement[(0,)]
+        assert any("B(*,2)" in item for item in placement[(2,)])
+
+    def test_1d_phase_reverse_order(self):
+        placement = describe_1d_phase(3)
+        assert any("A(0,*)" in item for item in placement[(2,)])
+        assert any("A(2,*)" in item for item in placement[(0,)])
+
+    def test_2d_antidiagonal(self):
+        placement = describe_2d_antidiagonal(3)
+        assert any("A(2,*)" in item for item in placement[(2, 0)])
+        assert any("B(*,0)" in item for item in placement[(2, 0)])
+        assert all(any("C(" in item for item in items)
+                   for items in placement.values())
+
+    def test_2d_natural(self):
+        placement = describe_2d_natural(2)
+        assert placement[(1, 0)] == ["A(1,0)", "B(1,0)", "C(1,0)=0"]
+
+    def test_render_figure(self):
+        out = render_figure("Figure X", describe_1d_origin(2))
+        assert out.splitlines()[0] == "Figure X"
+        assert "node(0,)" in out

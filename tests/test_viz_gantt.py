@@ -1,0 +1,71 @@
+"""Gantt rendering and Chrome trace export."""
+
+import json
+
+from repro.fabric.trace import TraceLog
+from repro.matmul import MatmulCase, run_variant
+from repro.viz import render_gantt, to_chrome_trace
+
+
+def sample_trace():
+    log = TraceLog()
+    log.record(t0=0.0, t1=1.0, place=0, actor="carrier0", kind="compute")
+    log.record(t0=1.0, t1=2.0, place=1, actor="carrier0", kind="compute")
+    log.record(t0=1.0, t1=2.0, place=0, actor="carrier1", kind="compute")
+    log.record(t0=0.5, t1=0.6, place=1, actor="carrier0", kind="hop",
+               src_place=0)
+    return log
+
+
+class TestGantt:
+    def test_rows_per_actor(self):
+        out = render_gantt(sample_trace(), width=20)
+        lines = out.splitlines()
+        assert lines[1].startswith("carrier0")
+        assert lines[2].startswith("carrier1")
+
+    def test_place_digits(self):
+        out = render_gantt(sample_trace(), width=20)
+        carrier0_row = out.splitlines()[1]
+        assert "0" in carrier0_row and "1" in carrier0_row
+
+    def test_empty(self):
+        assert render_gantt(TraceLog()) == "(no activity)"
+
+    def test_actor_cap(self):
+        log = TraceLog()
+        for i in range(30):
+            log.record(t0=float(i), t1=i + 1.0, place=0, actor=f"m{i}",
+                       kind="compute")
+        out = render_gantt(log, max_actors=5)
+        assert "+25 more actors" in out
+
+    def test_real_pipeline_reads_as_staircase(self):
+        case = MatmulCase(n=1536, ab=128, shadow=True)
+        result = run_variant("navp-1d-pipeline", case, geometry=3)
+        out = render_gantt(result.trace, width=40)
+        assert "RowCarrier1D" in out
+
+
+class TestChromeTrace:
+    def test_valid_json_with_all_events(self):
+        blob = to_chrome_trace(sample_trace())
+        doc = json.loads(blob)
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 4
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in metas} == {"carrier0",
+                                                      "carrier1"}
+
+    def test_scaling_and_pids(self):
+        doc = json.loads(to_chrome_trace(sample_trace(), time_scale=1e3))
+        first = doc["traceEvents"][0]
+        assert first["ts"] == 0.0
+        assert first["dur"] == 1000.0
+        assert {e["pid"] for e in doc["traceEvents"]
+                if e["ph"] == "X"} == {0, 1}
+
+    def test_hop_carries_source(self):
+        doc = json.loads(to_chrome_trace(sample_trace()))
+        hops = [e for e in doc["traceEvents"] if e.get("cat") == "hop"]
+        assert hops[0]["args"]["from_place"] == 0
