@@ -1,0 +1,203 @@
+"""A corpus of known-bad programs, one per diagnostic category.
+
+These are the analyzer's negative controls: small navigational
+programs each seeded with exactly one class of defect, together with
+the check that must flag it and the category it must be flagged under.
+``repro lint --corpus`` (and the tier-1 test) runs every case and
+fails if any defect goes undetected or is misclassified — so a future
+change that quietly blinds an analysis pass fails fast.
+
+Each case carries its *own* registry: corpus programs are never
+installed in :data:`repro.navp.ir.REGISTRY`, so they can never leak
+into ``repro lint --all`` or a fabric run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..navp import ir
+from .deps import carried_write_diagnostics, loop_diagnostics
+from .diagnostics import DiagnosticReport
+from .locality import LayoutSpec, check_locality, key_home
+from .protocol import protocol_diagnostics
+
+__all__ = ["CorpusCase", "CORPUS", "run_case", "verify_corpus"]
+
+V = ir.Var
+C = ir.Const
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    """One known-bad program plus how to catch it.
+
+    check:
+        ``"loop"`` (:func:`~repro.analysis.deps.loop_diagnostics`),
+        ``"carries"`` (:func:`carried_write_diagnostics`),
+        ``"locality"`` (:func:`check_locality`) or ``"protocol"``
+        (:func:`protocol_diagnostics`).
+    category:
+        The diagnostic category the case must be flagged under.
+    """
+
+    name: str
+    category: str
+    registry: dict
+    root: str
+    check: str
+    loop: str | None = None
+    carried: tuple = ()
+    layout: LayoutSpec | None = None
+
+
+def _case_write_collision() -> CorpusCase:
+    # every iteration writes acc[()] — a classic reduction race once
+    # the loop is distributed
+    prog = ir.Program("bad-write-collision", (
+        ir.For("i", C(4), (
+            ir.ComputeStmt("copy", (ir.NodeGet("X", (V("i"),)),),
+                           out="t"),
+            ir.NodeSet("acc", (), V("t")),
+        )),
+    ))
+    return CorpusCase(
+        name=prog.name, category="write-collision",
+        registry={prog.name: prog}, root=prog.name,
+        check="loop", loop="i")
+
+
+def _case_stale_carry() -> CorpusCase:
+    # the carried row A is overwritten mid-tour: the agent copy mA
+    # picked up at the start no longer matches the node data
+    prog = ir.Program("bad-stale-carry", (
+        ir.Assign("mA", ir.NodeGet("A")),
+        ir.For("i", C(4), (
+            ir.HopStmt((V("i"),)),
+            ir.NodeSet("A", (V("i"),), V("mA")),
+            ir.NodeSet("out", (V("i"),), ir.Index(V("mA"), (V("i"),))),
+        )),
+    ))
+    return CorpusCase(
+        name=prog.name, category="stale-carry",
+        registry={prog.name: prog}, root=prog.name,
+        check="carries", loop="i", carried=("A",))
+
+
+def _case_remote_access() -> CorpusCase:
+    # hops to node(i) but reads R's entry homed at node(i+1): the
+    # off-by-one tour that works on data that is not there
+    prog = ir.Program("bad-remote-access", (
+        ir.For("i", C(4), (
+            ir.HopStmt((V("i"),)),
+            ir.ComputeStmt(
+                "copy",
+                (ir.NodeGet("R", (ir.Bin("+", V("i"), C(1)),)),),
+                out="t"),
+            ir.NodeSet("out", (V("i"),), V("t")),
+        )),
+    ))
+    layout = LayoutSpec(
+        homes={"R": key_home(0), "out": key_home(0)},
+        entry=(C(0),))
+    return CorpusCase(
+        name=prog.name, category="remote-access",
+        registry={prog.name: prog}, root=prog.name,
+        check="locality", layout=layout)
+
+
+def _case_unmatched_wait() -> CorpusCase:
+    # main injects a waiter on "go", but nothing in the closure ever
+    # signals it: a guaranteed deadlock
+    waiter = ir.Program("bad-waiter", (
+        ir.WaitStmt("go"),
+        ir.NodeSet("out", (C(0),), C(1)),
+    ))
+    main = ir.Program("bad-unmatched-wait", (
+        ir.HopStmt((C(0),)),
+        ir.InjectStmt(waiter.name),
+    ))
+    return CorpusCase(
+        name=main.name, category="unmatched-wait",
+        registry={waiter.name: waiter, main.name: main},
+        root=main.name, check="protocol")
+
+
+def _case_signal_cycle() -> CorpusCase:
+    # worker1 signals B only after waiting A; worker2 signals A only
+    # after waiting B; nobody signals unguarded
+    w1 = ir.Program("bad-cycle-w1", (
+        ir.WaitStmt("A"),
+        ir.SignalStmt("B"),
+    ))
+    w2 = ir.Program("bad-cycle-w2", (
+        ir.WaitStmt("B"),
+        ir.SignalStmt("A"),
+    ))
+    main = ir.Program("bad-signal-cycle", (
+        ir.HopStmt((C(0),)),
+        ir.InjectStmt(w1.name),
+        ir.InjectStmt(w2.name),
+    ))
+    return CorpusCase(
+        name=main.name, category="signal-cycle",
+        registry={w1.name: w1, w2.name: w2, main.name: main},
+        root=main.name, check="protocol")
+
+
+def _case_carried_flow() -> CorpusCase:
+    # the wavefront row from the deps docstring: D[r-1, c] read
+    # against a D[r, c] write aliases the previous iteration
+    prog = ir.Program("bad-carried-flow", (
+        ir.For("r", C(4), (
+            ir.ComputeStmt(
+                "copy",
+                (ir.NodeGet("D", (ir.Bin("-", V("r"), C(1)), V("c"))),),
+                out="up"),
+            ir.NodeSet("D", (V("r"), V("c")), V("up")),
+        )),
+    ), params=("c",))
+    return CorpusCase(
+        name=prog.name, category="carried-dependence",
+        registry={prog.name: prog}, root=prog.name,
+        check="loop", loop="r")
+
+
+CORPUS: tuple = (
+    _case_write_collision(),
+    _case_stale_carry(),
+    _case_remote_access(),
+    _case_unmatched_wait(),
+    _case_signal_cycle(),
+    _case_carried_flow(),
+)
+
+
+def run_case(case: CorpusCase) -> DiagnosticReport:
+    """Run the case's designated check, returning its diagnostics."""
+    root = case.registry[case.root]
+    if case.check == "loop":
+        return loop_diagnostics(root, case.loop)
+    if case.check == "carries":
+        return carried_write_diagnostics(root, case.loop, case.carried)
+    if case.check == "locality":
+        return check_locality(root, case.layout, registry=case.registry)
+    if case.check == "protocol":
+        return protocol_diagnostics(root, registry=case.registry)
+    raise ValueError(f"unknown corpus check {case.check!r}")
+
+
+def verify_corpus() -> list:
+    """``(case, report, hit)`` for every corpus case.
+
+    ``hit`` is True when the case's defect was flagged under the
+    expected category at error-or-warning severity.
+    """
+    results = []
+    for case in CORPUS:
+        report = run_case(case)
+        hit = any(d.category == case.category
+                  and d.severity in ("error", "warning")
+                  for d in report)
+        results.append((case, report, hit))
+    return results

@@ -1,0 +1,256 @@
+"""Loop dependence analysis over the navigational IR.
+
+"The basic idea behind the transformations is to spread out
+computations ... as soon as possible *without violating any dependency
+conditions*" (Section 2). This module decides those conditions
+statically, in the style of classical array dependence analysis
+(Feautrier; Adutskevich et al.) adapted to the paradigm's
+dictionary-shaped node variables: accesses are compared by their
+*symbolic key expressions*, normalized so that ``k+1`` and ``1+k``
+agree, and classified as flow (write→read), anti (read→write) or
+output (write→write) dependences, loop-carried or iteration-local.
+
+For the transformations' legality gates the carried dependences are
+what matters:
+
+* a **write not indexed by the loop variable** (or two writes with
+  differing keys) means distinct iterations hit the same entry — a
+  write collision under any reordering or distribution;
+* a **read whose key matches no write key** of the same variable may
+  alias another iteration's write — the ``D[r-1, c]`` wavefront case;
+* an **agent variable read at or before its first in-iteration
+  definition** carries a value between iterations (the loop cannot be
+  split into concurrent messengers). Definitions that dominate every
+  use in pre-order — the DSC accumulator pattern, where ``t`` is
+  re-zeroed before accumulating — are legal and not flagged.
+
+The former structural rules in :mod:`repro.transform.deps` now
+delegate here, so the linter and the transformations share one notion
+of legality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..navp import ir
+from . import visitor
+from .diagnostics import DiagnosticReport, error
+from .summary import NodeAccess, summarize_body
+
+__all__ = [
+    "FLOW", "ANTI", "OUTPUT",
+    "Dependence", "LoopAnalysis", "analyze_loop",
+    "loop_diagnostics", "carried_write_diagnostics",
+]
+
+FLOW = "flow"      # write -> read
+ANTI = "anti"      # read -> write
+OUTPUT = "output"  # write -> write
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One (potential) dependence between two accesses.
+
+    ``src``/``dst`` are statement paths (body_at convention) rooted at
+    the analyzed program; ``carried`` means the endpoints may fall in
+    *different* iterations of the analyzed loop.
+    """
+
+    kind: str        # flow | anti | output
+    space: str       # "node" | "agent"
+    var: str
+    src: tuple
+    dst: tuple
+    carried: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class LoopAnalysis:
+    """The def-use structure of one loop."""
+
+    program: ir.Program
+    loop_var: str
+    loop_path: tuple
+    summaries: tuple          # StmtSummary of the loop body, pre-order
+    dependences: tuple        # Dependence records
+
+    @property
+    def carried(self) -> tuple:
+        return tuple(d for d in self.dependences if d.carried)
+
+
+def _node_dependences(loop_var: str, summaries) -> list:
+    reads: list[NodeAccess] = []
+    writes: list[NodeAccess] = []
+    pos_of: dict = {}
+    for s in summaries:
+        for acc in s.node_reads:
+            reads.append(acc)
+            pos_of[acc] = s.pos
+        for acc in s.node_writes:
+            writes.append(acc)
+            pos_of[acc] = s.pos
+
+    deps: list[Dependence] = []
+    write_keys: dict = {}
+    for w in writes:
+        write_keys.setdefault(w.var, set()).add(w.key)
+        if not any(visitor.uses_var(e, loop_var) for e in w.raw_key):
+            deps.append(Dependence(
+                OUTPUT, "node", w.var, w.path, w.path, carried=True,
+                detail="write not indexed by loop variable"))
+
+    # write/write pairs with differing keys also collide across
+    # iterations even when each key mentions the loop variable
+    # (iteration i writing both X[i] and X[i+1] overlaps i+1's write).
+    for var, keys in write_keys.items():
+        if len(keys) > 1:
+            sites = [w for w in writes if w.var == var]
+            deps.append(Dependence(
+                OUTPUT, "node", var, sites[0].path, sites[-1].path,
+                carried=True, detail="writes with differing keys"))
+
+    for r in reads:
+        keys = write_keys.get(r.var)
+        if keys is None:
+            continue
+        if r.key in keys:
+            # the read provably touches this iteration's own entry
+            matching = next(w for w in writes
+                            if w.var == r.var and w.key == r.key)
+            kind = FLOW if pos_of[matching] <= pos_of[r] else ANTI
+            deps.append(Dependence(kind, "node", r.var, matching.path,
+                                   r.path, carried=False))
+        else:
+            for w in writes:
+                if w.var != r.var:
+                    continue
+                kind = FLOW if pos_of[w] <= pos_of[r] else ANTI
+                deps.append(Dependence(
+                    kind, "node", r.var, w.path, r.path, carried=True,
+                    detail="read key matches no write key"))
+    return deps
+
+
+def _agent_dependences(summaries) -> list:
+    first_def: dict = {}
+    first_use: dict = {}
+    def_path: dict = {}
+    use_path: dict = {}
+    for s in summaries:
+        for v in s.agent_defs:
+            if v not in first_def:
+                first_def[v] = s.pos
+                def_path[v] = s.path
+        for v in s.agent_uses:
+            if v not in first_use:
+                first_use[v] = s.pos
+                use_path[v] = s.path
+
+    deps: list[Dependence] = []
+    for v, dpos in first_def.items():
+        upos = first_use.get(v)
+        if upos is None:
+            continue
+        # A use at the same position is a read-modify-write (``t =
+        # f(t, ...)``): the read sees the previous iteration's value.
+        if upos <= dpos:
+            deps.append(Dependence(
+                FLOW, "agent", v, def_path[v], use_path[v], carried=True,
+                detail="used before first in-iteration definition"))
+    return deps
+
+
+def analyze_loop(program: ir.Program, loop_var: str) -> LoopAnalysis:
+    """Def-use analysis of the unique loop over ``loop_var``.
+
+    Raises :class:`~repro.errors.AnalysisError` when the program has no
+    (or more than one) loop over ``loop_var``.
+    """
+    path, loop = visitor.find_unique_loop(program, loop_var)
+    summaries = tuple(summarize_body(loop.body, base_path=path))
+    deps = _node_dependences(loop_var, summaries) \
+        + _agent_dependences(summaries)
+    return LoopAnalysis(program=program, loop_var=loop_var,
+                        loop_path=path, summaries=summaries,
+                        dependences=tuple(deps))
+
+
+def loop_diagnostics(program: ir.Program,
+                     loop_var: str) -> DiagnosticReport:
+    """Error diagnostics for every carried dependence of the loop.
+
+    Empty report == iterations are provably independent (over the
+    paradigm's dictionary node variables; sufficient, not necessary).
+    """
+    analysis = analyze_loop(program, loop_var)
+    report = DiagnosticReport()
+    seen: set = set()
+
+    def emit(diag) -> None:
+        key = (diag.category, diag.path, diag.message)
+        if key not in seen:
+            seen.add(key)
+            report.append(diag)
+
+    for dep in analysis.carried:
+        if dep.space == "node" and dep.kind == OUTPUT:
+            if dep.detail == "write not indexed by loop variable":
+                stmt = visitor.stmt_at(program, dep.src)
+                emit(error(
+                    "write-collision", program.name, dep.src,
+                    f"{program.name}: node write "
+                    f"{stmt.name}{list(stmt.idx)!r} is not indexed by "
+                    f"loop variable {loop_var!r}; iterations would "
+                    f"collide"))
+            else:
+                emit(error(
+                    "write-collision", program.name, dep.dst,
+                    f"{program.name}: the loop writes {dep.var!r} at "
+                    f"differing keys; iterations of {loop_var!r} would "
+                    f"collide"))
+        elif dep.space == "node":
+            stmt_summary = next(
+                s for s in analysis.summaries
+                for acc in s.node_reads
+                if acc.path == dep.dst and acc.var == dep.var)
+            read = next(acc for acc in stmt_summary.node_reads
+                        if acc.path == dep.dst and acc.var == dep.var)
+            emit(error(
+                "carried-dependence", program.name, dep.dst,
+                f"{program.name}: {read.var}{list(read.raw_key)!r} is "
+                f"read but the loop writes {read.var} at different "
+                f"keys; a loop-carried dependence may exist over "
+                f"{loop_var!r}"))
+        else:
+            emit(error(
+                "carried-dependence", program.name, dep.dst,
+                f"{program.name}: agent variable {dep.var!r} is read "
+                f"at or before its first definition in an iteration of "
+                f"{loop_var!r}; a loop-carried dependence may exist"))
+    return report
+
+
+def carried_write_diagnostics(program: ir.Program, loop_var: str,
+                              carried_names) -> DiagnosticReport:
+    """The DSC legality condition: carried node variables stay fresh.
+
+    DSC inserts hops into a *single* thread, so program order — and
+    with it every dependence — is preserved; the only thing that can
+    go stale is a value copied into an agent variable at the pickup
+    point and then used while the node copy changes underneath it.
+    """
+    path, loop = visitor.find_unique_loop(program, loop_var)
+    names = set(carried_names)
+    report = DiagnosticReport()
+    for spath, stmt in visitor.walk_stmts(loop.body, path):
+        if isinstance(stmt, ir.NodeSet) and stmt.name in names:
+            report.append(error(
+                "stale-carry", program.name, spath,
+                f"{program.name}: {stmt.name!r} is carried in an agent "
+                f"variable but written inside the {loop_var!r} loop; "
+                f"the carried copy would go stale"))
+    return report

@@ -1,0 +1,178 @@
+"""Hop-locality checking: does every node access happen *at home*?
+
+In NavP, ``NodeGet``/``NodeSet`` always address the node variables of
+the PE the messenger currently occupies — there are no remote reads.
+The #1 bug class in hand-written DSC code is therefore a tour that
+reads or writes an entry whose home is some *other* place: the program
+runs, but against the wrong (usually missing) data.
+
+Given a :class:`LayoutSpec` — a symbolic description of where each
+node variable's entries live, e.g. "``B[(k, j)]`` lives at ``node(j)``"
+— this checker abstractly interprets a program, tracking the symbolic
+current place through hops (via :mod:`repro.analysis.summary`'s place
+tracking), and proves each access local by showing the access's home
+expression and the current place are structurally equal after
+normalization, parameter substitution (through ``InjectStmt``
+bindings) and path-condition substitution (an enclosing
+``if mj == 0:`` lets ``mj`` be replaced by ``0`` — exactly what makes
+the DSC pickup at ``node(0)`` check out).
+
+The checker is conservative in the "prove local" direction: an access
+whose place or home is unknown (no layout entry, place lost after a
+branchy hop) is skipped, while a known place that fails to match the
+home is reported as a ``remote-access`` error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..navp import ir
+from . import visitor
+from .diagnostics import DiagnosticReport, error
+from .summary import summarize
+
+__all__ = ["LayoutSpec", "key_home", "fixed_home", "check_locality"]
+
+
+def key_home(*positions: int):
+    """A home function selecting key components as the coordinate.
+
+    ``key_home(1)`` says entry ``X[(a, b)]`` lives at ``node(b)`` —
+    the column-resident layout of ``B`` on the 1-D chain.
+    """
+
+    def home(key: tuple):
+        if any(p >= len(key) for p in positions):
+            return None
+        return tuple(key[p] for p in positions)
+
+    return home
+
+
+def fixed_home(*coords: int):
+    """A home function placing every entry at one fixed coordinate."""
+    place = tuple(ir.Const(c) for c in coords)
+
+    def home(key: tuple):
+        return place
+
+    return home
+
+
+@dataclass(frozen=True)
+class LayoutSpec:
+    """Symbolic data distribution for the locality check.
+
+    homes:
+        ``{node_var: fn}`` where ``fn`` maps the access's (substituted)
+        key-expression tuple to the symbolic home coordinate, or None
+        for "unknown, skip".
+    entry:
+        Symbolic place where the entry program starts (where the
+        messenger is injected), or None if unknown.
+    local:
+        Node variables that are by construction always local (e.g. a
+        per-node drop slot like ``Bslot`` written and read in place) —
+        never checked.
+    """
+
+    homes: dict
+    entry: tuple | None = None
+    local: frozenset = frozenset()
+
+
+def _substitution(bindings: dict):
+    """An expr->expr function applying a Var-name substitution."""
+
+    def sub(expr: ir.Expr) -> ir.Expr:
+        if isinstance(expr, ir.Var) and expr.name in bindings:
+            return bindings[expr.name]
+        return expr
+
+    return lambda e: visitor.map_expr(sub, e)
+
+
+def _cond_bindings(conds: tuple) -> dict:
+    """Equality path conditions usable as substitutions.
+
+    An enclosing ``if v == e:`` (or ``e == v``) pins ``v`` to ``e``
+    inside the branch; other condition shapes contribute nothing.
+    """
+    out: dict = {}
+    for cond in conds:
+        if isinstance(cond, ir.Bin) and cond.op == "==":
+            if isinstance(cond.left, ir.Var):
+                out[cond.left.name] = cond.right
+            elif isinstance(cond.right, ir.Var):
+                out[cond.right.name] = cond.left
+    return out
+
+
+def check_locality(program: ir.Program, layout: LayoutSpec,
+                   registry=None, _env: dict | None = None,
+                   _entry: tuple | None = None,
+                   _seen: set | None = None,
+                   _depth: int = 0) -> DiagnosticReport:
+    """Prove every node access of ``program`` (and the programs it
+    injects, resolved through ``registry``) local under ``layout``."""
+    if registry is None:
+        registry = ir.REGISTRY
+    env = dict(_env or {})
+    entry = layout.entry if _entry is None and _depth == 0 else _entry
+    seen = _seen if _seen is not None else set()
+    report = DiagnosticReport()
+    if _depth > 8:
+        return report
+
+    apply_env = _substitution(env)
+
+    for s in summarize(program, entry_place=entry):
+        conds = _cond_bindings(tuple(apply_env(c) for c in s.conds))
+        apply_all = (lambda e, _c=conds:
+                     _substitution(_c)(apply_env(e)))
+
+        place = None
+        if s.place is not None:
+            place = visitor.normalize_key(
+                tuple(apply_all(p) for p in s.place))
+
+        for acc in s.node_reads + s.node_writes:
+            if acc.var in layout.local:
+                continue
+            home_fn = layout.homes.get(acc.var)
+            if home_fn is None or place is None:
+                continue
+            key = tuple(apply_all(e) for e in acc.raw_key)
+            home = home_fn(key)
+            if home is None:
+                continue
+            home = visitor.normalize_key(tuple(home))
+            if home != place:
+                verb = "written" if acc.write else "read"
+                report.append(error(
+                    "remote-access", program.name, acc.path,
+                    f"{program.name}: {acc.var}{list(acc.raw_key)!r} is "
+                    f"{verb} at place {list(place)!r} but its home "
+                    f"under the layout is {list(home)!r}; NavP node "
+                    f"accesses must be local"))
+
+        if s.inject is not None:
+            child_name, bindings = s.inject
+            child = registry.get(child_name)
+            if child is None:
+                continue
+            child_env = {v: apply_all(e) for v, e in bindings}
+            child_entry = None
+            if s.place is not None:
+                child_entry = tuple(apply_all(p) for p in s.place)
+            key = (child_name, repr(child_entry),
+                   repr(sorted(child_env.items(),
+                               key=lambda kv: kv[0])))
+            if key in seen:
+                continue
+            seen.add(key)
+            report.extend(check_locality(
+                child, layout, registry, _env=child_env,
+                _entry=child_entry, _seen=seen, _depth=_depth + 1))
+    return report

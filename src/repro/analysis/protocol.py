@@ -1,0 +1,229 @@
+"""Static wait/signal protocol checking across injected messengers.
+
+The pipelined and phase-shifted stages coordinate producer/consumer
+messengers with node-local events (Figures 11/13/15): ``waitEvent(EP)``
+blocks until some other messenger's ``signalEvent(EP)`` lands on the
+same PE. Two whole-protocol defects are visible statically, before any
+fabric exists:
+
+* an **unmatched wait** — an event some messenger waits on that *no*
+  program reachable from the same entry point ever signals: a
+  guaranteed deadlock;
+* a **signal cycle** — every signal of event ``A`` happens only after
+  a wait on ``B`` and vice versa, with no unguarded ("sourced") signal
+  to break the cycle. Figure 13's ``EP``/``EC`` slot handshake is
+  exactly such a cycle, deliberately primed by initial ``EC`` signals
+  the fabric deposits before the run — statically that priming is
+  invisible, so a cycle is reported as a *warning*, not an error
+  (Figure 15 closes the same loop internally: its spawner signals
+  ``EC`` unguarded, so no warning).
+
+Analysis is per *injection closure*: starting from an entry program,
+every program reachable through ``InjectStmt`` participates. A lone
+program whose closure is just itself (a component carrier registered
+for reuse; its peers are injected by some other entry point) gets its
+findings downgraded to ``info`` — in isolation, an unmatched wait is
+expected, not a bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..navp import ir
+from . import visitor
+from .diagnostics import Diagnostic, DiagnosticReport, ERROR, INFO, WARNING
+from .summary import summarize
+
+__all__ = ["ProtocolAnalysis", "analyze_protocol", "protocol_diagnostics",
+           "inject_closure"]
+
+
+def inject_closure(root: ir.Program, registry=None) -> tuple:
+    """``root`` plus every program reachable via ``InjectStmt``.
+
+    Returns ``(programs, missing)`` where ``missing`` is the set of
+    injected names absent from the registry.
+    """
+    if registry is None:
+        registry = ir.REGISTRY
+    out: list = []
+    missing: set = set()
+    queue = [root]
+    seen = {root.name}
+    while queue:
+        prog = queue.pop(0)
+        out.append(prog)
+        for _path, stmt in visitor.walk_stmts(prog.body):
+            if not isinstance(stmt, ir.InjectStmt):
+                continue
+            if stmt.program in seen:
+                continue
+            seen.add(stmt.program)
+            child = registry.get(stmt.program)
+            if child is None:
+                missing.add(stmt.program)
+            else:
+                queue.append(child)
+    return tuple(out), missing
+
+
+@dataclass(frozen=True)
+class WaitSite:
+    program: str
+    path: tuple
+    event: str
+
+
+@dataclass(frozen=True)
+class SignalSite:
+    program: str
+    path: tuple
+    event: str
+    guards: frozenset  # events waited earlier (pre-order) in the program
+
+
+@dataclass(frozen=True)
+class ProtocolAnalysis:
+    """Event structure of one injection closure."""
+
+    root: str
+    programs: tuple          # program names in the closure
+    missing: frozenset       # injected names not in the registry
+    waits: tuple             # WaitSite
+    signals: tuple           # SignalSite
+
+    @property
+    def events(self) -> frozenset:
+        return frozenset({w.event for w in self.waits}
+                         | {s.event for s in self.signals})
+
+    @property
+    def sourced(self) -> frozenset:
+        """Events with at least one unguarded signal."""
+        return frozenset(s.event for s in self.signals if not s.guards)
+
+
+def analyze_protocol(root: ir.Program,
+                     registry=None) -> ProtocolAnalysis:
+    programs, missing = inject_closure(root, registry)
+    waits: list = []
+    signals: list = []
+    for prog in programs:
+        waited_so_far: set = set()
+        for s in summarize(prog):
+            if s.wait is not None:
+                event, _args = s.wait
+                waits.append(WaitSite(prog.name, s.path, event))
+                waited_so_far.add(event)
+            if s.signal is not None:
+                event, _args, _count = s.signal
+                signals.append(SignalSite(
+                    prog.name, s.path, event,
+                    frozenset(waited_so_far)))
+    return ProtocolAnalysis(
+        root=root.name,
+        programs=tuple(p.name for p in programs),
+        missing=frozenset(missing),
+        waits=tuple(waits),
+        signals=tuple(signals),
+    )
+
+
+def _sccs(nodes, edges) -> list:
+    """Tarjan's strongly connected components."""
+    index: dict = {}
+    low: dict = {}
+    on_stack: set = set()
+    stack: list = []
+    out: list = []
+    counter = [0]
+
+    def strongconnect(v):
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in edges.get(v, ()):
+            if w not in index:
+                strongconnect(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], index[w])
+        if low[v] == index[v]:
+            comp = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                comp.append(w)
+                if w == v:
+                    break
+            out.append(comp)
+
+    for v in nodes:
+        if v not in index:
+            strongconnect(v)
+    return out
+
+
+def protocol_diagnostics(root: ir.Program,
+                         registry=None) -> DiagnosticReport:
+    """Unmatched-wait and signal-cycle findings for ``root``'s closure."""
+    analysis = analyze_protocol(root, registry)
+    report = DiagnosticReport()
+    # A closure of one program that injects nothing is a component
+    # viewed out of context: its protocol peers live in some other
+    # entry point's closure, so findings are informational, not
+    # defects. (A root whose injects merely fail to resolve is still
+    # an entry point — no downgrade.)
+    lone = len(analysis.programs) == 1 and not analysis.missing
+    err = INFO if lone else ERROR
+    warn = INFO if lone else WARNING
+
+    for name in sorted(analysis.missing):
+        report.append(Diagnostic(
+            warn, "unknown-program", analysis.root, (),
+            f"{analysis.root}: the injection closure references "
+            f"program {name!r} which is not registered"))
+
+    signalled = {s.event for s in analysis.signals}
+    for w in analysis.waits:
+        if w.event not in signalled:
+            report.append(Diagnostic(
+                err, "unmatched-wait", w.program, w.path,
+                f"{w.program}: waits on event {w.event!r} which no "
+                f"program in the injection closure of "
+                f"{analysis.root!r} ever signals; the messenger would "
+                f"block forever"))
+
+    waited = {w.event for w in analysis.waits}
+    for s in analysis.signals:
+        if s.event not in waited:
+            report.append(Diagnostic(
+                warn, "unmatched-signal", s.program, s.path,
+                f"{s.program}: signals event {s.event!r} which no "
+                f"program in the injection closure of "
+                f"{analysis.root!r} ever waits on"))
+
+    # Event ordering graph: an edge W -> E means every occurrence of
+    # "signal E" in some program is preceded by "wait W" there, so E
+    # being signalled depends on W being signalled first.
+    edges: dict = {}
+    for s in analysis.signals:
+        for g in s.guards:
+            edges.setdefault(g, set()).add(s.event)
+    for comp in _sccs(sorted(analysis.events), edges):
+        cyclic = len(comp) > 1 or comp[0] in edges.get(comp[0], ())
+        if not cyclic:
+            continue
+        if any(e in analysis.sourced for e in comp):
+            continue  # an unguarded signal breaks the cycle
+        if not all(e in signalled for e in comp):
+            continue  # already reported as unmatched waits
+        names = ", ".join(repr(e) for e in sorted(comp))
+        report.append(Diagnostic(
+            warn, "signal-cycle", analysis.root, (),
+            f"{analysis.root}: events {names} form a signal cycle with "
+            f"no unguarded signal; progress depends on initial event "
+            f"signals the analysis cannot see"))
+    return report

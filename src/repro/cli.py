@@ -15,6 +15,9 @@ Commands
 ``figure1``                        regenerate the space-time panels
 ``staggering [--max-n N]``         the Section 5 phase-count comparison
 ``wavefront [--n --block --pes]``  the wavefront extension study
+``lint [PROGRAMS...] [--all]``     statically analyze registered IR
+                                   programs (dependences, hop
+                                   locality, wait/signal protocol)
 """
 
 from __future__ import annotations
@@ -88,6 +91,28 @@ def build_parser() -> argparse.ArgumentParser:
                            help="regenerate the whole evaluation at once")
     rep_p.add_argument("--quick", action="store_true",
                        help="smallest matrix order per table only")
+
+    lint_p = sub.add_parser(
+        "lint", help="statically analyze registered IR programs")
+    lint_p.add_argument("programs", nargs="*",
+                        help="program names to lint (after seeding the "
+                             "paper programs); default with --all: "
+                             "every registered program")
+    lint_p.add_argument("--all", action="store_true", dest="lint_all",
+                        help="lint every registered program")
+    lint_p.add_argument("--g", type=int, default=3,
+                        help="grid order used to seed the paper "
+                             "programs (default 3)")
+    lint_p.add_argument("--loop", default=None,
+                        help="also run the loop dependence analysis "
+                             "over this loop variable in each linted "
+                             "program that has it")
+    lint_p.add_argument("--corpus", action="store_true",
+                        help="run the known-bad corpus instead and "
+                             "check every defect is caught")
+    lint_p.add_argument("--strict", action="store_true",
+                        help="treat warnings as errors for the exit "
+                             "status")
     return parser
 
 
@@ -192,6 +217,66 @@ def _cmd_datascan(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import lint as lint_mod
+    from .analysis.corpus import verify_corpus
+    from .analysis.deps import loop_diagnostics
+    from .analysis.diagnostics import DiagnosticReport
+    from .errors import AnalysisError
+    from .navp import ir
+    from .viz.irprint import format_diagnostic
+
+    if args.corpus:
+        failures = 0
+        for case, report, hit in verify_corpus():
+            status = "caught" if hit else "MISSED"
+            print(f"{case.name} [{case.category}]: {status}")
+            for diag in report:
+                print(format_diagnostic(diag, registry=case.registry))
+            if not hit:
+                failures += 1
+        print(f"\n{len(verify_corpus()) - failures}"
+              f"/{len(verify_corpus())} corpus defects caught")
+        return 1 if failures else 0
+
+    layouts = lint_mod.seed_paper_programs(args.g)
+    if args.lint_all:
+        names = sorted(ir.REGISTRY)
+    elif args.programs:
+        unknown = [n for n in args.programs if n not in ir.REGISTRY]
+        if unknown:
+            print(f"unknown program(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        names = args.programs
+    else:
+        print("nothing to lint: name programs or pass --all "
+              "(registered programs: "
+              f"{', '.join(sorted(ir.REGISTRY))})", file=sys.stderr)
+        return 2
+
+    report = lint_mod.lint_registry(names, layouts=layouts)
+    if args.loop:
+        extra = DiagnosticReport()
+        for name in names:
+            try:
+                extra.extend(loop_diagnostics(ir.get_program(name),
+                                              args.loop))
+            except AnalysisError:
+                continue  # no unique loop over that variable: skip
+        report.extend(extra)
+
+    for diag in report:
+        print(format_diagnostic(diag))
+    errors, warnings = len(report.errors), len(report.warnings)
+    print(f"\n{len(names)} program(s) linted: {errors} error(s), "
+          f"{warnings} warning(s), "
+          f"{len(report) - errors - warnings} note(s)")
+    if errors or (args.strict and warnings):
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "variants":
@@ -208,6 +293,8 @@ def main(argv=None) -> int:
         return _cmd_wavefront(args)
     if args.command == "datascan":
         return _cmd_datascan(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "report":
         from .perfmodel.report import generate_report
 

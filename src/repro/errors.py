@@ -61,6 +61,18 @@ class SimulationError(FabricError):
     """The discrete-event kernel was used incorrectly."""
 
 
+class AnalysisError(ReproError):
+    """A static analysis could not be performed on a program.
+
+    Raised by :mod:`repro.analysis` when a walker meets an IR node type
+    that has not been registered (see
+    :func:`repro.analysis.visitor.register_expr_type`) or when an
+    analysis's structural precondition (e.g. a unique loop over a
+    variable) does not hold. Distinct from the *result* of an analysis,
+    which is a list of :class:`repro.analysis.diagnostics.Diagnostic`.
+    """
+
+
 class TransformError(ReproError):
     """A program transformation could not be applied safely."""
 

@@ -3,114 +3,61 @@
 "The basic idea behind the transformations is to spread out
 computations ... as soon as possible *without violating any dependency
 conditions*" (Section 2). Before a loop is distributed (DSC) or split
-into concurrent messengers (pipelining), these checks verify the
-conditions the matmul derivation relies on, conservatively:
+into concurrent messengers (pipelining/phase shifting), these checks
+verify the conditions the matmul derivation relies on.
+
+The checks themselves live in :mod:`repro.analysis.deps` — a real
+def-use dependence analyzer shared with ``repro lint``, so the linter
+and the transformations can never disagree about legality. This module
+keeps the transformation-facing contract: a failed condition raises
+:class:`~repro.errors.TransformError` carrying every violation's
+message, and anything the analyzer cannot decide (no unique loop, an
+unregistered node type) also raises rather than silently proceeding.
+
+What the analyzer enforces, conservatively, over the paradigm's
+dictionary-shaped node variables:
 
 * every node-variable *write* inside the loop must be indexed by the
   loop variable (distinct iterations write distinct entries);
 * no node variable may be both written and read inside the loop unless
-  every read's key expression is *structurally identical* to one of the
-  write keys — i.e. the read provably touches only the same iteration's
-  entry. A read like ``D[r-1, c]`` against a write ``D[r, c]`` uses the
-  loop variable but aliases the previous iteration's write, which is
-  exactly the flow dependence that makes wavefront rows unpipelinable;
-  the structural rule catches it.
+  every read's key expression is equal — after normalization of
+  commutative operands, so ``k+1`` matches ``1+k`` — to one of the
+  write keys. A read like ``D[r-1, c]`` against a write ``D[r, c]``
+  uses the loop variable but aliases the previous iteration's write,
+  which is exactly the flow dependence that makes wavefront rows
+  unpipelinable;
+* no agent variable may be read at or before its first in-iteration
+  definition (the value would carry between iterations); the DSC
+  accumulator pattern, re-initialized before accumulating, passes.
 
-These are sufficient conditions for iteration independence over the
-paradigm's dictionary-shaped node variables, not a general dependence
-analyzer; anything the checks cannot prove raises
-:class:`~repro.errors.TransformError`, never silently proceeds. (Note
-the *DSC* transformation does not need this check at all — a single
-migrating thread preserves program order; it only needs its carried
-variables to be read-only, see :func:`check_carries_read_only`.)
+(The *DSC* transformation does not need iteration independence at all
+— a single migrating thread preserves program order; it only needs its
+carried variables to be read-only, see :func:`check_carries_read_only`.)
 """
 
 from __future__ import annotations
 
-from ..errors import TransformError
+from ..analysis.deps import carried_write_diagnostics, loop_diagnostics
+from ..analysis.visitor import uses_var  # noqa: F401  (re-export)
+from ..errors import AnalysisError, TransformError
 from ..navp import ir
-from .rewrite import collect, find_unique_loop
 
 __all__ = ["check_loop_independent", "check_carries_read_only", "uses_var"]
 
 
-def uses_var(expr: ir.Expr, var: str) -> bool:
-    """Does ``expr`` mention agent/loop variable ``var``?"""
-    if isinstance(expr, ir.Var):
-        return expr.name == var
-    if isinstance(expr, ir.Const):
-        return False
-    if isinstance(expr, ir.Bin):
-        return uses_var(expr.left, var) or uses_var(expr.right, var)
-    if isinstance(expr, (ir.NodeGet, ir.Index)):
-        inner = expr.base if isinstance(expr, ir.Index) else None
-        return any(uses_var(e, var) for e in expr.idx) or (
-            inner is not None and uses_var(inner, var))
-    raise TransformError(f"unknown expression {expr!r}")
-
-
-def _reads_in(stmt: ir.Stmt) -> list:
-    """All NodeGet expressions appearing in a statement."""
-    reads = []
-
-    def visit(expr: ir.Expr):
-        if isinstance(expr, ir.NodeGet):
-            reads.append(expr)
-            for e in expr.idx:
-                visit(e)
-        elif isinstance(expr, ir.Bin):
-            visit(expr.left)
-            visit(expr.right)
-        elif isinstance(expr, ir.Index):
-            visit(expr.base)
-            for e in expr.idx:
-                visit(e)
-
-    if isinstance(stmt, ir.Assign):
-        visit(stmt.expr)
-    elif isinstance(stmt, ir.ComputeStmt):
-        for e in stmt.args:
-            visit(e)
-    elif isinstance(stmt, ir.NodeSet):
-        visit(stmt.expr)
-        for e in stmt.idx:
-            visit(e)
-    elif isinstance(stmt, (ir.HopStmt,)):
-        for e in stmt.place:
-            visit(e)
-    elif isinstance(stmt, ir.If):
-        visit(stmt.cond)
-    elif isinstance(stmt, ir.For):
-        visit(stmt.count)
-    return reads
+def _gate(report) -> None:
+    if report.errors:
+        raise TransformError(
+            "; ".join(d.message for d in report.errors))
 
 
 def check_loop_independent(program: ir.Program, loop_var: str) -> None:
     """Raise TransformError unless iterations of the loop are independent."""
-    _path, loop = find_unique_loop(program, loop_var)
-    stmts = collect(loop.body, lambda s: True)
-
-    writes = [s for s in stmts if isinstance(s, ir.NodeSet)]
-    write_keys: dict = {}
-    for w in writes:
-        if not any(uses_var(e, loop_var) for e in w.idx):
-            raise TransformError(
-                f"{program.name}: node write {w.name}{list(w.idx)!r} is not "
-                f"indexed by loop variable {loop_var!r}; iterations would "
-                f"collide"
-            )
-        write_keys.setdefault(w.name, set()).add(tuple(w.idx))
-
-    for stmt in stmts:
-        for read in _reads_in(stmt):
-            if read.name not in write_keys:
-                continue
-            if tuple(read.idx) not in write_keys[read.name]:
-                raise TransformError(
-                    f"{program.name}: {read.name}{list(read.idx)!r} is read "
-                    f"but the loop writes {read.name} at different keys; a "
-                    f"loop-carried dependence may exist over {loop_var!r}"
-                )
+    try:
+        report = loop_diagnostics(program, loop_var)
+    except AnalysisError as exc:
+        raise TransformError(str(exc)) from exc
+    _gate(report)
 
 
 def check_carries_read_only(program: ir.Program, loop_var: str,
@@ -123,11 +70,9 @@ def check_carries_read_only(program: ir.Program, loop_var: str,
     and then used while the node copy changes. Refuse if any carried
     source is written inside the loop.
     """
-    _path, loop = find_unique_loop(program, loop_var)
-    for stmt in collect(loop.body, lambda s: isinstance(s, ir.NodeSet)):
-        if stmt.name in set(carried_names):
-            raise TransformError(
-                f"{program.name}: {stmt.name!r} is carried in an agent "
-                f"variable but written inside the {loop_var!r} loop; the "
-                f"carried copy would go stale"
-            )
+    try:
+        report = carried_write_diagnostics(program, loop_var,
+                                           carried_names)
+    except AnalysisError as exc:
+        raise TransformError(str(exc)) from exc
+    _gate(report)

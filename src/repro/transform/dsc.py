@@ -15,9 +15,11 @@ Mechanics, exactly as the paper applies them to matrix multiplication:
    every remaining reference to it is rewritten from the node access to
    the agent variable.
 
-A dependence check guards step 1 (the iterations must not collide
-through node state). The output is a new registered program; the input
-is untouched.
+A dependence check guards step 3 — carried node variables must be
+read-only inside the loop, decided by the static analyzer
+(:func:`repro.analysis.deps.carried_write_diagnostics`, the same
+analysis behind ``repro lint``). The output is a new registered
+program; the input is untouched.
 """
 
 from __future__ import annotations

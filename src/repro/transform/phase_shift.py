@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 from ..errors import TransformError
 from ..navp import ir
+from .deps import check_loop_independent
 from .pipeline import PipelinedSuite
 from .rewrite import find_unique_loop, replace_at, substitute_expr
 
@@ -73,6 +74,12 @@ class PhaseShiftSpec:
 def phase_shift(suite: PipelinedSuite, spec: PhaseShiftSpec,
                 name: str | None = None) -> PipelinedSuite:
     """Apply the Phase-shifting transformation to a pipelined suite."""
+    # Legality: reindexing the tour reorders its stops, so the tour's
+    # iterations must be provably independent. The dependence analyzer
+    # (repro.analysis.deps) decides this — the same analysis repro lint
+    # runs, so the linter and this transform cannot disagree.
+    check_loop_independent(suite.carrier, spec.tour)
+
     # -- carrier: reindex the tour body by sigma ---------------------------
     path, tour_loop = find_unique_loop(suite.carrier, spec.tour)
     if not tour_loop.body or not isinstance(tour_loop.body[0], ir.HopStmt):

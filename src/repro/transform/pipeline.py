@@ -15,11 +15,13 @@ work items (``mi``):
    injecting one carrier per iteration, in order — the ordered
    injection *is* the staggering.
 
-Pipelining requires the same iteration independence the DSC step
-checked over the distributed loop, now over the outer loop: carriers
-run concurrently. (For matmul no further events are needed; the paper
-notes synchronization "may be necessary" in general — that is what the
-2-D stage's EP/EC events do.)
+Pipelining requires the outer loop's iterations to be independent:
+carriers run concurrently. That legality condition is decided by the
+static dependence analyzer (:func:`repro.analysis.deps.analyze_loop`,
+via :func:`repro.transform.deps.check_loop_independent`) — the same
+analysis ``repro lint`` runs. (For matmul no further events are
+needed; the paper notes synchronization "may be necessary" in general
+— that is what the 2-D stage's EP/EC events do.)
 """
 
 from __future__ import annotations

@@ -2,14 +2,20 @@
 
 The three paper transformations are implemented as tree rewrites; this
 module provides the generic machinery: bottom-up expression mapping,
-statement-tree rebuilding, and structural search.
+statement-tree rebuilding, and structural search. The traversal itself
+is delegated to :mod:`repro.analysis.visitor` — the single place that
+knows every IR node's structure — so a new node type registered there
+is immediately rewritable here; this module only restates the
+transformation-facing contract that a structural failure raises
+:class:`~repro.errors.TransformError`.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
 
-from ..errors import TransformError
+from ..analysis import visitor
+from ..errors import AnalysisError, TransformError
 from ..navp import ir
 
 __all__ = [
@@ -24,49 +30,18 @@ __all__ = [
 
 def map_expr(fn: Callable, expr: ir.Expr) -> ir.Expr:
     """Rebuild ``expr`` bottom-up, applying ``fn`` to every node."""
-    if isinstance(expr, (ir.Const, ir.Var)):
-        return fn(expr)
-    if isinstance(expr, ir.Bin):
-        return fn(ir.Bin(expr.op, map_expr(fn, expr.left),
-                         map_expr(fn, expr.right)))
-    if isinstance(expr, ir.NodeGet):
-        return fn(ir.NodeGet(expr.name,
-                             tuple(map_expr(fn, e) for e in expr.idx)))
-    if isinstance(expr, ir.Index):
-        return fn(ir.Index(map_expr(fn, expr.base),
-                           tuple(map_expr(fn, e) for e in expr.idx)))
-    raise TransformError(f"unknown expression {expr!r}")
+    try:
+        return visitor.map_expr(fn, expr)
+    except AnalysisError as exc:
+        raise TransformError(str(exc)) from exc
 
 
 def map_stmt_exprs(fn: Callable, stmt: ir.Stmt) -> ir.Stmt:
     """Rebuild a statement, applying ``fn`` to every contained expr."""
-    m = lambda e: map_expr(fn, e)  # noqa: E731
-    if isinstance(stmt, ir.For):
-        return ir.For(stmt.var, m(stmt.count),
-                      tuple(map_stmt_exprs(fn, s) for s in stmt.body))
-    if isinstance(stmt, ir.If):
-        return ir.If(m(stmt.cond),
-                     tuple(map_stmt_exprs(fn, s) for s in stmt.then),
-                     tuple(map_stmt_exprs(fn, s) for s in stmt.orelse))
-    if isinstance(stmt, ir.Assign):
-        return ir.Assign(stmt.var, m(stmt.expr))
-    if isinstance(stmt, ir.ComputeStmt):
-        return ir.ComputeStmt(stmt.kernel, tuple(m(e) for e in stmt.args),
-                              stmt.out, stmt.kind)
-    if isinstance(stmt, ir.NodeSet):
-        return ir.NodeSet(stmt.name, tuple(m(e) for e in stmt.idx),
-                          m(stmt.expr))
-    if isinstance(stmt, ir.HopStmt):
-        return ir.HopStmt(tuple(m(e) for e in stmt.place))
-    if isinstance(stmt, ir.InjectStmt):
-        return ir.InjectStmt(stmt.program,
-                             tuple((v, m(e)) for v, e in stmt.bindings))
-    if isinstance(stmt, ir.WaitStmt):
-        return ir.WaitStmt(stmt.event, tuple(m(e) for e in stmt.args))
-    if isinstance(stmt, ir.SignalStmt):
-        return ir.SignalStmt(stmt.event, tuple(m(e) for e in stmt.args),
-                             m(stmt.count))
-    raise TransformError(f"unknown statement {stmt!r}")
+    try:
+        return visitor.map_stmt_exprs(fn, stmt)
+    except AnalysisError as exc:
+        raise TransformError(str(exc)) from exc
 
 
 def substitute_expr(body: tuple, old: ir.Expr, new: ir.Expr) -> tuple:
@@ -80,16 +55,8 @@ def substitute_expr(body: tuple, old: ir.Expr, new: ir.Expr) -> tuple:
 
 def find_loops(body: tuple, var: str, _path=()) -> list:
     """All (path, For) pairs binding loop variable ``var``."""
-    hits = []
-    for i, stmt in enumerate(body):
-        if isinstance(stmt, ir.For):
-            if stmt.var == var:
-                hits.append((_path + (i,), stmt))
-            hits.extend(find_loops(stmt.body, var, _path + (i,)))
-        elif isinstance(stmt, ir.If):
-            hits.extend(find_loops(stmt.then, var, _path + ((i, "then"),)))
-            hits.extend(find_loops(stmt.orelse, var, _path + ((i, "else"),)))
-    return hits
+    return [(tuple(_path) + p, s)
+            for p, s in visitor.find_loops(body, var)]
 
 
 def find_unique_loop(program: ir.Program, var: str) -> tuple:
@@ -134,17 +101,9 @@ def replace_at(program: ir.Program, path: tuple,
 
 
 def collect(body: tuple, predicate: Callable) -> list:
-    """All statements (recursively) satisfying ``predicate``."""
-    out = []
-    for stmt in body:
-        if predicate(stmt):
-            out.append(stmt)
-        if isinstance(stmt, ir.For):
-            out.extend(collect(stmt.body, predicate))
-        elif isinstance(stmt, ir.If):
-            out.extend(collect(stmt.then, predicate))
-            out.extend(collect(stmt.orelse, predicate))
-    return out
+    """All statements (recursively, pre-order) satisfying ``predicate``."""
+    return [stmt for _path, stmt in visitor.walk_stmts(body)
+            if predicate(stmt)]
 
 
 def path_error():  # pragma: no cover - defensive

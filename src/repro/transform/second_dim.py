@@ -37,8 +37,9 @@ from dataclasses import dataclass
 
 from ..errors import TransformError
 from ..navp import ir
+from .deps import check_loop_independent
 from .pipeline import PipelinedSuite
-from .rewrite import find_unique_loop, map_stmt_exprs
+from .rewrite import collect, find_unique_loop, map_stmt_exprs
 
 __all__ = ["SecondDimSpec", "SecondDimSuite", "second_dim",
            "layout_second_dim"]
@@ -109,9 +110,24 @@ def second_dim(suite: PipelinedSuite, spec: SecondDimSpec) -> SecondDimSuite:
     """Apply the DSC transformation in the second dimension."""
     g = spec.g
     carrier = suite.carrier
+    # Legality (analyzer-backed, shared with repro lint): splitting the
+    # consumed variable out into a concurrent producer requires the
+    # tour's iterations to be independent...
+    check_loop_independent(carrier, spec.tour_var)
     path, tour = find_unique_loop(carrier, spec.tour_var)
     if not tour.body or not isinstance(tour.body[0], ir.HopStmt):
         raise TransformError("the carrier tour must start with a hop")
+    # ...and the shipped variable to be read-only in the tour: a tour
+    # that also wrote it would race the producer's drops.
+    ship_writes = [s for s in collect(tour.body,
+                                      lambda s: isinstance(s, ir.NodeSet))
+                   if s.name == spec.ship_var]
+    if ship_writes:
+        raise TransformError(
+            f"{carrier.name}: {spec.ship_var!r} is written inside the "
+            f"{spec.tour_var!r} tour; it cannot be shipped down the "
+            f"columns by a concurrent producer"
+        )
     if len(tour.body[0].place) != 1:
         raise TransformError("the carrier must currently tour a 1-D chain")
     sigma = tour.body[0].place[0]

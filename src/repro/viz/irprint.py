@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from ..navp import ir
 
-__all__ = ["format_program", "format_body"]
+__all__ = ["format_program", "format_body", "format_path",
+           "format_diagnostic"]
 
 
 def format_program(program: ir.Program) -> str:
@@ -57,3 +58,44 @@ def _format_stmt(stmt: ir.Stmt, indent: str) -> list:
     if isinstance(stmt, ir.NodeSet):
         return [f"{indent}{stmt.name}{list(stmt.idx)!r} = {stmt.expr!r}"]
     return [f"{indent}{stmt!r}"]
+
+
+# --------------------------------------------------------------------------
+# diagnostics (repro lint)
+# --------------------------------------------------------------------------
+
+def format_path(path: tuple) -> str:
+    """A statement path in source-ish notation: ``0 > 1.then > 2``."""
+    if not path:
+        return "<program>"
+    parts = []
+    for step in path:
+        if isinstance(step, tuple):
+            idx, branch = step
+            parts.append(f"{idx}.{branch}")
+        else:
+            parts.append(str(step))
+    return " > ".join(parts)
+
+
+def format_diagnostic(diag, registry=None) -> str:
+    """Render one analysis finding with the statement it addresses.
+
+    ``diag`` is a :class:`repro.analysis.diagnostics.Diagnostic`; when
+    its program is registered (in ``registry``, default the global
+    one), the flagged statement is printed beneath the finding in the
+    figure style, so the report reads like annotated pseudocode.
+    """
+    if registry is None:
+        registry = ir.REGISTRY
+    head = (f"{diag.severity}[{diag.category}] {diag.program}"
+            f" @ {format_path(diag.path)}: {diag.message}")
+    prog = registry.get(diag.program)
+    if prog is None or not diag.path:
+        return head
+    try:
+        stmt = ir.node_at(prog, tuple(diag.path[:-1]), diag.path[-1])
+    except Exception:
+        return head
+    body = "\n".join(_format_stmt(stmt, "    | "))
+    return f"{head}\n{body}"

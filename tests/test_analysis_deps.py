@@ -1,0 +1,204 @@
+"""Dependence analyzer edge cases (the transform/deps blind spots).
+
+Covers the cases the old structural rules missed or over-rejected:
+reads through ``Index`` on carried agent variables, loop bounds that
+reference node variables, the wavefront ``D[r-1, c]`` flow dependence,
+and commutative key normalization (``k+1`` vs ``1+k``).
+"""
+
+import pytest
+
+from repro.analysis.deps import (
+    FLOW,
+    OUTPUT,
+    analyze_loop,
+    carried_write_diagnostics,
+    loop_diagnostics,
+)
+from repro.errors import TransformError
+from repro.navp import ir
+from repro.transform.deps import (
+    check_carries_read_only,
+    check_loop_independent,
+)
+
+V = ir.Var
+C = ir.Const
+
+
+def _loop(body, var="i", count=C(4), name="deps-case", params=()):
+    return ir.Program(name, (ir.For(var, count, tuple(body)),),
+                      params=tuple(params))
+
+
+class TestWavefrontRejection:
+    """The ``D[r-1, c]`` case: keyed by the loop variable, still carried."""
+
+    def _wavefront(self):
+        prev = ir.NodeGet("D", (ir.Bin("-", V("r"), C(1)), V("c")))
+        return _loop([
+            ir.NodeSet("D", (V("r"), V("c")),
+                       ir.Bin("+", prev, C(1))),
+        ], var="r", name="wavefront-row", params=("c",))
+
+    def test_flow_dependence_detected(self):
+        analysis = analyze_loop(self._wavefront(), "r")
+        carried = analysis.carried
+        assert len(carried) == 1
+        dep = carried[0]
+        assert dep.kind == FLOW
+        assert dep.var == "D"
+        assert dep.detail == "read key matches no write key"
+
+    def test_diagnosed_and_gated(self):
+        report = loop_diagnostics(self._wavefront(), "r")
+        assert [d.category for d in report] == ["carried-dependence"]
+        with pytest.raises(TransformError, match="dependence"):
+            check_loop_independent(self._wavefront(), "r")
+
+
+class TestCommutativeKeys:
+    def test_k_plus_1_matches_1_plus_k(self):
+        prog = _loop([
+            ir.NodeSet("X", (ir.Bin("+", V("k"), C(1)),), C(0)),
+            ir.Assign("y", ir.NodeGet("X", (ir.Bin("+", C(1), V("k")),))),
+        ], var="k")
+        assert loop_diagnostics(prog, "k").ok
+        check_loop_independent(prog, "k")  # must not raise
+
+    def test_non_commutative_keys_still_differ(self):
+        prog = _loop([
+            ir.NodeSet("X", (ir.Bin("-", V("k"), C(1)),), C(0)),
+            ir.Assign("y", ir.NodeGet("X", (ir.Bin("-", C(1), V("k")),))),
+        ], var="k")
+        assert [d.category for d in loop_diagnostics(prog, "k")] \
+            == ["carried-dependence"]
+
+
+class TestLoopBoundsReadingNodeVars:
+    """For counts are expressions; node reads inside them must count."""
+
+    def test_bound_read_is_summarized(self):
+        prog = _loop([
+            ir.For("j", ir.NodeGet("bound", (V("i"),)), (
+                ir.Assign("y", V("j")),
+            )),
+        ])
+        analysis = analyze_loop(prog, "i")
+        reads = [a for s in analysis.summaries for a in s.node_reads]
+        assert [a.var for a in reads] == ["bound"]
+
+    def test_bound_against_unkeyed_write_is_carried(self):
+        prog = _loop([
+            ir.For("j", ir.NodeGet("bound", ()), (
+                ir.NodeSet("bound", (V("i"),), V("j")),
+            )),
+        ])
+        report = loop_diagnostics(prog, "i")
+        assert "carried-dependence" in [d.category for d in report]
+
+    def test_bound_matching_write_key_is_local(self):
+        prog = _loop([
+            ir.NodeSet("bound", (V("i"),), C(7)),
+            ir.For("j", ir.NodeGet("bound", (V("i"),)), (
+                ir.Assign("y", V("j")),
+            )),
+        ])
+        assert loop_diagnostics(prog, "i").ok
+
+
+class TestAgentVariables:
+    def test_index_read_of_preloop_carry_is_not_flagged(self):
+        # the pipelined-carrier shape: mA picked up before the tour
+        # loop, read through Index inside it — legal, loop-invariant.
+        prog = ir.Program("carrier-like", (
+            ir.Assign("mA", ir.NodeGet("A", (V("mi"),))),
+            ir.For("mj", C(3), (
+                ir.HopStmt((V("mj"),)),
+                ir.ComputeStmt("gemm",
+                               (ir.Index(V("mA"), (V("mj"),)),
+                                ir.NodeGet("B", (V("mj"),))),
+                               out="t"),
+                ir.NodeSet("Cv", (V("mj"),), V("t")),
+            )),
+        ), params=("mi",))
+        analysis = analyze_loop(prog, "mj")
+        uses = {v for s in analysis.summaries for v in s.agent_uses}
+        assert "mA" in uses  # the Index read is seen...
+        assert loop_diagnostics(prog, "mj").ok  # ...but not flagged
+
+    def test_accumulator_rezeroed_each_iteration_is_legal(self):
+        prog = _loop([
+            ir.Assign("t", C(0)),
+            ir.ComputeStmt("gemm", (V("t"), ir.NodeGet("B", (V("i"),))),
+                           out="t"),
+            ir.NodeSet("Cv", (V("i"),), V("t")),
+        ])
+        assert loop_diagnostics(prog, "i").ok
+
+    def test_read_modify_write_without_reinit_is_carried(self):
+        prog = _loop([
+            ir.ComputeStmt("gemm", (V("t"), ir.NodeGet("B", (V("i"),))),
+                           out="t"),
+            ir.NodeSet("Cv", (V("i"),), V("t")),
+        ])
+        report = loop_diagnostics(prog, "i")
+        assert [d.category for d in report] == ["carried-dependence"]
+        assert "agent variable 't'" in report[0].message
+
+
+class TestWriteCollisions:
+    def test_unkeyed_write_collides(self):
+        prog = _loop([
+            ir.NodeSet("acc", (), ir.Bin("+", ir.NodeGet("acc", ()),
+                                         V("i"))),
+        ])
+        report = loop_diagnostics(prog, "i")
+        assert "write-collision" in [d.category for d in report]
+        assert any("collide" in d.message for d in report)
+
+    def test_differing_write_keys_collide(self):
+        prog = _loop([
+            ir.NodeSet("X", (V("i"),), C(0)),
+            ir.NodeSet("X", (ir.Bin("+", V("i"), C(1)),), C(1)),
+        ])
+        analysis = analyze_loop(prog, "i")
+        assert any(d.kind == OUTPUT and d.carried
+                   for d in analysis.dependences)
+        assert any("collide" in d.message
+                   for d in loop_diagnostics(prog, "i"))
+
+
+class TestIfNestedReads:
+    def test_read_inside_branch_is_seen(self):
+        prog = _loop([
+            ir.NodeSet("W", (V("i"),), C(0)),
+            ir.If(ir.Bin("==", V("i"), C(0)), (
+                ir.Assign("y", ir.NodeGet("W", ())),
+            )),
+        ])
+        report = loop_diagnostics(prog, "i")
+        assert "carried-dependence" in [d.category for d in report]
+        # the diagnostic points into the then-branch
+        flagged = [d for d in report
+                   if d.category == "carried-dependence"]
+        assert any(isinstance(step, tuple) and step[1] == "then"
+                   for d in flagged for step in d.path)
+
+
+class TestCarriedWrites:
+    def test_stale_carry_refused(self):
+        prog = _loop([
+            ir.NodeSet("A", (V("i"),), C(0)),
+        ])
+        report = carried_write_diagnostics(prog, "i", ["A"])
+        assert [d.category for d in report] == ["stale-carry"]
+        with pytest.raises(TransformError, match="stale"):
+            check_carries_read_only(prog, "i", ["A"])
+
+    def test_read_only_carry_passes(self):
+        prog = _loop([
+            ir.Assign("mA", ir.NodeGet("A", (V("i"),))),
+        ])
+        assert carried_write_diagnostics(prog, "i", ["A"]).ok
+        check_carries_read_only(prog, "i", ["A"])  # must not raise

@@ -1,0 +1,102 @@
+"""Wait/signal protocol checking over injection closures."""
+
+from repro.analysis.lint import seed_paper_programs
+from repro.analysis.protocol import (
+    analyze_protocol,
+    inject_closure,
+    protocol_diagnostics,
+)
+from repro.navp import ir
+
+V = ir.Var
+C = ir.Const
+
+
+def _registry(*programs):
+    return {p.name: p for p in programs}
+
+
+class TestClosure:
+    def test_closure_follows_injects_transitively(self):
+        leaf = ir.Program("pr-leaf", (ir.SignalStmt("E"),))
+        mid = ir.Program("pr-mid", (ir.InjectStmt("pr-leaf"),))
+        root = ir.Program("pr-root", (ir.InjectStmt("pr-mid"),
+                                      ir.InjectStmt("pr-ghost")))
+        programs, missing = inject_closure(
+            root, _registry(root, mid, leaf))
+        assert [p.name for p in programs] == ["pr-root", "pr-mid",
+                                              "pr-leaf"]
+        assert missing == {"pr-ghost"}
+
+    def test_missing_program_warned(self):
+        root = ir.Program("pr-root2", (ir.InjectStmt("pr-nowhere"),))
+        report = protocol_diagnostics(root, _registry(root))
+        assert [(d.severity, d.category) for d in report] \
+            == [("warning", "unknown-program")]
+
+
+class TestUnmatchedWait:
+    def test_deadlocked_wait_is_an_error(self):
+        waiter = ir.Program("pr-waiter", (ir.WaitStmt("go"),))
+        root = ir.Program("pr-spawn", (ir.InjectStmt("pr-waiter"),))
+        report = protocol_diagnostics(root, _registry(root, waiter))
+        errs = report.errors
+        assert [d.category for d in errs] == ["unmatched-wait"]
+        assert errs[0].program == "pr-waiter"
+        assert "block forever" in errs[0].message
+
+    def test_signal_elsewhere_in_closure_satisfies_it(self):
+        waiter = ir.Program("pr-waiter2", (ir.WaitStmt("go"),))
+        root = ir.Program("pr-spawn2", (ir.SignalStmt("go"),
+                                        ir.InjectStmt("pr-waiter2")))
+        report = protocol_diagnostics(root, _registry(root, waiter))
+        assert report.ok
+
+    def test_lone_program_downgraded_to_info(self):
+        orphan = ir.Program("pr-orphan", (ir.WaitStmt("EP"),))
+        report = protocol_diagnostics(orphan, _registry(orphan))
+        assert [d.severity for d in report] == ["info"]
+        assert report.ok
+
+
+class TestSignalCycle:
+    def _cycle_suite(self, with_source=False):
+        w1 = ir.Program("pr-w1", (ir.WaitStmt("A"), ir.SignalStmt("B")))
+        w2 = ir.Program("pr-w2", (ir.WaitStmt("B"), ir.SignalStmt("A")))
+        body = [ir.InjectStmt("pr-w1"), ir.InjectStmt("pr-w2")]
+        if with_source:
+            body.insert(0, ir.SignalStmt("A"))
+        root = ir.Program("pr-cyc", tuple(body))
+        return root, _registry(root, w1, w2)
+
+    def test_guarded_cycle_warned(self):
+        root, registry = self._cycle_suite()
+        report = protocol_diagnostics(root, registry)
+        cats = [d.category for d in report]
+        assert "signal-cycle" in cats
+        assert all(d.severity == "warning" for d in report)
+
+    def test_unguarded_signal_breaks_the_cycle(self):
+        root, registry = self._cycle_suite(with_source=True)
+        report = protocol_diagnostics(root, registry)
+        assert "signal-cycle" not in [d.category for d in report]
+
+    def test_sourced_events_computed(self):
+        root, registry = self._cycle_suite(with_source=True)
+        analysis = analyze_protocol(root, registry)
+        assert analysis.sourced == frozenset({"A"})
+        assert analysis.events == frozenset({"A", "B"})
+
+
+class TestPaperSuites:
+    def test_fig13_slot_handshake_is_a_cycle_warning(self):
+        seed_paper_programs(3)
+        report = protocol_diagnostics(ir.get_program("fig13-main-3"))
+        assert report.errors == []
+        assert "signal-cycle" in [d.category for d in report.warnings]
+
+    def test_fig11_and_fig15_are_clean(self):
+        seed_paper_programs(3)
+        for name in ("fig11-main-3", "fig15-main-3"):
+            report = protocol_diagnostics(ir.get_program(name))
+            assert report.ok, f"{name}: {report.render()}"

@@ -1,0 +1,145 @@
+"""The shared IR visitor: exhaustiveness, path compatibility, the
+extension point, and key normalization."""
+
+import pytest
+
+from repro.analysis import visitor
+from repro.errors import AnalysisError
+from repro.navp import ir
+
+V = ir.Var
+C = ir.Const
+
+
+def _sample_program() -> ir.Program:
+    return ir.Program("vis-sample", (
+        ir.Assign("x", C(1)),
+        ir.For("i", C(3), (
+            ir.HopStmt((V("i"),)),
+            ir.If(ir.Bin("==", V("i"), C(0)), (
+                ir.Assign("y", ir.NodeGet("A", (V("i"),))),
+            ), (
+                ir.NodeSet("B", (V("i"),), V("x")),
+            )),
+            ir.ComputeStmt("copy", (ir.Index(V("y"), (C(0),)),),
+                           out="z"),
+        )),
+        ir.InjectStmt("other", (("p", V("x")),)),
+        ir.WaitStmt("E", (V("x"),)),
+        ir.SignalStmt("E", (V("x"),), C(2)),
+    ))
+
+
+class TestExprWalking:
+    def test_walk_expr_visits_every_node(self):
+        expr = ir.Bin("+", ir.NodeGet("A", (V("i"),)),
+                      ir.Index(V("m"), (C(0),)))
+        kinds = [type(e).__name__ for e in visitor.walk_expr(expr)]
+        assert kinds == ["Bin", "NodeGet", "Var", "Index", "Var",
+                        "Const"]
+
+    def test_uses_var(self):
+        expr = ir.Index(V("m"), (ir.Bin("+", V("k"), C(1)),))
+        assert visitor.uses_var(expr, "k")
+        assert visitor.uses_var(expr, "m")
+        assert not visitor.uses_var(expr, "j")
+
+    def test_map_expr_is_bottom_up(self):
+        seen = []
+        expr = ir.Bin("+", V("a"), C(1))
+        visitor.map_expr(lambda e: seen.append(e) or e, expr)
+        # children before parents
+        assert seen[-1] == expr
+
+    def test_map_expr_rebuilds(self):
+        expr = ir.Bin("+", V("a"), V("a"))
+        out = visitor.map_expr(
+            lambda e: C(5) if e == V("a") else e, expr)
+        assert out == ir.Bin("+", C(5), C(5))
+
+    def test_unknown_expr_type_raises(self):
+        class Weird(ir.Expr):
+            pass
+
+        with pytest.raises(AnalysisError, match="register"):
+            list(visitor.walk_expr(Weird()))
+
+
+class TestStmtWalking:
+    def test_walk_stmts_paths_compose_with_body_at(self):
+        prog = _sample_program()
+        for path, stmt in visitor.walk_stmts(prog.body):
+            assert ir.body_at(prog, path[:-1])[path[-1]] is stmt
+
+    def test_walk_stmts_covers_if_branches(self):
+        prog = _sample_program()
+        stmts = [s for _p, s in visitor.walk_stmts(prog.body)]
+        assert any(isinstance(s, ir.NodeSet) for s in stmts)
+        assert any(isinstance(s, ir.Assign) and s.var == "y"
+                   for s in stmts)
+
+    def test_map_stmt_exprs_reaches_every_statement_kind(self):
+        prog = _sample_program()
+        renamed = [visitor.map_stmt_exprs(
+            lambda e: V("q") if e == V("x") else e, s)
+            for s in prog.body]
+        rebuilt = ir.Program("vis-renamed", tuple(renamed))
+        uses = set()
+        for _p, stmt in visitor.walk_stmts(rebuilt.body):
+            for e in visitor.stmt_exprs(stmt):
+                uses |= visitor.var_names(e)
+        assert "x" not in uses
+        assert "q" in uses
+
+    def test_find_unique_loop(self):
+        prog = _sample_program()
+        path, loop = visitor.find_unique_loop(prog, "i")
+        assert path == (1,)
+        assert loop.var == "i"
+        with pytest.raises(AnalysisError):
+            visitor.find_unique_loop(prog, "zz")
+
+
+class TestNormalization:
+    def test_commutative_operands_ordered(self):
+        a = ir.Bin("+", V("k"), C(1))
+        b = ir.Bin("+", C(1), V("k"))
+        assert visitor.normalize(a) == visitor.normalize(b)
+
+    def test_non_commutative_untouched(self):
+        a = ir.Bin("-", V("k"), C(1))
+        b = ir.Bin("-", C(1), V("k"))
+        assert visitor.normalize(a) != visitor.normalize(b)
+        assert visitor.normalize(a) == a
+
+    def test_normalization_is_recursive(self):
+        a = ir.Bin("%", ir.Bin("+", V("mj"), V("mi")), C(3))
+        b = ir.Bin("%", ir.Bin("+", V("mi"), V("mj")), C(3))
+        assert visitor.normalize(a) == visitor.normalize(b)
+
+
+class TestExtensionPoint:
+    def test_registered_statement_participates_everywhere(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Barrier(ir.Stmt):
+            tag: ir.Expr
+
+        with pytest.raises(AnalysisError):
+            list(visitor.walk_stmts((Barrier(V("x")),)))
+
+        visitor.register_stmt_type(
+            Barrier,
+            exprs=lambda s: (s.tag,),
+            bodies=lambda s: (),
+            rebuild=lambda s, exprs, bodies: Barrier(exprs[0]),
+        )
+        try:
+            body = (Barrier(V("x")),)
+            assert [s for _p, s in visitor.walk_stmts(body)] == [body[0]]
+            out = visitor.map_stmt_exprs(
+                lambda e: V("y") if e == V("x") else e, body[0])
+            assert out == Barrier(V("y"))
+        finally:
+            del visitor._STMT_RULES[Barrier]
