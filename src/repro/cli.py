@@ -18,6 +18,10 @@ Commands
 ``lint [PROGRAMS...] [--all]``     statically analyze registered IR
                                    programs (dependences, hop
                                    locality, wait/signal protocol)
+``bench [--smoke --against ...]``  run the pinned performance suite,
+                                   write ``BENCH_<date>.json``, and
+                                   compare against the previous
+                                   snapshot (see docs/performance.md)
 """
 
 from __future__ import annotations
@@ -113,6 +117,29 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument("--strict", action="store_true",
                         help="treat warnings as errors for the exit "
                              "status")
+
+    bench_p = sub.add_parser(
+        "bench", help="run the pinned performance suite")
+    bench_p.add_argument("--out", default="benchmarks/out",
+                         help="directory for BENCH_<date>.json snapshots "
+                              "(default benchmarks/out)")
+    bench_p.add_argument("--against", default=None,
+                         help="snapshot to compare against (default: the "
+                              "newest BENCH_*.json in --out)")
+    bench_p.add_argument("--threshold", type=float, default=0.85,
+                         help="regression threshold on the primary metric "
+                              "ratio (default 0.85)")
+    bench_p.add_argument("--smoke", action="store_true",
+                         help="small sizes, <60 s — the CI tier-1 mode")
+    bench_p.add_argument("--label", default="",
+                         help="free-form label stored in the snapshot")
+    bench_p.add_argument("--only", nargs="*", default=None,
+                         help="run a subset of benchmarks by name")
+    bench_p.add_argument("--no-write", action="store_true",
+                         help="run and report without writing a snapshot")
+    bench_p.add_argument("--repeats", type=int, default=3,
+                         help="runs per benchmark; the fastest is kept "
+                              "(default 3)")
     return parser
 
 
@@ -277,6 +304,40 @@ def _cmd_lint(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .perf import (
+        compare_benches,
+        find_previous,
+        load_bench,
+        render_report,
+        run_suite,
+        write_bench,
+    )
+    from .perf.report import make_snapshot
+
+    try:
+        results = run_suite(smoke=args.smoke, only=args.only,
+                            repeats=args.repeats)
+    except KeyError as exc:
+        print(f"unknown benchmark {exc.args[0]!r}", file=sys.stderr)
+        return 2
+    snapshot = make_snapshot(results, label=args.label, smoke=args.smoke)
+
+    previous_path = args.against or find_previous(args.out)
+    if previous_path is not None:
+        comparison = compare_benches(snapshot, load_bench(previous_path),
+                                     threshold=args.threshold)
+        comparison["against"] = str(previous_path)
+        snapshot["vs_baseline"] = comparison
+    if not args.no_write:
+        path = write_bench(snapshot, args.out)
+        print(f"wrote {path}")
+    print(render_report(snapshot))
+    if snapshot.get("vs_baseline", {}).get("regressions"):
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "variants":
@@ -295,6 +356,8 @@ def main(argv=None) -> int:
         return _cmd_datascan(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "report":
         from .perfmodel.report import generate_report
 

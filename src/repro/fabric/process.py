@@ -40,6 +40,9 @@ from .trace import TraceLog
 
 __all__ = ["ProcessFabric"]
 
+# Field offsets of a worker task record (see _worker.execute).
+_ID, _CHILDREN, _SEQ, _AT, _INTERP = range(5)
+
 
 def _worker(host, coords, host_of, in_queue, host_queues, report_queue):
     """One host process: executes messenger continuations against the
@@ -49,12 +52,16 @@ def _worker(host, coords, host_of, in_queue, host_queues, report_queue):
     event_waiters: dict = defaultdict(deque)
     ready: deque = deque()
 
-    def execute(task: dict) -> None:
-        interp: Interp = task["interp"]
+    # A task is the list [id, children, seq, at, interp]; the hop
+    # payload is the same thing as a tuple (with the interpreter
+    # reduced to its snapshot) — positional records pickle without
+    # re-shipping invariant key strings on every migration.
+    def execute(task: list) -> None:
+        interp: Interp = task[_INTERP]
         while True:
-            action = interp.next_action(node_vars[task["at"]])
+            action = interp.next_action(node_vars[task[_AT]])
             if action is None:
-                report_queue.put(("done", task["id"], task["children"]))
+                report_queue.put(("done", task[_ID], task[_CHILDREN]))
                 return
             kind = action[0]
             if kind == "hop":
@@ -64,30 +71,26 @@ def _worker(host, coords, host_of, in_queue, host_queues, report_queue):
                         f"hop target {dst!r} is not a PE of this fabric"
                     )
                 if host_of[dst] == host:
-                    task["at"] = dst    # co-hosted: a local hand-over
+                    task[_AT] = dst    # co-hosted: a local hand-over
                     continue
-                snapshot = {
-                    "id": task["id"],
-                    "children": task["children"],
-                    "seq": task["seq"],
-                    "at": dst,
-                    "interp": interp.agent_snapshot(),
-                }
-                host_queues[host_of[dst]].put(("run", snapshot))
+                host_queues[host_of[dst]].put(("run", (
+                    task[_ID], task[_CHILDREN], task[_SEQ], dst,
+                    interp.agent_snapshot(),
+                )))
                 return
             if kind == "compute":
                 _, kname, argvals, out, _cost_kind = action
                 interp.env[out] = get_kernel(kname).fn(*argvals)
                 continue
             if kind == "wait":
-                key = (task["at"], action[1], action[2])
+                key = (task[_AT], action[1], action[2])
                 if event_counts[key] > 0:
                     event_counts[key] -= 1
                     continue
                 event_waiters[key].append(task)
                 return
             if kind == "signal":
-                key = (task["at"], action[1], action[2])
+                key = (task[_AT], action[1], action[2])
                 remaining = action[3]
                 waiters = event_waiters[key]
                 while remaining > 0 and waiters:
@@ -96,16 +99,11 @@ def _worker(host, coords, host_of, in_queue, host_queues, report_queue):
                 event_counts[key] += remaining
                 continue
             if kind == "inject":
-                child_id = f"{task['id']}/{task['seq']}"
-                task["seq"] += 1
-                task["children"].append(child_id)
-                ready.append({
-                    "id": child_id,
-                    "children": [],
-                    "seq": 0,
-                    "at": task["at"],
-                    "interp": Interp(action[1], action[2]),
-                })
+                child_id = f"{task[_ID]}/{task[_SEQ]}"
+                task[_SEQ] += 1
+                task[_CHILDREN].append(child_id)
+                ready.append([child_id, [], 0, task[_AT],
+                              Interp(action[1], action[2])])
                 continue
             raise FabricError(f"unsupported action {action!r} on "
                               f"the process fabric")
@@ -118,14 +116,9 @@ def _worker(host, coords, host_of, in_queue, host_queues, report_queue):
             cmd = in_queue.get()
             op = cmd[0]
             if op == "run":
-                snap = cmd[1]
-                ready.append({
-                    "id": snap["id"],
-                    "children": snap["children"],
-                    "seq": snap["seq"],
-                    "at": tuple(snap["at"]),
-                    "interp": Interp.from_snapshot(snap["interp"]),
-                })
+                tid, children, seq, at, interp_snap = cmd[1]
+                ready.append([tid, children, seq, tuple(at),
+                              Interp.from_snapshot(interp_snap)])
             elif op == "register":
                 for program in cmd[1]:
                     ir.register_program(program, replace=True)
@@ -248,10 +241,10 @@ class ProcessFabric:
                 mid = f"m{self._counter}"
                 self._counter += 1
                 known.add(mid)
-                host_queues[self._host_of[coord]].put(("run", {
-                    "id": mid, "children": [], "seq": 0, "at": coord,
-                    "interp": Interp(name, env).agent_snapshot(),
-                }))
+                host_queues[self._host_of[coord]].put(("run", (
+                    mid, [], 0, coord,
+                    Interp(name, env).agent_snapshot(),
+                )))
 
             deadline = time.monotonic() + self.timeout
             while not known <= done:

@@ -15,6 +15,14 @@ held for the bandwidth term on arrival.
 Numerics always execute (see :class:`repro.fabric.effects.Compute`);
 load :class:`~repro.util.shadow.ShadowArray` node variables to simulate
 paper-scale problems in milliseconds.
+
+Hot-path notes: effects dispatch through a class-keyed handler table
+(exact type hit; subclasses resolve once and are cached), the dominant
+effect — an uncontended :class:`~repro.fabric.effects.Compute` — takes
+the CPU slot synchronously and yields a single Timeout instead of an
+acquire/timeout/release round-trip, and every ``trace.record`` call is
+guarded by ``self._tracing`` so ``trace=False`` runs never even build
+the event kwargs.
 """
 
 from __future__ import annotations
@@ -64,6 +72,8 @@ class _Request:
 class _SimMailbox:
     """Per-place mailbox with (src, tag) matching, FIFO on both sides."""
 
+    __slots__ = ("_sim", "_pending", "_waiters")
+
     def __init__(self, sim: Simulator):
         self._sim = sim
         self._pending: deque[Message] = deque()
@@ -105,6 +115,9 @@ class SimPlace:
     share its CPU and NIC resources, while node variables, events, and
     the mailbox stay per logical node (MESSENGERS semantics).
     """
+
+    __slots__ = ("coord", "index", "host", "vars", "cpu", "nic_in",
+                 "nic_out", "events", "mailbox", "_sim")
 
     def __init__(self, sim: Simulator, coord: tuple, index: int,
                  host: int, cpu, nic_in, nic_out):
@@ -173,6 +186,7 @@ class SimFabric:
         self.machine = machine if machine is not None else SUN_BLADE_100
         self.sim = Simulator()
         self.trace = TraceLog(enabled=trace)
+        self._tracing = bool(trace)
         host_map = resolve_hosts(topology, hosts)
         self.n_hosts = max(host_map.values()) + 1
         host_res = [
@@ -247,157 +261,221 @@ class SimFabric:
 
     def _driver(self, messenger):
         gen = messenger.main()
+        effects = self._EFFECTS
         value = None
         while True:
             try:
                 eff = gen.send(value)
             except StopIteration:
                 return
-            value = yield from self._perform(messenger, eff)
+            handler = effects.get(eff.__class__)
+            if handler is None:
+                handler = self._resolve_effect(eff.__class__)
+                if handler is None:
+                    raise FabricError(
+                        f"unknown effect {eff!r} from messenger "
+                        f"{messenger._name}")
+            value = yield from handler(self, messenger, eff)
+
+    def _resolve_effect(self, cls):
+        """Map an effect subclass to its base handler, once, then cache."""
+        for base, handler in self._EFFECT_BASES:
+            if issubclass(cls, base):
+                self._EFFECTS[cls] = handler
+                return handler
+        return None
 
     def _release_later(self, resource, hold: float):
         yield Timeout(hold)
         resource.release()
 
-    def _perform(self, messenger, eff):
+    # -- effect handlers ------------------------------------------------------
+    def _eff_hop(self, messenger, eff):
         place = messenger._ctx.place
-        name = messenger._name
-        net = self.machine.network
         sim = self.sim
-
-        if isinstance(eff, fx.Hop):
-            dst = self.place(eff.coord)
-            t0 = sim.now
-            moved = 0
-            if dst.host == place.host:
-                yield Timeout(self.LOCAL_HOP_SECONDS)
+        dst = self.place(eff.coord)
+        t0 = sim.now
+        moved = 0
+        if dst.host == place.host:
+            yield Timeout(self.LOCAL_HOP_SECONDS)
+        else:
+            net = self.machine.network
+            moved = (
+                eff.nbytes
+                if eff.nbytes is not None
+                else agent_nbytes(messenger, self.machine)
+            )
+            if net.is_small(moved):
+                yield Timeout(net.latency_s)
             else:
-                moved = (
-                    eff.nbytes
-                    if eff.nbytes is not None
-                    else agent_nbytes(messenger, self.machine)
+                wire = net.wire_time(moved)
+                yield place.nic_out.acquire()
+                sim.spawn(
+                    self._release_later(place.nic_out, wire),
+                    name=f"{messenger._name}.nic_out",
                 )
-                if net.is_small(moved):
-                    yield Timeout(net.latency_s)
-                else:
-                    wire = net.wire_time(moved)
-                    yield place.nic_out.acquire()
-                    sim.spawn(
-                        self._release_later(place.nic_out, wire),
-                        name=f"{name}.nic_out",
-                    )
-                    yield Timeout(net.latency_s)
-                    yield dst.nic_in.acquire()
-                    yield Timeout(wire)
-                    dst.nic_in.release()
+                yield Timeout(net.latency_s)
+                yield dst.nic_in.acquire()
+                yield Timeout(wire)
+                dst.nic_in.release()
+        if self._tracing:
             self.trace.record(
-                t0=t0, t1=sim.now, place=dst.index, actor=name,
+                t0=t0, t1=sim.now, place=dst.index, actor=messenger._name,
                 kind="hop", note=eff.coord and str(eff.coord) or "",
                 src_place=place.index, nbytes=moved,
             )
-            messenger._ctx.place = dst
-            return None
+        messenger._ctx.place = dst
+        return None
 
-        if isinstance(eff, fx.Compute):
-            factor = self._cache_factors.get(eff.kind, 1.0)
-            cost = self.machine.flops_time(eff.flops, factor)
-            yield place.cpu.acquire()
+    def _eff_compute(self, messenger, eff):
+        place = messenger._ctx.place
+        sim = self.sim
+        factor = self._cache_factors.get(eff.kind, 1.0)
+        cost = self.machine.flops_time(eff.flops, factor)
+        cpu = place.cpu
+        if cpu.in_use < cpu.capacity and not cpu._waiters:
+            # uncontended: take the slot synchronously — one Timeout
+            # instead of the acquire round-trip (grant event + resume)
+            cpu.in_use += 1
             t0 = sim.now
             yield Timeout(cost)
-            place.cpu.release()
-            value = eff.fn() if eff.fn is not None else None
+        else:
+            yield cpu.acquire()
+            t0 = sim.now
+            yield Timeout(cost)
+        cpu.release()
+        value = eff.fn() if eff.fn is not None else None
+        if self._tracing:
             self.trace.record(
-                t0=t0, t1=sim.now, place=place.index, actor=name,
+                t0=t0, t1=sim.now, place=place.index, actor=messenger._name,
                 kind="compute", note=eff.note,
             )
-            return value
+        return value
 
-        if isinstance(eff, fx.WaitEvent):
-            sem = place.event(eff.name, tuple(eff.args))
-            t0 = sim.now
-            yield sem.acquire()
-            if sim.now > t0:
-                self.trace.record(
-                    t0=t0, t1=sim.now, place=place.index, actor=name,
-                    kind="wait", note=f"{eff.name}{tuple(eff.args)}",
-                )
-            return None
-
-        if isinstance(eff, fx.SignalEvent):
-            if self.machine.event_overhead_s > 0:
-                yield Timeout(self.machine.event_overhead_s)
-            place.event(eff.name, tuple(eff.args)).release(eff.count)
-            return None
-
-        if isinstance(eff, fx.Inject):
-            if self.machine.inject_overhead_s > 0:
-                yield Timeout(self.machine.inject_overhead_s)
-            self._start(eff.messenger, place)
+    def _eff_wait_event(self, messenger, eff):
+        place = messenger._ctx.place
+        sim = self.sim
+        sem = place.event(eff.name, tuple(eff.args))
+        t0 = sim.now
+        yield sem.acquire()
+        if self._tracing and sim.now > t0:
             self.trace.record(
-                t0=sim.now, t1=sim.now, place=place.index, actor=name,
-                kind="inject", note=type(eff.messenger).__name__,
+                t0=t0, t1=sim.now, place=place.index, actor=messenger._name,
+                kind="wait", note=f"{eff.name}{tuple(eff.args)}",
             )
-            return None
+        return None
 
-        if isinstance(eff, fx.Send):
-            dst = self.place(eff.dst)
-            if dst.host == place.host:
-                # local delivery: pointer swap, no network involvement
-                yield Timeout(self.LOCAL_HOP_SECONDS)
-                dst.mailbox.deposit(Message(place.coord, eff.tag, eff.payload))
-                return None
-            nbytes = (
-                eff.nbytes
-                if eff.nbytes is not None
-                else model_nbytes(eff.payload, self.machine) + 64
+    def _eff_signal_event(self, messenger, eff):
+        if self.machine.event_overhead_s > 0:
+            yield Timeout(self.machine.event_overhead_s)
+        messenger._ctx.place.event(eff.name, tuple(eff.args)).release(
+            eff.count)
+        return None
+
+    def _eff_inject(self, messenger, eff):
+        place = messenger._ctx.place
+        if self.machine.inject_overhead_s > 0:
+            yield Timeout(self.machine.inject_overhead_s)
+        self._start(eff.messenger, place)
+        if self._tracing:
+            self.trace.record(
+                t0=self.sim.now, t1=self.sim.now, place=place.index,
+                actor=messenger._name, kind="inject",
+                note=type(eff.messenger).__name__,
             )
-            t0 = sim.now
-            if net.is_small(nbytes):
-                sim.spawn(
-                    self._deliver_small(place, dst, eff.tag, eff.payload),
-                    name=f"{name}.deliver",
-                )
-            elif not eff.blocking:
-                # MPI_Isend: the whole transfer (including queueing for
-                # this PE's outbound NIC) runs in the background
-                sim.spawn(
-                    self._transfer(place, dst, eff.tag, eff.payload,
-                                   net.wire_time(nbytes), name),
-                    name=f"{name}.isend",
-                )
-            else:
-                wire = net.wire_time(nbytes)
-                yield place.nic_out.acquire()
-                sim.spawn(
-                    self._deliver(place, dst, eff.tag, eff.payload, wire,
-                                  name),
-                    name=f"{name}.deliver",
-                )
-                yield Timeout(wire)
-                place.nic_out.release()
+        return None
+
+    def _eff_send(self, messenger, eff):
+        place = messenger._ctx.place
+        name = messenger._name
+        sim = self.sim
+        dst = self.place(eff.dst)
+        if dst.host == place.host:
+            # local delivery: pointer swap, no network involvement
+            yield Timeout(self.LOCAL_HOP_SECONDS)
+            dst.mailbox.deposit(Message(place.coord, eff.tag, eff.payload))
+            return None
+        net = self.machine.network
+        nbytes = (
+            eff.nbytes
+            if eff.nbytes is not None
+            else model_nbytes(eff.payload, self.machine) + 64
+        )
+        t0 = sim.now
+        if net.is_small(nbytes):
+            sim.spawn(
+                self._deliver_small(place, dst, eff.tag, eff.payload),
+                name=f"{name}.deliver",
+            )
+        elif not eff.blocking:
+            # MPI_Isend: the whole transfer (including queueing for
+            # this PE's outbound NIC) runs in the background
+            sim.spawn(
+                self._transfer(place, dst, eff.tag, eff.payload,
+                               net.wire_time(nbytes), name),
+                name=f"{name}.isend",
+            )
+        else:
+            wire = net.wire_time(nbytes)
+            yield place.nic_out.acquire()
+            sim.spawn(
+                self._deliver(place, dst, eff.tag, eff.payload, wire,
+                              name),
+                name=f"{name}.deliver",
+            )
+            yield Timeout(wire)
+            place.nic_out.release()
+        if self._tracing:
             self.trace.record(
                 t0=t0, t1=sim.now, place=dst.index, actor=name,
                 kind="send", note=str(eff.tag),
                 src_place=place.index, nbytes=nbytes,
             )
-            return None
+        return None
 
-        if isinstance(eff, fx.Recv):
-            request = place.mailbox.post(eff.src, eff.tag)
-            return (yield from self._await_request(messenger, request))
+    def _eff_recv(self, messenger, eff):
+        request = messenger._ctx.place.mailbox.post(eff.src, eff.tag)
+        return (yield from self._await_request(messenger, request))
 
-        if isinstance(eff, fx.IRecv):
-            return place.mailbox.post(eff.src, eff.tag)
+    def _eff_irecv(self, messenger, eff):
+        return messenger._ctx.place.mailbox.post(eff.src, eff.tag)
+        yield  # pragma: no cover — makes this a generator like its peers
 
-        if isinstance(eff, fx.WaitRequest):
-            return (yield from self._await_request(messenger, eff.request))
+    def _eff_wait_request(self, messenger, eff):
+        return (yield from self._await_request(messenger, eff.request))
 
-        if isinstance(eff, fx.Delay):
-            if eff.seconds > 0:
-                yield Timeout(eff.seconds)
-            return None
+    def _eff_delay(self, messenger, eff):
+        if eff.seconds > 0:
+            yield Timeout(eff.seconds)
+        return None
 
-        raise FabricError(f"unknown effect {eff!r} from messenger {name}")
+    # Exact effect type -> unbound handler. Populated with the concrete
+    # classes; subclasses fall through to _resolve_effect once.
+    _EFFECTS = {
+        fx.Hop: _eff_hop,
+        fx.Compute: _eff_compute,
+        fx.WaitEvent: _eff_wait_event,
+        fx.SignalEvent: _eff_signal_event,
+        fx.Inject: _eff_inject,
+        fx.Send: _eff_send,
+        fx.Recv: _eff_recv,
+        fx.IRecv: _eff_irecv,
+        fx.WaitRequest: _eff_wait_request,
+        fx.Delay: _eff_delay,
+    }
+
+    _EFFECT_BASES = tuple(_EFFECTS.items())
+
+    def _perform(self, messenger, eff):
+        """Dispatch one effect (kept as the documented seam for tests)."""
+        handler = self._EFFECTS.get(eff.__class__)
+        if handler is None:
+            handler = self._resolve_effect(eff.__class__)
+            if handler is None:
+                raise FabricError(
+                    f"unknown effect {eff!r} from messenger "
+                    f"{messenger._name}")
+        return (yield from handler(self, messenger, eff))
 
     def _deliver(self, src: SimPlace, dst: SimPlace, tag, payload,
                  wire: float, sender: str):
@@ -429,8 +507,9 @@ class SimFabric:
             return request.message
         t0 = self.sim.now
         value = yield request.trigger
-        self.trace.record(
-            t0=t0, t1=self.sim.now, place=place.index,
-            actor=messenger._name, kind="recv",
-        )
+        if self._tracing:
+            self.trace.record(
+                t0=t0, t1=self.sim.now, place=place.index,
+                actor=messenger._name, kind="recv",
+            )
         return value

@@ -15,7 +15,7 @@ from collections import defaultdict
 __all__ = ["TraceEvent", "TraceLog"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One interval of activity.
 
@@ -41,15 +41,23 @@ class TraceEvent:
 
 
 class TraceLog:
-    """An append-only list of :class:`TraceEvent` with query helpers."""
+    """An append-only list of :class:`TraceEvent` with query helpers.
+
+    A disabled log is a null recorder: :meth:`record` returns without
+    touching the event list, and the fabric additionally guards its
+    call sites so disabled runs never even build the kwargs.
+    """
+
+    __slots__ = ("enabled", "events")
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self.events: list[TraceEvent] = []
 
     def record(self, **kw) -> None:
-        if self.enabled:
-            self.events.append(TraceEvent(**kw))
+        if not self.enabled:
+            return
+        self.events.append(TraceEvent(**kw))
 
     def __len__(self) -> int:
         return len(self.events)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from collections.abc import Iterable, Iterator
+from functools import lru_cache
 
 __all__ = [
     "LRUBlockCache",
@@ -152,17 +153,36 @@ def cache_factors(
     each value multiplies compute time in the DES. The sequential
     pattern is normalized to exactly 1.0 (the flop rate is calibrated
     from sequential measurements).
+
+    The LRU simulation is deterministic in its arguments, so the heavy
+    part is memoized; every fabric construction calls this, and a table
+    sweep builds dozens of fabrics with identical parameters. Callers
+    get a fresh dict each time (they may mutate it).
     """
+    seq, navp, mpi, misses, capacity = _cache_factors_cached(
+        ab, elem_size, l2_bytes, tile_blocks, kappa)
+    return {
+        "sequential": seq,
+        "navp": navp,
+        "mpi": mpi,
+        "misses": dict(misses),
+        "capacity_blocks": capacity,
+    }
+
+
+@lru_cache(maxsize=128)
+def _cache_factors_cached(ab: int, elem_size: int, l2_bytes: int,
+                          tile_blocks: int, kappa: float) -> tuple:
     capacity = max(1, l2_bytes // (ab * ab * elem_size))
     a = tile_blocks
     n_ops = a * a * a
     m_seq = misses_per_block_op(trace_sequential(a), capacity, n_ops)
     m_navp = misses_per_block_op(trace_navp(a), capacity, n_ops)
     m_mpi = misses_per_block_op(trace_mpi_gentleman(a), capacity, n_ops)
-    return {
-        "sequential": 1.0,
-        "navp": 1.0 + kappa * max(0.0, m_navp - m_seq),
-        "mpi": 1.0 + kappa * max(0.0, m_mpi - m_seq),
-        "misses": {"sequential": m_seq, "navp": m_navp, "mpi": m_mpi},
-        "capacity_blocks": capacity,
-    }
+    return (
+        1.0,
+        1.0 + kappa * max(0.0, m_navp - m_seq),
+        1.0 + kappa * max(0.0, m_mpi - m_seq),
+        (("sequential", m_seq), ("navp", m_navp), ("mpi", m_mpi)),
+        capacity,
+    )

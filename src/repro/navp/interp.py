@@ -45,9 +45,12 @@ class Interp:
 
     # -- expression evaluation -----------------------------------------
     def eval(self, expr: ir.Expr, node_vars: dict) -> Any:
-        if isinstance(expr, ir.Const):
+        # Exact-type tests first (Const/Var dominate every workload);
+        # subclasses of the IR nodes fall through to isinstance below.
+        cls = expr.__class__
+        if cls is ir.Const:
             return expr.value
-        if isinstance(expr, ir.Var):
+        if cls is ir.Var:
             try:
                 return self.env[expr.name]
             except KeyError:
@@ -55,10 +58,13 @@ class Interp:
                     f"agent variable {expr.name!r} is unbound in "
                     f"{self.program}"
                 ) from None
-        if isinstance(expr, ir.Bin):
-            left = self.eval(expr.left, node_vars)
-            right = self.eval(expr.right, node_vars)
-            return ir._BIN_OPS[expr.op](left, right)
+        if cls is ir.Bin:
+            return ir._BIN_OPS[expr.op](
+                self.eval(expr.left, node_vars),
+                self.eval(expr.right, node_vars))
+        return self._eval_slow(expr, node_vars)
+
+    def _eval_slow(self, expr: ir.Expr, node_vars: dict) -> Any:
         if isinstance(expr, ir.NodeGet):
             key = self._key(expr.idx, node_vars)
             store = node_vars.get(expr.name)
@@ -71,6 +77,20 @@ class Interp:
             base = self.eval(expr.base, node_vars)
             key = self._key(expr.idx, node_vars)
             return base[key]
+        if isinstance(expr, ir.Const):
+            return expr.value
+        if isinstance(expr, ir.Var):
+            try:
+                return self.env[expr.name]
+            except KeyError:
+                raise FabricError(
+                    f"agent variable {expr.name!r} is unbound in "
+                    f"{self.program}"
+                ) from None
+        if isinstance(expr, ir.Bin):
+            return ir._BIN_OPS[expr.op](
+                self.eval(expr.left, node_vars),
+                self.eval(expr.right, node_vars))
         raise ConfigurationError(f"unknown expression {expr!r}")
 
     def _key(self, idx: tuple, node_vars: dict):
@@ -89,47 +109,55 @@ class Interp:
 
     def next_action(self, node_vars: dict):
         """Advance to the next effect; None when the program finished."""
-        prog = self._program()
-        while self.stack:
-            frame = self.stack[-1]
+        prog = ir.get_program(self.program)
+        env = self.env
+        stack = self.stack
+        evaluate = self.eval
+        while stack:
+            frame = stack[-1]
             path, pc, loop = frame
-            body = ir.body_at(prog, path)
+            body = _body_cached(prog, path)
             if pc >= len(body):
                 if loop is not None:
                     var, count = loop
-                    self.env[var] += 1
-                    if self.env[var] < count:
+                    env[var] += 1
+                    if env[var] < count:
                         frame[1] = 0
                         continue
-                self.stack.pop()
+                stack.pop()
                 continue
 
             stmt = body[pc]
+            code = _STMT_CODES.get(stmt.__class__)
+            if code is None:
+                code = _resolve_stmt(stmt.__class__)
 
-            if isinstance(stmt, ir.For):
+            if code == _ASSIGN:
+                env[stmt.var] = evaluate(stmt.expr, node_vars)
                 frame[1] = pc + 1
-                count = self.eval(stmt.count, node_vars)
+                continue
+
+            if code == _FOR:
+                frame[1] = pc + 1
+                count = evaluate(stmt.count, node_vars)
                 if count > 0:
-                    self.env[stmt.var] = 0
-                    self.stack.append([path + (pc,), 0, (stmt.var, count)])
+                    env[stmt.var] = 0
+                    stack.append([path + (pc,), 0, (stmt.var, count)])
                 continue
 
-            if isinstance(stmt, ir.If):
+            if code == _IF:
                 frame[1] = pc + 1
-                branch = "then" if self.eval(stmt.cond, node_vars) else "else"
-                target = stmt.then if branch == "then" else stmt.orelse
+                if evaluate(stmt.cond, node_vars):
+                    target, branch = stmt.then, "then"
+                else:
+                    target, branch = stmt.orelse, "else"
                 if target:
-                    self.stack.append([path + ((pc, branch),), 0, None])
+                    stack.append([path + ((pc, branch),), 0, None])
                 continue
 
-            if isinstance(stmt, ir.Assign):
-                self.env[stmt.var] = self.eval(stmt.expr, node_vars)
-                frame[1] = pc + 1
-                continue
-
-            if isinstance(stmt, ir.NodeSet):
+            if code == _NODESET:
                 key = self._key(stmt.idx, node_vars)
-                value = self.eval(stmt.expr, node_vars)
+                value = evaluate(stmt.expr, node_vars)
                 if key is None:
                     node_vars[stmt.name] = value
                 else:
@@ -140,23 +168,23 @@ class Interp:
             # effectful statements: advance past, then report
             frame[1] = pc + 1
 
-            if isinstance(stmt, ir.HopStmt):
-                coord = tuple(self.eval(e, node_vars) for e in stmt.place)
+            if code == _HOP:
+                coord = tuple(evaluate(e, node_vars) for e in stmt.place)
                 return ("hop", coord)
-            if isinstance(stmt, ir.ComputeStmt):
+            if code == _COMPUTE:
                 argvals = tuple(
-                    self.eval(e, node_vars) for e in stmt.args)
+                    evaluate(e, node_vars) for e in stmt.args)
                 return ("compute", stmt.kernel, argvals, stmt.out, stmt.kind)
-            if isinstance(stmt, ir.WaitStmt):
-                args = tuple(self.eval(e, node_vars) for e in stmt.args)
+            if code == _WAIT:
+                args = tuple(evaluate(e, node_vars) for e in stmt.args)
                 return ("wait", stmt.event, args)
-            if isinstance(stmt, ir.SignalStmt):
-                args = tuple(self.eval(e, node_vars) for e in stmt.args)
+            if code == _SIGNAL:
+                args = tuple(evaluate(e, node_vars) for e in stmt.args)
                 return ("signal", stmt.event, args,
-                        self.eval(stmt.count, node_vars))
-            if isinstance(stmt, ir.InjectStmt):
+                        evaluate(stmt.count, node_vars))
+            if code == _INJECT:
                 child_env = {
-                    var: self.eval(e, node_vars)
+                    var: evaluate(e, node_vars)
                     for var, e in stmt.bindings
                 }
                 return ("inject", stmt.program, child_env)
@@ -164,21 +192,70 @@ class Interp:
             raise ConfigurationError(f"unknown statement {stmt!r}")
         return None
 
-    def agent_snapshot(self) -> dict:
-        """What a hop must carry: the continuation as plain data."""
-        return {
-            "program": self.program,
-            "env": self.env,
-            "stack": [list(f) for f in self.stack],
-        }
+    def agent_snapshot(self) -> tuple:
+        """What a hop must carry: the continuation as plain data.
+
+        The payload is the tuple ``(program_name, env, stack_frames)``
+        — tuples pickle without per-instance key strings, which is
+        measurable at hop rates. :meth:`from_snapshot` also accepts the
+        pre-tuple ``{"program", "env", "stack"}`` dict payloads so
+        mixed-version worker pools keep interoperating.
+        """
+        return (self.program, self.env, [list(f) for f in self.stack])
 
     @classmethod
-    def from_snapshot(cls, snap: dict) -> "Interp":
+    def from_snapshot(cls, snap) -> "Interp":
         interp = cls.__new__(cls)
-        interp.program = snap["program"]
-        interp.env = snap["env"]
-        interp.stack = [list(f) for f in snap["stack"]]
+        if isinstance(snap, tuple):
+            program, env, stack = snap
+        else:  # legacy dict snapshot
+            program, env, stack = (
+                snap["program"], snap["env"], snap["stack"])
+        interp.program = program
+        interp.env = env
+        interp.stack = [list(f) for f in stack]
         return interp
+
+
+# Statement opcodes: exact class -> code, with an isinstance fallback so
+# IR subclasses dispatch like their base (resolved once, then cached).
+(_ASSIGN, _FOR, _IF, _NODESET, _HOP,
+ _COMPUTE, _WAIT, _SIGNAL, _INJECT) = range(9)
+
+_STMT_CODES: dict = {
+    ir.Assign: _ASSIGN,
+    ir.For: _FOR,
+    ir.If: _IF,
+    ir.NodeSet: _NODESET,
+    ir.HopStmt: _HOP,
+    ir.ComputeStmt: _COMPUTE,
+    ir.WaitStmt: _WAIT,
+    ir.SignalStmt: _SIGNAL,
+    ir.InjectStmt: _INJECT,
+}
+
+_STMT_BASES = tuple(_STMT_CODES.items())
+
+
+def _resolve_stmt(cls):
+    for base, code in _STMT_BASES:
+        if issubclass(cls, base):
+            _STMT_CODES[cls] = code
+            return code
+    return None
+
+
+def _body_cached(prog: ir.Program, path: tuple) -> tuple:
+    """``ir.body_at`` memoized on the Program object itself, so the
+    cache's lifetime (and invalidation) is simply the program's."""
+    cache = prog.__dict__.get("_body_cache")
+    if cache is None:
+        cache = {}
+        object.__setattr__(prog, "_body_cache", cache)
+    body = cache.get(path)
+    if body is None:
+        body = cache[path] = ir.body_at(prog, path)
+    return body
 
 
 class IRMessenger(Messenger):

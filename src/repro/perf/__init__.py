@@ -1,0 +1,34 @@
+"""Performance harness: the pinned benchmark suite behind ``repro bench``.
+
+The suite exists so the engine's speed is *held*, not just achieved
+once: every run writes a ``BENCH_<date>.json`` snapshot (wall time,
+event counts, events/sec per benchmark) and compares itself against a
+previous snapshot with a configurable regression threshold. The
+benchmarks are pinned — same workloads, same sizes, run after run — so
+two JSONs are always comparable.
+
+See :mod:`repro.perf.suite` for the benchmark definitions and
+:mod:`repro.perf.report` for snapshot I/O and comparison; the schema is
+documented in ``docs/performance.md``.
+"""
+
+from .report import (
+    SCHEMA,
+    compare_benches,
+    find_previous,
+    load_bench,
+    render_report,
+    write_bench,
+)
+from .suite import BENCHES, run_suite
+
+__all__ = [
+    "BENCHES",
+    "SCHEMA",
+    "compare_benches",
+    "find_previous",
+    "load_bench",
+    "render_report",
+    "run_suite",
+    "write_bench",
+]

@@ -22,6 +22,20 @@ import numpy as np
 
 __all__ = ["ShadowArray", "shadow_zeros", "shadow_like", "is_shadow"]
 
+# np.dtype() is surprisingly costly; shadow arrays use a handful of
+# dtypes, so normalize through a small cache.
+_DTYPE_CACHE: dict = {}
+
+
+def _as_dtype(dtype):
+    try:
+        cached = _DTYPE_CACHE.get(dtype)
+    except TypeError:  # unhashable dtype spec
+        return np.dtype(dtype)
+    if cached is None:
+        cached = _DTYPE_CACHE[dtype] = np.dtype(dtype)
+    return cached
+
 
 def _slice_length(s, dim: int) -> int:
     """Length of the result of indexing a dimension of size ``dim`` by ``s``."""
@@ -38,9 +52,17 @@ def _slice_length(s, dim: int) -> int:
 
 
 class ShadowArray:
-    """An array that knows its shape and dtype but holds no data."""
+    """An array that knows its shape and dtype but holds no data.
 
-    __slots__ = ("shape", "dtype")
+    Instances are immutable value objects, so derived arrays (slices,
+    binop results, transposes) are *interned*: the fabric's inner loops
+    slice the same blocks millions of times per table sweep, and
+    handing back a pooled instance turns each of those into a dict hit.
+    ``size``/``nbytes`` are precomputed at construction for the same
+    reason (they feed every flop/byte cost estimate).
+    """
+
+    __slots__ = ("shape", "dtype", "size", "nbytes")
 
     def __init__(self, shape, dtype=np.float32):
         if isinstance(shape, int):
@@ -49,7 +71,12 @@ class ShadowArray:
         if any(d < 0 for d in shape):
             raise ValueError(f"negative dimension in shape {shape}")
         self.shape = shape
-        self.dtype = np.dtype(dtype)
+        self.dtype = _as_dtype(dtype)
+        size = 1
+        for d in shape:
+            size *= d
+        self.size = size
+        self.nbytes = size * self.dtype.itemsize
 
     # -- metadata -----------------------------------------------------
     @property
@@ -57,45 +84,46 @@ class ShadowArray:
         return len(self.shape)
 
     @property
-    def size(self) -> int:
-        size = 1
-        for d in self.shape:
-            size *= d
-        return size
-
-    @property
-    def nbytes(self) -> int:
-        return self.size * self.dtype.itemsize
-
-    @property
     def T(self) -> "ShadowArray":
-        return ShadowArray(self.shape[::-1], self.dtype)
+        return _make(self.shape[::-1], self.dtype)
 
     def __repr__(self) -> str:
         return f"ShadowArray(shape={self.shape}, dtype={self.dtype})"
 
     def copy(self) -> "ShadowArray":
-        return ShadowArray(self.shape, self.dtype)
+        return _make(self.shape, self.dtype)
 
     def astype(self, dtype) -> "ShadowArray":
-        return ShadowArray(self.shape, dtype)
+        return _make(self.shape, _as_dtype(dtype))
 
     # -- indexing -----------------------------------------------------
     def __getitem__(self, key) -> "ShadowArray":
+        memo_key = None
+        try:  # int/tuple-of-int keys (the hot case) memoize directly
+            memo_key = (self.shape, self.dtype, key)
+            cached = _GETITEM_CACHE.get(memo_key)
+            if cached is not None:
+                return cached
+        except TypeError:  # slices are unhashable on this Python
+            memo_key = None
         if not isinstance(key, tuple):
             key = (key,)
-        if len(key) > self.ndim:
+        ndim = len(self.shape)
+        if len(key) > ndim:
             raise IndexError(
                 f"too many indices ({len(key)}) for shape {self.shape}"
             )
         # pad with full slices
-        key = key + (slice(None),) * (self.ndim - len(key))
+        key = key + (slice(None),) * (ndim - len(key))
         out = []
         for s, dim in zip(key, self.shape):
             length = _slice_length(s, dim)
             if length >= 0:
                 out.append(length)
-        return ShadowArray(tuple(out), self.dtype)
+        result = _make(tuple(out), self.dtype)
+        if memo_key is not None and len(_GETITEM_CACHE) < _POOL_CAP:
+            _GETITEM_CACHE[memo_key] = result
+        return result
 
     def __setitem__(self, key, value) -> None:
         # Validate that the shapes are compatible, then discard.
@@ -110,13 +138,17 @@ class ShadowArray:
 
     # -- arithmetic ---------------------------------------------------
     def _binop(self, other) -> "ShadowArray":
+        if other.__class__ is ShadowArray and other.shape == self.shape:
+            return _make(self.shape, self.dtype)
         oshape = getattr(other, "shape", ())
-        return ShadowArray(_broadcast_shapes(self.shape, tuple(oshape)), self.dtype)
+        return _make(_broadcast_shapes(self.shape, tuple(oshape)), self.dtype)
 
     __add__ = __radd__ = __sub__ = __rsub__ = _binop
     __mul__ = __rmul__ = __truediv__ = __rtruediv__ = _binop
 
     def __iadd__(self, other) -> "ShadowArray":
+        if other.__class__ is ShadowArray and other.shape == self.shape:
+            return self
         oshape = tuple(getattr(other, "shape", ()))
         if not _broadcastable(oshape, self.shape):
             raise ValueError(
@@ -127,16 +159,41 @@ class ShadowArray:
     __isub__ = __iadd__
 
     def __matmul__(self, other) -> "ShadowArray":
-        if self.ndim != 2 or getattr(other, "ndim", 0) != 2:
+        if len(self.shape) != 2 or getattr(other, "ndim", 0) != 2:
             raise TypeError("ShadowArray @ requires two 2-D operands")
         if self.shape[1] != other.shape[0]:
             raise ValueError(
                 f"matmul shape mismatch: {self.shape} @ {other.shape}"
             )
-        return ShadowArray((self.shape[0], other.shape[1]), self.dtype)
+        return _make((self.shape[0], other.shape[1]), self.dtype)
 
     def fill(self, value) -> None:
         """No-op; present for API parity with ``ndarray.fill``."""
+
+
+# Interned instances and memoized slices, both capped so pathological
+# workloads cannot grow the pools without bound.
+_POOL_CAP = 4096
+_INTERN: dict = {}
+_GETITEM_CACHE: dict = {}
+
+
+def _make(shape: tuple, dtype) -> ShadowArray:
+    """Pooled constructor for already-validated (shape, np.dtype)."""
+    key = (shape, dtype)
+    arr = _INTERN.get(key)
+    if arr is None:
+        arr = object.__new__(ShadowArray)
+        arr.shape = shape
+        arr.dtype = dtype
+        size = 1
+        for d in shape:
+            size *= d
+        arr.size = size
+        arr.nbytes = size * dtype.itemsize
+        if len(_INTERN) < _POOL_CAP:
+            _INTERN[key] = arr
+    return arr
 
 
 def _broadcast_shapes(a: tuple, b: tuple) -> tuple:

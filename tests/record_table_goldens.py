@@ -1,0 +1,40 @@
+"""Re-record tests/goldens/table_times.json from the current engine.
+
+Run only after a *deliberate* model change (new cost term, calibration
+update); for pure performance work the goldens must not move. Usage::
+
+    PYTHONPATH=src python tests/record_table_goldens.py
+"""
+
+import json
+from pathlib import Path
+
+from repro.perfmodel import tables
+
+
+def record() -> dict:
+    out: dict = {}
+    builders = {
+        "table1": tables.build_table1,
+        "table2": tables.build_table2,
+        "table3": tables.build_table3,
+        "table4": tables.build_table4,
+    }
+    for name, build in builders.items():
+        cells: dict = {}
+        for row in build().rows:
+            prefix = f"n{row.n}/ab{row.ab}"
+            cells[f"{prefix}/sequential"] = row.seq_model.hex()
+            for variant, cell in row.cells.items():
+                cells[f"{prefix}/{variant}"] = cell.model_time.hex()
+        out[name] = cells
+    return out
+
+
+if __name__ == "__main__":
+    path = Path(__file__).parent / "goldens" / "table_times.json"
+    goldens = record()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(goldens, indent=1, sort_keys=True) + "\n")
+    n = sum(len(v) for v in goldens.values())
+    print(f"recorded {n} cells -> {path}")

@@ -1,0 +1,128 @@
+"""The ``repro bench`` harness: smoke run, snapshot schema, regression
+detection, and the ``repro lint --all`` gate that shares the CI tier.
+
+The smoke bench doubles as the tier-1 performance gate: it must finish
+well under 60 seconds and exit cleanly, so a broken engine (or a
+benchmark that silently ballooned) fails CI rather than landing.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.perf.report import (
+    SCHEMA,
+    compare_benches,
+    find_previous,
+    load_bench,
+    make_snapshot,
+    write_bench,
+)
+from repro.perf.suite import BENCHES, run_suite
+
+
+class TestSmokeBench:
+    def test_cli_smoke_under_60s(self, tmp_path, capsys):
+        t0 = time.perf_counter()
+        rc = main(["bench", "--smoke", "--out", str(tmp_path),
+                   "--repeats", "1", "--label", "ci smoke"])
+        elapsed = time.perf_counter() - t0
+        assert rc == 0
+        assert elapsed < 60.0
+        written = list(tmp_path.glob("BENCH_*.json"))
+        assert len(written) == 1
+        out = capsys.readouterr().out
+        assert "des_micro" in out and "table3_shadow" in out
+
+        snap = json.loads(written[0].read_text())
+        assert snap["schema"] == SCHEMA
+        assert snap["smoke"] is True
+        assert set(snap["results"]) == set(BENCHES)
+        for name, res in snap["results"].items():
+            assert res["wall_s"] > 0, name
+            # every benchmark that can count events reports a rate
+            if res["events"] is not None:
+                assert res["events_per_sec"] > 0, name
+
+    def test_unknown_benchmark_name_fails_loudly(self, tmp_path):
+        rc = main(["bench", "--smoke", "--out", str(tmp_path),
+                   "--only", "nope"])
+        assert rc == 2
+        with pytest.raises(KeyError):
+            run_suite(smoke=True, only=["nope"])
+
+
+class TestComparison:
+    def _snap(self, ev_per_sec, wall, smoke=False):
+        return make_snapshot(
+            {"des_micro": {"wall_s": wall, "events": 1000,
+                           "events_per_sec": ev_per_sec, "meta": {}}},
+            smoke=smoke,
+        )
+
+    def test_regression_flagged_below_threshold(self):
+        prev = self._snap(1000.0, 1.0)
+        cur = self._snap(500.0, 2.0)
+        out = compare_benches(cur, prev, threshold=0.85)
+        assert out["ratios"]["des_micro"]["events_per_sec"] == 0.5
+        assert out["ratios"]["des_micro"]["wall_speedup"] == 0.5
+        assert out["regressions"] == [
+            "des_micro: events_per_sec 0.50 < 0.85"]
+
+    def test_improvement_not_flagged(self):
+        prev = self._snap(1000.0, 1.0)
+        cur = self._snap(1700.0, 0.6)
+        out = compare_benches(cur, prev)
+        assert out["regressions"] == []
+        assert out["ratios"]["des_micro"]["events_per_sec"] == 1.7
+
+    def test_smoke_vs_full_not_compared(self):
+        prev = self._snap(1000.0, 1.0, smoke=False)
+        cur = self._snap(10.0, 1.0, smoke=True)
+        out = compare_benches(cur, prev)
+        assert out["ratios"] == {}
+        assert out["regressions"] == []
+        assert "not comparable" in out["note"]
+
+    def test_write_load_find_roundtrip(self, tmp_path):
+        old = write_bench(self._snap(1000.0, 1.0), tmp_path, date="2026-01-01")
+        new = write_bench(self._snap(1500.0, 0.7), tmp_path, date="2026-02-01")
+        assert load_bench(new)["schema"] == SCHEMA
+        assert find_previous(tmp_path, exclude=new) == old
+        bogus = tmp_path / "BENCH_bogus.json"
+        bogus.write_text('{"schema": "other/9"}')
+        with pytest.raises(ValueError, match="not a repro-bench"):
+            load_bench(bogus)
+
+
+class TestCommittedBaseline:
+    def test_repo_baselines_meet_issue_targets(self):
+        """The committed post-change snapshot must hold the optimization
+        headline: >=1.5x DES events/sec and >=1.3x Table-3 wall time
+        against the committed pre-change baseline."""
+        current = load_bench("benchmarks/out/BENCH_2026-08-05.json")
+        ratios = current["vs_baseline"]["ratios"]
+        assert ratios["des_micro"]["events_per_sec"] >= 1.5
+        assert ratios["table3_shadow"]["wall_speedup"] >= 1.3
+        assert current["vs_baseline"]["regressions"] == []
+
+
+class TestLintGate:
+    def test_lint_all_clean(self):
+        # Subprocess: other tests register throwaway (and deliberately
+        # broken) programs in the in-process registry; the gate lints
+        # the seeded paper programs, like CI does.
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "lint", "--all"],
+            capture_output=True, text=True,
+            env={**os.environ,
+                 "PYTHONPATH": str(Path(__file__).parent.parent / "src")},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 error(s)" in proc.stdout

@@ -1,0 +1,55 @@
+"""Bit-exact pinning of every Table 1-4 model time.
+
+The goldens in ``tests/goldens/table_times.json`` were recorded from
+the engine before the fast-path overhaul (slotted DES core, immediate
+event deque, coalesced Compute effects, interned shadow arrays). The
+optimizations are only admissible because they are *identities* on the
+simulated schedule: every virtual end time of every cell must stay
+bit-for-bit equal (compared through ``float.hex`` so no tolerance can
+hide a drift).
+
+If a deliberate model change invalidates these numbers, re-record with::
+
+    PYTHONPATH=src python tests/record_table_goldens.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perfmodel import tables
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "table_times.json"
+
+_BUILDERS = {
+    "table1": tables.build_table1,
+    "table2": tables.build_table2,
+    "table3": tables.build_table3,
+    "table4": tables.build_table4,
+}
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("table", sorted(_BUILDERS))
+def test_table_times_bit_identical(table, goldens):
+    recorded = goldens[table]
+    comparison = _BUILDERS[table]()
+    seen = {}
+    for row in comparison.rows:
+        prefix = f"n{row.n}/ab{row.ab}"
+        seen[f"{prefix}/sequential"] = row.seq_model.hex()
+        for variant, cell in row.cells.items():
+            seen[f"{prefix}/{variant}"] = cell.model_time.hex()
+    assert seen == recorded
+
+
+def test_goldens_cover_all_tables(goldens):
+    assert sorted(goldens) == sorted(_BUILDERS)
+    # 98 cells were pinned at record time; a shrinking golden file means
+    # someone regenerated it against a smaller sweep.
+    assert sum(len(v) for v in goldens.values()) == 98
