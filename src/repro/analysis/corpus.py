@@ -14,6 +14,7 @@ into ``repro lint --all`` or a fabric run.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from ..navp import ir
@@ -21,8 +22,10 @@ from .deps import carried_write_diagnostics, loop_diagnostics
 from .diagnostics import DiagnosticReport
 from .locality import LayoutSpec, check_locality, key_home
 from .protocol import protocol_diagnostics
+from .races import race_diagnostics
 
-__all__ = ["CorpusCase", "CORPUS", "run_case", "verify_corpus"]
+__all__ = ["CorpusCase", "CORPUS", "RACY_CORPUS", "run_case",
+           "verify_corpus", "installed"]
 
 V = ir.Var
 C = ir.Const
@@ -35,10 +38,19 @@ class CorpusCase:
     check:
         ``"loop"`` (:func:`~repro.analysis.deps.loop_diagnostics`),
         ``"carries"`` (:func:`carried_write_diagnostics`),
-        ``"locality"`` (:func:`check_locality`) or ``"protocol"``
-        (:func:`protocol_diagnostics`).
+        ``"locality"`` (:func:`check_locality`), ``"protocol"``
+        (:func:`protocol_diagnostics`) or ``"races"``
+        (:func:`~repro.analysis.races.race_diagnostics`).
     category:
         The diagnostic category the case must be flagged under.
+
+    The ``"races"`` cases are also *runnable*: the schedule fuzzer
+    (:mod:`repro.fabric.fuzz`) executes them with the dynamic
+    happens-before checker on and cross-validates its findings against
+    the static report. ``places``/``entry``/``initial_signals`` are the
+    runtime setup that makes that possible; ``racy_vars`` names the
+    node variables whose accesses must be flagged. Events in
+    ``initial_signals`` are exactly the statically-``primed`` set.
     """
 
     name: str
@@ -49,6 +61,15 @@ class CorpusCase:
     loop: str | None = None
     carried: tuple = ()
     layout: LayoutSpec | None = None
+    places: int = 1                # 1-D topology size for dynamic runs
+    entry: tuple = (0,)            # where the root program is injected
+    initial_signals: tuple = ()    # (event, args, count) primed per place
+    racy_vars: tuple = ()          # node variables expected to race
+
+    @property
+    def primed(self) -> frozenset:
+        """Events receiving setup-time signals (see ``analyze_races``)."""
+        return frozenset(ev for ev, _args, _count in self.initial_signals)
 
 
 def _case_write_collision() -> CorpusCase:
@@ -163,6 +184,114 @@ def _case_carried_flow() -> CorpusCase:
         check="loop", loop="r")
 
 
+def _case_unsignaled_write() -> CorpusCase:
+    # pipelined producer/consumer with the handshake simply left out:
+    # the writer fills the slot but never signals, so the reader's copy
+    # races the write (the Figure 11 protocol minus its signal/wait)
+    writer = ir.Program("bad-race-writer", (
+        ir.NodeSet("slot", (), C(7)),
+    ))
+    reader = ir.Program("bad-race-reader", (
+        ir.ComputeStmt("copy", (ir.NodeGet("slot"),), out="t"),
+        ir.NodeSet("out", (C(0),), V("t")),
+    ))
+    main = ir.Program("bad-unsignaled-write", (
+        ir.HopStmt((C(0),)),
+        ir.NodeSet("slot", (), C(0)),
+        ir.InjectStmt(writer.name),
+        ir.InjectStmt(reader.name),
+    ))
+    return CorpusCase(
+        name=main.name, category="data-race",
+        registry={p.name: p for p in (writer, reader, main)},
+        root=main.name, check="races",
+        racy_vars=("slot",))
+
+
+def _case_dropped_wait() -> CorpusCase:
+    # the Figure 13 producer/consumer handshake with the consumer's
+    # wait(EP) dropped. The producer still waits EC before writing —
+    # but EC is primed everywhere at setup, so that wait consumes a
+    # token carrying no ordering and the consumer's read is unprotected.
+    producer = ir.Program("bad-race-producer", (
+        ir.For("i", C(3), (
+            ir.HopStmt((V("i"),)),
+            ir.WaitStmt("EC"),
+            ir.NodeSet("slot", (), V("i")),
+            ir.SignalStmt("EP"),
+        )),
+    ))
+    consumer = ir.Program("bad-race-consumer", (
+        ir.For("i", C(3), (
+            ir.HopStmt((V("i"),)),
+            # wait(EP) belongs here; its absence is the seeded defect
+            ir.ComputeStmt("copy", (ir.NodeGet("slot"),), out="t"),
+            ir.NodeSet("out", (V("i"),), V("t")),
+            ir.SignalStmt("EC"),
+        )),
+    ))
+    main = ir.Program("bad-dropped-wait", (
+        ir.For("i", C(3), (
+            ir.HopStmt((V("i"),)),
+            ir.NodeSet("slot", (), C(0)),
+        )),
+        ir.HopStmt((C(0),)),
+        ir.InjectStmt(producer.name),
+        ir.InjectStmt(consumer.name),
+    ))
+    return CorpusCase(
+        name=main.name, category="data-race",
+        registry={p.name: p for p in (producer, consumer, main)},
+        root=main.name, check="races",
+        places=3, initial_signals=(("EC", (), 1),),
+        racy_vars=("slot",))
+
+
+def _case_key_alias() -> CorpusCase:
+    # two writers address X[k+1] and X[1+k]: syntactically different
+    # keys, the same entry once commutative normalization is applied —
+    # the alias must not be mistaken for disjointness
+    w1 = ir.Program("bad-race-alias-w1", (
+        ir.NodeSet("X", (ir.Bin("+", V("k"), C(1)),), C(1)),
+    ), params=("k",))
+    w2 = ir.Program("bad-race-alias-w2", (
+        ir.NodeSet("X", (ir.Bin("+", C(1), V("k")),), C(2)),
+    ), params=("k",))
+    main = ir.Program("bad-key-alias", (
+        ir.HopStmt((C(0),)),
+        ir.InjectStmt(w1.name, bindings=(("k", C(2)),)),
+        ir.InjectStmt(w2.name, bindings=(("k", C(2)),)),
+    ))
+    return CorpusCase(
+        name=main.name, category="data-race",
+        registry={p.name: p for p in (w1, w2, main)},
+        root=main.name, check="races",
+        racy_vars=("X",))
+
+
+def _case_reduction_order() -> CorpusCase:
+    # one adder per loop iteration, each read-modify-writing acc[()]:
+    # the key pins no replication parameter, so instances collide — and
+    # the final value depends on injection-arrival interleaving
+    adder = ir.Program("bad-race-adder", (
+        ir.HopStmt((C(0),)),
+        ir.Assign("t", ir.Bin("+", ir.NodeGet("acc"), V("mi"))),
+        ir.NodeSet("acc", (), V("t")),
+    ), params=("mi",))
+    main = ir.Program("bad-reduction-order", (
+        ir.HopStmt((C(0),)),
+        ir.NodeSet("acc", (), C(0)),
+        ir.For("i", C(3), (
+            ir.InjectStmt(adder.name, bindings=(("mi", V("i")),)),
+        )),
+    ))
+    return CorpusCase(
+        name=main.name, category="data-race",
+        registry={adder.name: adder, main.name: main},
+        root=main.name, check="races",
+        racy_vars=("acc",))
+
+
 CORPUS: tuple = (
     _case_write_collision(),
     _case_stale_carry(),
@@ -170,7 +299,13 @@ CORPUS: tuple = (
     _case_unmatched_wait(),
     _case_signal_cycle(),
     _case_carried_flow(),
+    _case_unsignaled_write(),
+    _case_dropped_wait(),
+    _case_key_alias(),
+    _case_reduction_order(),
 )
+
+RACY_CORPUS: tuple = tuple(c for c in CORPUS if c.check == "races")
 
 
 def run_case(case: CorpusCase) -> DiagnosticReport:
@@ -184,7 +319,32 @@ def run_case(case: CorpusCase) -> DiagnosticReport:
         return check_locality(root, case.layout, registry=case.registry)
     if case.check == "protocol":
         return protocol_diagnostics(root, registry=case.registry)
+    if case.check == "races":
+        return race_diagnostics(root, registry=case.registry,
+                                primed=case.primed)
     raise ValueError(f"unknown corpus check {case.check!r}")
+
+
+@contextmanager
+def installed(case: CorpusCase):
+    """Temporarily install a case's programs in the global registry.
+
+    The interpreter resolves programs by name from
+    :data:`repro.navp.ir.REGISTRY`, so *running* a corpus case (the
+    schedule fuzzer does) needs its registry visible for the duration
+    of the run. Entries are removed again on exit, preserving the
+    corpus's never-leaks-into-lint guarantee.
+    """
+    added = []
+    for name, prog in case.registry.items():
+        if name not in ir.REGISTRY:
+            ir.REGISTRY[name] = prog
+            added.append(name)
+    try:
+        yield
+    finally:
+        for name in added:
+            ir.REGISTRY.pop(name, None)
 
 
 def verify_corpus() -> list:

@@ -197,9 +197,11 @@ def seed_paper_programs(g: int = 3) -> dict:
     """
     from ..matmul.ir2d import build_fig11, build_fig13, build_fig15
     from ..transform.examples import derive_full_chain
+    from ..wavefront.irprog import build_wavefront_ir
 
     derive_full_chain(g)
     build_fig11(g)
     build_fig13(g)
     build_fig15(g)
+    build_wavefront_ir(g, 4, 4)
     return paper_layouts(g)

@@ -17,7 +17,14 @@ Commands
 ``wavefront [--n --block --pes]``  the wavefront extension study
 ``lint [PROGRAMS...] [--all]``     statically analyze registered IR
                                    programs (dependences, hop
-                                   locality, wait/signal protocol)
+                                   locality, wait/signal protocol;
+                                   ``--races`` adds the static
+                                   data-race analysis)
+``fuzz-schedules [--seeds --smoke]``
+                                   perturb simultaneous-event order:
+                                   golden pipelines must stay
+                                   bit-exact and the racy corpus must
+                                   reproduce its predicted races
 ``bench [--smoke --against ...]``  run the pinned performance suite,
                                    write ``BENCH_<date>.json``, and
                                    compare against the previous
@@ -114,9 +121,27 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument("--corpus", action="store_true",
                         help="run the known-bad corpus instead and "
                              "check every defect is caught")
+    lint_p.add_argument("--races", action="store_true",
+                        help="also run the static data-race analysis "
+                             "over every linted root program's "
+                             "injection closure")
     lint_p.add_argument("--strict", action="store_true",
                         help="treat warnings as errors for the exit "
                              "status")
+
+    fuzz_p = sub.add_parser(
+        "fuzz-schedules",
+        help="perturb simultaneous-event order across seeds: golden "
+             "pipelines must stay bit-exact, the racy corpus must "
+             "reproduce its statically predicted races")
+    fuzz_p.add_argument("--seeds", type=int, default=20,
+                        help="number of perturbation seeds (default 20)")
+    fuzz_p.add_argument("--g", type=int, default=3,
+                        help="grid order for the 2-D golden suites "
+                             "(default 3)")
+    fuzz_p.add_argument("--smoke", action="store_true",
+                        help="fixed small seed set, a few seconds — "
+                             "the CI tier-1 mode")
 
     bench_p = sub.add_parser(
         "bench", help="run the pinned performance suite")
@@ -283,6 +308,16 @@ def _cmd_lint(args) -> int:
         return 2
 
     report = lint_mod.lint_registry(names, layouts=layouts)
+    if args.races:
+        from .analysis.lint import _injected_names
+        from .analysis.races import race_diagnostics
+
+        injected = _injected_names(ir.REGISTRY)
+        extra = DiagnosticReport()
+        for name in names:
+            if name not in injected:  # roots carry their closures
+                extra.extend(race_diagnostics(ir.get_program(name)))
+        report.extend(extra)
     if args.loop:
         extra = DiagnosticReport()
         for name in names:
@@ -301,6 +336,34 @@ def _cmd_lint(args) -> int:
           f"{len(report) - errors - warnings} note(s)")
     if errors or (args.strict and warnings):
         return 1
+    return 0
+
+
+def _cmd_fuzz_schedules(args) -> int:
+    from .fabric.fuzz import fuzz_corpus, fuzz_golden_suites
+
+    seeds = tuple(range(6)) if args.smoke else tuple(range(args.seeds))
+    failures = 0
+
+    print(f"schedule fuzzing: {len(seeds)} seed(s)\n")
+    print("golden pipelines (results must be schedule-independent):")
+    for check in fuzz_golden_suites(g=args.g, seeds=seeds):
+        print(f"  {check.describe()}")
+        if not check.ok:
+            failures += 1
+
+    print("\nracy corpus (dynamic findings must match the static report):")
+    for result in fuzz_corpus(seeds=seeds):
+        print(f"  {result.describe()}")
+        for sig in sorted(result.unpredicted, key=repr):
+            print(f"    unpredicted: {sig!r}")
+        if not result.ok:
+            failures += 1
+
+    if failures:
+        print(f"\n{failures} fuzzing check(s) FAILED")
+        return 1
+    print("\nall schedule-fuzzing checks passed")
     return 0
 
 
@@ -356,6 +419,8 @@ def main(argv=None) -> int:
         return _cmd_datascan(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "fuzz-schedules":
+        return _cmd_fuzz_schedules(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "report":

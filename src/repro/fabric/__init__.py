@@ -1,8 +1,17 @@
 """Execution fabrics: virtual-time DES, real threads, real processes."""
 
 from . import effects
-from .desim import Resource, Semaphore, Simulator, SimProcess, Timeout, Trigger
+from .desim import (
+    Resource,
+    Semaphore,
+    Simulator,
+    SimProcess,
+    Timeout,
+    Trigger,
+    perturbed,
+)
 from .factory import FABRIC_KINDS, make_fabric
+from .hb import HBTracker, Race, RaceAccess
 from .hosts import block_hosts, cyclic_hosts, resolve_hosts
 from .sim import FabricResult, Message, SimFabric, SimPlace
 from .sizes import agent_nbytes, model_nbytes
@@ -21,6 +30,10 @@ __all__ = [
     "Resource",
     "Semaphore",
     "Trigger",
+    "perturbed",
+    "HBTracker",
+    "Race",
+    "RaceAccess",
     "SimFabric",
     "SimPlace",
     "Message",

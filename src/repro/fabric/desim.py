@@ -36,12 +36,26 @@ Fast-path design (the engine carries millions of events per table):
 The module-level :data:`PERF_STATS` counter accumulates executed events
 across simulators; ``repro bench`` reads it to compute events/sec for
 whole table sweeps.
+
+Schedule perturbation (the race-detection fuzzer's hook): the merge of
+the immediate deque and the heap is the *one* place the executed order
+of same-timestamp events is decided, so a seeded shuffle of exactly
+that decision explores every schedule the DES could legally produce
+without touching virtual time. ``Simulator(perturb_seed=n)`` — or the
+:func:`perturbed` context manager, which reaches simulators constructed
+deep inside table builders — pools every ready event at the current
+timestamp and picks the next one with a private ``random.Random``.
+Timestamps, and therefore every model *time*, are unaffected; only the
+tie-break order moves. With no seed the original bit-exact merge loop
+runs unchanged.
 """
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from collections.abc import Callable, Generator
+from contextlib import contextmanager
 from heapq import heappop, heappush
 from itertools import islice
 
@@ -55,11 +69,34 @@ __all__ = [
     "Semaphore",
     "Trigger",
     "PERF_STATS",
+    "perturbed",
 ]
 
 # Executed-event tally across all Simulator instances (benchmarking aid;
 # reset it yourself around a measured region).
 PERF_STATS = {"events": 0}
+
+# Ambient perturbation state consulted by Simulator.__init__ when no
+# explicit perturb_seed is given. "count" makes each simulator built
+# under one perturbed() context draw a distinct-but-reproducible stream.
+_PERTURB: dict = {"seed": None, "count": 0}
+
+
+@contextmanager
+def perturbed(seed: int):
+    """Make every Simulator built in this context shuffle same-time ties.
+
+    The n-th simulator constructed inside the context seeds its private
+    RNG from ``(seed, n)``, so a whole table sweep (which builds many
+    simulators internally) is reproducible from the single seed.
+    """
+    prior = (_PERTURB["seed"], _PERTURB["count"])
+    _PERTURB["seed"] = seed
+    _PERTURB["count"] = 0
+    try:
+        yield
+    finally:
+        _PERTURB["seed"], _PERTURB["count"] = prior
 
 
 class Timeout:
@@ -368,9 +405,10 @@ class Simulator:
     """Virtual clock plus deterministic event queue."""
 
     __slots__ = ("now", "_queue", "_immediate", "_seq", "_processes",
-                 "_failure", "_alive", "events_executed")
+                 "_failure", "_alive", "events_executed", "_rng",
+                 "deadlock_hint")
 
-    def __init__(self):
+    def __init__(self, perturb_seed: int | None = None):
         self.now = 0.0
         self._queue: list = []
         self._immediate: deque = deque()  # zero-delay events, FIFO by seq
@@ -379,6 +417,16 @@ class Simulator:
         self._failure: tuple | None = None
         self._alive = 0
         self.events_executed = 0
+        # Callable returning extra text for DeadlockError (or None);
+        # SimFabric points this at the static protocol analyzer so a
+        # deadlock names the wait/signal cycle that predicted it.
+        self.deadlock_hint: Callable | None = None
+        if perturb_seed is None and _PERTURB["seed"] is not None:
+            n = _PERTURB["count"]
+            _PERTURB["count"] = n + 1
+            perturb_seed = _PERTURB["seed"] * 1_000_003 + n
+        self._rng = (None if perturb_seed is None
+                     else random.Random(perturb_seed))
 
     # -- low-level scheduling -------------------------------------------
     def _schedule(self, delay: float, fn: Callable, arg) -> None:
@@ -427,6 +475,8 @@ class Simulator:
         candidate that may precede the immediate front is a heap event
         at the same timestamp with a smaller sequence number.
         """
+        if self._rng is not None:
+            return self._run_perturbed(until)
         queue = self._queue
         immediate = self._immediate
         pop = heappop
@@ -456,6 +506,55 @@ class Simulator:
         finally:
             self.events_executed += executed
             PERF_STATS["events"] += executed
+        return self._epilogue(until)
+
+    def _run_perturbed(self, until: float | None) -> float:
+        """The fuzzing twin of :meth:`run`.
+
+        All events ready at the current timestamp — the whole immediate
+        deque plus every heap entry whose time equals ``now`` — form a
+        pool, and the seeded RNG picks which runs next. Each executed
+        event may append new zero-delay work, which joins the pool on
+        the next iteration, so the shuffle covers cascades too. The
+        clock only advances when the pool is empty.
+        """
+        queue = self._queue
+        immediate = self._immediate
+        rng = self._rng
+        pool: list = []
+        executed = 0
+        try:
+            while self._failure is None:
+                while immediate:
+                    pool.append(immediate.popleft())
+                while queue and queue[0][0] == self.now:
+                    _time, seq, fn, arg = heappop(queue)
+                    pool.append((seq, fn, arg))
+                if not pool:
+                    if not queue:
+                        break
+                    time = queue[0][0]
+                    if until is not None and time > until:
+                        self.now = until
+                        return self.now
+                    if time < self.now:
+                        raise SimulationError(
+                            "event queue time went backwards")
+                    self.now = time
+                    continue
+                i = rng.randrange(len(pool))
+                entry = pool[i]
+                pool[i] = pool[-1]
+                del pool[-1]
+                _seq, fn, arg = entry
+                fn(arg)
+                executed += 1
+        finally:
+            self.events_executed += executed
+            PERF_STATS["events"] += executed
+        return self._epilogue(until)
+
+    def _epilogue(self, until: float | None) -> float:
         if self._failure is not None:
             process, exc = self._failure
             raise SimulationError(
@@ -469,10 +568,19 @@ class Simulator:
             )
             more = ("" if self._alive <= 20
                     else f" (+{self._alive - 20} more)")
-            raise DeadlockError(
+            message = (
                 f"{self._alive} process(es) blocked with no pending events: "
                 f"{detail}{more}"
             )
+            hint = self.deadlock_hint
+            if hint is not None:
+                try:
+                    extra = hint()
+                except Exception:
+                    extra = None
+                if extra:
+                    message = f"{message}\n{extra}"
+            raise DeadlockError(message)
         return self.now
 
     def alive_count(self) -> int:

@@ -1,0 +1,239 @@
+"""Schedule fuzzing: perturb simultaneous-event order, check invariance.
+
+The discrete-event simulator breaks virtual-time ties in insertion
+order; :func:`repro.fabric.desim.perturbed` (or a ``perturb_seed``)
+replaces that policy with a seeded random draw over *all* events ready
+at the current instant. Virtual timestamps never change — only the
+order in which same-time work runs — so a correctly synchronized
+program must produce bit-identical results on every seed. This module
+packages the two ways the repo uses that:
+
+* **golden invariance** (:func:`fuzz_golden_suites`): rerun the paper's
+  pipelined matmul suites under many seeds and demand the assembled
+  product matrix stay bit-exact. A mismatch means a schedule-dependent
+  result — a race the wait/signal protocol failed to order.
+* **corpus cross-validation** (:func:`fuzz_corpus`): run the known-racy
+  corpus programs with the dynamic happens-before checker on
+  (:mod:`repro.fabric.hb`), across many seeds, and compare what it
+  observes against the static report of
+  :mod:`repro.analysis.races`. The contract is one-sided soundness:
+  fuzzing must *reproduce* at least one race per seeded program, and
+  every dynamically observed race must have been *predicted* statically
+  (``dynamic ⊆ static``).
+
+``repro fuzz-schedules`` is the CLI face of both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.presets import FAST_TEST_MACHINE
+from .desim import perturbed
+from .sim import SimFabric
+from .topology import Grid1D
+
+__all__ = ["ScheduleCheck", "CorpusFuzz", "fuzz_golden_suites",
+           "fuzz_corpus", "run_corpus_case", "static_signatures",
+           "dynamic_signature"]
+
+DEFAULT_SEEDS = tuple(range(20))
+
+
+@dataclass(frozen=True)
+class ScheduleCheck:
+    """Result of fuzzing one program's schedule against a baseline."""
+
+    label: str
+    seeds: tuple
+    mismatched_seeds: tuple
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatched_seeds
+
+    def describe(self) -> str:
+        if self.ok:
+            return (f"{self.label}: bit-exact across "
+                    f"{len(self.seeds)} fuzzed schedules")
+        return (f"{self.label}: result differs from baseline under "
+                f"seeds {list(self.mismatched_seeds)!r}")
+
+
+@dataclass(frozen=True)
+class CorpusFuzz:
+    """Dynamic-vs-static comparison for one known-racy corpus case."""
+
+    case_name: str
+    seeds: tuple
+    static: frozenset     # signatures the static analyzer predicted
+    dynamic: frozenset    # signatures the HB checker observed
+
+    @property
+    def reproduced(self) -> bool:
+        """Did fuzzing surface at least one race dynamically?"""
+        return bool(self.dynamic)
+
+    @property
+    def unpredicted(self) -> frozenset:
+        """Dynamic findings the static pass missed (must be empty)."""
+        return self.dynamic - self.static
+
+    @property
+    def ok(self) -> bool:
+        return self.reproduced and not self.unpredicted
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else (
+            "NOT reproduced" if not self.reproduced
+            else f"{len(self.unpredicted)} unpredicted dynamic race(s)")
+        return (f"{self.case_name}: {len(self.dynamic)} dynamic / "
+                f"{len(self.static)} static race site-pair(s) — {status}")
+
+
+# --------------------------------------------------------------------------
+# race signatures: the common currency of static and dynamic findings
+# --------------------------------------------------------------------------
+
+def _site_key(side) -> str:
+    return repr(side)
+
+
+def dynamic_signature(race) -> tuple:
+    """``(var, sorted site pairs)`` for a :class:`repro.fabric.hb.Race`.
+
+    A site is ``(program, full statement path, write)`` — the same
+    shape :func:`static_signatures` produces, so set inclusion between
+    the two is meaningful.
+    """
+    sides = []
+    for s in (race.a, race.b):
+        path = None
+        if s.site is not None:
+            body_path, pc = s.site
+            path = tuple(body_path) + (pc,)
+        sides.append((s.program or s.actor, path, s.write))
+    return (race.var, tuple(sorted(sides, key=_site_key)))
+
+
+def static_signatures(case) -> frozenset:
+    """Predicted ``(var, site pair)`` signatures for a corpus case."""
+    from ..analysis.races import analyze_races
+
+    analysis = analyze_races(case.registry[case.root],
+                             registry=case.registry, primed=case.primed)
+    out = set()
+    for race in analysis.races:
+        sides = tuple(sorted(
+            ((acc.thread, tuple(acc.path), acc.write)
+             for acc in (race.a, race.b)),
+            key=_site_key))
+        out.add((race.a.var, sides))
+    return frozenset(out)
+
+
+# --------------------------------------------------------------------------
+# golden invariance
+# --------------------------------------------------------------------------
+
+def _ir2d_builders() -> dict:
+    from ..matmul.ir2d import build_fig11, build_fig13, build_fig15
+
+    return {"fig11": build_fig11, "fig13": build_fig13,
+            "fig15": build_fig15}
+
+
+def fuzz_golden_suites(g: int = 3, seeds=DEFAULT_SEEDS,
+                       include_1d: bool = True) -> list:
+    """Fuzz the paper's pipelined matmul programs; results must not move.
+
+    Covers the three 2-D IR stages (Figures 11/13/15) and, with
+    ``include_1d``, the 1-D pipelined and phase-shifted chains. Each
+    program runs once unperturbed for a baseline, then once per seed;
+    any bitwise difference in the assembled product is a mismatch.
+    """
+    from ..matmul.ir2d import run_ir2d_suite
+
+    checks = []
+    for label, build in _ir2d_builders().items():
+        suite = build(g)
+        base, _ = run_ir2d_suite(suite)
+        bad = []
+        for seed in seeds:
+            with perturbed(seed):
+                c, _ = run_ir2d_suite(suite)
+            if not np.array_equal(base, c):
+                bad.append(seed)
+        checks.append(ScheduleCheck(f"{label}-g{g}", tuple(seeds),
+                                    tuple(bad)))
+
+    if include_1d:
+        from ..matmul.kinds import MatmulCase
+        from ..matmul.navp1d import run_phase_1d, run_pipelined_1d
+
+        case = MatmulCase(n=12, ab=4)
+        for label, run in (("pipelined-1d", run_pipelined_1d),
+                           ("phase-1d", run_phase_1d)):
+            base = run(case, 3, machine=FAST_TEST_MACHINE, trace=False).c
+            bad = []
+            for seed in seeds:
+                with perturbed(seed):
+                    c = run(case, 3, machine=FAST_TEST_MACHINE,
+                            trace=False).c
+                if not np.array_equal(base, c):
+                    bad.append(seed)
+            checks.append(ScheduleCheck(label, tuple(seeds), tuple(bad)))
+    return checks
+
+
+# --------------------------------------------------------------------------
+# corpus cross-validation
+# --------------------------------------------------------------------------
+
+def run_corpus_case(case, perturb_seed: int | None = None,
+                    machine=None) -> list:
+    """One dynamic run of a racy corpus case; returns observed races.
+
+    The case's programs are installed in the registry only for the
+    duration of the run; the fabric mirrors the case's declared setup
+    (1-D topology, per-place initial signals, entry injection).
+    """
+    from ..analysis.corpus import installed
+    from ..navp.interp import IRMessenger
+
+    with installed(case):
+        fabric = SimFabric(
+            Grid1D(case.places),
+            machine=machine if machine is not None else FAST_TEST_MACHINE,
+            trace=False, race_check=True, perturb_seed=perturb_seed)
+        for p in range(case.places):
+            for event, args, count in case.initial_signals:
+                fabric.signal_initial((p,), event, *args, count=count)
+        fabric.inject(case.entry, IRMessenger(case.root))
+        fabric.run()
+        return list(fabric.hb.races)
+
+
+def fuzz_corpus(seeds=DEFAULT_SEEDS, cases=None, machine=None) -> list:
+    """Cross-validate the racy corpus: dynamic findings ⊆ static report.
+
+    Every returned :class:`CorpusFuzz` must be ``ok``: at least one
+    race reproduced dynamically, none observed that the static analyzer
+    did not predict.
+    """
+    if cases is None:
+        from ..analysis.corpus import RACY_CORPUS
+        cases = RACY_CORPUS
+    out = []
+    for case in cases:
+        static = static_signatures(case)
+        dynamic: set = set()
+        for seed in seeds:
+            for race in run_corpus_case(case, perturb_seed=seed,
+                                        machine=machine):
+                dynamic.add(dynamic_signature(race))
+        out.append(CorpusFuzz(case.name, tuple(seeds), static,
+                              frozenset(dynamic)))
+    return out

@@ -1,0 +1,295 @@
+"""Dynamic happens-before (HB) race checking for fabric runs.
+
+This is the runtime half of the race detector (the static half lives in
+:mod:`repro.analysis.races`). Every messenger gets a *thread id* and a
+vector clock; the fabric reports the four HB merge points of the NavP
+execution model:
+
+* **inject** — the child messenger is born with a copy of the parent's
+  clock, so everything the parent did before the injection
+  happens-before everything the child does (injection order);
+* **hop arrival** — a hop carries the messenger's clock with the
+  continuation, so pre-hop accesses at the source happen-before
+  post-hop accesses at the destination (and the arrival opens a fresh
+  epoch);
+* **signal → wait** — each ``signalEvent`` enqueues a snapshot of the
+  signaler's clock on a per-(place, event, args) FIFO, mirroring the
+  counting-semaphore grant order; the waiter that consumes the signal
+  merges that snapshot;
+* **resource handoff** — releasing a CPU deposits the holder's clock on
+  the resource; the next acquirer merges it (lock-style ordering).
+
+Node-variable accesses are reported per *entry* (the normalized key an
+interpreter actually touched); a whole-variable access (``NodeGet``
+with no index) conflicts with every entry. Two accesses to the same
+(place, variable, entry) race when neither's clock is ≤ the other's and
+at least one is a write — exactly the FastTrack condition, and like
+FastTrack the checker stores epochs ``(tid, counter)`` rather than full
+clocks for the last write and the read set, so the per-access test is
+O(1).
+
+Resource-handoff edges order whatever the scheduler *happened* to
+serialize, so a single run can hide a race behind an accidental CPU
+handoff. That is why this checker is paired with the schedule fuzzer
+(:mod:`repro.fabric.fuzz`): different seeds produce different handoff
+orders, and a pair unordered by the protocol will surface on some seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["HBTracker", "Race", "RaceAccess", "InterpTap"]
+
+
+@dataclass(frozen=True)
+class RaceAccess:
+    """One side of a detected race."""
+
+    actor: str            # messenger instance name, e.g. "a-carrier#2"
+    program: str | None   # IR program name (None for hand-written ones)
+    site: tuple | None    # (body path, pc) inside the program, if known
+    write: bool
+
+    def describe(self) -> str:
+        kind = "write" if self.write else "read"
+        where = ""
+        if self.program is not None:
+            where = f" [{self.program}"
+            if self.site is not None:
+                path, pc = self.site
+                where += f" @ {tuple(path) + (pc,)}"
+            where += "]"
+        return f"{kind} by {self.actor}{where}"
+
+
+@dataclass(frozen=True)
+class Race:
+    """An unordered conflicting pair observed at runtime."""
+
+    var: str
+    key: object           # normalized entry key; None = whole variable
+    place: int
+    a: RaceAccess
+    b: RaceAccess
+
+    @property
+    def kind(self) -> str:
+        return "write-write" if (self.a.write and self.b.write) \
+            else "read-write"
+
+    def describe(self) -> str:
+        entry = "" if self.key is None else f"[{self.key!r}]"
+        return (f"{self.kind} race on {self.var}{entry} at place "
+                f"{self.place}: {self.a.describe()} vs {self.b.describe()}")
+
+    def signature(self) -> tuple:
+        """Schedule-independent identity (for cross-seed/static dedup)."""
+        sides = tuple(sorted(
+            ((s.program or s.actor, s.site, s.write)
+             for s in (self.a, self.b)),
+            key=repr,  # sites mix int and (pc, branch) path steps
+        ))
+        return (self.var, sides)
+
+
+class _Cell:
+    """Access history of one (place, var, entry)."""
+
+    __slots__ = ("write_epoch", "write_meta", "reads")
+
+    def __init__(self):
+        self.write_epoch: tuple | None = None   # (tid, counter)
+        self.write_meta: RaceAccess | None = None
+        self.reads: dict = {}                   # tid -> (counter, meta)
+
+
+class HBTracker:
+    """Vector clocks + per-entry access histories for one fabric run."""
+
+    def __init__(self, now_fn=None, trace=None):
+        self._clocks: dict[int, dict] = {}
+        self._next_tid = 0
+        self._signals: dict = {}     # event key -> deque of clock snapshots
+        self._resources: dict = {}   # resource id -> clock
+        self._cells: dict = {}       # (place, var) -> {entry: _Cell}
+        self._seen: set = set()
+        self.races: list[Race] = []
+        self._now_fn = now_fn
+        self._trace = trace if (trace is not None and trace.enabled) else None
+
+    # -- thread lifecycle ---------------------------------------------------
+    def new_thread(self, parent: int | None = None) -> int:
+        """Register a messenger; inherits the injecting parent's clock."""
+        tid = self._next_tid
+        self._next_tid = tid + 1
+        clock = {} if parent is None else dict(self._clocks[parent])
+        clock[tid] = 1
+        self._clocks[tid] = clock
+        if parent is not None:
+            self._tick(parent)
+        return tid
+
+    def _tick(self, tid: int) -> None:
+        clock = self._clocks[tid]
+        clock[tid] = clock.get(tid, 0) + 1
+
+    # -- merge points -------------------------------------------------------
+    def on_hop(self, tid: int) -> None:
+        """Hop arrival: the clock traveled with the continuation; open a
+        new epoch so source-side accesses stay strictly earlier."""
+        self._tick(tid)
+
+    def on_signal(self, tid: int, event_key, count: int = 1) -> None:
+        queue = self._signals.get(event_key)
+        if queue is None:
+            queue = self._signals[event_key] = deque()
+        snapshot = dict(self._clocks[tid])
+        for _ in range(count):
+            queue.append(snapshot)
+        self._tick(tid)
+
+    def prime(self, event_key, count: int = 1) -> None:
+        """An initial (setup-time) signal: carries the empty clock."""
+        queue = self._signals.get(event_key)
+        if queue is None:
+            queue = self._signals[event_key] = deque()
+        for _ in range(count):
+            queue.append({})
+
+    def on_wait(self, tid: int, event_key) -> None:
+        queue = self._signals.get(event_key)
+        if queue:
+            clock = self._clocks[tid]
+            for other, counter in queue.popleft().items():
+                if clock.get(other, 0) < counter:
+                    clock[other] = counter
+        self._tick(tid)
+
+    def on_acquire(self, tid: int, resource_id) -> None:
+        deposited = self._resources.get(resource_id)
+        if deposited:
+            clock = self._clocks[tid]
+            for other, counter in deposited.items():
+                if clock.get(other, 0) < counter:
+                    clock[other] = counter
+
+    def on_release(self, tid: int, resource_id) -> None:
+        deposited = self._resources.get(resource_id)
+        if deposited is None:
+            deposited = self._resources[resource_id] = {}
+        for other, counter in self._clocks[tid].items():
+            if deposited.get(other, 0) < counter:
+                deposited[other] = counter
+        self._tick(tid)
+
+    # -- accesses -----------------------------------------------------------
+    def on_access(self, tid: int, place: int, var: str, key, write: bool,
+                  meta: RaceAccess) -> None:
+        """Record one node-variable access. ``key`` of None means the
+        whole variable (conflicts with every entry)."""
+        cells = self._cells.get((place, var))
+        if cells is None:
+            cells = self._cells[(place, var)] = {}
+        if key is None:
+            targets = list(cells.values())
+            whole = cells.get(None)
+            if whole is None:
+                whole = cells[None] = _Cell()
+                targets.append(whole)
+            update = [whole]
+        else:
+            try:
+                cell = cells[key]
+            except KeyError:
+                cell = cells[key] = _Cell()
+            except TypeError:  # unhashable key — fold into whole-var
+                return self.on_access(tid, place, var, None, write, meta)
+            targets = [cell]
+            whole = cells.get(None)
+            if whole is not None:
+                targets.append(whole)
+            update = [cell]
+        clock = self._clocks[tid]
+        for cell in targets:
+            self._check(cell, tid, clock, write, place, var, key, meta)
+        epoch = (tid, clock.get(tid, 0))
+        for cell in update:
+            if write:
+                cell.write_epoch = epoch
+                cell.write_meta = meta
+                cell.reads.clear()
+            else:
+                cell.reads[tid] = (epoch[1], meta)
+
+    def _check(self, cell: _Cell, tid: int, clock: dict, write: bool,
+               place: int, var: str, key, meta: RaceAccess) -> None:
+        prior_write = cell.write_epoch
+        if (prior_write is not None and prior_write[0] != tid
+                and clock.get(prior_write[0], 0) < prior_write[1]):
+            self._report(var, key, place, cell.write_meta, meta)
+        if write:
+            for other, (counter, read_meta) in cell.reads.items():
+                if other != tid and clock.get(other, 0) < counter:
+                    self._report(var, key, place, read_meta, meta)
+
+    def _report(self, var: str, key, place: int,
+                a: RaceAccess, b: RaceAccess) -> None:
+        race = Race(var=var, key=key, place=place, a=a, b=b)
+        signature = race.signature()
+        if signature in self._seen:
+            return
+        self._seen.add(signature)
+        self.races.append(race)
+        if self._trace is not None:
+            now = self._now_fn() if self._now_fn is not None else 0.0
+            self._trace.record(
+                t0=now, t1=now, place=place, actor=b.actor, kind="race",
+                note=race.describe(),
+            )
+
+
+class InterpTap:
+    """The bridge an IR interpreter reports node accesses through.
+
+    :class:`~repro.navp.interp.Interp` calls :meth:`on_read` /
+    :meth:`on_write` (and keeps :attr:`site` pointed at the statement it
+    is executing) whenever its ``tracer`` attribute is set. The tap
+    resolves the messenger's current place and thread id at access time
+    — a hop may have moved the messenger since the tap was made — and
+    optionally mirrors each access into the fabric's :class:`TraceLog`.
+    """
+
+    __slots__ = ("hb", "messenger", "program", "site")
+
+    def __init__(self, hb: HBTracker, messenger, program: str | None):
+        self.hb = hb
+        self.messenger = messenger
+        self.program = program
+        self.site: tuple | None = None
+
+    def _record(self, var: str, key, write: bool) -> None:
+        messenger = self.messenger
+        place = messenger._ctx.place.index
+        meta = RaceAccess(
+            actor=messenger._name, program=self.program,
+            site=self.site, write=write,
+        )
+        hb = self.hb
+        hb.on_access(messenger._tid, place, var, key, write, meta)
+        trace = hb._trace
+        if trace is not None:
+            now = hb._now_fn() if hb._now_fn is not None else 0.0
+            entry = "" if key is None else f"[{key!r}]"
+            trace.record(
+                t0=now, t1=now, place=place, actor=messenger._name,
+                kind="access",
+                note=f"{'W' if write else 'R'} {var}{entry}",
+            )
+
+    def on_read(self, var: str, key) -> None:
+        self._record(var, key, False)
+
+    def on_write(self, var: str, key) -> None:
+        self._record(var, key, True)

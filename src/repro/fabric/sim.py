@@ -181,12 +181,22 @@ class SimFabric:
         trace: bool = True,
         hosts=None,
         cpu_policy: str = "fifo",
+        race_check: bool = False,
+        perturb_seed: int | None = None,
     ):
         self.topology = topology
         self.machine = machine if machine is not None else SUN_BLADE_100
-        self.sim = Simulator()
+        self.sim = Simulator(perturb_seed=perturb_seed)
+        self.sim.deadlock_hint = self._deadlock_hint
         self.trace = TraceLog(enabled=trace)
         self._tracing = bool(trace)
+        self._ir_roots: list[str] = []
+        if race_check:
+            from .hb import HBTracker
+            self.hb: HBTracker | None = HBTracker(
+                now_fn=lambda: self.sim.now, trace=self.trace)
+        else:
+            self.hb = None
         host_map = resolve_hosts(topology, hosts)
         self.n_hosts = max(host_map.values()) + 1
         host_res = [
@@ -224,12 +234,18 @@ class SimFabric:
     def signal_initial(self, coord, name: str, *args, count: int = 1) -> None:
         """Pre-signal an event, like Figure 13's "EC(i,j) is signaled
         on node(i,j) for all values of i,j initially"."""
-        self.place(coord).event(name, tuple(args)).release(count)
+        place = self.place(coord)
+        place.event(name, tuple(args)).release(count)
+        if self.hb is not None:
+            self.hb.prime((place.index, name, tuple(args)), count)
 
     def inject(self, coord, messenger, delay: float = 0.0) -> None:
         """Inject a messenger at a place at virtual time ``delay``."""
         if self._started:
             raise FabricError("cannot inject externally after run() started")
+        interp = getattr(messenger, "interp", None)
+        if interp is not None:
+            self._ir_roots.append(interp.program)
         self._start(messenger, self.place(coord), delay=delay)
 
     # -- execution ----------------------------------------------------------
@@ -253,11 +269,44 @@ class SimFabric:
         self._names[base] = count + 1
         return base if count == 0 else f"{base}#{count}"
 
-    def _start(self, messenger, place: SimPlace, delay: float = 0.0) -> None:
+    def _start(self, messenger, place: SimPlace, delay: float = 0.0,
+               parent_tid: int | None = None) -> None:
         messenger._ctx = _Ctx(fabric=self, place=place)
         name = self._unique_name(messenger)
         messenger._name = name
+        hb = self.hb
+        if hb is not None:
+            messenger._tid = hb.new_thread(parent_tid)
+            interp = getattr(messenger, "interp", None)
+            if interp is not None:
+                from .hb import InterpTap
+                interp.tracer = InterpTap(hb, messenger, interp.program)
         self.sim.spawn(self._driver(messenger), name=name, delay=delay)
+
+    def _deadlock_hint(self) -> str | None:
+        """Extra DeadlockError text: what the static wait/signal protocol
+        pass predicted for the injected IR programs (lazy import — the
+        fabric stays usable without the analysis package)."""
+        if not self._ir_roots:
+            return None
+        try:
+            from ..analysis.protocol import protocol_diagnostics
+            from ..navp import ir
+        except Exception:  # pragma: no cover — analysis always ships
+            return None
+        lines = []
+        for root in dict.fromkeys(self._ir_roots):
+            try:
+                report = protocol_diagnostics(ir.get_program(root))
+            except Exception:
+                continue
+            for diag in report:
+                if diag.category in ("signal-cycle", "unmatched-wait"):
+                    lines.append(f"  [{diag.category}] {diag}")
+        if not lines:
+            return None
+        return ("static protocol analysis of the injected programs "
+                "predicted:\n" + "\n".join(lines))
 
     def _driver(self, messenger):
         gen = messenger.main()
@@ -325,6 +374,8 @@ class SimFabric:
                 src_place=place.index, nbytes=moved,
             )
         messenger._ctx.place = dst
+        if self.hb is not None:
+            self.hb.on_hop(messenger._tid)
         return None
 
     def _eff_compute(self, messenger, eff):
@@ -333,16 +384,22 @@ class SimFabric:
         factor = self._cache_factors.get(eff.kind, 1.0)
         cost = self.machine.flops_time(eff.flops, factor)
         cpu = place.cpu
+        hb = self.hb
         if cpu.in_use < cpu.capacity and not cpu._waiters:
             # uncontended: take the slot synchronously — one Timeout
-            # instead of the acquire round-trip (grant event + resume)
+            # instead of the acquire round-trip (grant event + resume).
+            # No handoff edge: nothing was handed off.
             cpu.in_use += 1
             t0 = sim.now
             yield Timeout(cost)
         else:
             yield cpu.acquire()
+            if hb is not None:
+                hb.on_acquire(messenger._tid, cpu.name)
             t0 = sim.now
             yield Timeout(cost)
+        if hb is not None:
+            hb.on_release(messenger._tid, cpu.name)
         cpu.release()
         value = eff.fn() if eff.fn is not None else None
         if self._tracing:
@@ -358,6 +415,9 @@ class SimFabric:
         sem = place.event(eff.name, tuple(eff.args))
         t0 = sim.now
         yield sem.acquire()
+        if self.hb is not None:
+            self.hb.on_wait(
+                messenger._tid, (place.index, eff.name, tuple(eff.args)))
         if self._tracing and sim.now > t0:
             self.trace.record(
                 t0=t0, t1=sim.now, place=place.index, actor=messenger._name,
@@ -368,15 +428,21 @@ class SimFabric:
     def _eff_signal_event(self, messenger, eff):
         if self.machine.event_overhead_s > 0:
             yield Timeout(self.machine.event_overhead_s)
-        messenger._ctx.place.event(eff.name, tuple(eff.args)).release(
-            eff.count)
+        place = messenger._ctx.place
+        args = tuple(eff.args)
+        if self.hb is not None:
+            self.hb.on_signal(
+                messenger._tid, (place.index, eff.name, args), eff.count)
+        place.event(eff.name, args).release(eff.count)
         return None
 
     def _eff_inject(self, messenger, eff):
         place = messenger._ctx.place
         if self.machine.inject_overhead_s > 0:
             yield Timeout(self.machine.inject_overhead_s)
-        self._start(eff.messenger, place)
+        self._start(eff.messenger, place,
+                    parent_tid=(messenger._tid if self.hb is not None
+                                else None))
         if self._tracing:
             self.trace.record(
                 t0=self.sim.now, t1=self.sim.now, place=place.index,

@@ -20,10 +20,14 @@ class TraceEvent:
     """One interval of activity.
 
     ``kind`` is one of ``"compute"``, ``"hop"``, ``"send"``, ``"recv"``,
-    ``"wait"``, ``"inject"``. For hops, ``place`` is the *destination*
-    and ``src_place`` the origin. ``nbytes`` records the modeled payload
-    of hops and sends (0 for co-hosted moves), so traces double as
-    data-movement ledgers.
+    ``"wait"``, ``"inject"`` — plus, when the fabric runs with
+    ``race_check=True``, zero-duration ``"access"`` events (one per
+    node-variable read/write, ``note`` like ``"W C[(0, 1)]"``) and
+    ``"race"`` events (an unordered conflicting pair the happens-before
+    checker flagged; ``note`` carries both access sites). For hops,
+    ``place`` is the *destination* and ``src_place`` the origin.
+    ``nbytes`` records the modeled payload of hops and sends (0 for
+    co-hosted moves), so traces double as data-movement ledgers.
     """
 
     t0: float
@@ -67,6 +71,15 @@ class TraceLog:
 
     def of_kind(self, kind: str) -> list[TraceEvent]:
         return [e for e in self.events if e.kind == kind]
+
+    def accesses(self, var: str | None = None) -> list[TraceEvent]:
+        """Node-variable access events (``race_check`` runs only),
+        optionally filtered to one variable."""
+        out = [e for e in self.events if e.kind == "access"]
+        if var is not None:
+            out = [e for e in out if e.note.split(" ", 1)[1]
+                   .split("[", 1)[0] == var]
+        return out
 
     def at_place(self, place: int) -> list[TraceEvent]:
         return [e for e in self.events if e.place == place]

@@ -42,6 +42,10 @@ class Interp:
         self.program = program
         self.env: dict = dict(env or {})
         self.stack: list = [[(), 0, None]]  # [path, pc, loop]
+        # Optional access tap (repro.fabric.hb.InterpTap) used by the
+        # dynamic race checker; None keeps every hot path branch-free
+        # beyond a single identity test.
+        self.tracer = None
 
     # -- expression evaluation -----------------------------------------
     def eval(self, expr: ir.Expr, node_vars: dict) -> Any:
@@ -72,6 +76,9 @@ class Interp:
                 raise FabricError(
                     f"node variable {expr.name!r} absent at this PE"
                 )
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.on_read(expr.name, key)
             return store[key] if key is not None else store
         if isinstance(expr, ir.Index):
             base = self.eval(expr.base, node_vars)
@@ -113,6 +120,7 @@ class Interp:
         env = self.env
         stack = self.stack
         evaluate = self.eval
+        tracer = self.tracer
         while stack:
             frame = stack[-1]
             path, pc, loop = frame
@@ -131,6 +139,8 @@ class Interp:
             code = _STMT_CODES.get(stmt.__class__)
             if code is None:
                 code = _resolve_stmt(stmt.__class__)
+            if tracer is not None:
+                tracer.site = (path, pc)
 
             if code == _ASSIGN:
                 env[stmt.var] = evaluate(stmt.expr, node_vars)
@@ -162,6 +172,8 @@ class Interp:
                     node_vars[stmt.name] = value
                 else:
                     node_vars.setdefault(stmt.name, {})[key] = value
+                if tracer is not None:
+                    tracer.on_write(stmt.name, key)
                 frame[1] = pc + 1
                 continue
 
@@ -214,6 +226,7 @@ class Interp:
         interp.program = program
         interp.env = env
         interp.stack = [list(f) for f in stack]
+        interp.tracer = None
         return interp
 
 

@@ -38,11 +38,13 @@ carried variables to be read-only, see :func:`check_carries_read_only`.)
 from __future__ import annotations
 
 from ..analysis.deps import carried_write_diagnostics, loop_diagnostics
+from ..analysis.races import race_diagnostics
 from ..analysis.visitor import uses_var  # noqa: F401  (re-export)
 from ..errors import AnalysisError, TransformError
 from ..navp import ir
 
-__all__ = ["check_loop_independent", "check_carries_read_only", "uses_var"]
+__all__ = ["check_loop_independent", "check_carries_read_only",
+           "check_race_free", "uses_var"]
 
 
 def _gate(report) -> None:
@@ -73,6 +75,27 @@ def check_carries_read_only(program: ir.Program, loop_var: str,
     try:
         report = carried_write_diagnostics(program, loop_var,
                                            carried_names)
+    except AnalysisError as exc:
+        raise TransformError(str(exc)) from exc
+    _gate(report)
+
+
+def check_race_free(program: ir.Program, registry=None,
+                    primed=frozenset()) -> None:
+    """The concurrency legality condition the loop gate cannot see.
+
+    ``check_loop_independent`` reasons about one loop's iterations in
+    isolation; once a transformation has actually *split* the program
+    into concurrent messengers, the generated suite as a whole must be
+    free of data races — conflicting node-variable accesses that no
+    injection-order or wait/signal edge separates. This runs the static
+    race analyzer (:func:`repro.analysis.races.race_diagnostics`, the
+    same pass behind ``repro lint --races``) over ``program``'s
+    injection closure and refuses the transformation on any finding.
+    """
+    try:
+        report = race_diagnostics(program, registry=registry,
+                                  primed=primed)
     except AnalysisError as exc:
         raise TransformError(str(exc)) from exc
     _gate(report)

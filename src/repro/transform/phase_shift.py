@@ -34,7 +34,7 @@ from dataclasses import dataclass
 
 from ..errors import TransformError
 from ..navp import ir
-from .deps import check_loop_independent
+from .deps import check_loop_independent, check_race_free
 from .pipeline import PipelinedSuite
 from .rewrite import find_unique_loop, replace_at, substitute_expr
 
@@ -120,7 +120,7 @@ def phase_shift(suite: PipelinedSuite, spec: PhaseShiftSpec,
             )),
         ),
     )
-    return PipelinedSuite(
-        main=ir.register_program(new_main, replace=True),
-        carrier=ir.register_program(carrier, replace=True),
-    )
+    new_main = ir.register_program(new_main, replace=True)
+    carrier = ir.register_program(carrier, replace=True)
+    check_race_free(new_main)
+    return PipelinedSuite(main=new_main, carrier=carrier)

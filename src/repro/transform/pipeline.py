@@ -30,7 +30,7 @@ from dataclasses import dataclass
 
 from ..errors import TransformError
 from ..navp import ir
-from .deps import check_loop_independent
+from .deps import check_loop_independent, check_race_free
 from .rewrite import find_unique_loop
 
 __all__ = ["PipelineSpec", "PipelinedSuite", "pipelining"]
@@ -109,7 +109,9 @@ def pipelining(program: ir.Program, spec: PipelineSpec) -> PipelinedSuite:
             )),
         ),
     )
-    return PipelinedSuite(
-        main=ir.register_program(main, replace=True),
-        carrier=ir.register_program(carrier, replace=True),
-    )
+    main = ir.register_program(main, replace=True)
+    carrier = ir.register_program(carrier, replace=True)
+    # Post-condition on the *generated* suite: the carriers the loop
+    # became must be provably race-free as concurrent messengers.
+    check_race_free(main)
+    return PipelinedSuite(main=main, carrier=carrier)

@@ -17,6 +17,7 @@ from .navp import (
     run_pipelined_wavefront,
     run_sequential_wavefront,
 )
+from .irprog import build_wavefront_ir, run_ir_wavefront
 from .problem import (
     CELL_FLOPS,
     WavefrontCase,
@@ -35,6 +36,8 @@ __all__ = [
     "run_sequential_wavefront",
     "run_dsc_wavefront",
     "run_pipelined_wavefront",
+    "build_wavefront_ir",
+    "run_ir_wavefront",
     "run_mpi_wavefront",
     "pipeline_time_model",
     "SequentialWavefront",
