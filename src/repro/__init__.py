@@ -23,7 +23,10 @@ The package provides, from the bottom up:
   pipelining, phase shifting) as mechanical IR rewrites, deriving
   Figures 5/7/9 from Figure 2;
 * :mod:`repro.perfmodel` — regeneration of every table and figure in
-  the paper's evaluation, next to the published numbers.
+  the paper's evaluation, next to the published numbers;
+* :mod:`repro.resilience` — deterministic fault injection, consistent
+  checkpoints, and crash recovery across all three fabrics (see
+  ``docs/resilience.md``).
 
 Quick start::
 
@@ -62,6 +65,7 @@ from .matmul import MatmulCase, RunResult, run_variant, variant_names
 from .mpi import Comm, run_spmd
 from .navp import Messenger
 from .navp.interp import Interp, IRMessenger
+from .resilience import Crash, FaultPlan, MessageFault, SlowNode, injected
 from .perfmodel import (
     build_figure1,
     build_table1,
@@ -93,6 +97,8 @@ __all__ = [
     "MatmulCase", "RunResult", "run_variant", "variant_names",
     # transformations
     "derive_chain", "verify_chain",
+    # resilience
+    "FaultPlan", "Crash", "MessageFault", "SlowNode", "injected",
     # evaluation
     "build_table1", "build_table2", "build_table3", "build_table4",
     "build_figure1",

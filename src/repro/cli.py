@@ -29,6 +29,12 @@ Commands
                                    write ``BENCH_<date>.json``, and
                                    compare against the previous
                                    snapshot (see docs/performance.md)
+``faults [--plan --process ...]``  fault-injection demo: crashes and
+                                   drops are masked by recovery and
+                                   the virtual-time result stays
+                                   bit-exact; ``--process`` SIGKILLs
+                                   a real worker and recovers it
+                                   (see docs/resilience.md)
 """
 
 from __future__ import annotations
@@ -77,6 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--real", action="store_true",
                        help="execute the numerics and verify vs NumPy "
                             "(default: shadow mode, timing only)")
+    run_p.add_argument("--faults", default=None, metavar="PLAN.json",
+                       help="inject the faults described in a "
+                            "fault-plan file (see docs/resilience.md)")
+    run_p.add_argument("--no-recovery", action="store_true",
+                       help="with --faults: let injected faults "
+                            "actually destroy messengers instead of "
+                            "masking them")
 
     table_p = sub.add_parser("table", help="regenerate a paper table")
     table_p.add_argument("number", type=int, choices=[1, 2, 3, 4])
@@ -143,6 +156,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fixed small seed set, a few seconds — "
                              "the CI tier-1 mode")
 
+    faults_p = sub.add_parser(
+        "faults",
+        help="fault-injection demo: run a pipeline under crashes and "
+             "message drops with recovery on, and show the result is "
+             "bit-exact vs the clean run")
+    faults_p.add_argument("--plan", default=None, metavar="PLAN.json",
+                          help="fault-plan file (default: a seeded "
+                               "random plan)")
+    faults_p.add_argument("--seed", type=int, default=7,
+                          help="seed for the generated plan (default 7)")
+    faults_p.add_argument("--g", type=int, default=3,
+                          help="grid order (default 3)")
+    faults_p.add_argument("--no-recovery", action="store_true",
+                          help="show what the same plan does without "
+                               "recovery")
+    faults_p.add_argument("--process", action="store_true",
+                          help="also SIGKILL a real worker process "
+                               "mid-run and recover by respawn+replay")
+
     bench_p = sub.add_parser(
         "bench", help="run the pinned performance suite")
     bench_p.add_argument("--out", default="benchmarks/out",
@@ -176,8 +208,23 @@ def _cmd_variants() -> int:
 
 def _cmd_run(args) -> int:
     case = MatmulCase(n=args.n, ab=args.ab, shadow=not args.real)
-    result = run_variant(args.variant, case, geometry=args.geometry,
-                         trace=False)
+    if args.faults:
+        from contextlib import nullcontext
+
+        from .resilience import FaultPlan, injected
+        from .resilience.faults import STATS
+
+        plan = FaultPlan.from_file(args.faults)
+        for key in STATS:
+            STATS[key] = 0
+        context = injected(plan, recovery=not args.no_recovery)
+    else:
+        from contextlib import nullcontext
+
+        context = nullcontext()
+    with context:
+        result = run_variant(args.variant, case, geometry=args.geometry,
+                             trace=False)
     seq, thrash = sequential_time_model(args.n)
     baseline = seq / thrash
     print(f"{args.variant}: n={args.n} ab={args.ab} "
@@ -188,6 +235,11 @@ def _cmd_run(args) -> int:
     if args.real and result.c is not None:
         err = assert_allclose(result.c, case.reference())
         print(f"  verified vs NumPy (relative error {err:.2e})")
+    if args.faults:
+        from .resilience.faults import STATS
+
+        print(f"  faults         {STATS['fired']} fired, "
+              f"{STATS['masked']} masked, {STATS['lost']} lost")
     return 0
 
 
@@ -367,6 +419,84 @@ def _cmd_fuzz_schedules(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    import numpy as np
+
+    from .matmul.ir2d import build_fig11, run_ir2d_suite
+    from .resilience import Crash, FaultPlan, injected
+    from .resilience.faults import STATS
+    from .util.validation import random_matrix
+
+    if args.plan:
+        plan = FaultPlan.from_file(args.plan)
+    else:
+        plan = FaultPlan.random(args.seed, places=args.g * args.g,
+                                crashes=1, drops=2,
+                                name=f"demo-{args.seed}")
+    print(f"fault plan {plan.name or '(unnamed)'}: "
+          f"{len(plan.crashes)} crash(es), "
+          f"{len(plan.message_faults)} message fault(s), "
+          f"{len(plan.slow_nodes)} slow node(s)")
+
+    g = args.g
+    n = 8 * g
+    a, b = random_matrix(n, 220), random_matrix(n, 221)
+    suite = build_fig11(g, a, b)
+
+    _c, clean = run_ir2d_suite(suite, "sim")
+    print(f"\nclean virtual time        {clean.time:.6f} s")
+
+    for key in STATS:
+        STATS[key] = 0
+    with injected(plan, recovery=True):
+        c, faulted = run_ir2d_suite(suite, "sim")
+    exact = faulted.time == clean.time
+    print(f"faulted, recovery on      {faulted.time:.6f} s  "
+          f"({STATS['fired']} fault(s) fired, {STATS['masked']} masked"
+          f"{', BIT-EXACT vs clean' if exact else ''})")
+    numeric_ok = bool(np.allclose(c, a @ b))
+    print(f"result vs NumPy           "
+          f"{'correct' if numeric_ok else 'WRONG'}")
+    status = 0 if (exact and numeric_ok) else 1
+
+    if args.no_recovery:
+        from .errors import DeadlockError
+
+        for key in STATS:
+            STATS[key] = 0
+        try:
+            with injected(plan, recovery=False):
+                run_ir2d_suite(suite, "sim")
+            print("faulted, recovery off     run completed "
+                  f"({STATS['lost']} messenger(s)/message(s) lost)")
+        except DeadlockError as exc:
+            first = str(exc).splitlines()[0]
+            print(f"faulted, recovery off     deadlock: {first}")
+
+    if args.process:
+        from .fabric.process import ProcessFabric
+        from .fabric.topology import Grid2D
+
+        psuite = build_fig11(2, random_matrix(16, 220),
+                             random_matrix(16, 221))
+        kill_plan = FaultPlan(faults=(Crash(place=1, at_hop=2),),
+                              name="sigkill-demo")
+        fabric = ProcessFabric(Grid2D(2), timeout=60.0,
+                               faults=kill_plan, trace=True)
+        for coord, node_vars in psuite.layout.items():
+            fabric.load(coord, **node_vars)
+        for coord, event, eargs, count in psuite.initial_signals:
+            fabric.signal_initial(coord, event, *eargs, count=count)
+        fabric.inject((0, 0), psuite.entry.name)
+        result = fabric.run()
+        print("\nprocess fabric: SIGKILLed worker 1 at hop 2")
+        for event in result.trace.faults() + result.trace.recoveries():
+            print(f"  [{event.kind}] {event.note}")
+        print(f"  run completed in {result.time:.3f} s wall "
+              f"({sum(fabric.restarts.values())} respawn(s))")
+    return status
+
+
 def _cmd_bench(args) -> int:
     from .perf import (
         compare_benches,
@@ -421,6 +551,8 @@ def main(argv=None) -> int:
         return _cmd_lint(args)
     if args.command == "fuzz-schedules":
         return _cmd_fuzz_schedules(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "report":

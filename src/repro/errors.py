@@ -24,8 +24,18 @@ class PartitionError(ConfigurationError):
     """A matrix order is not divisible as required by a partitioning."""
 
 
+class FaultPlanError(ConfigurationError):
+    """A fault plan is malformed (bad spec fields or invalid JSON)."""
+
+
 class FabricError(ReproError):
     """Generic runtime failure inside a fabric executor."""
+
+
+class ResilienceError(FabricError):
+    """A checkpoint/recovery operation failed (e.g. restore of a cut
+    captured on a different fabric, or a worker that exhausted its
+    respawn budget)."""
 
 
 class DeadlockError(FabricError):

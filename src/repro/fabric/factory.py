@@ -1,23 +1,30 @@
 """Fabric construction by name.
 
 Runners accept ``fabric="sim"`` (virtual time, the default — regenerates
-the paper's tables) or ``fabric="thread"`` (real daemon threads, wall
-clock, pickled hops). The process fabric is not built here: it runs IR
-messengers only and has its own driver in
-:mod:`repro.fabric.process`.
+the paper's tables), ``fabric="thread"`` (real daemon threads, wall
+clock, pickled hops), or ``fabric="process"`` (PEs as OS processes,
+continuations pickled across address spaces on every hop).
+
+The process fabric runs IR messengers only — a plain generator
+messenger's state lives in an unpicklable generator frame — so
+:func:`make_fabric` builds it with that capability check wired in:
+injecting a generator messenger raises a clear
+:class:`~repro.errors.ConfigurationError` (see
+:meth:`repro.fabric.process.ProcessFabric.inject`).
 """
 
 from __future__ import annotations
 
 from ..errors import ConfigurationError
 from ..machine.spec import MachineSpec
+from .process import ProcessFabric
 from .sim import SimFabric
 from .threads import ThreadFabric
 from .topology import Topology
 
 __all__ = ["make_fabric", "FABRIC_KINDS"]
 
-FABRIC_KINDS = ("sim", "thread")
+FABRIC_KINDS = ("sim", "thread", "process")
 
 
 def make_fabric(
@@ -31,6 +38,8 @@ def make_fabric(
         return SimFabric(topology, machine=machine, trace=trace)
     if kind == "thread":
         return ThreadFabric(topology, machine=machine, trace=trace)
+    if kind == "process":
+        return ProcessFabric(topology, machine=machine, trace=trace)
     raise ConfigurationError(
         f"unknown fabric kind {kind!r}; expected one of {FABRIC_KINDS}"
     )

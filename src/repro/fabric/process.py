@@ -18,21 +18,59 @@ report names the children it injected; the controller is done when the
 set of known messengers equals the set of completed ones — correct
 under arbitrary report reordering across queues, since a parent's
 report both introduces and is required for its children.
+
+Resilient mode
+--------------
+With a fault plan (or ``supervise=True``) the fabric runs in resilient
+mode, and a worker process can be SIGKILLed mid-run and the run still
+completes:
+
+* every cross-host hop routes through the **controller** (workers stop
+  writing peer queues), which journals each command per destination
+  host in a :class:`~repro.resilience.recovery.ReplayLedger`;
+* deliveries carry a ``(messenger id, hop count)`` key and each worker
+  keeps a seen-set, so replayed deliveries are processed exactly once
+  — a replayed continuation that re-emits a hop the original already
+  made is discarded at the destination, while its *new* hops (ones the
+  dead original never made) carry unseen keys and proceed;
+* on a ``ckpt`` marker a worker replies — at task-queue quiescence, so
+  no continuation is ever split by the cut — with its full state
+  (node variables, event counts, parked waiters, ready tasks, seen
+  keys); the controller then truncates that host's journal to the
+  entries forwarded after the marker (every inter-host message passes
+  through the journal, which is what makes the per-host cut globally
+  consistent);
+* a dead worker is respawned with a fresh queue, re-registered,
+  restored from its last checkpoint, and replayed from the journal.
+
+Losing a worker therefore loses only the work since its last
+checkpoint, and that work is re-executed deterministically. Without a
+checkpoint the journal reaches back to start-up and replay simply
+re-runs the host's history. Crash specs name *host* indices and fire
+on wall-clock time or on the global forwarded-hop count.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue as queue_mod
+import signal
 import time
 from collections import defaultdict, deque
 
-from ..errors import DeadlockError, FabricError, MigrationError
+from ..errors import (ConfigurationError, DeadlockError, FabricError,
+                      MigrationError, ResilienceError)
 from ..machine.presets import SUN_BLADE_100
 from ..machine.spec import MachineSpec
 from ..navp import ir
 from ..navp.interp import Interp
 from ..navp.kernels import get_kernel
+from ..navp.messenger import Messenger
+from ..resilience.faults import FaultPlan, PlanRuntime
+from ..resilience.faults import STATS as FAULT_STATS
+from ..resilience.faults import ambient as ambient_faults
+from ..resilience.recovery import RecoveryPolicy, ReplayLedger
 from .hosts import resolve_hosts
 from .sim import FabricResult
 from .topology import Topology
@@ -41,18 +79,37 @@ from .trace import TraceLog
 __all__ = ["ProcessFabric"]
 
 # Field offsets of a worker task record (see _worker.execute).
-_ID, _CHILDREN, _SEQ, _AT, _INTERP = range(5)
+_ID, _CHILDREN, _SEQ, _AT, _INTERP, _HOPS = range(6)
 
 
-def _worker(host, coords, host_of, in_queue, host_queues, report_queue):
+def _freeze_task(task: list) -> tuple:
+    return (task[_ID], task[_CHILDREN], task[_SEQ], task[_AT],
+            task[_INTERP].agent_snapshot(), task[_HOPS])
+
+
+def _thaw_task(snap) -> list:
+    return [snap[0], snap[1], snap[2], tuple(snap[3]),
+            Interp.from_snapshot(snap[4]), snap[5]]
+
+
+def _worker(host, coords, host_of, in_queue, host_queues, report_queue,
+            resilient=False):
     """One host process: executes messenger continuations against the
-    local state of every logical node it carries."""
+    local state of every logical node it carries.
+
+    In resilient mode hops are emitted to the controller instead of
+    written to peer queues, arrivals are deduplicated by
+    ``(messenger id, hop count)``, and the worker answers ``ckpt`` /
+    ``restore`` commands — both handled between tasks, so a state
+    snapshot never splits a continuation.
+    """
     node_vars: dict = {coord: {} for coord in coords}
     event_counts: dict = defaultdict(int)       # (coord, name, args)
     event_waiters: dict = defaultdict(deque)
     ready: deque = deque()
+    seen: set = set()                           # delivered (mid, hops) keys
 
-    # A task is the list [id, children, seq, at, interp]; the hop
+    # A task is the list [id, children, seq, at, interp, hops]; the hop
     # payload is the same thing as a tuple (with the interpreter
     # reduced to its snapshot) — positional records pickle without
     # re-shipping invariant key strings on every migration.
@@ -73,10 +130,14 @@ def _worker(host, coords, host_of, in_queue, host_queues, report_queue):
                 if host_of[dst] == host:
                     task[_AT] = dst    # co-hosted: a local hand-over
                     continue
-                host_queues[host_of[dst]].put(("run", (
+                payload = (
                     task[_ID], task[_CHILDREN], task[_SEQ], dst,
-                    interp.agent_snapshot(),
-                )))
+                    interp.agent_snapshot(), task[_HOPS] + 1,
+                )
+                if resilient:
+                    report_queue.put(("hop", host_of[dst], payload))
+                else:
+                    host_queues[host_of[dst]].put(("run", payload))
                 return
             if kind == "compute":
                 _, kname, argvals, out, _cost_kind = action
@@ -103,7 +164,7 @@ def _worker(host, coords, host_of, in_queue, host_queues, report_queue):
                 task[_SEQ] += 1
                 task[_CHILDREN].append(child_id)
                 ready.append([child_id, [], 0, task[_AT],
-                              Interp(action[1], action[2])])
+                              Interp(action[1], action[2]), 0])
                 continue
             raise FabricError(f"unsupported action {action!r} on "
                               f"the process fabric")
@@ -116,9 +177,13 @@ def _worker(host, coords, host_of, in_queue, host_queues, report_queue):
             cmd = in_queue.get()
             op = cmd[0]
             if op == "run":
-                tid, children, seq, at, interp_snap = cmd[1]
-                ready.append([tid, children, seq, tuple(at),
-                              Interp.from_snapshot(interp_snap)])
+                payload = cmd[1]
+                if resilient:
+                    key = (payload[0], payload[5])
+                    if key in seen:
+                        continue  # replayed delivery, already processed
+                    seen.add(key)
+                ready.append(_thaw_task(payload))
             elif op == "register":
                 for program in cmd[1]:
                     ir.register_program(program, replace=True)
@@ -127,6 +192,30 @@ def _worker(host, coords, host_of, in_queue, host_queues, report_queue):
             elif op == "signal0":
                 coord, _name, args, count = cmd[1]
                 event_counts[(coord, _name, args)] += count
+            elif op == "ckpt":
+                # quiescent here: `ready` drained before the queue read,
+                # so the cut never splits a continuation
+                state = (
+                    node_vars,
+                    dict(event_counts),
+                    [(key, [_freeze_task(t) for t in waiters])
+                     for key, waiters in event_waiters.items() if waiters],
+                    [_freeze_task(t) for t in ready],
+                    list(seen),
+                )
+                report_queue.put(("ckpt", host, cmd[1], state))
+            elif op == "restore":
+                vars_in, counts_in, waiters_in, ready_in, seen_in = cmd[1]
+                for coord, values in vars_in.items():
+                    node_vars[coord] = dict(values)
+                event_counts.clear()
+                event_counts.update(counts_in)
+                event_waiters.clear()
+                for key, frozen in waiters_in:
+                    event_waiters[key].extend(
+                        _thaw_task(s) for s in frozen)
+                ready.extend(_thaw_task(s) for s in ready_in)
+                seen.update(seen_in)
             elif op == "collect":
                 report_queue.put(("vars", host, node_vars))
             elif op == "stop":
@@ -146,11 +235,17 @@ class ProcessFabric:
         machine: MachineSpec | None = None,
         timeout: float = 120.0,
         hosts=None,
+        faults: FaultPlan | None = None,
+        recovery=True,
+        checkpoint_every: int | None = None,
+        max_restarts: int = 2,
+        supervise: bool | None = None,
+        trace: bool = False,
     ):
         self.topology = topology
         self.machine = machine if machine is not None else SUN_BLADE_100
         self.timeout = timeout
-        self.trace = TraceLog(enabled=False)
+        self.trace = TraceLog(enabled=trace)
         self._ctx = mp.get_context("fork")
         self._host_of = resolve_hosts(topology, hosts)
         self.n_hosts = max(self._host_of.values()) + 1
@@ -159,6 +254,28 @@ class ProcessFabric:
         self._initial: list = []  # (coord, program_name, env)
         self._programs: dict = {}
         self._counter = 0
+        if faults is None:
+            faults, ambient_recovery = ambient_faults()
+            if faults is not None:
+                recovery = ambient_recovery
+        self._plan = faults if faults is not None else FaultPlan()
+        self._recovery = RecoveryPolicy.coerce(recovery)
+        self._checkpoint_every = checkpoint_every
+        self._max_restarts = max_restarts
+        self.resilient = bool(self._plan) or bool(supervise) or (
+            checkpoint_every is not None)
+        self.restarts: dict = defaultdict(int)  # host -> respawn count
+
+    def _resolve_host(self, spec_place):
+        """Fault-spec places name worker *hosts* on this fabric (an
+        index, or a PE coordinate mapped to its host)."""
+        if isinstance(spec_place, int):
+            return spec_place if 0 <= spec_place < self.n_hosts else None
+        try:
+            coord = self.topology.normalize(tuple(spec_place))
+        except Exception:
+            return None
+        return self._host_of.get(coord)
 
     # -- setup (collected, applied at run()) ------------------------------
     def load(self, coord, **node_vars) -> None:
@@ -170,7 +287,28 @@ class ProcessFabric:
 
     def inject(self, coord, program: str | ir.Program,
                env: dict | None = None) -> None:
-        """Schedule an IR program for injection at start-up."""
+        """Schedule an IR program for injection at start-up.
+
+        Accepts a program name, an :class:`~repro.navp.ir.Program`, or
+        an :class:`~repro.navp.interp.IRMessenger` (whose continuation
+        must be at the start). Plain generator messengers are rejected:
+        their state lives in an unpicklable generator frame, and this
+        fabric ships state between address spaces on every hop.
+        """
+        if isinstance(program, Messenger):
+            interp = getattr(program, "interp", None)
+            if interp is None:
+                raise ConfigurationError(
+                    f"the process fabric runs IR messengers only — "
+                    f"{type(program).__name__} is a generator messenger "
+                    f"whose state cannot be pickled across processes; "
+                    f"use SimFabric/ThreadFabric, or express the program "
+                    f"in the navigational IR")
+            if env is not None:
+                raise ConfigurationError(
+                    "env is implied by the IRMessenger; do not pass both")
+            env = dict(interp.env)
+            program = interp.program
         if isinstance(program, ir.Program):
             self._programs[program.name] = program
             name = program.name
@@ -203,6 +341,11 @@ class ProcessFabric:
     def run(self) -> FabricResult:
         if not self._initial:
             raise FabricError("no messengers injected")
+        if self.resilient:
+            return self._run_resilient()
+        return self._run_plain()
+
+    def _run_plain(self) -> FabricResult:
         t0 = time.perf_counter()
         coords = list(self.topology.coords)
         host_queues = {h: self._ctx.Queue() for h in range(self.n_hosts)}
@@ -243,7 +386,7 @@ class ProcessFabric:
                 known.add(mid)
                 host_queues[self._host_of[coord]].put(("run", (
                     mid, [], 0, coord,
-                    Interp(name, env).agent_snapshot(),
+                    Interp(name, env).agent_snapshot(), 0,
                 )))
 
             deadline = time.monotonic() + self.timeout
@@ -283,6 +426,197 @@ class ProcessFabric:
                 except Exception:  # pragma: no cover - shutdown races
                     pass
             for w in workers:
+                w.join(timeout=5.0)
+                if w.is_alive():
+                    w.terminate()
+        return FabricResult(
+            time=time.perf_counter() - t0,
+            trace=self.trace,
+            places=places,
+        )
+
+    def _run_resilient(self) -> FabricResult:
+        """The supervised twin of :meth:`_run_plain` (see the module
+        docstring for the protocol)."""
+        t0 = time.perf_counter()
+        runtime = PlanRuntime(self._plan, self._resolve_host)
+        ledger = ReplayLedger()
+        tracing = self.trace.enabled
+        coords = list(self.topology.coords)
+        report_queue = self._ctx.Queue()
+        coords_of_host = {
+            h: [c for c in coords if self._host_of[c] == h]
+            for h in range(self.n_hosts)
+        }
+        programs = list(self._programs.values())
+        workers: dict = {}
+        host_queues: dict = {}
+        ckpt_state: dict = {}       # host -> last committed state
+        ckpt_marks: dict = {}       # ckpt id -> {host: journal length}
+        ckpt_seq = 0
+        forwards_since_ckpt = 0
+
+        def spawn(h):
+            q = self._ctx.Queue()
+            w = self._ctx.Process(
+                target=_worker,
+                args=(h, coords_of_host[h], self._host_of, q, None,
+                      report_queue, True),
+                daemon=True, name=f"host{h}",
+            )
+            w.start()
+            workers[h] = w
+            host_queues[h] = q
+            q.put(("register", programs))
+            return w
+
+        def send(h, cmd):
+            ledger.append(h, cmd)
+            host_queues[h].put(cmd)
+
+        def respawn(h):
+            if not self._recovery.enabled:
+                raise ResilienceError(
+                    f"worker {h} died and recovery is disabled")
+            if self.restarts[h] >= self._max_restarts:
+                raise ResilienceError(
+                    f"worker {h} exhausted its respawn budget "
+                    f"({self._max_restarts})")
+            self.restarts[h] += 1
+            FAULT_STATS["masked"] += 1
+            old = workers[h]
+            if old.is_alive():  # pragma: no cover - defensive
+                old.terminate()
+            old.join(timeout=5.0)
+            spawn(h)
+            state = ckpt_state.get(h)
+            if state is not None:
+                host_queues[h].put(("restore", state))
+            for cmd in ledger.entries(h):
+                host_queues[h].put(cmd)
+            if tracing:
+                now = time.perf_counter() - t0
+                self.trace.record(
+                    t0=now, t1=now, place=h, actor="supervisor",
+                    kind="respawn",
+                    note=f"worker {h} respawned "
+                         f"(restart {self.restarts[h]}, replay "
+                         f"{len(ledger.entries(h))} cmd(s))")
+
+        def checkpoint_all():
+            nonlocal ckpt_seq, forwards_since_ckpt
+            ckpt_seq += 1
+            ckpt_marks[ckpt_seq] = {
+                h: len(ledger.entries(h)) for h in range(self.n_hosts)}
+            for h in range(self.n_hosts):
+                host_queues[h].put(("ckpt", ckpt_seq))
+            forwards_since_ckpt = 0
+
+        for h in range(self.n_hosts):
+            spawn(h)
+        try:
+            for c in coords:
+                if self._loads[c]:
+                    send(self._host_of[c], ("load", c, self._loads[c]))
+            for coord, name, args, count in self._signals:
+                send(self._host_of[coord],
+                     ("signal0", (coord, name, args, count)))
+            known: set = set()
+            done: set = set()
+            for coord, name, env in self._initial:
+                mid = f"m{self._counter}"
+                self._counter += 1
+                known.add(mid)
+                send(self._host_of[coord], ("run", (
+                    mid, [], 0, coord,
+                    Interp(name, env).agent_snapshot(), 0,
+                )))
+
+            deadline = time.monotonic() + self.timeout
+            while not known <= done:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlockError(
+                        f"process fabric timed out; "
+                        f"{len(known - done)} messenger(s) unaccounted "
+                        f"({sum(self.restarts.values())} respawn(s))"
+                    )
+                # fire due crash specs: a crash is a real SIGKILL
+                if runtime.pending_crashes():
+                    now = time.perf_counter() - t0
+                    for spec, h in runtime.due_crashes(now):
+                        w = workers[h]
+                        if w.is_alive():
+                            FAULT_STATS["fired"] += 1
+                            os.kill(w.pid, signal.SIGKILL)
+                            if tracing:
+                                self.trace.record(
+                                    t0=now, t1=now, place=h,
+                                    actor="fault-injector", kind="fault",
+                                    note=f"worker {h} SIGKILLed")
+                # supervise: any dead worker is respawned and replayed
+                for h, w in list(workers.items()):
+                    if not w.is_alive():
+                        respawn(h)
+                try:
+                    msg = report_queue.get(timeout=min(remaining, 0.2))
+                except queue_mod.Empty:
+                    continue
+                op = msg[0]
+                if op == "error":
+                    raise FabricError(
+                        f"worker {msg[1]} failed: {msg[2]}")
+                if op == "done":
+                    done.add(msg[1])
+                    known.update(msg[2])
+                elif op == "hop":
+                    _, dst_host, payload = msg
+                    runtime.note_hop()
+                    spec = runtime.message_action(
+                        "hop", -1, dst_host) if self._plan.message_faults \
+                        else None
+                    if spec is not None and spec.action == "drop":
+                        FAULT_STATS["fired"] += 1
+                        if not self._recovery.enabled:
+                            FAULT_STATS["lost"] += 1
+                            continue  # the continuation is gone
+                        FAULT_STATS["masked"] += 1  # retransmitted
+                    send(dst_host, ("run", payload))
+                    forwards_since_ckpt += 1
+                    if (self._checkpoint_every is not None
+                            and forwards_since_ckpt
+                            >= self._checkpoint_every):
+                        checkpoint_all()
+                elif op == "ckpt":
+                    _, h, cid, state = msg
+                    ckpt_state[h] = state
+                    marks = ckpt_marks.get(cid)
+                    if marks is not None and h in marks:
+                        ledger.truncate(h, marks.pop(h))
+                    if tracing:
+                        now = time.perf_counter() - t0
+                        self.trace.record(
+                            t0=now, t1=now, place=h, actor="supervisor",
+                            kind="checkpoint", note=f"ckpt {cid}")
+
+            for h in range(self.n_hosts):
+                host_queues[h].put(("collect",))
+            places: dict = {}
+            hosts_seen: set = set()
+            while len(hosts_seen) < self.n_hosts:
+                msg = report_queue.get(timeout=self.timeout)
+                if msg[0] == "error":
+                    raise FabricError(f"worker {msg[1]} failed: {msg[2]}")
+                if msg[0] == "vars":
+                    hosts_seen.add(msg[1])
+                    places.update(msg[2])
+        finally:
+            for h in range(self.n_hosts):
+                try:
+                    host_queues[h].put(("stop",))
+                except Exception:  # pragma: no cover - shutdown races
+                    pass
+            for w in workers.values():
                 w.join(timeout=5.0)
                 if w.is_alive():
                     w.terminate()

@@ -28,6 +28,7 @@ the event kwargs.
 from __future__ import annotations
 
 from collections import deque
+from copy import deepcopy
 from dataclasses import dataclass, field
 from typing import Any, NamedTuple
 
@@ -35,6 +36,11 @@ from ..errors import FabricError, TopologyError
 from ..machine import cache_factors as compute_cache_factors
 from ..machine.presets import SUN_BLADE_100
 from ..machine.spec import MachineSpec
+from ..resilience.checkpoint import ConsistentCut, MemoryStore
+from ..resilience.faults import FaultPlan, PlanRuntime
+from ..resilience.faults import STATS as FAULT_STATS
+from ..resilience.faults import ambient as ambient_faults
+from ..resilience.recovery import RecoveryPolicy
 from . import effects as fx
 from .desim import Resource, Semaphore, Simulator, Timeout, Trigger
 from .hosts import resolve_hosts
@@ -43,6 +49,42 @@ from .topology import Topology
 from .trace import TraceLog
 
 __all__ = ["SimFabric", "SimPlace", "Message", "FabricResult"]
+
+
+class _MessengerLost(Exception):
+    """Internal: a fault destroyed this messenger (recovery disabled).
+
+    Raised inside an effect handler and caught by the driver, which
+    retires the messenger without failing the simulation — the paper's
+    programs then deadlock on the events the dead messenger would have
+    signaled, and :meth:`SimFabric._deadlock_hint` names the casualty.
+    """
+
+
+class _Resilience:
+    """Per-fabric fault/checkpoint state (absent => zero overhead).
+
+    ``SimFabric`` keeps ``self._resil is None`` unless a non-empty
+    fault plan or a checkpoint store is configured, and every hook in
+    the hot paths is guarded by that single identity test — an empty
+    plan runs byte-identically to a fabric built without resilience.
+    """
+
+    __slots__ = ("runtime", "recovery", "store", "dead", "lost",
+                 "current", "track", "channel", "chan_seq", "procs")
+
+    def __init__(self, fabric: "SimFabric", plan: FaultPlan,
+                 recovery, store):
+        self.runtime = PlanRuntime(plan, fabric._resolve_place)
+        self.recovery = RecoveryPolicy.coerce(recovery)
+        self.store = store if store is not None else MemoryStore()
+        self.dead: set = set()        # place indices killed, unmasked
+        self.lost: list = []          # messenger names destroyed by faults
+        self.current: dict = {}       # name -> (place, snap, messenger, eff)
+        self.track = False            # maintain `current` (snapshots armed)
+        self.channel: dict = {}       # in-flight sends: key -> (dst, Message)
+        self.chan_seq = 0
+        self.procs: dict = {}         # messenger name -> SimProcess
 
 
 class Message(NamedTuple):
@@ -183,6 +225,9 @@ class SimFabric:
         cpu_policy: str = "fifo",
         race_check: bool = False,
         perturb_seed: int | None = None,
+        faults: FaultPlan | None = None,
+        recovery=True,
+        checkpoint_store=None,
     ):
         self.topology = topology
         self.machine = machine if machine is not None else SUN_BLADE_100
@@ -221,6 +266,18 @@ class SimFabric:
             }
         else:
             self._cache_factors = {}
+        # Resilience: explicit plan wins; otherwise the ambient
+        # resilience.injected() context (which is how fault plans reach
+        # the fabrics that table builders construct internally).
+        if faults is None:
+            faults, ambient_recovery = ambient_faults()
+            if faults is not None:
+                recovery = ambient_recovery
+        self._resil: _Resilience | None = None
+        if (faults is not None and faults) or checkpoint_store is not None:
+            self._resil = _Resilience(
+                self, faults if faults is not None else FaultPlan(),
+                recovery, checkpoint_store)
 
     # -- setup -------------------------------------------------------------
     def place(self, coord) -> SimPlace:
@@ -281,19 +338,35 @@ class SimFabric:
             if interp is not None:
                 from .hb import InterpTap
                 interp.tracer = InterpTap(hb, messenger, interp.program)
-        self.sim.spawn(self._driver(messenger), name=name, delay=delay)
+        process = self.sim.spawn(self._driver(messenger), name=name,
+                                 delay=delay)
+        resil = self._resil
+        if resil is not None:
+            resil.procs[name] = process
+            if resil.track:
+                snap = self._boundary_snapshot(messenger)
+                if snap is not None:
+                    resil.current[name] = (place.index, snap, messenger, None)
 
     def _deadlock_hint(self) -> str | None:
-        """Extra DeadlockError text: what the static wait/signal protocol
-        pass predicted for the injected IR programs (lazy import — the
+        """Extra DeadlockError text: fault casualties first (a deadlock
+        under injected faults is usually *caused* by the lost
+        messengers), then what the static wait/signal protocol pass
+        predicted for the injected IR programs (lazy import — the
         fabric stays usable without the analysis package)."""
+        resil = self._resil
+        fault_note = None
+        if resil is not None and resil.lost:
+            fault_note = (
+                "fault injection destroyed messenger(s) with recovery "
+                "disabled: " + ", ".join(resil.lost))
         if not self._ir_roots:
-            return None
+            return fault_note
         try:
             from ..analysis.protocol import protocol_diagnostics
             from ..navp import ir
         except Exception:  # pragma: no cover — analysis always ships
-            return None
+            return fault_note
         lines = []
         for root in dict.fromkeys(self._ir_roots):
             try:
@@ -304,18 +377,22 @@ class SimFabric:
                 if diag.category in ("signal-cycle", "unmatched-wait"):
                     lines.append(f"  [{diag.category}] {diag}")
         if not lines:
-            return None
-        return ("static protocol analysis of the injected programs "
-                "predicted:\n" + "\n".join(lines))
+            return fault_note
+        static = ("static protocol analysis of the injected programs "
+                  "predicted:\n" + "\n".join(lines))
+        return f"{fault_note}\n{static}" if fault_note else static
 
     def _driver(self, messenger):
         gen = messenger.main()
         effects = self._EFFECTS
+        resil = self._resil
         value = None
         while True:
             try:
                 eff = gen.send(value)
             except StopIteration:
+                if resil is not None:
+                    resil.current.pop(messenger._name, None)
                 return
             handler = effects.get(eff.__class__)
             if handler is None:
@@ -324,7 +401,121 @@ class SimFabric:
                     raise FabricError(
                         f"unknown effect {eff!r} from messenger "
                         f"{messenger._name}")
-            value = yield from handler(self, messenger, eff)
+            if resil is None:
+                value = yield from handler(self, messenger, eff)
+                continue
+            # Resilient path: effect boundaries are where crashes fire,
+            # where boundary snapshots are taken, and where a fault that
+            # destroyed this messenger (recovery disabled) retires it.
+            try:
+                self._resil_boundary(messenger, eff)
+                value = yield from handler(self, messenger, eff)
+            except _MessengerLost as lost:
+                self._on_lost(messenger, str(lost))
+                return
+
+    def _resil_boundary(self, messenger, eff) -> None:
+        """Run the per-effect resilience hooks (``_resil`` is not None).
+
+        Crashes are *polled* here rather than heap-scheduled so an
+        injected crash never extends the simulation past its natural
+        end (it fires at the first activity at/after its trigger) — the
+        property that keeps golden virtual times bit-exact under
+        masked faults.
+        """
+        resil = self._resil
+        runtime = resil.runtime
+        if runtime.pending_crashes():
+            for spec, index in runtime.due_crashes(self.sim.now):
+                self._fire_crash(spec, index)
+        if resil.dead and messenger._ctx.place.index in resil.dead:
+            raise _MessengerLost(
+                f"PE {messenger._ctx.place.coord} crashed")
+        if resil.track:
+            snap = self._boundary_snapshot(messenger)
+            if snap is not None:
+                resil.current[messenger._name] = (
+                    messenger._ctx.place.index, snap, messenger, eff)
+
+    def _boundary_snapshot(self, messenger):
+        """The messenger's continuation as plain data (IR only).
+
+        Generator messengers are not snapshottable — Python cannot
+        pickle a live generator frame — so cuts cover IR messengers,
+        whose continuation is always explicit (the same property the
+        process fabric relies on to ship hops between OS processes).
+        """
+        interp = getattr(messenger, "interp", None)
+        if interp is None:
+            return None
+        program, env, stack = interp.agent_snapshot()
+        return (program, dict(env), stack)
+
+    def _on_lost(self, messenger, reason: str) -> None:
+        resil = self._resil
+        name = messenger._name
+        resil.lost.append(name)
+        resil.current.pop(name, None)
+        FAULT_STATS["lost"] += 1
+        if self._tracing:
+            now = self.sim.now
+            self.trace.record(
+                t0=now, t1=now, place=messenger._ctx.place.index,
+                actor=name, kind="fault", note=f"messenger lost: {reason}",
+            )
+
+    def _fire_crash(self, spec, index: int) -> None:
+        """One PE fails, fail-stop, at the current virtual instant.
+
+        With recovery enabled the crash is *masked*: the fabric
+        checkpoints the place and every resident messenger's boundary
+        continuation, then restores immediately — the
+        instantaneous-repair model, chosen so recovered runs keep the
+        exact virtual times of fault-free runs (the acceptance bar for
+        the golden tables). With recovery disabled the place's node
+        variables are wiped and resident/arriving messengers are
+        destroyed at their next effect boundary.
+        """
+        resil = self._resil
+        place = self.places[index]
+        now = self.sim.now
+        FAULT_STATS["fired"] += 1
+        if resil.recovery.enabled:
+            FAULT_STATS["masked"] += 1
+            survivors = {}
+            for name, (pindex, _snap, messenger, _eff) in (
+                    resil.current.items()):
+                if pindex == index:
+                    snap = self._boundary_snapshot(messenger)
+                    if snap is not None:
+                        survivors[name] = (pindex, snap, None)
+            cut = ConsistentCut(
+                time=now,
+                places={index: dict(place.vars)},
+                events={index: {key: sem.count
+                                for key, sem in place.events.items()}},
+                messengers=survivors,
+                label=f"crash@{place.coord}",
+            )
+            resil.store.save(f"crash:{now:.9f}:{index}", cut)
+            if self._tracing:
+                self.trace.record(
+                    t0=now, t1=now, place=index, actor="fault-injector",
+                    kind="checkpoint", note=cut.label)
+                self.trace.record(
+                    t0=now, t1=now, place=index, actor="fault-injector",
+                    kind="fault", note="crash (masked)")
+                self.trace.record(
+                    t0=now, t1=now, place=index, actor="fault-injector",
+                    kind="restore", note=cut.label)
+        else:
+            resil.dead.add(index)
+            place.vars.clear()
+            FAULT_STATS["lost"] += 1
+            if self._tracing:
+                self.trace.record(
+                    t0=now, t1=now, place=index, actor="fault-injector",
+                    kind="fault", note="crash (PE down, node vars lost)")
 
     def _resolve_effect(self, cls):
         """Map an effect subclass to its base handler, once, then cache."""
@@ -354,6 +545,10 @@ class SimFabric:
                 if eff.nbytes is not None
                 else agent_nbytes(messenger, self.machine)
             )
+            resil = self._resil
+            if resil is not None:
+                yield from self._hop_faults(
+                    resil, messenger, place, dst, moved)
             if net.is_small(moved):
                 yield Timeout(net.latency_s)
             else:
@@ -378,11 +573,80 @@ class SimFabric:
             self.hb.on_hop(messenger._tid)
         return None
 
+    def _hop_faults(self, resil, messenger, place: SimPlace, dst: SimPlace,
+                    moved: int):
+        """Fault hooks for one cross-host migration (resil is not None).
+
+        A dropped hop with recovery enabled is *retransmitted*: the
+        messenger still arrives, the fault is recorded in the trace,
+        and the retry charges ``retry_cost_s`` of virtual time per the
+        policy — zero by default, which is what keeps golden times
+        bit-exact. Without recovery the messenger is simply gone (the
+        carried continuation was the only copy).
+        """
+        runtime = resil.runtime
+        runtime.note_hop()
+        now = self.sim.now
+        if resil.dead and dst.index in resil.dead:
+            if self._tracing:
+                self.trace.record(
+                    t0=now, t1=now, place=dst.index, actor=messenger._name,
+                    kind="fault", note="hop into crashed PE",
+                    src_place=place.index, nbytes=moved)
+            raise _MessengerLost(f"hopped into crashed PE {dst.coord}")
+        spec = runtime.message_action("hop", place.index, dst.index)
+        if spec is None:
+            return
+        FAULT_STATS["fired"] += 1
+        if spec.action == "delay":
+            if self._tracing:
+                self.trace.record(
+                    t0=now, t1=now, place=dst.index, actor=messenger._name,
+                    kind="fault", note=f"hop delayed {spec.seconds}s",
+                    src_place=place.index)
+            yield Timeout(spec.seconds)
+            return
+        if spec.action == "duplicate":
+            # a messenger cannot be duplicated: there is exactly one
+            # continuation; the dedup layer reports it masked
+            FAULT_STATS["masked"] += 1
+            if self._tracing:
+                self.trace.record(
+                    t0=now, t1=now, place=dst.index, actor=messenger._name,
+                    kind="dedup", note="duplicate hop suppressed",
+                    src_place=place.index)
+            return
+        # drop
+        if not resil.recovery.enabled:
+            if self._tracing:
+                self.trace.record(
+                    t0=now, t1=now, place=dst.index, actor=messenger._name,
+                    kind="fault", note="hop dropped (no recovery)",
+                    src_place=place.index, nbytes=moved)
+            raise _MessengerLost("hop dropped in the network")
+        FAULT_STATS["masked"] += 1
+        if self._tracing:
+            self.trace.record(
+                t0=now, t1=now, place=dst.index, actor=messenger._name,
+                kind="fault", note="hop dropped (retransmitted)",
+                src_place=place.index)
+            self.trace.record(
+                t0=now, t1=now, place=dst.index, actor=messenger._name,
+                kind="retry", note="hop retransmit",
+                src_place=place.index)
+        cost = resil.recovery.retry_cost_s
+        if cost > 0:
+            yield Timeout(cost)
+
     def _eff_compute(self, messenger, eff):
         place = messenger._ctx.place
         sim = self.sim
         factor = self._cache_factors.get(eff.kind, 1.0)
         cost = self.machine.flops_time(eff.flops, factor)
+        if self._resil is not None:
+            slow = self._resil.runtime.slow_factor(place.index, sim.now)
+            if slow != 1.0:
+                cost *= slow
         cpu = place.cpu
         hb = self.hb
         if cpu.in_use < cpu.capacity and not cpu._waiters:
@@ -468,27 +732,33 @@ class SimFabric:
             else model_nbytes(eff.payload, self.machine) + 64
         )
         t0 = sim.now
+        resil = self._resil
+        if resil is not None:
+            deliver = yield from self._send_faults(
+                resil, messenger, place, dst, eff, nbytes)
+            if not deliver:
+                return None  # dropped with recovery disabled: lost
         if net.is_small(nbytes):
-            sim.spawn(
-                self._deliver_small(place, dst, eff.tag, eff.payload),
-                name=f"{name}.deliver",
-            )
+            delivery = self._deliver_small(place, dst, eff.tag, eff.payload)
+            if resil is not None:
+                delivery = self._tracked(delivery, place, dst, eff)
+            sim.spawn(delivery, name=f"{name}.deliver")
         elif not eff.blocking:
             # MPI_Isend: the whole transfer (including queueing for
             # this PE's outbound NIC) runs in the background
-            sim.spawn(
-                self._transfer(place, dst, eff.tag, eff.payload,
-                               net.wire_time(nbytes), name),
-                name=f"{name}.isend",
-            )
+            delivery = self._transfer(place, dst, eff.tag, eff.payload,
+                                      net.wire_time(nbytes), name)
+            if resil is not None:
+                delivery = self._tracked(delivery, place, dst, eff)
+            sim.spawn(delivery, name=f"{name}.isend")
         else:
             wire = net.wire_time(nbytes)
             yield place.nic_out.acquire()
-            sim.spawn(
-                self._deliver(place, dst, eff.tag, eff.payload, wire,
-                              name),
-                name=f"{name}.deliver",
-            )
+            delivery = self._deliver(place, dst, eff.tag, eff.payload,
+                                     wire, name)
+            if resil is not None:
+                delivery = self._tracked(delivery, place, dst, eff)
+            sim.spawn(delivery, name=f"{name}.deliver")
             yield Timeout(wire)
             place.nic_out.release()
         if self._tracing:
@@ -542,6 +812,179 @@ class SimFabric:
                     f"unknown effect {eff!r} from messenger "
                     f"{messenger._name}")
         return (yield from handler(self, messenger, eff))
+
+    def _send_faults(self, resil, messenger, place: SimPlace, dst: SimPlace,
+                     eff, nbytes: int):
+        """Fault hooks for one cross-host send. Returns False when the
+        message is genuinely lost (drop with recovery disabled)."""
+        now = self.sim.now
+        name = messenger._name
+        if resil.dead and dst.index in resil.dead:
+            if self._tracing:
+                self.trace.record(
+                    t0=now, t1=now, place=dst.index, actor=name,
+                    kind="fault", note="send to crashed PE",
+                    src_place=place.index, nbytes=nbytes)
+            FAULT_STATS["fired"] += 1
+            FAULT_STATS["lost"] += 1
+            return False
+        spec = resil.runtime.message_action(
+            "send", place.index, dst.index, eff.tag)
+        if spec is None:
+            return True
+        FAULT_STATS["fired"] += 1
+        if spec.action == "delay":
+            if self._tracing:
+                self.trace.record(
+                    t0=now, t1=now, place=dst.index, actor=name,
+                    kind="fault", note=f"send delayed {spec.seconds}s",
+                    src_place=place.index)
+            yield Timeout(spec.seconds)
+            return True
+        if spec.action == "duplicate":
+            if resil.recovery.enabled:
+                # the receiver's dedup layer discards the extra copy
+                FAULT_STATS["masked"] += 1
+                if self._tracing:
+                    self.trace.record(
+                        t0=now, t1=now, place=dst.index, actor=name,
+                        kind="fault", note="send duplicated",
+                        src_place=place.index)
+                    self.trace.record(
+                        t0=now, t1=now, place=dst.index, actor=name,
+                        kind="dedup", note="duplicate send discarded",
+                        src_place=place.index)
+                return True
+            # no recovery: the duplicate really arrives (after latency)
+            if self._tracing:
+                self.trace.record(
+                    t0=now, t1=now, place=dst.index, actor=name,
+                    kind="fault", note="send duplicated (delivered twice)",
+                    src_place=place.index)
+            extra = self._deliver_small(place, dst, eff.tag, eff.payload)
+            self.sim.spawn(self._tracked(extra, place, dst, eff),
+                           name=f"{name}.dup")
+            return True
+        # drop
+        if not resil.recovery.enabled:
+            FAULT_STATS["lost"] += 1
+            if self._tracing:
+                self.trace.record(
+                    t0=now, t1=now, place=dst.index, actor=name,
+                    kind="fault", note="send dropped (no recovery)",
+                    src_place=place.index, nbytes=nbytes)
+            return False
+        FAULT_STATS["masked"] += 1
+        if self._tracing:
+            self.trace.record(
+                t0=now, t1=now, place=dst.index, actor=name,
+                kind="fault", note="send dropped (retransmitted)",
+                src_place=place.index)
+            self.trace.record(
+                t0=now, t1=now, place=dst.index, actor=name,
+                kind="retry", note="send retransmit",
+                src_place=place.index)
+        cost = resil.recovery.retry_cost_s
+        if cost > 0:
+            yield Timeout(cost)
+        return True
+
+    def _tracked(self, delivery, src: SimPlace, dst: SimPlace, eff):
+        """Run a delivery generator with its payload registered as
+        channel state, so a coordinated snapshot taken mid-flight
+        captures it (the Chandy–Lamport channel-recording step)."""
+        resil = self._resil
+        resil.chan_seq += 1
+        key = resil.chan_seq
+        resil.channel[key] = (
+            dst.index, Message(src.coord, eff.tag, eff.payload))
+        try:
+            yield from delivery
+        finally:
+            resil.channel.pop(key, None)
+
+    # -- coordinated snapshots ------------------------------------------
+    @property
+    def checkpoints(self):
+        """The checkpoint store (None until resilience is active)."""
+        return self._resil.store if self._resil is not None else None
+
+    def schedule_snapshot(self, at: float, label: str = "") -> None:
+        """Capture a :class:`ConsistentCut` at virtual time ``at``.
+
+        Must be called before messengers are injected when the fabric
+        was built without a fault plan or checkpoint store (the drivers
+        bind their resilience hooks at injection).
+        """
+        if self._resil is None:
+            if self._names:
+                raise FabricError(
+                    "schedule_snapshot() must be called before inject() "
+                    "on a fabric built without resilience")
+            self._resil = _Resilience(self, FaultPlan(), True, None)
+        self._resil.track = True
+        self.sim.schedule_at(at, self._capture_cut,
+                             label or f"t={at:.9f}")
+
+    def _capture_cut(self, label: str) -> None:
+        """Close a coordinated snapshot at the current virtual instant.
+
+        Virtual time is the free global barrier the Chandy–Lamport
+        protocol has to synthesize with markers on a real machine: all
+        place state is read at one instant, channel state comes from
+        the tracked in-flight deliveries, and each live IR messenger
+        contributes the boundary continuation recorded at its current
+        effect — with a pending-effect descriptor so the effect the cut
+        interrupted is re-performed on restore. A messenger parked in a
+        semaphore's waiter queue has consumed nothing, so recording it
+        as pending-wait is consistent with the captured event counts;
+        one whose wakeup is merely in flight has logically completed
+        the wait and is recorded as past it.
+        """
+        resil = self._resil
+        now = self.sim.now
+        cut = ConsistentCut(time=now, label=label)
+        for place in self.places:
+            cut.places[place.index] = deepcopy(place.vars)
+            cut.events[place.index] = {
+                key: sem.count for key, sem in place.events.items()}
+            cut.mailboxes[place.index] = deepcopy(
+                list(place.mailbox._pending))
+        cut.in_flight = deepcopy(list(resil.channel.values()))
+        for mname, (pindex, snap, messenger, eff) in resil.current.items():
+            pending = None
+            if eff is not None:
+                pending = getattr(messenger, "_last_action", None)
+                if eff.__class__ is fx.WaitEvent:
+                    sem = self.places[pindex].events.get(
+                        (eff.name, tuple(eff.args)))
+                    proc = resil.procs.get(mname)
+                    if not (sem is not None and proc is not None
+                            and proc in sem._waiters):
+                        pending = None  # wait already (logically) done
+            cut.messengers[mname] = (pindex, deepcopy(snap),
+                                     deepcopy(pending))
+        resil.store.save(f"cut:{now:.9f}:{label}", cut)
+        if self._tracing:
+            self.trace.record(
+                t0=now, t1=now, place=0, actor="snapshotter",
+                kind="checkpoint", note=label)
+
+    def _resolve_place(self, spec_place):
+        """Map a fault spec's place (index or coordinate) to a place
+        index of *this* fabric, or None when it names no place here —
+        such specs are inert, so one plan file can drive topologies of
+        different sizes."""
+        if isinstance(spec_place, int):
+            if 0 <= spec_place < len(self.places):
+                return spec_place
+            return None
+        try:
+            coord = self.topology.normalize(tuple(spec_place))
+        except Exception:
+            return None
+        place = self._by_coord.get(coord)
+        return place.index if place is not None else None
 
     def _deliver(self, src: SimPlace, dst: SimPlace, tag, payload,
                  wire: float, sender: str):

@@ -36,6 +36,10 @@ from typing import Any
 from ..errors import DeadlockError, FabricError
 from ..machine.presets import SUN_BLADE_100
 from ..machine.spec import MachineSpec
+from ..resilience.faults import FaultPlan, PlanRuntime
+from ..resilience.faults import STATS as FAULT_STATS
+from ..resilience.faults import ambient as ambient_faults
+from ..resilience.recovery import RecoveryPolicy
 from . import effects as fx
 from .hosts import resolve_hosts
 from .sim import FabricResult, Message
@@ -151,6 +155,8 @@ class ThreadFabric:
         pickle_hops: bool = True,
         trace: bool = False,
         hosts=None,
+        faults: FaultPlan | None = None,
+        recovery=True,
     ):
         self.topology = topology
         self.machine = machine if machine is not None else SUN_BLADE_100
@@ -175,6 +181,37 @@ class ThreadFabric:
         self._t0 = 0.0
         self.hop_bytes_total = 0
         self.hop_count = 0
+        # Fault injection: this fabric interprets message faults
+        # (drop / duplicate / delay) on cross-host deliveries as real
+        # failed attempts, retried with real backoff sleeps under the
+        # recovery policy. Crash and slow-node specs are inert here —
+        # crashes belong to the process fabric (a thread cannot be
+        # SIGKILLed meaningfully) and there is no modeled compute cost
+        # to degrade. All hooks sit behind `self._runtime is None`.
+        if faults is None:
+            faults, ambient_recovery = ambient_faults()
+            if faults is not None:
+                recovery = ambient_recovery
+        if faults is not None and faults:
+            self._runtime: PlanRuntime | None = PlanRuntime(
+                faults, self._resolve_place)
+            self._recovery = RecoveryPolicy.coerce(recovery)
+            self._fault_lock = threading.Lock()
+        else:
+            self._runtime = None
+            self._recovery = RecoveryPolicy()
+        self.lost: list[str] = []  # messengers destroyed by faults
+
+    def _resolve_place(self, spec_place):
+        if isinstance(spec_place, int):
+            return (spec_place if 0 <= spec_place < len(self.places)
+                    else None)
+        try:
+            coord = self.topology.normalize(tuple(spec_place))
+        except Exception:
+            return None
+        place = self._by_coord.get(coord)
+        return place.index if place is not None else None
 
     # -- setup ---------------------------------------------------------
     def place(self, coord) -> ThreadPlace:
@@ -218,9 +255,13 @@ class ThreadFabric:
                 f"{self._failure}"
             ) from self._failure
         if not finished:
+            casualties = (
+                "; fault injection destroyed messenger(s) with recovery "
+                "disabled: " + ", ".join(self.lost) if self.lost else ""
+            )
             raise DeadlockError(
                 f"thread fabric made no progress within {timeout}s "
-                f"({self._live} messenger(s) still live)"
+                f"({self._live} messenger(s) still live){casualties}"
             )
         return FabricResult(
             time=time.perf_counter() - self._t0,
@@ -258,6 +299,71 @@ class ThreadFabric:
         if self._failure is None:
             self._failure = exc
         self._all_done.set()
+
+    def _transfer_fault(self, kind: str, actor: str, place, dst,
+                        tag, nbytes: int) -> int:
+        """Consult the fault plan for one cross-host transfer.
+
+        Returns 0 when the transfer is lost (drop, recovery disabled),
+        1 to deliver normally (possibly after real retry backoff), or
+        2 to deliver twice (duplicate, recovery disabled). Matching is
+        serialized under a lock — the plan's counted matchers see one
+        global transfer order even though deliveries come from many PE
+        threads (which order that is stays scheduler-dependent: this
+        fabric demonstrates the mechanisms; determinism lives on the
+        virtual-time fabric).
+        """
+        with self._fault_lock:
+            if kind == "hop":
+                self._runtime.note_hop()
+            spec = self._runtime.message_action(
+                kind, place.index, dst.index, tag)
+        if spec is None:
+            return 1
+        FAULT_STATS["fired"] += 1
+        now = time.perf_counter() - self._t0
+        if spec.action == "delay":
+            self._record(
+                t0=now, t1=now, place=dst.index, actor=actor,
+                kind="fault", note=f"{kind} delayed {spec.seconds}s",
+                src_place=place.index)
+            time.sleep(min(spec.seconds, 0.1))
+            return 1
+        if spec.action == "duplicate":
+            if kind == "hop" or self._recovery.enabled:
+                FAULT_STATS["masked"] += 1
+                self._record(
+                    t0=now, t1=now, place=dst.index, actor=actor,
+                    kind="dedup", note=f"duplicate {kind} discarded",
+                    src_place=place.index)
+                return 1
+            self._record(
+                t0=now, t1=now, place=dst.index, actor=actor,
+                kind="fault", note="send duplicated (delivered twice)",
+                src_place=place.index)
+            return 2
+        # drop
+        if not self._recovery.enabled:
+            FAULT_STATS["lost"] += 1
+            self._record(
+                t0=now, t1=now, place=dst.index, actor=actor,
+                kind="fault", note=f"{kind} dropped (no recovery)",
+                src_place=place.index, nbytes=nbytes)
+            return 0
+        FAULT_STATS["masked"] += 1
+        self._record(
+            t0=now, t1=now, place=dst.index, actor=actor,
+            kind="fault", note=f"{kind} dropped (retransmitting)",
+            src_place=place.index)
+        delays = self._recovery.delays()
+        backoff = delays[0] if delays else 0.0
+        time.sleep(min(backoff, 0.05))  # one real retransmit attempt
+        end = time.perf_counter() - self._t0
+        self._record(
+            t0=now, t1=end, place=dst.index, actor=actor,
+            kind="retry", note=f"{kind} retransmit",
+            src_place=place.index)
+        return 1
 
     def _worker(self, ready: queue.Queue) -> None:
         while True:
@@ -304,24 +410,34 @@ class _Driver:
             if isinstance(eff, fx.Hop):
                 dst = fabric.place(eff.coord)
                 crosses_host = dst.host != place.host
+                nbytes = 0
                 if fabric.pickle_hops and crosses_host:
                     agent = {
                         k: v for k, v in vars(msgr).items()
                         if not k.startswith("_")
                     }
                     blob = pickle.dumps(agent, protocol=pickle.HIGHEST_PROTOCOL)
+                    nbytes = len(blob)
                     with fabric._live_lock:
                         fabric.hop_bytes_total += len(blob)
                         fabric.hop_count += 1
                     # restore through pickle: what a real network delivers
                     for k, v in pickle.loads(blob).items():
                         setattr(msgr, k, v)
+                if crosses_host and fabric._runtime is not None:
+                    if not fabric._transfer_fault(
+                            "hop", msgr._name, place, dst, None, nbytes):
+                        # the hop was dropped with recovery disabled:
+                        # the carried continuation was the only copy
+                        fabric.lost.append(msgr._name)
+                        fabric._finish_one()
+                        return
                 msgr._ctx.place = dst
                 fabric._record(
                     t0=time.perf_counter() - fabric._t0,
                     t1=time.perf_counter() - fabric._t0,
                     place=dst.index, actor=msgr._name, kind="hop",
-                    src_place=place.index,
+                    src_place=place.index, nbytes=nbytes,
                 )
                 if crosses_host:
                     dst.ready.put((self, None))
@@ -363,10 +479,20 @@ class _Driver:
             if isinstance(eff, fx.Send):
                 dst = fabric.place(eff.dst)
                 payload = eff.payload
+                nbytes = 0
                 if fabric.pickle_hops and dst.host != place.host:
-                    payload = pickle.loads(
-                        pickle.dumps(payload,
-                                     protocol=pickle.HIGHEST_PROTOCOL))
+                    blob = pickle.dumps(payload,
+                                        protocol=pickle.HIGHEST_PROTOCOL)
+                    nbytes = len(blob)
+                    payload = pickle.loads(blob)
+                if dst.host != place.host and fabric._runtime is not None:
+                    verdict = fabric._transfer_fault(
+                        "send", msgr._name, place, dst, eff.tag, nbytes)
+                    if not verdict:
+                        continue  # message lost (recovery disabled)
+                    if verdict == 2:  # duplicated, recovery disabled
+                        dst.mailbox.deposit(
+                            Message(place.coord, eff.tag, payload))
                 dst.mailbox.deposit(Message(place.coord, eff.tag, payload))
                 continue
 

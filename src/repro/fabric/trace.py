@@ -24,10 +24,17 @@ class TraceEvent:
     ``race_check=True``, zero-duration ``"access"`` events (one per
     node-variable read/write, ``note`` like ``"W C[(0, 1)]"``) and
     ``"race"`` events (an unordered conflicting pair the happens-before
-    checker flagged; ``note`` carries both access sites). For hops,
-    ``place`` is the *destination* and ``src_place`` the origin.
-    ``nbytes`` records the modeled payload of hops and sends (0 for
-    co-hosted moves), so traces double as data-movement ledgers.
+    checker flagged; ``note`` carries both access sites). Fabrics
+    running under a fault plan additionally record zero-duration
+    ``"fault"`` (an injected fault fired; ``nbytes`` carries the
+    payload only when it was genuinely lost), ``"retry"`` / ``"dedup"``
+    (recovery masked a drop / discarded a duplicate), ``"checkpoint"``
+    / ``"restore"`` (snapshot protocol), and ``"respawn"`` (process
+    fabric worker replacement) events. For hops, ``place`` is the
+    *destination* and ``src_place`` the origin. ``nbytes`` records the
+    modeled payload of hops and sends (0 for co-hosted moves), so
+    traces double as data-movement ledgers; fault events are excluded
+    from the ledger queries — a dropped transfer moved nothing.
     """
 
     t0: float
@@ -111,14 +118,16 @@ class TraceLog:
         return max((e.t1 for e in self.events), default=0.0)
 
     def bytes_moved(self) -> int:
-        """Total modeled bytes that crossed the network."""
-        return sum(e.nbytes for e in self.events)
+        """Total modeled bytes that crossed the network (lost
+        transfers — ``kind == "fault"`` — moved nothing and are
+        excluded; see :meth:`lost_bytes`)."""
+        return sum(e.nbytes for e in self.events if e.kind != "fault")
 
     def bytes_by_place(self, direction: str = "in") -> dict:
         """Bytes received at (``"in"``) or sent from (``"out"``) each place."""
         out: dict = defaultdict(int)
         for e in self.events:
-            if e.nbytes <= 0:
+            if e.nbytes <= 0 or e.kind == "fault":
                 continue
             if direction == "in":
                 out[e.place] += e.nbytes
@@ -128,5 +137,25 @@ class TraceLog:
         return dict(out)
 
     def message_count(self) -> int:
-        """Network transfers recorded (hops + sends with payload)."""
-        return sum(1 for e in self.events if e.nbytes > 0)
+        """Network transfers recorded (hops + sends with payload;
+        fault events are not transfers)."""
+        return sum(1 for e in self.events
+                   if e.nbytes > 0 and e.kind != "fault")
+
+    # -- resilience queries ------------------------------------------------
+    def faults(self) -> list[TraceEvent]:
+        """Injected faults that fired during the run."""
+        return [e for e in self.events if e.kind == "fault"]
+
+    def recoveries(self) -> list[TraceEvent]:
+        """Recovery actions: retries, dedups, restores, respawns."""
+        return [e for e in self.events
+                if e.kind in ("retry", "dedup", "restore", "respawn")]
+
+    def checkpoints(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == "checkpoint"]
+
+    def lost_bytes(self) -> int:
+        """Modeled payload destroyed by faults (drops without recovery,
+        transfers into crashed PEs)."""
+        return sum(e.nbytes for e in self.events if e.kind == "fault")

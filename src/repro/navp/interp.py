@@ -272,18 +272,48 @@ def _body_cached(prog: ir.Program, path: tuple) -> tuple:
 
 
 class IRMessenger(Messenger):
-    """Runs an IR program as a messenger on the sim/thread fabrics."""
+    """Runs an IR program as a messenger on the sim/thread fabrics.
+
+    ``_last_action`` always holds the IR action currently being
+    performed as plain data — what a coordinated snapshot records as
+    the cut's *pending effect* (the :class:`repro.fabric.effects`
+    object itself may close over a kernel and is not restorable).
+    ``_pending`` is set by :meth:`resume`: the one action a restored
+    continuation must re-perform before advancing, because its
+    snapshot was taken with the interpreter already past it.
+    """
+
+    _pending = None
+    _last_action = None
 
     def __init__(self, program: str, env: dict | None = None):
         self.name = program
         self.interp = Interp(program, env)
 
+    @classmethod
+    def resume(cls, snapshot, pending=None) -> "IRMessenger":
+        """Rebuild a messenger from a continuation snapshot.
+
+        ``snapshot`` is what :meth:`Interp.agent_snapshot` produced
+        (tuple or legacy dict); ``pending`` is an IR action tuple to
+        re-perform first, as recorded in a
+        :class:`repro.resilience.checkpoint.ConsistentCut`.
+        """
+        messenger = cls.__new__(cls)
+        messenger.interp = Interp.from_snapshot(snapshot)
+        messenger.name = messenger.interp.program
+        messenger._pending = pending
+        return messenger
+
     def main(self):
         interp = self.interp
-        while True:
+        action = self._pending
+        if action is None:
             action = interp.next_action(self.vars)
-            if action is None:
-                return
+        else:
+            self._pending = None
+        while action is not None:
+            self._last_action = action
             kind = action[0]
             if kind == "hop":
                 yield self.hop(action[1])
@@ -306,6 +336,7 @@ class IRMessenger(Messenger):
                 yield self.inject(IRMessenger(action[1], action[2]))
             else:  # pragma: no cover - next_action is exhaustive
                 raise ConfigurationError(f"unknown action {action!r}")
+            action = interp.next_action(self.vars)
 
 
 def run_ir_on_fabric(fabric, program: str, env: dict | None = None,

@@ -1,0 +1,410 @@
+"""Deterministic fault injection: declarative plans over fabric events.
+
+A :class:`FaultPlan` is pure data — a tuple of fault specifications
+plus an optional seed — with a JSON round trip, so the same plan file
+drives a virtual-time :class:`~repro.fabric.sim.SimFabric` run (faults
+become deterministic virtual-time events), a wall-clock
+:class:`~repro.fabric.threads.ThreadFabric` run (hop/send deliveries
+fail and are retried), and a :class:`~repro.fabric.process.ProcessFabric`
+run (a worker process really is SIGKILLed).
+
+Determinism contract: a plan contains no hidden randomness. Faults
+trigger on *counted* events — the n-th matching cross-host transfer, a
+virtual time, a hop total — so the same plan over the same program
+yields the same faults in the same places, every run. The only RNG in
+this module is :meth:`FaultPlan.random`, which *generates* a plan from
+a seed; once generated, the plan itself is again fully deterministic.
+
+Fault vocabulary
+----------------
+:class:`Crash`         fail-stop of a PE (sim: place; process: worker
+                       host), at a virtual time or a global hop count
+:class:`MessageFault`  drop / duplicate / delay one class of cross-host
+                       transfers ("hop" = migrating messengers,
+                       "send" = point-to-point messages)
+:class:`SlowNode`      degrade one PE's compute rate by a factor
+
+The ambient :func:`injected` context mirrors
+:func:`repro.fabric.desim.perturbed`: every ``SimFabric`` constructed
+inside the context interprets the plan, which is how fault injection
+reaches fabrics built deep inside the table builders.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from ..errors import FaultPlanError
+
+__all__ = [
+    "Crash",
+    "MessageFault",
+    "SlowNode",
+    "FaultPlan",
+    "PlanRuntime",
+    "injected",
+    "ambient",
+    "STATS",
+]
+
+# Fired/masked tallies across all fabrics (test + demo aid; reset around
+# a measured region, like desim.PERF_STATS).
+STATS = {"fired": 0, "masked": 0, "lost": 0}
+
+_ACTIONS = ("drop", "duplicate", "delay")
+_KINDS = ("any", "hop", "send")
+
+
+def _check_place(place) -> None:
+    if isinstance(place, int):
+        return
+    if isinstance(place, (tuple, list)) and all(
+            isinstance(x, int) for x in place):
+        return
+    raise FaultPlanError(
+        f"fault place must be a place index or coordinate, got {place!r}")
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Fail-stop of one PE.
+
+    ``place`` is a place index (any topology) or a coordinate; on the
+    process fabric it names the worker *host* index. Exactly one of
+    ``at_time`` (virtual seconds on the sim fabric, wall seconds on the
+    process fabric) or ``at_hop`` (fires when the global cross-host hop
+    count reaches the value) must be given.
+    """
+
+    place: Any
+    at_time: float | None = None
+    at_hop: int | None = None
+
+    def __post_init__(self):
+        _check_place(self.place)
+        if (self.at_time is None) == (self.at_hop is None):
+            raise FaultPlanError(
+                "Crash needs exactly one of at_time / at_hop")
+        if self.at_time is not None and self.at_time < 0:
+            raise FaultPlanError(f"negative crash time {self.at_time}")
+        if self.at_hop is not None and self.at_hop < 1:
+            raise FaultPlanError(f"crash hop count must be >= 1")
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """Drop, duplicate, or delay matching cross-host transfers.
+
+    ``kind`` selects the transfer class (``"hop"`` for migrating
+    messengers, ``"send"`` for point-to-point messages, ``"any"``);
+    ``src``/``dst`` (place index or coordinate, None = wildcard) and
+    ``tag`` (sends only) narrow the match. The fault fires on the
+    ``nth`` matching transfer, or on every ``every``-th when given.
+    Matching is by per-spec counters — fully deterministic.
+    """
+
+    action: str = "drop"
+    kind: str = "any"
+    src: Any = None
+    dst: Any = None
+    tag: Any = None
+    nth: int = 1
+    every: int | None = None
+    seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.action not in _ACTIONS:
+            raise FaultPlanError(
+                f"unknown message fault action {self.action!r}; "
+                f"expected one of {_ACTIONS}")
+        if self.kind not in _KINDS:
+            raise FaultPlanError(
+                f"unknown transfer kind {self.kind!r}; "
+                f"expected one of {_KINDS}")
+        if self.src is not None:
+            _check_place(self.src)
+        if self.dst is not None:
+            _check_place(self.dst)
+        if self.nth < 1:
+            raise FaultPlanError("nth must be >= 1")
+        if self.every is not None and self.every < 1:
+            raise FaultPlanError("every must be >= 1")
+        if self.seconds < 0:
+            raise FaultPlanError("seconds must be >= 0")
+        if self.action == "delay" and self.seconds == 0:
+            raise FaultPlanError("a delay fault needs seconds > 0")
+
+
+@dataclass(frozen=True)
+class SlowNode:
+    """Multiply one PE's compute cost by ``factor`` from ``from_time``."""
+
+    place: Any
+    factor: float = 2.0
+    from_time: float = 0.0
+
+    def __post_init__(self):
+        _check_place(self.place)
+        if self.factor <= 0:
+            raise FaultPlanError(f"slow factor must be > 0, got {self.factor}")
+        if self.from_time < 0:
+            raise FaultPlanError("from_time must be >= 0")
+
+
+_SPEC_TYPES = {"crash": Crash, "message": MessageFault, "slow": SlowNode}
+_TYPE_NAMES = {Crash: "crash", MessageFault: "message", SlowNode: "slow"}
+
+
+def _untuple(value):
+    """JSON-safe place/src/dst encoding (tuples become lists)."""
+    return list(value) if isinstance(value, tuple) else value
+
+
+def _retuple(value):
+    return tuple(value) if isinstance(value, list) else value
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, serializable set of faults.
+
+    An empty plan is falsy and, by the resilience contract, a fabric
+    given an empty (or no) plan behaves byte-identically to one built
+    without fault support at all.
+    """
+
+    faults: tuple = ()
+    seed: int | None = None
+    name: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for spec in self.faults:
+            if not isinstance(spec, (Crash, MessageFault, SlowNode)):
+                raise FaultPlanError(
+                    f"unknown fault spec {spec!r}; expected Crash, "
+                    f"MessageFault, or SlowNode")
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    # -- views -----------------------------------------------------------
+    @property
+    def crashes(self) -> tuple:
+        return tuple(f for f in self.faults if isinstance(f, Crash))
+
+    @property
+    def message_faults(self) -> tuple:
+        return tuple(f for f in self.faults if isinstance(f, MessageFault))
+
+    @property
+    def slow_nodes(self) -> tuple:
+        return tuple(f for f in self.faults if isinstance(f, SlowNode))
+
+    # -- JSON round trip -------------------------------------------------
+    def to_json(self, indent: int | None = 2) -> str:
+        faults = []
+        for spec in self.faults:
+            record = {"type": _TYPE_NAMES[type(spec)]}
+            for key, value in asdict(spec).items():
+                if value is None:
+                    continue
+                record[key] = _untuple(value)
+            faults.append(record)
+        return json.dumps(
+            {"name": self.name, "seed": self.seed, "faults": faults},
+            indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}")
+        if not isinstance(data, dict) or "faults" not in data:
+            raise FaultPlanError(
+                'fault plan JSON must be an object with a "faults" list')
+        specs = []
+        for record in data["faults"]:
+            kind = record.get("type")
+            spec_cls = _SPEC_TYPES.get(kind)
+            if spec_cls is None:
+                raise FaultPlanError(
+                    f"unknown fault type {kind!r}; expected one of "
+                    f"{sorted(_SPEC_TYPES)}")
+            kwargs = {k: _retuple(v) for k, v in record.items()
+                      if k != "type"}
+            try:
+                specs.append(spec_cls(**kwargs))
+            except TypeError as exc:
+                raise FaultPlanError(f"bad {kind} fault record: {exc}")
+        return cls(faults=tuple(specs), seed=data.get("seed"),
+                   name=data.get("name", ""))
+
+    def to_file(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def from_file(cls, path) -> "FaultPlan":
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+    # -- seeded generation -----------------------------------------------
+    @classmethod
+    def random(cls, seed: int, places: int, *, crashes: int = 1,
+               drops: int = 2, duplicates: int = 0, slow: int = 0,
+               horizon: float = 1.0, name: str = "") -> "FaultPlan":
+        """Generate a plan deterministically from ``seed``.
+
+        ``places`` bounds the place indices drawn; ``horizon`` bounds
+        crash times and slow-node onsets. The same (seed, arguments)
+        always produce an identical plan.
+        """
+        rng = random.Random(seed)
+        specs: list = []
+        for _ in range(crashes):
+            specs.append(Crash(
+                place=rng.randrange(places),
+                at_time=round(rng.uniform(0.0, horizon), 9)))
+        for _ in range(drops):
+            specs.append(MessageFault(
+                action="drop", kind=rng.choice(("hop", "send", "any")),
+                nth=rng.randrange(1, 25)))
+        for _ in range(duplicates):
+            specs.append(MessageFault(
+                action="duplicate", kind="send", nth=rng.randrange(1, 25)))
+        for _ in range(slow):
+            specs.append(SlowNode(
+                place=rng.randrange(places),
+                factor=round(rng.uniform(1.5, 4.0), 6),
+                from_time=round(rng.uniform(0.0, horizon), 9)))
+        return cls(faults=tuple(specs), seed=seed,
+                   name=name or f"random-{seed}")
+
+
+# -- ambient plan (reaches fabrics built inside table builders) ----------
+
+_AMBIENT: dict = {"plan": None, "recovery": True}
+
+
+@contextmanager
+def injected(plan: FaultPlan, recovery: bool = True):
+    """Make every SimFabric built in this context interpret ``plan``.
+
+    Mirrors :func:`repro.fabric.desim.perturbed`: the table builders
+    construct their fabrics internally, so this is how a fault plan
+    reaches a whole golden sweep. ``recovery=False`` lets the injected
+    faults actually lose messengers and messages.
+    """
+    prior = (_AMBIENT["plan"], _AMBIENT["recovery"])
+    _AMBIENT["plan"] = plan
+    _AMBIENT["recovery"] = recovery
+    try:
+        yield
+    finally:
+        _AMBIENT["plan"], _AMBIENT["recovery"] = prior
+
+
+def ambient() -> tuple:
+    """The (plan, recovery) pair installed by :func:`injected`, if any."""
+    return _AMBIENT["plan"], _AMBIENT["recovery"]
+
+
+# -- runtime interpretation ----------------------------------------------
+
+class PlanRuntime:
+    """Per-fabric matcher: turns a plan into counted, deterministic hits.
+
+    ``resolve`` maps a spec's place (index or coordinate) to the
+    fabric's place index, or None when the spec does not name a place
+    of this fabric (such specs are inert — a plan written for a 3x3
+    grid may safely be applied to a 1-PE sequential run).
+    """
+
+    __slots__ = ("plan", "_mfs", "_mf_counts", "_crashes_time",
+                 "_crashes_hop", "_slow", "hops")
+
+    def __init__(self, plan: FaultPlan, resolve):
+        self.plan = plan
+        self.hops = 0  # cross-host messenger migrations seen
+        mfs = []
+        for spec in plan.message_faults:
+            src = None if spec.src is None else resolve(spec.src)
+            dst = None if spec.dst is None else resolve(spec.dst)
+            if spec.src is not None and src is None:
+                continue  # names a place this fabric does not have
+            if spec.dst is not None and dst is None:
+                continue
+            mfs.append((spec, src, dst))
+        self._mfs = mfs
+        self._mf_counts = [0] * len(mfs)
+        by_time, by_hop = [], []
+        for spec in plan.crashes:
+            index = resolve(spec.place)
+            if index is None:
+                continue
+            (by_time if spec.at_time is not None else by_hop).append(
+                (spec, index))
+        by_time.sort(key=lambda pair: pair[0].at_time)
+        by_hop.sort(key=lambda pair: pair[0].at_hop)
+        self._crashes_time = by_time
+        self._crashes_hop = by_hop
+        self._slow = [
+            (index, spec.factor, spec.from_time)
+            for spec in plan.slow_nodes
+            if (index := resolve(spec.place)) is not None
+        ]
+
+    def note_hop(self) -> None:
+        self.hops += 1
+
+    def message_action(self, kind: str, src_index: int, dst_index: int,
+                       tag=None) -> MessageFault | None:
+        """The fault (if any) that fires on this transfer.
+
+        Counters advance on every *match*, whether or not the fault
+        fires, so plans compose without order sensitivity. The first
+        firing spec wins when several fire at once.
+        """
+        hit = None
+        for i, (spec, src, dst) in enumerate(self._mfs):
+            if spec.kind != "any" and spec.kind != kind:
+                continue
+            if src is not None and src != src_index:
+                continue
+            if dst is not None and dst != dst_index:
+                continue
+            if spec.tag is not None and kind == "send" and spec.tag != tag:
+                continue
+            count = self._mf_counts[i] = self._mf_counts[i] + 1
+            if spec.every is not None:
+                fired = count % spec.every == 0
+            else:
+                fired = count == spec.nth
+            if fired and hit is None:
+                hit = spec
+        return hit
+
+    def due_crashes(self, now: float) -> list:
+        """Pop every crash whose time/hop trigger has been reached."""
+        due = []
+        while self._crashes_time and self._crashes_time[0][0].at_time <= now:
+            due.append(self._crashes_time.pop(0))
+        while self._crashes_hop and self._crashes_hop[0][0].at_hop <= self.hops:
+            due.append(self._crashes_hop.pop(0))
+        return due
+
+    def pending_crashes(self) -> int:
+        return len(self._crashes_time) + len(self._crashes_hop)
+
+    def slow_factor(self, place_index: int, now: float) -> float:
+        factor = 1.0
+        for index, f, from_time in self._slow:
+            if index == place_index and now >= from_time:
+                factor *= f
+        return factor

@@ -1,0 +1,132 @@
+"""Recovery policy: retries, backoff, dedup, and replay ledgers.
+
+The pieces the fabrics share when they mask faults:
+
+* :class:`RecoveryPolicy` — how hard to try. On ``SimFabric`` retries
+  are *modeled* (``retry_cost_s`` of virtual time per attempt — zero by
+  default so golden tables stay bit-exact under masked faults); on the
+  thread/process fabrics ``backoff_s``/``backoff_factor`` are real
+  sleeps between redelivery attempts.
+* :class:`DedupFilter` — at-least-once delivery (retries, duplicated
+  messages, replay after respawn) is turned back into exactly-once
+  processing by keying every transfer with a ``(messenger, sequence)``
+  pair and dropping the ones already seen. Thread-safe: the thread and
+  process fabrics consult it from delivery threads.
+* :class:`ReplayLedger` — the controller-side journal of everything
+  sent to each failure domain since its last checkpoint, so a respawned
+  worker can be replayed deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["RecoveryPolicy", "DedupFilter", "ReplayLedger"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How a fabric responds to injected (or real) delivery failures."""
+
+    enabled: bool = True
+    max_retries: int = 3
+    backoff_s: float = 0.01
+    backoff_factor: float = 2.0
+    retry_cost_s: float = 0.0  # virtual seconds per retry on SimFabric
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.backoff_s < 0 or self.retry_cost_s < 0:
+            raise ConfigurationError("backoff/retry costs must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1.0")
+
+    def delays(self) -> list:
+        """Real-time sleeps before each retry attempt."""
+        out, delay = [], self.backoff_s
+        for _ in range(self.max_retries):
+            out.append(delay)
+            delay *= self.backoff_factor
+        return out
+
+    @classmethod
+    def coerce(cls, value) -> "RecoveryPolicy":
+        """Accept a policy, a bool, or None (-> default-enabled)."""
+        if value is None or value is True:
+            return cls()
+        if value is False:
+            return cls(enabled=False)
+        if isinstance(value, cls):
+            return value
+        raise ConfigurationError(
+            f"recovery must be a RecoveryPolicy or bool, got {value!r}")
+
+
+class DedupFilter:
+    """Record delivery keys; report whether each is the first sighting."""
+
+    __slots__ = ("_seen", "_lock", "duplicates")
+
+    def __init__(self):
+        self._seen: set = set()
+        self._lock = threading.Lock()
+        self.duplicates = 0
+
+    def first(self, key) -> bool:
+        """True exactly once per key; later sightings count as dups."""
+        with self._lock:
+            if key in self._seen:
+                self.duplicates += 1
+                return False
+            self._seen.add(key)
+            return True
+
+    def forget(self, key) -> None:
+        with self._lock:
+            self._seen.discard(key)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._seen)
+
+
+class ReplayLedger:
+    """Per-domain journal of deliveries since the last checkpoint.
+
+    The process-fabric controller appends every payload it routes to a
+    worker; on respawn it replays the journal into the fresh queue (the
+    worker's :class:`DedupFilter` — rebuilt from the checkpoint — keeps
+    replayed-but-already-processed work from running twice). ``clear``
+    is called when a checkpoint covering the domain lands.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self):
+        self._entries: dict = {}
+
+    def append(self, domain, payload) -> None:
+        self._entries.setdefault(domain, []).append(payload)
+
+    def entries(self, domain) -> list:
+        return list(self._entries.get(domain, ()))
+
+    def clear(self, domain) -> None:
+        self._entries.pop(domain, None)
+
+    def truncate(self, domain, n: int) -> None:
+        """Drop the first ``n`` entries — the ones a just-committed
+        checkpoint now covers — keeping everything journaled since."""
+        kept = self._entries.get(domain)
+        if kept is not None:
+            del kept[:n]
+
+    def domains(self) -> list:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._entries.values())

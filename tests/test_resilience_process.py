@@ -1,0 +1,122 @@
+"""Crash recovery on real OS processes: SIGKILL a worker mid-run and
+the run still completes with the right answer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ResilienceError
+from repro.fabric import Grid1D, Grid2D
+from repro.fabric.factory import FABRIC_KINDS, make_fabric
+from repro.fabric.process import ProcessFabric
+from repro.matmul.ir2d import build_fig11
+from repro.navp import Messenger, ir
+from repro.resilience import Crash, FaultPlan
+from repro.util.validation import random_matrix
+
+V = ir.Var
+C = ir.Const
+
+
+def _matmul_fabric(plan=None, **kw):
+    a, b = random_matrix(16, 220), random_matrix(16, 221)
+    suite = build_fig11(2, a, b)
+    fabric = ProcessFabric(Grid2D(2), timeout=60.0, faults=plan,
+                           trace=True, **kw)
+    for coord, node_vars in suite.layout.items():
+        fabric.load(coord, **node_vars)
+    for coord, event, args, count in suite.initial_signals:
+        fabric.signal_initial(coord, event, *args, count=count)
+    fabric.inject((0, 0), suite.entry.name)
+    return fabric, a, b
+
+
+def _assemble(result, g=2, ab=8):
+    c = np.empty((g * ab, g * ab))
+    for (i, j), node_vars in result.places.items():
+        c[i * ab:(i + 1) * ab, j * ab:(j + 1) * ab] = node_vars["C"]
+    return c
+
+
+class TestCrashRecovery:
+    def test_matmul_survives_sigkill_of_a_worker(self):
+        """The acceptance scenario: a worker is really SIGKILLed
+        mid-run; respawn + journal replay completes the product."""
+        plan = FaultPlan(faults=(Crash(place=1, at_hop=2),),
+                         name="kill-worker-1")
+        fabric, a, b = _matmul_fabric(plan)
+        result = fabric.run()
+        assert np.allclose(_assemble(result), a @ b)
+        assert fabric.restarts[1] == 1
+        assert [e.note for e in result.trace.faults()] == [
+            "worker 1 SIGKILLed"]
+        respawns = [e for e in result.trace.recoveries()
+                    if e.kind == "respawn"]
+        assert len(respawns) == 1 and respawns[0].place == 1
+
+    def test_checkpoints_bound_the_replay(self):
+        plan = FaultPlan(faults=(Crash(place=0, at_hop=4),))
+        fabric, a, b = _matmul_fabric(plan, checkpoint_every=2)
+        result = fabric.run()
+        assert np.allclose(_assemble(result), a @ b)
+        assert len(result.trace.checkpoints()) > 0
+        assert fabric.restarts[0] == 1
+
+    def test_recovery_disabled_fails_fast(self):
+        plan = FaultPlan(faults=(Crash(place=1, at_hop=2),))
+        fabric, _a, _b = _matmul_fabric(plan, recovery=False)
+        with pytest.raises(ResilienceError, match="recovery is disabled"):
+            fabric.run()
+
+    def test_respawn_budget_is_enforced(self):
+        plan = FaultPlan(faults=(Crash(place=1, at_hop=2),))
+        fabric, _a, _b = _matmul_fabric(plan, max_restarts=0)
+        with pytest.raises(ResilienceError, match="respawn budget"):
+            fabric.run()
+
+    def test_supervised_run_without_faults_is_clean(self):
+        fabric, a, b = _matmul_fabric(None, supervise=True)
+        result = fabric.run()
+        assert np.allclose(_assemble(result), a @ b)
+        assert sum(fabric.restarts.values()) == 0
+        assert result.trace.faults() == []
+
+
+class TestFactoryPromotion:
+    def test_process_is_a_fabric_kind(self):
+        assert FABRIC_KINDS == ("sim", "thread", "process")
+
+    def test_make_fabric_builds_and_runs_ir(self):
+        ir.register_program(ir.Program("factory-tour", (
+            ir.Assign("acc", C(0)),
+            ir.For("i", C(2), (
+                ir.HopStmt((V("i"),)),
+                ir.Assign("acc", ir.Bin("+", V("acc"), C(1))),
+                ir.NodeSet("mark", (), V("acc")),
+            )),
+        ), ()), replace=True)
+        fabric = make_fabric("process", Grid1D(2), trace=False)
+        assert isinstance(fabric, ProcessFabric)
+        fabric.inject((0,), "factory-tour")
+        result = fabric.run()
+        assert result.places[(1,)]["mark"] == 2
+
+    def test_generator_messengers_are_rejected_clearly(self):
+        class Tourist(Messenger):
+            def main(self):
+                yield self.hop((1,))
+
+        fabric = make_fabric("process", Grid1D(2), trace=False)
+        with pytest.raises(ConfigurationError, match="IR messengers only"):
+            fabric.inject((0,), Tourist())
+
+    def test_ir_messenger_instances_are_accepted(self):
+        from repro.navp.interp import IRMessenger
+
+        ir.register_program(ir.Program("factory-one-hop", (
+            ir.HopStmt((C(1),)),
+            ir.NodeSet("here", (), C(1)),
+        ), ()), replace=True)
+        fabric = make_fabric("process", Grid1D(2), trace=False)
+        fabric.inject((0,), IRMessenger("factory-one-hop"))
+        result = fabric.run()
+        assert result.places[(1,)]["here"] == 1
