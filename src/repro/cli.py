@@ -8,9 +8,13 @@ or figures, or list what is available, without writing a script.
 Commands
 --------
 ``variants``                       list runnable matmul variants
-``run VARIANT [--n --ab --geometry --real]``
+``run VARIANT [--n --ab --geometry --real --fabric KIND]``
                                    run one variant; ``--real`` executes
-                                   the numerics and verifies vs NumPy
+                                   the numerics and verifies vs NumPy;
+                                   ``--fabric thread|process|socket``
+                                   executes the variant's IR form on a
+                                   real substrate (up to worker
+                                   processes behind TCP)
 ``table {1,2,3,4}``                regenerate a paper table
 ``figure1``                        regenerate the space-time panels
 ``staggering [--max-n N]``         the Section 5 phase-count comparison
@@ -29,12 +33,15 @@ Commands
                                    write ``BENCH_<date>.json``, and
                                    compare against the previous
                                    snapshot (see docs/performance.md)
-``faults [--plan --process ...]``  fault-injection demo: crashes and
+``faults [--plan --process --socket ...]``
+                                   fault-injection demo: crashes and
                                    drops are masked by recovery and
                                    the virtual-time result stays
                                    bit-exact; ``--process`` SIGKILLs
-                                   a real worker and recovers it
-                                   (see docs/resilience.md)
+                                   a real worker and recovers it;
+                                   ``--socket`` does the same over TCP,
+                                   detecting the kill by heartbeat
+                                   loss (see docs/resilience.md)
 """
 
 from __future__ import annotations
@@ -86,6 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--faults", default=None, metavar="PLAN.json",
                        help="inject the faults described in a "
                             "fault-plan file (see docs/resilience.md)")
+    run_p.add_argument("--fabric", default="sim",
+                       choices=("sim", "thread", "process", "socket"),
+                       help="execution substrate; kinds other than "
+                            "'sim' run the variant's IR form with real "
+                            "numerics and verify vs NumPy (supported "
+                            "for the navp-2d-* and mpi-gentleman "
+                            "variants)")
     run_p.add_argument("--no-recovery", action="store_true",
                        help="with --faults: let injected faults "
                             "actually destroy messengers instead of "
@@ -171,6 +185,10 @@ def build_parser() -> argparse.ArgumentParser:
     faults_p.add_argument("--no-recovery", action="store_true",
                           help="show what the same plan does without "
                                "recovery")
+    faults_p.add_argument("--socket", action="store_true",
+                          help="also SIGKILL a TCP-fabric worker; the "
+                               "controller detects it by heartbeat "
+                               "loss and recovers by respawn + replay")
     faults_p.add_argument("--process", action="store_true",
                           help="also SIGKILL a real worker process "
                                "mid-run and recover by respawn+replay")
@@ -206,7 +224,58 @@ def _cmd_variants() -> int:
     return 0
 
 
+def _cmd_run_on_fabric(args) -> int:
+    """Run a variant's IR restatement on a real substrate."""
+    import time as time_mod
+
+    import numpy as np
+
+    from .matmul import (
+        build_fig11,
+        build_fig13,
+        build_fig15,
+        build_gentleman_ir,
+        run_ir2d_suite,
+    )
+    from .util.validation import random_matrix
+
+    builders = {
+        "navp-2d-dsc": build_fig11,
+        "navp-2d-pipeline": build_fig13,
+        "navp-2d-phase": build_fig15,
+        "mpi-gentleman": build_gentleman_ir,
+    }
+    builder = builders.get(args.variant)
+    if builder is None:
+        print(f"--fabric {args.fabric} needs an IR form; available for: "
+              f"{', '.join(sorted(builders))}", file=sys.stderr)
+        return 2
+    g = args.geometry
+    ab = max(args.n // g, 1)
+    a, b = random_matrix(g * ab, 220), random_matrix(g * ab, 221)
+    suite = builder(g, a, b)
+    t0 = time_mod.perf_counter()
+    c, result = run_ir2d_suite(suite, args.fabric, trace=True)
+    wall = time_mod.perf_counter() - t0
+    ok = bool(np.allclose(c, a @ b))
+    print(f"{args.variant} ({suite.name}) on the {args.fabric} fabric: "
+          f"g={g} ab={ab}")
+    print(f"  wall time      {wall:10.3f} s")
+    print(f"  transfers      {result.trace.message_count():10d} "
+          f"logical block transfer(s)")
+    transport = result.trace.transport()
+    if transport:
+        hwm = result.trace.mailbox_hwm()
+        print(f"  transport      mailbox high-water "
+              f"{max(hwm.values())} frame(s) across "
+              f"{len(transport)} worker(s)")
+    print(f"  result vs NumPy {'correct' if ok else 'WRONG'}")
+    return 0 if ok else 1
+
+
 def _cmd_run(args) -> int:
+    if args.fabric != "sim":
+        return _cmd_run_on_fabric(args)
     case = MatmulCase(n=args.n, ab=args.ab, shadow=not args.real)
     if args.faults:
         from contextlib import nullcontext
@@ -494,6 +563,31 @@ def _cmd_faults(args) -> int:
             print(f"  [{event.kind}] {event.note}")
         print(f"  run completed in {result.time:.3f} s wall "
               f"({sum(fabric.restarts.values())} respawn(s))")
+
+    if args.socket:
+        from .fabric.socket import SocketFabric
+        from .fabric.topology import Grid2D
+
+        ssuite = build_fig11(2, random_matrix(16, 220),
+                             random_matrix(16, 221))
+        kill_plan = FaultPlan(faults=(Crash(place=1, at_hop=2),),
+                              name="sigkill-tcp-demo")
+        fabric = SocketFabric(Grid2D(2), timeout=90.0,
+                              faults=kill_plan, trace=True)
+        for coord, node_vars in ssuite.layout.items():
+            fabric.load(coord, **node_vars)
+        for coord, event, eargs, count in ssuite.initial_signals:
+            fabric.signal_initial(coord, event, *eargs, count=count)
+        fabric.inject((0, 0), ssuite.entry.name)
+        result = fabric.run()
+        print("\nsocket fabric: SIGKILLed TCP worker 1 at hop 2; the "
+              "controller noticed via heartbeat loss (phi-accrual), "
+              "not a process handle")
+        for event in result.trace.faults() + result.trace.recoveries():
+            print(f"  [{event.kind}] {event.note}")
+        print(f"  run completed in {result.time:.3f} s wall "
+              f"({sum(fabric.restarts.values())} respawn(s), "
+              f"{fabric.stale_frames} stale frame(s) dropped)")
     return status
 
 

@@ -1,4 +1,4 @@
-"""Execution fabrics: virtual-time DES, real threads, real processes."""
+"""Execution fabrics: virtual-time DES, threads, processes, sockets."""
 
 from . import effects
 from .desim import (
@@ -10,11 +10,13 @@ from .desim import (
     Trigger,
     perturbed,
 )
-from .factory import FABRIC_KINDS, make_fabric
+from .factory import FABRIC_KINDS, FABRIC_REGISTRY, make_fabric
 from .hb import HBTracker, Race, RaceAccess
-from .hosts import block_hosts, cyclic_hosts, resolve_hosts
+from .hosts import block_hosts, cyclic_hosts, host_count, resolve_hosts
+from .process import ProcessFabric
 from .sim import FabricResult, Message, SimFabric, SimPlace
 from .sizes import agent_nbytes, model_nbytes
+from .socket import PhiAccrualDetector, SocketFabric
 from .threads import ThreadFabric, ThreadPlace
 from .topology import Grid1D, Grid2D, Topology
 from .trace import TraceEvent, TraceLog
@@ -23,7 +25,15 @@ __all__ = [
     "effects",
     "block_hosts",
     "cyclic_hosts",
+    "host_count",
     "resolve_hosts",
+    "FABRIC_KINDS",
+    "FABRIC_REGISTRY",
+    "make_fabric",
+    "ProcessFabric",
+    "SocketFabric",
+    "PhiAccrualDetector",
+    "ThreadFabric",
     "Simulator",
     "SimProcess",
     "Timeout",

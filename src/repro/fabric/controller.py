@@ -1,0 +1,445 @@
+"""Controller-side machinery shared by the distributed fabrics.
+
+Both :class:`~repro.fabric.process.ProcessFabric` (workers are OS
+processes wired by multiprocessing queues) and
+:class:`~repro.fabric.socket.SocketFabric` (workers are OS processes
+reachable over real TCP) are *controller fabrics*: a supervisor process
+injects IR messengers, routes or observes cross-host hops, journals
+traffic for replay, and collects the final node variables. The pieces
+that do not care which transport carries the bytes live here:
+
+:class:`ControllerFabric`
+    The setup-side base class — host resolution, fault-plan wiring,
+    ``load``/``signal_initial`` collection, and the IR-only
+    :meth:`~ControllerFabric.inject` capability check (a live generator
+    frame cannot be pickled; an IR continuation can). Both fabrics
+    inherit this instead of duplicating it.
+
+:class:`WorkerCore`
+    The execution engine of one worker host: node variables, event
+    tables, the ready deque, ``(messenger id, hop count)`` delivery
+    dedup, and the quiescent checkpoint/restore protocol. The transport
+    supplies two callbacks — ``emit_hop`` (a continuation leaves this
+    host) and ``emit_report`` (a control message for the controller) —
+    and feeds commands in through :meth:`~WorkerCore.handle`.
+
+:class:`Supervisor`
+    The resilient controller's bookkeeping: the per-host
+    :class:`~repro.resilience.recovery.ReplayLedger`, committed
+    checkpoint states, checkpoint marks (journal truncation points),
+    and the respawn budget.
+
+:func:`hop_fault_verdict`
+    One shared interpretation of message faults at the wire layer, so a
+    fault plan's drop/duplicate/delay specs mean the same thing on a
+    multiprocessing queue and on a TCP frame.
+
+The command vocabulary between controller and worker is also shared
+(``register`` / ``load`` / ``signal0`` / ``run`` / ``ckpt`` /
+``restore`` / ``collect`` / ``stop``), which is what lets the journal
+and checkpoint machinery replay identically over either transport.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+from ..errors import (ConfigurationError, FabricError, MigrationError,
+                      ResilienceError)
+from ..machine.presets import SUN_BLADE_100
+from ..navp import ir
+from ..navp.interp import Interp
+from ..navp.kernels import get_kernel
+from ..navp.messenger import Messenger
+from ..resilience.faults import FaultPlan
+from ..resilience.faults import ambient as ambient_faults
+from ..resilience.recovery import RecoveryPolicy, ReplayLedger
+from .hosts import host_count, resolve_hosts
+from .trace import TraceLog
+
+__all__ = [
+    "ControllerFabric",
+    "WorkerCore",
+    "Supervisor",
+    "hop_fault_verdict",
+    "freeze_task",
+    "thaw_task",
+]
+
+# Field offsets of a worker task record (see WorkerCore.execute).
+_ID, _CHILDREN, _SEQ, _AT, _INTERP, _HOPS = range(6)
+
+
+def freeze_task(task: list) -> tuple:
+    return (task[_ID], task[_CHILDREN], task[_SEQ], task[_AT],
+            task[_INTERP].agent_snapshot(), task[_HOPS])
+
+
+def thaw_task(snap) -> list:
+    return [snap[0], snap[1], snap[2], tuple(snap[3]),
+            Interp.from_snapshot(snap[4]), snap[5]]
+
+
+class WorkerCore:
+    """One host's execution engine, independent of the transport.
+
+    Executes messenger continuations against the local state of every
+    logical node the host carries. A task is the list
+    ``[id, children, seq, at, interp, hops]``; the hop payload is the
+    same thing as a tuple (with the interpreter reduced to its
+    snapshot) — positional records pickle without re-shipping invariant
+    key strings on every migration.
+
+    With ``dedup=True`` arrivals are deduplicated by
+    ``(messenger id, hop count)`` so at-least-once transports (journal
+    replay, duplicated frames) yield exactly-once execution, and the
+    core answers ``ckpt`` / ``restore`` commands — both handled between
+    tasks, so a state snapshot never splits a continuation.
+    """
+
+    __slots__ = ("host", "host_of", "node_vars", "event_counts",
+                 "event_waiters", "ready", "seen", "dedup",
+                 "emit_hop", "emit_report")
+
+    def __init__(self, host, coords, host_of, emit_hop, emit_report,
+                 dedup: bool = False):
+        self.host = host
+        self.host_of = host_of
+        self.node_vars: dict = {coord: {} for coord in coords}
+        self.event_counts: dict = defaultdict(int)  # (coord, name, args)
+        self.event_waiters: dict = defaultdict(deque)
+        self.ready: deque = deque()
+        self.seen: set = set()          # delivered (mid, hops) keys
+        self.dedup = dedup
+        self.emit_hop = emit_hop        # (dst_host, payload) -> None
+        self.emit_report = emit_report  # (msg tuple) -> None
+
+    # -- execution -----------------------------------------------------
+    def step(self) -> None:
+        self.execute(self.ready.popleft())
+
+    def execute(self, task: list) -> None:
+        node_vars = self.node_vars
+        interp: Interp = task[_INTERP]
+        while True:
+            action = interp.next_action(node_vars[task[_AT]])
+            if action is None:
+                self.emit_report(("done", task[_ID], task[_CHILDREN]))
+                return
+            kind = action[0]
+            if kind == "hop":
+                dst = tuple(action[1])
+                if dst not in self.host_of:
+                    raise MigrationError(
+                        f"hop target {dst!r} is not a PE of this fabric"
+                    )
+                if self.host_of[dst] == self.host:
+                    task[_AT] = dst    # co-hosted: a local hand-over
+                    continue
+                payload = (
+                    task[_ID], task[_CHILDREN], task[_SEQ], dst,
+                    interp.agent_snapshot(), task[_HOPS] + 1,
+                )
+                self.emit_hop(self.host_of[dst], payload)
+                return
+            if kind == "compute":
+                _, kname, argvals, out, _cost_kind = action
+                interp.env[out] = get_kernel(kname).fn(*argvals)
+                continue
+            if kind == "wait":
+                key = (task[_AT], action[1], action[2])
+                if self.event_counts[key] > 0:
+                    self.event_counts[key] -= 1
+                    continue
+                self.event_waiters[key].append(task)
+                return
+            if kind == "signal":
+                key = (task[_AT], action[1], action[2])
+                remaining = action[3]
+                waiters = self.event_waiters[key]
+                while remaining > 0 and waiters:
+                    self.ready.append(waiters.popleft())
+                    remaining -= 1
+                self.event_counts[key] += remaining
+                continue
+            if kind == "inject":
+                child_id = f"{task[_ID]}/{task[_SEQ]}"
+                task[_SEQ] += 1
+                task[_CHILDREN].append(child_id)
+                self.ready.append([child_id, [], 0, task[_AT],
+                                   Interp(action[1], action[2]), 0])
+                continue
+            raise FabricError(f"unsupported action {action!r} on "
+                              f"a distributed fabric")
+
+    # -- command protocol ----------------------------------------------
+    def handle(self, cmd) -> str | None:
+        """Apply one controller command; returns ``"stop"`` to exit."""
+        op = cmd[0]
+        if op == "run":
+            payload = cmd[1]
+            if self.dedup:
+                key = (payload[0], payload[5])
+                if key in self.seen:
+                    return None  # replayed delivery, already processed
+                self.seen.add(key)
+            self.ready.append(thaw_task(payload))
+        elif op == "register":
+            for program in cmd[1]:
+                ir.register_program(program, replace=True)
+        elif op == "load":
+            self.node_vars[cmd[1]].update(cmd[2])
+        elif op == "signal0":
+            coord, name, args, count = cmd[1]
+            self.event_counts[(coord, name, args)] += count
+        elif op == "ckpt":
+            # quiescent here: `ready` drained before the command was
+            # read, so the cut never splits a continuation
+            state = (
+                self.node_vars,
+                dict(self.event_counts),
+                [(key, [freeze_task(t) for t in waiters])
+                 for key, waiters in self.event_waiters.items() if waiters],
+                [freeze_task(t) for t in self.ready],
+                list(self.seen),
+            )
+            self.emit_report(("ckpt", self.host, cmd[1], state))
+        elif op == "restore":
+            vars_in, counts_in, waiters_in, ready_in, seen_in = cmd[1]
+            for coord, values in vars_in.items():
+                self.node_vars[coord] = dict(values)
+            self.event_counts.clear()
+            self.event_counts.update(counts_in)
+            self.event_waiters.clear()
+            for key, frozen in waiters_in:
+                self.event_waiters[key].extend(
+                    thaw_task(s) for s in frozen)
+            self.ready.extend(thaw_task(s) for s in ready_in)
+            self.seen.update(seen_in)
+        elif op == "collect":
+            self.emit_report(("vars", self.host, self.node_vars))
+        elif op == "stop":
+            return "stop"
+        else:  # pragma: no cover - protocol is closed
+            raise FabricError(f"unknown worker command {op!r}")
+        return None
+
+
+class Supervisor:
+    """Resilient-controller bookkeeping, independent of the transport.
+
+    Owns the replay journal, the last committed checkpoint state per
+    host, the checkpoint marks (how much journal a committed checkpoint
+    retires), and the respawn budget. The controller loop stays in the
+    fabric — it is transport-specific — but every decision about *what*
+    to replay and *whether* a respawn is allowed lives here.
+    """
+
+    __slots__ = ("ledger", "recovery", "max_restarts", "restarts",
+                 "ckpt_state", "_ckpt_marks", "_ckpt_seq",
+                 "forwards_since_ckpt")
+
+    def __init__(self, recovery: RecoveryPolicy, max_restarts: int):
+        self.ledger = ReplayLedger()
+        self.recovery = recovery
+        self.max_restarts = max_restarts
+        self.restarts: dict = defaultdict(int)   # host -> respawn count
+        self.ckpt_state: dict = {}               # host -> committed state
+        self._ckpt_marks: dict = {}              # ckpt id -> {host: length}
+        self._ckpt_seq = 0
+        self.forwards_since_ckpt = 0
+
+    def journal(self, host, cmd) -> None:
+        self.ledger.append(host, cmd)
+
+    def note_forward(self) -> None:
+        self.forwards_since_ckpt += 1
+
+    def begin_checkpoint(self, hosts) -> int:
+        """Open a coordinated checkpoint; returns its id. The caller
+        sends the ``("ckpt", id)`` marker to every host."""
+        self._ckpt_seq += 1
+        self._ckpt_marks[self._ckpt_seq] = {
+            h: len(self.ledger.entries(h)) for h in hosts}
+        self.forwards_since_ckpt = 0
+        return self._ckpt_seq
+
+    def commit_checkpoint(self, host, ckpt_id, state) -> None:
+        """A host answered a marker: keep its state, retire the journal
+        entries the checkpoint now covers."""
+        self.ckpt_state[host] = state
+        marks = self._ckpt_marks.get(ckpt_id)
+        if marks is not None and host in marks:
+            self.ledger.truncate(host, marks.pop(host))
+
+    def authorize_respawn(self, host) -> int:
+        """Check policy and budget; returns the restart ordinal."""
+        if not self.recovery.enabled:
+            raise ResilienceError(
+                f"worker {host} died and recovery is disabled")
+        if self.restarts[host] >= self.max_restarts:
+            raise ResilienceError(
+                f"worker {host} exhausted its respawn budget "
+                f"({self.max_restarts})")
+        self.restarts[host] += 1
+        return self.restarts[host]
+
+    def recovery_script(self, host) -> tuple:
+        """``(checkpoint_state_or_None, journal_commands)`` to feed a
+        freshly respawned worker, in order."""
+        return self.ckpt_state.get(host), self.ledger.entries(host)
+
+
+def hop_fault_verdict(runtime, dst_host, recovery_enabled: bool):
+    """Interpret the fault plan for one controller-forwarded hop frame.
+
+    Returns ``(verdict, spec)`` with verdict one of:
+
+    ``"deliver"``     no fault (spec is None)
+    ``"lost"``        dropped, recovery disabled — the continuation in
+                      the frame was the only copy
+    ``"retransmit"``  dropped but masked by retransmission
+    ``"duplicate"``   delivered twice (receiver-side dedup masks it)
+    ``"delay"``       delivered after ``spec.seconds`` (capped by the
+                      caller)
+
+    Counting happens in the runtime's per-spec matchers, so the same
+    plan fires at the same frames on every transport.
+    """
+    runtime.note_hop()
+    spec = runtime.message_action("hop", -1, dst_host) \
+        if runtime.plan.message_faults else None
+    if spec is None:
+        return "deliver", None
+    if spec.action == "drop":
+        return ("retransmit" if recovery_enabled else "lost"), spec
+    if spec.action == "duplicate":
+        return "duplicate", spec
+    return "delay", spec
+
+
+class ControllerFabric:
+    """Setup-side base class of the process and socket fabrics.
+
+    Collects loads, initial signals, and injected IR programs until
+    :meth:`run`; resolves fault-spec places to worker hosts; and owns
+    the one capability check both fabrics need: only IR messengers may
+    be injected, because these fabrics ship continuations between
+    address spaces on every hop and a live generator frame cannot be
+    pickled.
+    """
+
+    def __init__(
+        self,
+        topology,
+        machine=None,
+        timeout: float = 120.0,
+        hosts=None,
+        faults: FaultPlan | None = None,
+        recovery=True,
+        checkpoint_every: int | None = None,
+        max_restarts: int = 2,
+        supervise: bool | None = None,
+        trace: bool = False,
+    ):
+        self.topology = topology
+        self.machine = machine if machine is not None else SUN_BLADE_100
+        self.timeout = timeout
+        self.trace = TraceLog(enabled=trace)
+        self._host_of = resolve_hosts(topology, hosts)
+        self.n_hosts = host_count(self._host_of)
+        self._loads: dict = defaultdict(dict)
+        self._signals: list = []
+        self._initial: list = []  # (coord, program_name, env)
+        self._programs: dict = {}
+        self._counter = 0
+        if faults is None:
+            faults, ambient_recovery = ambient_faults()
+            if faults is not None:
+                recovery = ambient_recovery
+        self._plan = faults if faults is not None else FaultPlan()
+        self._recovery = RecoveryPolicy.coerce(recovery)
+        self._checkpoint_every = checkpoint_every
+        self._max_restarts = max_restarts
+        self.resilient = bool(self._plan) or bool(supervise) or (
+            checkpoint_every is not None)
+        self._sup = Supervisor(self._recovery, max_restarts)
+
+    @property
+    def restarts(self) -> dict:
+        """Respawn count per worker host (populated by resilient runs)."""
+        return self._sup.restarts
+
+    def _resolve_host(self, spec_place):
+        """Fault-spec places name worker *hosts* on this fabric (an
+        index, or a PE coordinate mapped to its host)."""
+        if isinstance(spec_place, int):
+            return spec_place if 0 <= spec_place < self.n_hosts else None
+        try:
+            coord = self.topology.normalize(tuple(spec_place))
+        except Exception:
+            return None
+        return self._host_of.get(coord)
+
+    # -- setup (collected, applied at run()) ---------------------------
+    def load(self, coord, **node_vars) -> None:
+        self._loads[self.topology.normalize(coord)].update(node_vars)
+
+    def signal_initial(self, coord, name: str, *args, count: int = 1) -> None:
+        self._signals.append(
+            (self.topology.normalize(coord), name, tuple(args), count))
+
+    def inject(self, coord, program: str | ir.Program,
+               env: dict | None = None) -> None:
+        """Schedule an IR program for injection at start-up.
+
+        Accepts a program name, an :class:`~repro.navp.ir.Program`, or
+        an :class:`~repro.navp.interp.IRMessenger` (whose continuation
+        must be at the start). Plain generator messengers are rejected:
+        their state lives in an unpicklable generator frame, and this
+        fabric ships state between address spaces on every hop.
+        """
+        if isinstance(program, Messenger):
+            interp = getattr(program, "interp", None)
+            if interp is None:
+                raise ConfigurationError(
+                    f"the {self.kind} fabric runs IR messengers only — "
+                    f"{type(program).__name__} is a generator messenger "
+                    f"whose state cannot be pickled across processes; "
+                    f"use SimFabric/ThreadFabric, or express the program "
+                    f"in the navigational IR")
+            if env is not None:
+                raise ConfigurationError(
+                    "env is implied by the IRMessenger; do not pass both")
+            env = dict(interp.env)
+            program = interp.program
+        if isinstance(program, ir.Program):
+            self._programs[program.name] = program
+            name = program.name
+        else:
+            name = program
+            self._programs[name] = ir.get_program(name)
+        self._collect_referenced(self._programs[name])
+        self._initial.append(
+            (self.topology.normalize(coord), name, dict(env or {})))
+
+    def _collect_referenced(self, program: ir.Program) -> None:
+        """Pull in programs reachable through Inject statements."""
+
+        def walk(body):
+            for stmt in body:
+                if isinstance(stmt, ir.InjectStmt):
+                    if stmt.program not in self._programs:
+                        child = ir.get_program(stmt.program)
+                        self._programs[stmt.program] = child
+                        walk(child.body)
+                elif isinstance(stmt, ir.For):
+                    walk(stmt.body)
+                elif isinstance(stmt, ir.If):
+                    walk(stmt.then)
+                    walk(stmt.orelse)
+
+        walk(program.body)
+
+    # -- identity ------------------------------------------------------
+    kind = "distributed"  # overridden: "process" / "socket"

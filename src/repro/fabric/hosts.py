@@ -20,7 +20,7 @@ from __future__ import annotations
 from ..errors import ConfigurationError
 from .topology import Topology
 
-__all__ = ["resolve_hosts", "block_hosts", "cyclic_hosts"]
+__all__ = ["resolve_hosts", "host_count", "block_hosts", "cyclic_hosts"]
 
 
 def resolve_hosts(topology: Topology, hosts) -> dict:
@@ -46,6 +46,11 @@ def resolve_hosts(topology: Topology, hosts) -> dict:
             f"host indices must be dense 0..H-1, got {used}"
         )
     return mapping
+
+
+def host_count(mapping: dict) -> int:
+    """Number of physical hosts in a resolved ``{coord: host}`` map."""
+    return max(mapping.values()) + 1
 
 
 def block_hosts(topology: Topology, n_hosts: int):

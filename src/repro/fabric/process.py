@@ -12,6 +12,9 @@ start-up, like compiled messenger code loaded by each daemon.
 Only IR messengers run here: CPython cannot pickle a live generator
 frame, and the IR interpreter's explicit continuation is the honest
 equivalent of MESSENGERS' compiled resumption points (see DESIGN.md).
+The worker execution engine and the setup-side API are shared with the
+TCP-transport :class:`~repro.fabric.socket.SocketFabric` — see
+:mod:`repro.fabric.controller`.
 
 Termination uses parental accounting: every messenger's completion
 report names the children it injected; the controller is done when the
@@ -54,288 +57,67 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import pickle
 import queue as queue_mod
 import signal
 import time
-from collections import defaultdict, deque
 
-from ..errors import (ConfigurationError, DeadlockError, FabricError,
-                      MigrationError, ResilienceError)
-from ..machine.presets import SUN_BLADE_100
-from ..machine.spec import MachineSpec
-from ..navp import ir
-from ..navp.interp import Interp
-from ..navp.kernels import get_kernel
-from ..navp.messenger import Messenger
-from ..resilience.faults import FaultPlan, PlanRuntime
+from ..errors import DeadlockError, FabricError
 from ..resilience.faults import STATS as FAULT_STATS
-from ..resilience.faults import ambient as ambient_faults
-from ..resilience.recovery import RecoveryPolicy, ReplayLedger
-from .hosts import resolve_hosts
+from ..resilience.faults import PlanRuntime
+from ..navp.interp import Interp
+from .controller import ControllerFabric, WorkerCore, hop_fault_verdict
 from .sim import FabricResult
-from .topology import Topology
-from .trace import TraceLog
 
 __all__ = ["ProcessFabric"]
 
-# Field offsets of a worker task record (see _worker.execute).
-_ID, _CHILDREN, _SEQ, _AT, _INTERP, _HOPS = range(6)
-
-
-def _freeze_task(task: list) -> tuple:
-    return (task[_ID], task[_CHILDREN], task[_SEQ], task[_AT],
-            task[_INTERP].agent_snapshot(), task[_HOPS])
-
-
-def _thaw_task(snap) -> list:
-    return [snap[0], snap[1], snap[2], tuple(snap[3]),
-            Interp.from_snapshot(snap[4]), snap[5]]
-
 
 def _worker(host, coords, host_of, in_queue, host_queues, report_queue,
-            resilient=False):
-    """One host process: executes messenger continuations against the
-    local state of every logical node it carries.
+            resilient=False, tracing=False):
+    """One host process around a :class:`WorkerCore`.
 
-    In resilient mode hops are emitted to the controller instead of
-    written to peer queues, arrivals are deduplicated by
-    ``(messenger id, hop count)``, and the worker answers ``ckpt`` /
-    ``restore`` commands — both handled between tasks, so a state
-    snapshot never splits a continuation.
+    Plain mode writes peer queues directly and (when tracing) keeps a
+    local hop log shipped with the collect reply — deterministic,
+    unlike racing per-hop reports against the peers' completion
+    reports. Resilient mode emits every hop to the controller.
     """
-    node_vars: dict = {coord: {} for coord in coords}
-    event_counts: dict = defaultdict(int)       # (coord, name, args)
-    event_waiters: dict = defaultdict(deque)
-    ready: deque = deque()
-    seen: set = set()                           # delivered (mid, hops) keys
+    hop_log: list = []  # (src, dst, nbytes, mid) per emitted hop
 
-    # A task is the list [id, children, seq, at, interp, hops]; the hop
-    # payload is the same thing as a tuple (with the interpreter
-    # reduced to its snapshot) — positional records pickle without
-    # re-shipping invariant key strings on every migration.
-    def execute(task: list) -> None:
-        interp: Interp = task[_INTERP]
-        while True:
-            action = interp.next_action(node_vars[task[_AT]])
-            if action is None:
-                report_queue.put(("done", task[_ID], task[_CHILDREN]))
-                return
-            kind = action[0]
-            if kind == "hop":
-                dst = tuple(action[1])
-                if dst not in host_of:
-                    raise MigrationError(
-                        f"hop target {dst!r} is not a PE of this fabric"
-                    )
-                if host_of[dst] == host:
-                    task[_AT] = dst    # co-hosted: a local hand-over
-                    continue
-                payload = (
-                    task[_ID], task[_CHILDREN], task[_SEQ], dst,
-                    interp.agent_snapshot(), task[_HOPS] + 1,
-                )
-                if resilient:
-                    report_queue.put(("hop", host_of[dst], payload))
-                else:
-                    host_queues[host_of[dst]].put(("run", payload))
-                return
-            if kind == "compute":
-                _, kname, argvals, out, _cost_kind = action
-                interp.env[out] = get_kernel(kname).fn(*argvals)
-                continue
-            if kind == "wait":
-                key = (task[_AT], action[1], action[2])
-                if event_counts[key] > 0:
-                    event_counts[key] -= 1
-                    continue
-                event_waiters[key].append(task)
-                return
-            if kind == "signal":
-                key = (task[_AT], action[1], action[2])
-                remaining = action[3]
-                waiters = event_waiters[key]
-                while remaining > 0 and waiters:
-                    ready.append(waiters.popleft())
-                    remaining -= 1
-                event_counts[key] += remaining
-                continue
-            if kind == "inject":
-                child_id = f"{task[_ID]}/{task[_SEQ]}"
-                task[_SEQ] += 1
-                task[_CHILDREN].append(child_id)
-                ready.append([child_id, [], 0, task[_AT],
-                              Interp(action[1], action[2]), 0])
-                continue
-            raise FabricError(f"unsupported action {action!r} on "
-                              f"the process fabric")
+    def emit_hop(dst_host, payload):
+        if resilient:
+            report_queue.put(("hop", host, dst_host, payload))
+            return
+        if tracing:
+            hop_log.append((host, dst_host,
+                            len(pickle.dumps(payload)), payload[0]))
+        host_queues[dst_host].put(("run", payload))
 
+    def emit_report(msg):
+        if tracing and msg[0] == "vars":
+            report_queue.put(("hoplog", host, hop_log))
+        report_queue.put(msg)
+
+    core = WorkerCore(host, coords, host_of, emit_hop, emit_report,
+                      dedup=resilient)
     try:
         while True:
-            if ready:
-                execute(ready.popleft())
+            if core.ready:
+                core.step()
                 continue
-            cmd = in_queue.get()
-            op = cmd[0]
-            if op == "run":
-                payload = cmd[1]
-                if resilient:
-                    key = (payload[0], payload[5])
-                    if key in seen:
-                        continue  # replayed delivery, already processed
-                    seen.add(key)
-                ready.append(_thaw_task(payload))
-            elif op == "register":
-                for program in cmd[1]:
-                    ir.register_program(program, replace=True)
-            elif op == "load":
-                node_vars[cmd[1]].update(cmd[2])
-            elif op == "signal0":
-                coord, _name, args, count = cmd[1]
-                event_counts[(coord, _name, args)] += count
-            elif op == "ckpt":
-                # quiescent here: `ready` drained before the queue read,
-                # so the cut never splits a continuation
-                state = (
-                    node_vars,
-                    dict(event_counts),
-                    [(key, [_freeze_task(t) for t in waiters])
-                     for key, waiters in event_waiters.items() if waiters],
-                    [_freeze_task(t) for t in ready],
-                    list(seen),
-                )
-                report_queue.put(("ckpt", host, cmd[1], state))
-            elif op == "restore":
-                vars_in, counts_in, waiters_in, ready_in, seen_in = cmd[1]
-                for coord, values in vars_in.items():
-                    node_vars[coord] = dict(values)
-                event_counts.clear()
-                event_counts.update(counts_in)
-                event_waiters.clear()
-                for key, frozen in waiters_in:
-                    event_waiters[key].extend(
-                        _thaw_task(s) for s in frozen)
-                ready.extend(_thaw_task(s) for s in ready_in)
-                seen.update(seen_in)
-            elif op == "collect":
-                report_queue.put(("vars", host, node_vars))
-            elif op == "stop":
+            if core.handle(in_queue.get()) == "stop":
                 return
-            else:  # pragma: no cover - protocol is closed
-                raise FabricError(f"unknown worker command {op!r}")
     except BaseException as exc:  # noqa: BLE001 - forwarded to controller
         report_queue.put(("error", host, f"{type(exc).__name__}: {exc}"))
 
 
-class ProcessFabric:
+class ProcessFabric(ControllerFabric):
     """Multiprocessing executor for IR messengers."""
 
-    def __init__(
-        self,
-        topology: Topology,
-        machine: MachineSpec | None = None,
-        timeout: float = 120.0,
-        hosts=None,
-        faults: FaultPlan | None = None,
-        recovery=True,
-        checkpoint_every: int | None = None,
-        max_restarts: int = 2,
-        supervise: bool | None = None,
-        trace: bool = False,
-    ):
-        self.topology = topology
-        self.machine = machine if machine is not None else SUN_BLADE_100
-        self.timeout = timeout
-        self.trace = TraceLog(enabled=trace)
+    kind = "process"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
         self._ctx = mp.get_context("fork")
-        self._host_of = resolve_hosts(topology, hosts)
-        self.n_hosts = max(self._host_of.values()) + 1
-        self._loads: dict = defaultdict(dict)
-        self._signals: list = []
-        self._initial: list = []  # (coord, program_name, env)
-        self._programs: dict = {}
-        self._counter = 0
-        if faults is None:
-            faults, ambient_recovery = ambient_faults()
-            if faults is not None:
-                recovery = ambient_recovery
-        self._plan = faults if faults is not None else FaultPlan()
-        self._recovery = RecoveryPolicy.coerce(recovery)
-        self._checkpoint_every = checkpoint_every
-        self._max_restarts = max_restarts
-        self.resilient = bool(self._plan) or bool(supervise) or (
-            checkpoint_every is not None)
-        self.restarts: dict = defaultdict(int)  # host -> respawn count
-
-    def _resolve_host(self, spec_place):
-        """Fault-spec places name worker *hosts* on this fabric (an
-        index, or a PE coordinate mapped to its host)."""
-        if isinstance(spec_place, int):
-            return spec_place if 0 <= spec_place < self.n_hosts else None
-        try:
-            coord = self.topology.normalize(tuple(spec_place))
-        except Exception:
-            return None
-        return self._host_of.get(coord)
-
-    # -- setup (collected, applied at run()) ------------------------------
-    def load(self, coord, **node_vars) -> None:
-        self._loads[self.topology.normalize(coord)].update(node_vars)
-
-    def signal_initial(self, coord, name: str, *args, count: int = 1) -> None:
-        self._signals.append(
-            (self.topology.normalize(coord), name, tuple(args), count))
-
-    def inject(self, coord, program: str | ir.Program,
-               env: dict | None = None) -> None:
-        """Schedule an IR program for injection at start-up.
-
-        Accepts a program name, an :class:`~repro.navp.ir.Program`, or
-        an :class:`~repro.navp.interp.IRMessenger` (whose continuation
-        must be at the start). Plain generator messengers are rejected:
-        their state lives in an unpicklable generator frame, and this
-        fabric ships state between address spaces on every hop.
-        """
-        if isinstance(program, Messenger):
-            interp = getattr(program, "interp", None)
-            if interp is None:
-                raise ConfigurationError(
-                    f"the process fabric runs IR messengers only — "
-                    f"{type(program).__name__} is a generator messenger "
-                    f"whose state cannot be pickled across processes; "
-                    f"use SimFabric/ThreadFabric, or express the program "
-                    f"in the navigational IR")
-            if env is not None:
-                raise ConfigurationError(
-                    "env is implied by the IRMessenger; do not pass both")
-            env = dict(interp.env)
-            program = interp.program
-        if isinstance(program, ir.Program):
-            self._programs[program.name] = program
-            name = program.name
-        else:
-            name = program
-            self._programs[name] = ir.get_program(name)
-        self._collect_referenced(self._programs[name])
-        self._initial.append(
-            (self.topology.normalize(coord), name, dict(env or {})))
-
-    def _collect_referenced(self, program: ir.Program) -> None:
-        """Pull in programs reachable through Inject statements."""
-
-        def walk(body):
-            for stmt in body:
-                if isinstance(stmt, ir.InjectStmt):
-                    if stmt.program not in self._programs:
-                        child = ir.get_program(stmt.program)
-                        self._programs[stmt.program] = child
-                        walk(child.body)
-                elif isinstance(stmt, ir.For):
-                    walk(stmt.body)
-                elif isinstance(stmt, ir.If):
-                    walk(stmt.then)
-                    walk(stmt.orelse)
-
-        walk(program.body)
 
     # -- execution --------------------------------------------------------
     def run(self) -> FabricResult:
@@ -345,8 +127,14 @@ class ProcessFabric:
             return self._run_resilient()
         return self._run_plain()
 
+    def _record_hop(self, now, src, dst, nbytes, mid) -> None:
+        self.trace.record(t0=now, t1=now, place=dst, actor=mid,
+                          kind="hop", note="hop", src_place=src,
+                          nbytes=nbytes)
+
     def _run_plain(self) -> FabricResult:
         t0 = time.perf_counter()
+        tracing = self.trace.enabled
         coords = list(self.topology.coords)
         host_queues = {h: self._ctx.Queue() for h in range(self.n_hosts)}
         report_queue = self._ctx.Queue()
@@ -358,7 +146,7 @@ class ProcessFabric:
             self._ctx.Process(
                 target=_worker,
                 args=(h, coords_of_host[h], self._host_of, host_queues[h],
-                      host_queues, report_queue),
+                      host_queues, report_queue, False, tracing),
                 daemon=True,
                 name=f"host{h}",
             )
@@ -416,7 +204,11 @@ class ProcessFabric:
                 msg = report_queue.get(timeout=self.timeout)
                 if msg[0] == "error":
                     raise FabricError(f"worker {msg[1]} failed: {msg[2]}")
-                if msg[0] == "vars":
+                if msg[0] == "hoplog":
+                    now = time.perf_counter() - t0
+                    for src, dst, nbytes, mid in msg[2]:
+                        self._record_hop(now, src, dst, nbytes, mid)
+                elif msg[0] == "vars":
                     hosts_seen.add(msg[1])
                     places.update(msg[2])
         finally:
@@ -440,7 +232,7 @@ class ProcessFabric:
         docstring for the protocol)."""
         t0 = time.perf_counter()
         runtime = PlanRuntime(self._plan, self._resolve_host)
-        ledger = ReplayLedger()
+        sup = self._sup
         tracing = self.trace.enabled
         coords = list(self.topology.coords)
         report_queue = self._ctx.Queue()
@@ -451,10 +243,6 @@ class ProcessFabric:
         programs = list(self._programs.values())
         workers: dict = {}
         host_queues: dict = {}
-        ckpt_state: dict = {}       # host -> last committed state
-        ckpt_marks: dict = {}       # ckpt id -> {host: journal length}
-        ckpt_seq = 0
-        forwards_since_ckpt = 0
 
         def spawn(h):
             q = self._ctx.Queue()
@@ -471,28 +259,21 @@ class ProcessFabric:
             return w
 
         def send(h, cmd):
-            ledger.append(h, cmd)
+            sup.journal(h, cmd)
             host_queues[h].put(cmd)
 
         def respawn(h):
-            if not self._recovery.enabled:
-                raise ResilienceError(
-                    f"worker {h} died and recovery is disabled")
-            if self.restarts[h] >= self._max_restarts:
-                raise ResilienceError(
-                    f"worker {h} exhausted its respawn budget "
-                    f"({self._max_restarts})")
-            self.restarts[h] += 1
+            sup.authorize_respawn(h)
             FAULT_STATS["masked"] += 1
             old = workers[h]
             if old.is_alive():  # pragma: no cover - defensive
                 old.terminate()
             old.join(timeout=5.0)
             spawn(h)
-            state = ckpt_state.get(h)
+            state, replay = sup.recovery_script(h)
             if state is not None:
                 host_queues[h].put(("restore", state))
-            for cmd in ledger.entries(h):
+            for cmd in replay:
                 host_queues[h].put(cmd)
             if tracing:
                 now = time.perf_counter() - t0
@@ -501,16 +282,12 @@ class ProcessFabric:
                     kind="respawn",
                     note=f"worker {h} respawned "
                          f"(restart {self.restarts[h]}, replay "
-                         f"{len(ledger.entries(h))} cmd(s))")
+                         f"{len(replay)} cmd(s))")
 
         def checkpoint_all():
-            nonlocal ckpt_seq, forwards_since_ckpt
-            ckpt_seq += 1
-            ckpt_marks[ckpt_seq] = {
-                h: len(ledger.entries(h)) for h in range(self.n_hosts)}
+            cid = sup.begin_checkpoint(range(self.n_hosts))
             for h in range(self.n_hosts):
-                host_queues[h].put(("ckpt", ckpt_seq))
-            forwards_since_ckpt = 0
+                host_queues[h].put(("ckpt", cid))
 
         for h in range(self.n_hosts):
             spawn(h)
@@ -570,29 +347,68 @@ class ProcessFabric:
                     done.add(msg[1])
                     known.update(msg[2])
                 elif op == "hop":
-                    _, dst_host, payload = msg
-                    runtime.note_hop()
-                    spec = runtime.message_action(
-                        "hop", -1, dst_host) if self._plan.message_faults \
-                        else None
-                    if spec is not None and spec.action == "drop":
+                    _, src_host, dst_host, payload = msg
+                    verdict, spec = hop_fault_verdict(
+                        runtime, dst_host, self._recovery.enabled)
+                    now = time.perf_counter() - t0
+                    if verdict == "lost":
                         FAULT_STATS["fired"] += 1
-                        if not self._recovery.enabled:
-                            FAULT_STATS["lost"] += 1
-                            continue  # the continuation is gone
-                        FAULT_STATS["masked"] += 1  # retransmitted
+                        FAULT_STATS["lost"] += 1
+                        if tracing:
+                            self.trace.record(
+                                t0=now, t1=now, place=dst_host,
+                                actor=payload[0], kind="fault",
+                                note="hop dropped (lost)",
+                                src_place=src_host,
+                                nbytes=len(pickle.dumps(payload)))
+                        continue  # the continuation is gone
+                    if verdict == "retransmit":
+                        FAULT_STATS["fired"] += 1
+                        FAULT_STATS["masked"] += 1
+                        if tracing:
+                            self.trace.record(
+                                t0=now, t1=now, place=dst_host,
+                                actor=payload[0], kind="fault",
+                                note="hop dropped (retransmitting)",
+                                src_place=src_host)
+                            self.trace.record(
+                                t0=now, t1=now, place=dst_host,
+                                actor=payload[0], kind="retry",
+                                note="hop redelivered",
+                                src_place=src_host)
+                    elif verdict == "duplicate":
+                        FAULT_STATS["fired"] += 1
+                        FAULT_STATS["masked"] += 1
+                        if tracing:
+                            self.trace.record(
+                                t0=now, t1=now, place=dst_host,
+                                actor=payload[0], kind="fault",
+                                note="hop duplicated (dedup masks)",
+                                src_place=src_host)
+                        send(dst_host, ("run", payload))  # the extra copy
+                    elif verdict == "delay":
+                        FAULT_STATS["fired"] += 1
+                        FAULT_STATS["masked"] += 1
+                        if tracing:
+                            self.trace.record(
+                                t0=now, t1=now, place=dst_host,
+                                actor=payload[0], kind="fault",
+                                note=f"hop delayed {spec.seconds}s",
+                                src_place=src_host)
+                        time.sleep(min(spec.seconds, 0.1))
                     send(dst_host, ("run", payload))
-                    forwards_since_ckpt += 1
+                    if tracing:
+                        self._record_hop(now, src_host, dst_host,
+                                         len(pickle.dumps(payload)),
+                                         payload[0])
+                    sup.note_forward()
                     if (self._checkpoint_every is not None
-                            and forwards_since_ckpt
+                            and sup.forwards_since_ckpt
                             >= self._checkpoint_every):
                         checkpoint_all()
                 elif op == "ckpt":
                     _, h, cid, state = msg
-                    ckpt_state[h] = state
-                    marks = ckpt_marks.get(cid)
-                    if marks is not None and h in marks:
-                        ledger.truncate(h, marks.pop(h))
+                    sup.commit_checkpoint(h, cid, state)
                     if tracing:
                         now = time.perf_counter() - t0
                         self.trace.record(

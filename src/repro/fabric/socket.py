@@ -1,0 +1,894 @@
+"""SocketFabric: PEs as worker processes behind a real TCP transport.
+
+The fourth fabric kind. Workers are the same OS processes (and the
+same :class:`~repro.fabric.controller.WorkerCore` execution engine) as
+:class:`~repro.fabric.process.ProcessFabric`, but every byte between
+them travels over real 127.0.0.1 TCP connections speaking the framed
+protocol of :mod:`repro.fabric.wire` — the closest this reproduction
+gets to the paper's MESSENGERS daemons exchanging messengers over
+Ethernet. Robustness is the core of the design:
+
+**Failure detection.** Every worker streams heartbeat frames to the
+controller; a per-worker phi-accrual detector turns inter-arrival
+statistics into a suspicion score (``phi ~ -log10 P(alive)``), so a
+SIGKILLed or wedged worker is *detected by heartbeat loss* rather than
+trusted process handles. Connection EOF counts as heartbeat loss.
+
+**Generations.** Each (host, respawn) pair has a connection-generation
+number carried in every frame header. The controller bumps it before
+respawning, and both sides drop frames from stale generations — a
+zombie socket of a replaced worker cannot deliver.
+
+**Reconnection.** Workers connect (and reconnect) with jittered
+exponential backoff (:meth:`RecoveryPolicy.jittered_delays`), so peers
+that fail together do not retry in lockstep.
+
+**Backpressure.** Flow control is credit-based: a sender may have at
+most ``window`` unacknowledged continuation frames toward any one
+receiver, and a receiver returns one credit each time a frame leaves
+its mailbox. A slow PE therefore *blocks its upstream sender* instead
+of growing an unbounded queue — observable as a bounded
+``inbox_hwm`` in the per-worker ``transport`` trace events
+(:meth:`~repro.fabric.trace.TraceLog.mailbox_hwm`).
+
+**Deadlines.** With ``hop_deadline_s`` set, every continuation frame
+carries an absolute deadline in its header; receivers count late
+arrivals (soft deadlines: the frame is still delivered), surfaced via
+:meth:`~repro.fabric.trace.TraceLog.deadline_misses`.
+
+**Recovery.** In resilient mode (a fault plan, ``supervise=True`` or
+``checkpoint_every``), hops route through the controller, which
+journals them per destination in the shared
+:class:`~repro.resilience.recovery.ReplayLedger`, takes quiescent
+per-host checkpoints, and — on heartbeat loss — respawns the worker,
+restores its last checkpoint, and replays the journal; ``(messenger
+id, hop count)`` dedup in the worker makes the at-least-once replay
+exactly-once. ``FaultPlan`` message faults act at the wire layer
+(frames are really dropped, duplicated, delayed) and crashes are real
+``SIGKILL``\\ s. Drops with recovery disabled are casualties, reported
+in the :class:`~repro.errors.DeadlockError` like ThreadFabric's.
+
+Plain mode (no plan, no supervision) skips the controller detour:
+workers learn each other's addresses at start-up and ship hops
+peer-to-peer, with the same credit-based flow control per connection.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+import pickle
+import queue
+import signal
+import socket as socket_mod
+import threading
+import time
+from collections import defaultdict, deque
+
+from ..errors import DeadlockError, FabricError
+from ..navp.interp import Interp
+from ..resilience.faults import STATS as FAULT_STATS
+from ..resilience.faults import PlanRuntime
+from ..resilience.recovery import RecoveryPolicy
+from .controller import ControllerFabric, WorkerCore, hop_fault_verdict
+from .sim import FabricResult
+from .wire import (FRAME_CMD, FRAME_CREDIT, FRAME_HEARTBEAT, FRAME_HELLO,
+                   FRAME_REPORT, FRAME_RUN, FrameSocket, WireClosed,
+                   WireError, frame_nbytes)
+
+__all__ = ["SocketFabric", "PhiAccrualDetector"]
+
+
+def _connect_with_backoff(addr, seed=None) -> socket_mod.socket:
+    """Dial ``addr``, retrying with jittered exponential backoff."""
+    policy = RecoveryPolicy(max_retries=6, backoff_s=0.02)
+    last = None
+    for delay in [0.0] + policy.jittered_delays(seed):
+        if delay:
+            time.sleep(delay)
+        try:
+            sock = socket_mod.create_connection(tuple(addr), timeout=5.0)
+            sock.settimeout(None)
+            return sock
+        except OSError as exc:
+            last = exc
+    raise WireClosed(f"cannot connect to {addr}: {last}")
+
+
+class PhiAccrualDetector:
+    """Suspicion score over heartbeat inter-arrival times.
+
+    Exponential model: with mean inter-arrival ``m``, the probability
+    that a live peer stays silent for ``t`` seconds is ``exp(-t/m)``,
+    so ``phi = t / (m ln 10)`` is ``-log10`` of that probability —
+    phi 1 means "90% dead", phi 8 "dead to 8 nines". The mean is an
+    EWMA so the detector adapts to the observed beat cadence.
+    """
+
+    __slots__ = ("mean", "last")
+
+    def __init__(self, now: float, expected: float):
+        self.mean = max(expected, 1e-3)
+        self.last = now
+
+    def beat(self, now: float) -> None:
+        interval = now - self.last
+        self.last = now
+        self.mean = max(0.8 * self.mean + 0.2 * interval, 1e-3)
+
+    def phi(self, now: float) -> float:
+        return (now - self.last) / (self.mean * math.log(10.0))
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+def _sock_worker(host, coords, host_of, ctl_addr, gen, resilient, tracing,
+                 window, heartbeat_s, hop_deadline_s, backoff_seed):
+    """One host process: a :class:`WorkerCore` behind TCP.
+
+    Controller commands arrive as CMD frames on the controller
+    connection; peer continuations (plain mode) as RUN frames on
+    accepted peer connections. Every RUN/``run`` arrival is paid back
+    with one credit when it leaves the mailbox.
+    """
+    stats = {"inbox_hwm": 0, "window": window, "frames_in": 0,
+             "bytes_in": 0, "frames_out": 0, "bytes_out": 0,
+             "late": 0, "credit_waits": 0}
+    inbox: queue.Queue = queue.Queue()
+    stop_evt = threading.Event()
+    peers_ready = threading.Event()
+    depth_lock = threading.Lock()
+    depth = [0]
+    hop_log: list = []
+
+    ctl = FrameSocket(_connect_with_backoff(ctl_addr, backoff_seed))
+    peer_listener = None
+    my_addr = None
+    peer_table: dict = {}     # host -> (ip, port), from the controller
+    credit_back: dict = {}    # src host -> inbound FrameSocket
+    peers_out: dict = {}      # dst host -> (FrameSocket, credit semaphore)
+
+    if not resilient:
+        peer_listener = socket_mod.socket(
+            socket_mod.AF_INET, socket_mod.SOCK_STREAM)
+        peer_listener.bind(("127.0.0.1", 0))
+        peer_listener.listen(16)
+        my_addr = peer_listener.getsockname()
+
+    ctl.send(FRAME_HELLO, pickle.dumps(("hello", host, my_addr)), gen=gen)
+
+    def note_arrival(nbytes: int, deadline: float) -> None:
+        stats["frames_in"] += 1
+        stats["bytes_in"] += nbytes
+        if deadline and time.time() > deadline:
+            stats["late"] += 1
+        with depth_lock:
+            depth[0] += 1
+            if depth[0] > stats["inbox_hwm"]:
+                stats["inbox_hwm"] = depth[0]
+
+    def took_from_mailbox() -> None:
+        with depth_lock:
+            depth[0] -= 1
+
+    def ctl_reader():
+        while True:
+            try:
+                frame = ctl.recv()
+            except WireError:
+                inbox.put(("eof",))
+                return
+            if frame.kind != FRAME_CMD:
+                continue
+            cmd = pickle.loads(frame.payload)
+            if cmd[0] == "run":
+                note_arrival(frame_nbytes(frame.payload), frame.deadline)
+                inbox.put(("crun", cmd))
+            elif cmd[0] == "peers":
+                # applied here, not in the main loop: a peer's first RUN
+                # frame can arrive while the main loop is busy, and its
+                # onward hop must not find an empty routing table
+                peer_table.update(cmd[1])
+                peers_ready.set()
+            else:
+                inbox.put(("cmd", cmd))
+
+    def peer_reader(fs: FrameSocket):
+        src = None
+        while True:
+            try:
+                frame = fs.recv()
+            except WireError:
+                return
+            if frame.kind == FRAME_HELLO:
+                src = pickle.loads(frame.payload)[1]
+                credit_back[src] = fs
+            elif frame.kind == FRAME_RUN:
+                note_arrival(frame_nbytes(frame.payload), frame.deadline)
+                inbox.put(("prun", pickle.loads(frame.payload), src))
+
+    def out_reader(fs: FrameSocket, credits: threading.Semaphore):
+        while True:
+            try:
+                frame = fs.recv()
+            except WireError:
+                return
+            if frame.kind == FRAME_CREDIT:
+                credits.release()
+
+    def accept_loop():
+        while True:
+            try:
+                conn, _ = peer_listener.accept()
+            except OSError:
+                return
+            threading.Thread(target=peer_reader,
+                             args=(FrameSocket(conn),),
+                             daemon=True).start()
+
+    def heartbeat_loop():
+        while not stop_evt.wait(heartbeat_s):
+            try:
+                ctl.send(FRAME_HEARTBEAT, b"", gen=gen)
+            except WireError:
+                return
+
+    threading.Thread(target=ctl_reader, daemon=True).start()
+    if peer_listener is not None:
+        threading.Thread(target=accept_loop, daemon=True).start()
+    threading.Thread(target=heartbeat_loop, daemon=True).start()
+
+    def get_peer(dst):
+        entry = peers_out.get(dst)
+        if entry is None:
+            if not peers_ready.wait(timeout=20.0):
+                raise WireError(f"host {host}: no peer table within 20s")
+            fs = FrameSocket(
+                _connect_with_backoff(peer_table[dst], backoff_seed))
+            fs.send(FRAME_HELLO, pickle.dumps(("hello", host, None)),
+                    gen=gen)
+            credits = threading.Semaphore(window)
+            threading.Thread(target=out_reader, args=(fs, credits),
+                             daemon=True).start()
+            entry = peers_out[dst] = (fs, credits)
+        return entry
+
+    def emit_report(msg):
+        if msg[0] == "vars":
+            ctl.send(FRAME_REPORT,
+                     pickle.dumps(("stats", host, dict(stats))), gen=gen)
+            if tracing and hop_log:
+                ctl.send(FRAME_REPORT,
+                         pickle.dumps(("hoplog", host, hop_log)), gen=gen)
+        n = ctl.send(FRAME_REPORT, pickle.dumps(msg), gen=gen)
+        if msg[0] == "hop":
+            stats["frames_out"] += 1
+            stats["bytes_out"] += n
+
+    def emit_hop(dst, payload):
+        if resilient:
+            emit_report(("hop", host, dst, payload))
+            return
+        fs, credits = get_peer(dst)
+        if not credits.acquire(blocking=False):
+            # window exhausted: the receiver's mailbox is full — block
+            # until it hands a credit back (this IS the backpressure)
+            stats["credit_waits"] += 1
+            if not credits.acquire(timeout=60.0):
+                raise WireError(
+                    f"host {host}: no credit from host {dst} in 60s")
+        deadline = time.time() + hop_deadline_s if hop_deadline_s else 0.0
+        n = fs.send(FRAME_RUN, pickle.dumps(payload), gen=gen,
+                    deadline=deadline)
+        stats["frames_out"] += 1
+        stats["bytes_out"] += n
+        if tracing:
+            hop_log.append((host, dst, n, payload[0]))
+
+    core = WorkerCore(host, coords, host_of, emit_hop, emit_report,
+                      dedup=resilient)
+    try:
+        while True:
+            if core.ready:
+                core.step()
+                continue
+            item = inbox.get()
+            tag = item[0]
+            if tag == "cmd":
+                if item[1][0] == "sync":
+                    # setup barrier: by per-connection FIFO, every
+                    # earlier controller command is already applied
+                    ctl.send(FRAME_REPORT,
+                             pickle.dumps(("synced", host)), gen=gen)
+                elif core.handle(item[1]) == "stop":
+                    break
+            elif tag == "crun":
+                took_from_mailbox()
+                ctl.send(FRAME_REPORT,
+                         pickle.dumps(("credit", host)), gen=gen)
+                core.handle(item[1])
+            elif tag == "prun":
+                took_from_mailbox()
+                back = credit_back.get(item[2])
+                if back is not None:
+                    try:
+                        back.send(FRAME_CREDIT, b"", gen=gen)
+                    except WireError:  # pragma: no cover - peer gone
+                        pass
+                core.handle(("run", item[1]))
+            elif tag == "eof":
+                break  # controller went away; nothing left to serve
+    except BaseException as exc:  # noqa: BLE001 - forwarded to controller
+        try:
+            ctl.send(FRAME_REPORT, pickle.dumps(
+                ("error", host, f"{type(exc).__name__}: {exc}")), gen=gen)
+        except WireError:  # pragma: no cover - controller also gone
+            pass
+    finally:
+        stop_evt.set()
+        if peer_listener is not None:
+            peer_listener.close()
+        for fs, _credits in peers_out.values():
+            fs.close()
+        ctl.close()
+
+
+# ----------------------------------------------------------------------
+# Controller
+# ----------------------------------------------------------------------
+
+class SocketFabric(ControllerFabric):
+    """TCP executor for IR messengers (see the module docstring)."""
+
+    kind = "socket"
+
+    def __init__(self, topology, machine=None, timeout: float = 120.0,
+                 hosts=None, faults=None, recovery=True,
+                 checkpoint_every: int | None = None, max_restarts: int = 2,
+                 supervise: bool | None = None, trace: bool = False,
+                 window: int = 32, heartbeat_s: float = 0.025,
+                 phi_threshold: float = 12.0,
+                 hop_deadline_s: float | None = None):
+        super().__init__(topology, machine, timeout, hosts, faults,
+                         recovery, checkpoint_every, max_restarts,
+                         supervise, trace)
+        if window < 1:
+            raise FabricError("flow-control window must be >= 1")
+        self._ctx = mp.get_context("fork")
+        self.window = window
+        self.heartbeat_s = heartbeat_s
+        self.phi_threshold = phi_threshold
+        self.hop_deadline_s = hop_deadline_s
+        self.lost: list = []            # casualties (drops, no recovery)
+        self.stale_frames = 0           # dropped stale-generation frames
+        self._gens: dict = defaultdict(int)     # host -> generation
+        self._conns: dict = {}                  # host -> FrameSocket
+        self._procs: dict = {}                  # host -> Process
+        self._peer_addrs: dict = {}             # host -> (ip, port)
+        self._detectors: dict = {}              # host -> PhiAccrualDetector
+        self._hello_evts: dict = {}             # (host, gen) -> Event
+        self._reports: queue.Queue = queue.Queue()
+        self._reg_lock = threading.Lock()
+        self._listener = None
+        self._addr = None
+
+    # -- connection plumbing ------------------------------------------
+    def _serve_conn(self, fs: FrameSocket) -> None:
+        """Handshake one inbound connection, then pump its frames."""
+        try:
+            hello = fs.recv()
+        except WireError:
+            fs.close()
+            return
+        if hello.kind != FRAME_HELLO:
+            fs.close()
+            return
+        _tag, host, peer_addr = pickle.loads(hello.payload)
+        with self._reg_lock:
+            if hello.gen != self._gens[host]:
+                self.stale_frames += 1  # a replaced worker's socket
+                fs.close()
+                return
+            self._conns[host] = fs
+            if peer_addr is not None:
+                self._peer_addrs[host] = tuple(peer_addr)
+            self._detectors[host] = PhiAccrualDetector(
+                time.monotonic(), self.heartbeat_s)
+            evt = self._hello_evts.get((host, hello.gen))
+            if evt is not None:
+                evt.set()
+        while True:
+            try:
+                frame = fs.recv()
+            except WireError:
+                self._reports.put(("gone", host, hello.gen))
+                return
+            if frame.gen != self._gens[host]:
+                self.stale_frames += 1
+                continue
+            if frame.kind == FRAME_HEARTBEAT:
+                det = self._detectors.get(host)
+                if det is not None:
+                    det.beat(time.monotonic())
+            elif frame.kind == FRAME_REPORT:
+                self._reports.put(
+                    ("report", host, pickle.loads(frame.payload)))
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutdown
+            threading.Thread(target=self._serve_conn,
+                             args=(FrameSocket(conn),),
+                             daemon=True).start()
+
+    def _send_cmd(self, host, cmd, deadline: float = 0.0) -> int:
+        """Frame one command to a worker; returns the on-wire size.
+
+        A dead worker's connection may already be broken — that is not
+        an error here (the heartbeat detector owns failure handling and
+        the journal owns redelivery), so failed sends report size 0.
+        """
+        fs = self._conns.get(host)
+        if fs is None:
+            return 0
+        try:
+            return fs.send(FRAME_CMD, pickle.dumps(cmd),
+                           gen=self._gens[host], deadline=deadline)
+        except WireError:
+            return 0
+
+    def _spawn(self, host, coords_of_host, programs) -> None:
+        gen = self._gens[host]
+        evt = threading.Event()
+        self._hello_evts[(host, gen)] = evt
+        proc = self._ctx.Process(
+            target=_sock_worker,
+            args=(host, coords_of_host[host], self._host_of, self._addr,
+                  gen, self.resilient, self.trace.enabled, self.window,
+                  self.heartbeat_s, self.hop_deadline_s,
+                  (self._plan.seed or 0) * 31 + host),
+            daemon=True, name=f"sockhost{host}",
+        )
+        proc.start()
+        self._procs[host] = proc
+        if not evt.wait(timeout=20.0):
+            raise FabricError(
+                f"socket worker {host} did not say hello within 20s")
+        self._send_cmd(host, ("register", programs))
+
+    # -- execution -----------------------------------------------------
+    def run(self) -> FabricResult:
+        if not self._initial:
+            raise FabricError("no messengers injected")
+        self._listener = socket_mod.socket(
+            socket_mod.AF_INET, socket_mod.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(self.n_hosts + 4)
+        self._addr = self._listener.getsockname()
+        threading.Thread(target=self._accept_loop, daemon=True).start()
+        try:
+            if self.resilient:
+                return self._run_resilient()
+            return self._run_plain()
+        finally:
+            self._shutdown()
+
+    def _shutdown(self) -> None:
+        for host in list(self._conns):
+            self._send_cmd(host, ("stop",))
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        for proc in self._procs.values():
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+        for fs in self._conns.values():
+            fs.close()
+
+    def _record_hop(self, now, src, dst, nbytes, mid) -> None:
+        self.trace.record(t0=now, t1=now, place=dst, actor=mid,
+                          kind="hop", note="hop", src_place=src,
+                          nbytes=nbytes)
+
+    def _record_transport(self, now, host, stats) -> None:
+        note = " ".join(f"{k}={v}" for k, v in sorted(stats.items()))
+        self.trace.record(t0=now, t1=now, place=host, actor="transport",
+                          kind="transport", note=note)
+
+    def _check_heartbeats(self, dead_gens: set) -> list:
+        """Hosts currently suspected dead (heartbeat loss or EOF)."""
+        now = time.monotonic()
+        suspects = []
+        for host, det in list(self._detectors.items()):
+            if (host, self._gens[host]) in dead_gens:
+                suspects.append((host, float("inf")))
+            elif det.phi(now) > self.phi_threshold:
+                suspects.append((host, det.phi(now)))
+        return suspects
+
+    def _run_plain(self) -> FabricResult:
+        t0 = time.perf_counter()
+        tracing = self.trace.enabled
+        coords = list(self.topology.coords)
+        coords_of_host = {
+            h: [c for c in coords if self._host_of[c] == h]
+            for h in range(self.n_hosts)
+        }
+        programs = list(self._programs.values())
+        for h in range(self.n_hosts):
+            self._spawn(h, coords_of_host, programs)
+        peer_table = {h: self._peer_addrs[h] for h in range(self.n_hosts)}
+        for h in range(self.n_hosts):
+            self._send_cmd(h, ("peers", peer_table))
+        for c in coords:
+            if self._loads[c]:
+                self._send_cmd(self._host_of[c], ("load", c, self._loads[c]))
+        for coord, name, args, count in self._signals:
+            self._send_cmd(self._host_of[coord],
+                           ("signal0", (coord, name, args, count)))
+
+        # Setup barrier: peer-to-peer RUN frames ride separate
+        # connections from controller commands, so without this a hop
+        # could execute at a worker before its loads arrived.
+        for h in range(self.n_hosts):
+            self._send_cmd(h, ("sync",))
+        synced: set = set()
+        sync_deadline = time.monotonic() + self.timeout
+        while len(synced) < self.n_hosts:
+            remaining = sync_deadline - time.monotonic()
+            if remaining <= 0:
+                raise FabricError(
+                    f"socket fabric setup barrier timed out "
+                    f"({self.n_hosts - len(synced)} host(s) silent)")
+            try:
+                kind, host, msg = self._reports.get(
+                    timeout=min(remaining, 0.5))
+            except queue.Empty:
+                continue
+            if kind == "report" and msg[0] == "synced":
+                synced.add(msg[1])
+            elif kind == "report" and msg[0] == "error":
+                raise FabricError(f"worker {msg[1]} failed: {msg[2]}")
+
+        known: set = set()
+        done: set = set()
+        for coord, name, env in self._initial:
+            mid = f"m{self._counter}"
+            self._counter += 1
+            known.add(mid)
+            self._send_cmd(self._host_of[coord], ("run", (
+                mid, [], 0, coord,
+                Interp(name, env).agent_snapshot(), 0,
+            )))
+
+        dead_gens: set = set()
+        deadline = time.monotonic() + self.timeout
+        while not known <= done:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DeadlockError(
+                    f"socket fabric timed out; "
+                    f"{len(known - done)} messenger(s) unaccounted")
+            suspects = self._check_heartbeats(dead_gens)
+            if suspects:
+                host, phi = suspects[0]
+                raise FabricError(
+                    f"socket worker {host} lost (heartbeat silence, "
+                    f"phi={phi:.1f}) and this run has no supervision; "
+                    f"pass supervise=True or a fault plan for recovery")
+            try:
+                kind, host, msg = self._reports.get(
+                    timeout=min(remaining, 0.1))
+            except queue.Empty:
+                continue
+            if kind == "gone":
+                dead_gens.add((host, msg))
+                continue
+            if msg[0] == "error":
+                raise FabricError(f"worker {msg[1]} failed: {msg[2]}")
+            if msg[0] == "done":
+                done.add(msg[1])
+                known.update(msg[2])
+
+        for h in range(self.n_hosts):
+            self._send_cmd(h, ("collect",))
+        places = self._collect(tracing, t0)
+        return FabricResult(time=time.perf_counter() - t0,
+                            trace=self.trace, places=places)
+
+    def _collect(self, tracing, t0) -> dict:
+        """Gather vars (+ transport stats and plain-mode hop logs)."""
+        places: dict = {}
+        hosts_seen: set = set()
+        deadline = time.monotonic() + self.timeout
+        while len(hosts_seen) < self.n_hosts:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DeadlockError(
+                    f"socket fabric timed out collecting results "
+                    f"({self.n_hosts - len(hosts_seen)} host(s) missing)")
+            try:
+                kind, host, msg = self._reports.get(
+                    timeout=min(remaining, 0.5))
+            except queue.Empty:
+                continue
+            if kind == "gone":
+                continue
+            now = time.perf_counter() - t0
+            if msg[0] == "error":
+                raise FabricError(f"worker {msg[1]} failed: {msg[2]}")
+            if msg[0] == "stats":
+                if tracing:
+                    self._record_transport(now, msg[1], msg[2])
+            elif msg[0] == "hoplog":
+                if tracing:
+                    for src, dst, nbytes, mid in msg[2]:
+                        self._record_hop(now, src, dst, nbytes, mid)
+            elif msg[0] == "vars":
+                hosts_seen.add(msg[1])
+                places.update(msg[2])
+        return places
+
+    def _run_resilient(self) -> FabricResult:
+        t0 = time.perf_counter()
+        runtime = PlanRuntime(self._plan, self._resolve_host)
+        sup = self._sup
+        tracing = self.trace.enabled
+        coords = list(self.topology.coords)
+        coords_of_host = {
+            h: [c for c in coords if self._host_of[c] == h]
+            for h in range(self.n_hosts)
+        }
+        programs = list(self._programs.values())
+
+        # Credit gate: at most `window` un-credited run commands toward
+        # each worker; excess waits in a pending queue. The worker
+        # returns one credit per run command leaving its mailbox.
+        gate_out: dict = defaultdict(int)
+        gate_pend: dict = defaultdict(deque)
+
+        def emit_run(h, cmd):
+            gate_out[h] += 1
+            dl = time.time() + self.hop_deadline_s \
+                if self.hop_deadline_s else 0.0
+            self._send_cmd(h, cmd, deadline=dl)
+
+        def gate_send(h, cmd, journal=True):
+            if journal:
+                sup.journal(h, cmd)
+            if gate_out[h] < self.window and not gate_pend[h]:
+                emit_run(h, cmd)
+            else:
+                gate_pend[h].append(cmd)
+
+        def on_credit(h):
+            if gate_pend[h]:
+                emit_run(h, gate_pend[h].popleft())
+                gate_out[h] -= 1
+            elif gate_out[h] > 0:
+                gate_out[h] -= 1
+
+        def send(h, cmd):
+            """Journal + deliver a non-run setup command."""
+            sup.journal(h, cmd)
+            self._send_cmd(h, cmd)
+
+        dead_gens: set = set()
+
+        def respawn(h):
+            sup.authorize_respawn(h)
+            FAULT_STATS["masked"] += 1
+            old = self._procs.get(h)
+            self._gens[h] += 1  # stale sockets can't deliver from here on
+            conn = self._conns.pop(h, None)
+            if conn is not None:
+                conn.close()
+            self._detectors.pop(h, None)
+            if old is not None:
+                if old.is_alive():
+                    old.terminate()
+                old.join(timeout=5.0)
+            self._spawn(h, coords_of_host, programs)
+            state, replay = sup.recovery_script(h)
+            if state is not None:
+                self._send_cmd(h, ("restore", state))
+            gate_out[h] = 0
+            gate_pend[h].clear()  # every pending cmd is in the journal
+            for cmd in replay:
+                if cmd[0] == "run":
+                    gate_send(h, cmd, journal=False)
+                else:
+                    self._send_cmd(h, cmd)
+            if tracing:
+                now = time.perf_counter() - t0
+                self.trace.record(
+                    t0=now, t1=now, place=h, actor="supervisor",
+                    kind="respawn",
+                    note=f"worker {h} respawned "
+                         f"(restart {self.restarts[h]}, gen "
+                         f"{self._gens[h]}, replay {len(replay)} cmd(s))")
+
+        def checkpoint_all():
+            cid = sup.begin_checkpoint(range(self.n_hosts))
+            for h in range(self.n_hosts):
+                self._send_cmd(h, ("ckpt", cid))
+
+        for h in range(self.n_hosts):
+            self._spawn(h, coords_of_host, programs)
+        for c in coords:
+            if self._loads[c]:
+                send(self._host_of[c], ("load", c, self._loads[c]))
+        for coord, name, args, count in self._signals:
+            send(self._host_of[coord],
+                 ("signal0", (coord, name, args, count)))
+        known: set = set()
+        done: set = set()
+        for coord, name, env in self._initial:
+            mid = f"m{self._counter}"
+            self._counter += 1
+            known.add(mid)
+            gate_send(self._host_of[coord], ("run", (
+                mid, [], 0, coord,
+                Interp(name, env).agent_snapshot(), 0,
+            )))
+
+        deadline = time.monotonic() + self.timeout
+        while not known <= done:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                casualties = (
+                    "; fault injection destroyed messenger(s) with "
+                    "recovery disabled: " + ", ".join(self.lost)
+                    if self.lost else ""
+                )
+                raise DeadlockError(
+                    f"socket fabric timed out; "
+                    f"{len(known - done)} messenger(s) unaccounted "
+                    f"({sum(self.restarts.values())} respawn(s))"
+                    f"{casualties}")
+            # fire due crash specs: a crash is a real SIGKILL
+            if runtime.pending_crashes():
+                now = time.perf_counter() - t0
+                for spec, h in runtime.due_crashes(now):
+                    proc = self._procs[h]
+                    if proc.is_alive():
+                        FAULT_STATS["fired"] += 1
+                        os.kill(proc.pid, signal.SIGKILL)
+                        if tracing:
+                            self.trace.record(
+                                t0=now, t1=now, place=h,
+                                actor="fault-injector", kind="fault",
+                                note=f"worker {h} SIGKILLed")
+            # failure detection is heartbeat-based: respawn suspects
+            for h, _phi in self._check_heartbeats(dead_gens):
+                respawn(h)
+            try:
+                kind, host, msg = self._reports.get(
+                    timeout=min(remaining, 0.05))
+            except queue.Empty:
+                continue
+            if kind == "gone":
+                dead_gens.add((host, msg))
+                continue
+            op = msg[0]
+            if op == "error":
+                raise FabricError(f"worker {msg[1]} failed: {msg[2]}")
+            if op == "done":
+                done.add(msg[1])
+                known.update(msg[2])
+            elif op == "credit":
+                on_credit(msg[1])
+            elif op == "hop":
+                _, src_host, dst_host, payload = msg
+                verdict, spec = hop_fault_verdict(
+                    runtime, dst_host, self._recovery.enabled)
+                now = time.perf_counter() - t0
+                if verdict == "lost":
+                    FAULT_STATS["fired"] += 1
+                    FAULT_STATS["lost"] += 1
+                    self.lost.append(payload[0])
+                    if tracing:
+                        self.trace.record(
+                            t0=now, t1=now, place=dst_host,
+                            actor=payload[0], kind="fault",
+                            note="hop frame dropped (lost)",
+                            src_place=src_host,
+                            nbytes=frame_nbytes(pickle.dumps(payload)))
+                    continue  # the continuation is gone
+                if verdict == "retransmit":
+                    FAULT_STATS["fired"] += 1
+                    FAULT_STATS["masked"] += 1
+                    if tracing:
+                        self.trace.record(
+                            t0=now, t1=now, place=dst_host,
+                            actor=payload[0], kind="fault",
+                            note="hop frame dropped (retransmitting)",
+                            src_place=src_host)
+                        self.trace.record(
+                            t0=now, t1=now, place=dst_host,
+                            actor=payload[0], kind="retry",
+                            note="hop frame redelivered",
+                            src_place=src_host)
+                elif verdict == "duplicate":
+                    FAULT_STATS["fired"] += 1
+                    FAULT_STATS["masked"] += 1
+                    if tracing:
+                        self.trace.record(
+                            t0=now, t1=now, place=dst_host,
+                            actor=payload[0], kind="fault",
+                            note="hop frame duplicated (dedup masks)",
+                            src_place=src_host)
+                    gate_send(dst_host, ("run", payload))  # extra copy
+                elif verdict == "delay":
+                    FAULT_STATS["fired"] += 1
+                    FAULT_STATS["masked"] += 1
+                    if tracing:
+                        self.trace.record(
+                            t0=now, t1=now, place=dst_host,
+                            actor=payload[0], kind="fault",
+                            note=f"hop frame delayed {spec.seconds}s",
+                            src_place=src_host)
+                    time.sleep(min(spec.seconds, 0.1))
+                gate_send(dst_host, ("run", payload))
+                if tracing:
+                    self._record_hop(
+                        now, src_host, dst_host,
+                        frame_nbytes(pickle.dumps(payload)), payload[0])
+                sup.note_forward()
+                if (self._checkpoint_every is not None
+                        and sup.forwards_since_ckpt
+                        >= self._checkpoint_every):
+                    checkpoint_all()
+            elif op == "ckpt":
+                _, h, cid, state = msg
+                sup.commit_checkpoint(h, cid, state)
+                if tracing:
+                    now = time.perf_counter() - t0
+                    self.trace.record(
+                        t0=now, t1=now, place=h, actor="supervisor",
+                        kind="checkpoint", note=f"ckpt {cid}")
+
+        for h in range(self.n_hosts):
+            self._send_cmd(h, ("collect",))
+        places = self._collect_resilient(tracing, t0, on_credit)
+        return FabricResult(time=time.perf_counter() - t0,
+                            trace=self.trace, places=places)
+
+    def _collect_resilient(self, tracing, t0, on_credit) -> dict:
+        places: dict = {}
+        hosts_seen: set = set()
+        deadline = time.monotonic() + self.timeout
+        while len(hosts_seen) < self.n_hosts:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DeadlockError(
+                    f"socket fabric timed out collecting results "
+                    f"({self.n_hosts - len(hosts_seen)} host(s) missing)")
+            try:
+                kind, host, msg = self._reports.get(
+                    timeout=min(remaining, 0.5))
+            except queue.Empty:
+                continue
+            if kind == "gone":
+                continue
+            now = time.perf_counter() - t0
+            if msg[0] == "error":
+                raise FabricError(f"worker {msg[1]} failed: {msg[2]}")
+            if msg[0] == "credit":
+                on_credit(msg[1])
+            elif msg[0] == "stats":
+                if tracing:
+                    self._record_transport(now, msg[1], msg[2])
+            elif msg[0] == "vars":
+                hosts_seen.add(msg[1])
+                places.update(msg[2])
+        return places

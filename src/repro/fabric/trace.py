@@ -30,9 +30,13 @@ class TraceEvent:
     payload only when it was genuinely lost), ``"retry"`` / ``"dedup"``
     (recovery masked a drop / discarded a duplicate), ``"checkpoint"``
     / ``"restore"`` (snapshot protocol), and ``"respawn"`` (process
-    fabric worker replacement) events. For hops, ``place`` is the
-    *destination* and ``src_place`` the origin. ``nbytes`` records the
-    modeled payload of hops and sends (0 for co-hosted moves), so
+    fabric worker replacement) events. The socket fabric adds
+    zero-duration ``"transport"`` events — one per worker at collect
+    time, ``note`` a space-separated ``key=value`` summary of its wire
+    counters (``inbox_hwm``, ``window``, ``frames_in`` …) — queried via
+    :meth:`TraceLog.mailbox_hwm` and friends. For hops, ``place`` is
+    the *destination* and ``src_place`` the origin. ``nbytes`` records
+    the modeled payload of hops and sends (0 for co-hosted moves), so
     traces double as data-movement ledgers; fault events are excluded
     from the ledger queries — a dropped transfer moved nothing.
     """
@@ -159,3 +163,29 @@ class TraceLog:
         """Modeled payload destroyed by faults (drops without recovery,
         transfers into crashed PEs)."""
         return sum(e.nbytes for e in self.events if e.kind == "fault")
+
+    # -- transport queries (socket fabric) ---------------------------------
+    def transport(self) -> list[TraceEvent]:
+        """Per-worker wire-counter summaries (socket fabric runs)."""
+        return [e for e in self.events if e.kind == "transport"]
+
+    def _transport_stat(self, key: str) -> dict:
+        prefix = key + "="
+        out: dict = {}
+        for e in self.transport():
+            for field in e.note.split():
+                if field.startswith(prefix):
+                    value = int(field[len(prefix):])
+                    out[e.place] = max(out.get(e.place, 0), value)
+        return out
+
+    def mailbox_hwm(self) -> dict:
+        """Per-host inbox high-water mark (frames queued but not yet
+        executed). Under credit-based flow control this is bounded by
+        the sender window — the observable form of backpressure."""
+        return self._transport_stat("inbox_hwm")
+
+    def deadline_misses(self) -> int:
+        """Frames that arrived after their propagated hop deadline
+        (they are still delivered — deadlines are soft — but counted)."""
+        return sum(self._transport_stat("late").values())

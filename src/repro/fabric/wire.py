@@ -1,0 +1,177 @@
+"""Framed wire protocol for the socket fabric.
+
+Every message on a socket-fabric TCP connection is one *frame*:
+
+::
+
+    0        4     5     6        8                16               20
+    +--------+-----+-----+--------+----------------+----------------+
+    | magic  | ver | kind| gen    | deadline (f64) | payload length |
+    | "NAVP" | u8  | u8  | u16    | abs seconds    | u32            |
+    +--------+-----+-----+--------+----------------+----------------+
+    | payload: `length` bytes of pickle                             |
+    +---------------------------------------------------------------+
+
+* ``magic``/``ver`` reject accidental cross-talk and future format
+  drift loudly instead of desynchronizing the stream;
+* ``kind`` is a small frame-type tag (see ``FRAME_*``) so transport
+  control (heartbeats, credits) never pays pickle costs;
+* ``gen`` is the sender's **connection generation** — the controller
+  bumps it on every respawn, and receivers drop frames from stale
+  generations, so a zombie socket of a replaced worker cannot deliver;
+* ``deadline`` is an absolute wall-clock second (0.0 = none),
+  propagated hop to hop so a receiver can count frames that arrived
+  late (deadlines are *soft*: late frames are still delivered);
+* length-prefixing makes TCP's byte stream a message stream again.
+
+:class:`FrameSocket` wraps a connected socket with locked sends (many
+threads may share one outbound connection) and an incremental receive
+buffer. It never interprets payloads — pickling happens at the fabric
+layer, where the controller also measures the frame for the trace's
+data-movement ledger.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+from ..errors import FabricError
+
+__all__ = [
+    "Frame",
+    "FrameSocket",
+    "WireError",
+    "WireClosed",
+    "encode_frame",
+    "frame_nbytes",
+    "FRAME_CMD",
+    "FRAME_REPORT",
+    "FRAME_RUN",
+    "FRAME_HEARTBEAT",
+    "FRAME_CREDIT",
+    "FRAME_HELLO",
+]
+
+MAGIC = b"NAVP"
+VERSION = 1
+HEADER = struct.Struct("!4sBBHdI")  # magic, ver, kind, gen, deadline, len
+
+# Frame kinds. CMD/REPORT carry the controller protocol of
+# fabric/controller.py; RUN carries a peer-to-peer hop; HEARTBEAT,
+# CREDIT and HELLO are transport control.
+FRAME_CMD = 0        # controller -> worker command tuple
+FRAME_REPORT = 1     # worker -> controller report tuple
+FRAME_RUN = 2        # peer -> peer migrating continuation
+FRAME_HEARTBEAT = 3  # worker -> controller liveness beat
+FRAME_CREDIT = 4     # receiver -> sender flow-control credit
+FRAME_HELLO = 5      # connection preamble (identity + generation)
+
+# A continuation frame is a few KiB; anything near this bound is a
+# desynchronized stream or a hostile peer, not a messenger.
+MAX_FRAME = 256 * 1024 * 1024
+
+
+class WireError(FabricError):
+    """The byte stream violated the frame protocol."""
+
+
+class WireClosed(WireError):
+    """The peer closed the connection (EOF mid-stream included)."""
+
+
+class Frame:
+    __slots__ = ("kind", "gen", "deadline", "payload")
+
+    def __init__(self, kind: int, gen: int, deadline: float, payload: bytes):
+        self.kind = kind
+        self.gen = gen
+        self.deadline = deadline
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Frame(kind={self.kind}, gen={self.gen}, "
+                f"deadline={self.deadline}, {len(self.payload)}B)")
+
+
+def encode_frame(kind: int, payload: bytes, gen: int = 0,
+                 deadline: float = 0.0) -> bytes:
+    if len(payload) > MAX_FRAME:
+        raise WireError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME}-byte bound")
+    return HEADER.pack(MAGIC, VERSION, kind, gen, deadline,
+                       len(payload)) + payload
+
+
+def frame_nbytes(payload: bytes) -> int:
+    """On-wire size of a frame carrying ``payload`` (header included)."""
+    return HEADER.size + len(payload)
+
+
+class FrameSocket:
+    """A connected TCP socket speaking whole frames.
+
+    ``send`` is serialized by a lock (the controller's forwarder and
+    heartbeat/credit paths share outbound connections); ``recv`` is
+    single-consumer per socket (each connection gets one reader
+    thread), buffering partial reads until a whole frame is available.
+    """
+
+    __slots__ = ("sock", "_send_lock", "_buf")
+
+    def __init__(self, sock: socket.socket):
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # not TCP (e.g. a unix socketpair in tests)
+        self.sock = sock
+        self._send_lock = threading.Lock()
+        self._buf = b""
+
+    def send(self, kind: int, payload: bytes, gen: int = 0,
+             deadline: float = 0.0) -> int:
+        """Send one frame; returns its on-wire size."""
+        data = encode_frame(kind, payload, gen, deadline)
+        with self._send_lock:
+            try:
+                self.sock.sendall(data)
+            except OSError as exc:
+                raise WireClosed(f"send failed: {exc}") from exc
+        return len(data)
+
+    def _read_exact(self, n: int) -> bytes:
+        while len(self._buf) < n:
+            try:
+                chunk = self.sock.recv(65536)
+            except OSError as exc:
+                raise WireClosed(f"recv failed: {exc}") from exc
+            if not chunk:
+                raise WireClosed("peer closed the connection")
+            self._buf += chunk
+        out, self._buf = self._buf[:n], self._buf[n:]
+        return out
+
+    def recv(self) -> Frame:
+        """Block until one whole frame is available and return it."""
+        header = self._read_exact(HEADER.size)
+        magic, version, kind, gen, deadline, length = HEADER.unpack(header)
+        if magic != MAGIC:
+            raise WireError(f"bad frame magic {magic!r}")
+        if version != VERSION:
+            raise WireError(
+                f"frame version {version} (this side speaks {VERSION})")
+        if length > MAX_FRAME:
+            raise WireError(f"frame length {length} exceeds bound")
+        return Frame(kind, gen, deadline, self._read_exact(length))
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass

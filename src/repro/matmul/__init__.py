@@ -3,6 +3,14 @@
 from .cannon import run_cannon
 from .doall import run_doall, run_doall_replicated
 from .gentleman import run_gentleman, run_gentleman_tuned
+from .ir2d import (
+    IR2DSuite,
+    build_fig11,
+    build_fig13,
+    build_fig15,
+    run_ir2d_suite,
+)
+from .irgentleman import build_gentleman_ir
 from .kinds import MatmulCase, RunResult
 from .layouts import (
     gather_c_1d,
@@ -36,6 +44,12 @@ __all__ = [
     "run_phase_2d",
     "run_gentleman",
     "run_gentleman_tuned",
+    "IR2DSuite",
+    "build_fig11",
+    "build_fig13",
+    "build_fig15",
+    "build_gentleman_ir",
+    "run_ir2d_suite",
     "run_cannon",
     "run_summa",
     "run_doall",

@@ -337,29 +337,22 @@ def run_ir2d_suite(
     suite: IR2DSuite,
     fabric_kind: str = "sim",
     machine: MachineSpec | None = None,
+    trace: bool = False,
 ):
-    """Run a 2-D IR suite on sim/thread ("sim"/"thread") or "process".
+    """Run a 2-D IR suite on any fabric kind (sim/thread/process/socket).
 
     Returns ``(c, fabric_result)`` with the assembled product.
     """
-    g = suite.g
-    if fabric_kind == "process":
-        from ..fabric.process import ProcessFabric
+    from ..navp.interp import IRMessenger
 
-        fabric = ProcessFabric(Grid2D(g), machine=machine, timeout=120.0)
-    else:
-        fabric = make_fabric(fabric_kind, Grid2D(g), machine=machine,
-                             trace=False)
+    g = suite.g
+    fabric = make_fabric(fabric_kind, Grid2D(g), machine=machine,
+                         trace=trace)
     for coord, node_vars in suite.layout.items():
         fabric.load(coord, **node_vars)
     for coord, event, args, count in suite.initial_signals:
         fabric.signal_initial(coord, event, *args, count=count)
-    if fabric_kind == "process":
-        fabric.inject((0, 0), suite.entry.name)
-    else:
-        from ..navp.interp import IRMessenger
-
-        fabric.inject((0, 0), IRMessenger(suite.entry.name))
+    fabric.inject((0, 0), IRMessenger(suite.entry.name))
     result = fabric.run()
 
     sample = next(iter(suite.layout.values()))["C"]

@@ -258,12 +258,15 @@ class FaultPlan:
     @classmethod
     def random(cls, seed: int, places: int, *, crashes: int = 1,
                drops: int = 2, duplicates: int = 0, slow: int = 0,
-               horizon: float = 1.0, name: str = "") -> "FaultPlan":
+               horizon: float = 1.0, dup_kind: str = "send",
+               name: str = "") -> "FaultPlan":
         """Generate a plan deterministically from ``seed``.
 
         ``places`` bounds the place indices drawn; ``horizon`` bounds
-        crash times and slow-node onsets. The same (seed, arguments)
-        always produce an identical plan.
+        crash times and slow-node onsets. ``dup_kind`` selects the
+        transfer class of duplicate faults (hop-only fabrics want
+        ``"hop"``; the default keeps historic plans stable). The same
+        (seed, arguments) always produce an identical plan.
         """
         rng = random.Random(seed)
         specs: list = []
@@ -277,7 +280,8 @@ class FaultPlan:
                 nth=rng.randrange(1, 25)))
         for _ in range(duplicates):
             specs.append(MessageFault(
-                action="duplicate", kind="send", nth=rng.randrange(1, 25)))
+                action="duplicate", kind=dup_kind,
+                nth=rng.randrange(1, 25)))
         for _ in range(slow):
             specs.append(SlowNode(
                 place=rng.randrange(places),

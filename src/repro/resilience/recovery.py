@@ -53,6 +53,18 @@ class RecoveryPolicy:
             delay *= self.backoff_factor
         return out
 
+    def jittered_delays(self, seed=None) -> list:
+        """Exponential backoff with full jitter, for reconnection.
+
+        Retrying peers that fail together also back off together; the
+        classic fix is to draw each sleep uniformly from (0, ceiling]
+        while the ceiling grows exponentially ("full jitter"). Seeded,
+        so a fabric can make its reconnect schedule reproducible.
+        """
+        import random
+        rng = random.Random(seed)
+        return [d * rng.uniform(0.1, 1.0) for d in self.delays()]
+
     @classmethod
     def coerce(cls, value) -> "RecoveryPolicy":
         """Accept a policy, a bool, or None (-> default-enabled)."""

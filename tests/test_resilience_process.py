@@ -83,7 +83,7 @@ class TestCrashRecovery:
 
 class TestFactoryPromotion:
     def test_process_is_a_fabric_kind(self):
-        assert FABRIC_KINDS == ("sim", "thread", "process")
+        assert FABRIC_KINDS == ("sim", "thread", "process", "socket")
 
     def test_make_fabric_builds_and_runs_ir(self):
         ir.register_program(ir.Program("factory-tour", (
