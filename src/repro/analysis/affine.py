@@ -1,0 +1,123 @@
+"""Affine forms of key expressions: the dependence engine's front end.
+
+The paradigm's node variables are dictionaries keyed by loop-index
+expressions (``C[mi, mj]``, ``bottom[r-1]``, ``X[2*k+1]``). The old
+dependence test compared those keys by *normalized symbolic equality*,
+which can only say "same entry" or "don't know" — it rejected
+``X[(i+1)-1]`` against ``X[i]`` and accepted ``acc[i % 2]`` as "indexed
+by the loop variable". This module parses a key expression into an
+**affine form**
+
+    ``c0 + c1 * v1 + c2 * v2 + ...``     (integer coefficients)
+
+so that :mod:`repro.analysis.distance` can run classical GCD /
+Banerjee-style dependence tests on the coefficients and produce
+distance/direction *vectors* instead of booleans. Anything outside the
+affine fragment — ``%`` or ``//`` with a variable operand, a product of
+two variables, a :class:`~repro.navp.ir.NodeGet` or
+:class:`~repro.navp.ir.Index` in a key — parses to ``None``, the
+signal for every downstream test to fall back conservatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..navp import ir
+
+__all__ = ["Affine", "affine_of", "affine_key"]
+
+
+@dataclass(frozen=True)
+class Affine:
+    """``const + sum(coeff * var)`` with integer coefficients.
+
+    ``coeffs`` is a sorted tuple of ``(var, coeff)`` pairs with every
+    coefficient nonzero, so structurally equal forms compare equal.
+    """
+
+    coeffs: tuple
+    const: int
+
+    def coeff(self, var: str) -> int:
+        for name, c in self.coeffs:
+            if name == var:
+                return c
+        return 0
+
+    @property
+    def vars(self) -> frozenset:
+        return frozenset(name for name, _c in self.coeffs)
+
+    def drop(self, var: str) -> "Affine":
+        """The form with ``var``'s term removed."""
+        return Affine(tuple((n, c) for n, c in self.coeffs if n != var),
+                      self.const)
+
+    def __repr__(self) -> str:
+        parts = [str(self.const)] if self.const or not self.coeffs else []
+        for name, c in self.coeffs:
+            parts.append(name if c == 1 else f"{c}*{name}")
+        return " + ".join(parts).replace("+ -", "- ")
+
+
+def _make(terms: dict, const: int) -> Affine:
+    return Affine(
+        tuple(sorted((v, c) for v, c in terms.items() if c != 0)),
+        const)
+
+
+def _combine(a: Affine, b: Affine, sign: int) -> Affine:
+    terms = dict(a.coeffs)
+    for v, c in b.coeffs:
+        terms[v] = terms.get(v, 0) + sign * c
+    return _make(terms, a.const + sign * b.const)
+
+
+def _scale(a: Affine, factor: int) -> Affine:
+    return _make({v: c * factor for v, c in a.coeffs}, a.const * factor)
+
+
+def affine_of(expr: ir.Expr) -> Affine | None:
+    """Parse ``expr`` into an :class:`Affine`, or None if non-affine.
+
+    Booleans, ``None`` and other non-integer constants are non-affine:
+    they appear in keys only in degenerate programs, and treating them
+    conservatively is always sound.
+    """
+    if isinstance(expr, ir.Const):
+        if isinstance(expr.value, int) and not isinstance(expr.value, bool):
+            return Affine((), expr.value)
+        return None
+    if isinstance(expr, ir.Var):
+        return Affine(((expr.name, 1),), 0)
+    if isinstance(expr, ir.Bin):
+        left = affine_of(expr.left)
+        right = affine_of(expr.right)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return _combine(left, right, +1)
+        if expr.op == "-":
+            return _combine(left, right, -1)
+        if expr.op == "*":
+            # affine only when one side is a pure constant
+            if not left.coeffs:
+                return _scale(right, left.const)
+            if not right.coeffs:
+                return _scale(left, right.const)
+            return None
+        if expr.op in ("%", "//"):
+            # foldable only when both sides are constants
+            if not left.coeffs and not right.coeffs and right.const != 0:
+                value = (left.const % right.const if expr.op == "%"
+                         else left.const // right.const)
+                return Affine((), value)
+            return None
+        return None  # comparisons are not index arithmetic
+    return None  # NodeGet, Index, extension exprs
+
+
+def affine_key(idx) -> tuple:
+    """Element-wise :func:`affine_of` over a key tuple (None = non-affine)."""
+    return tuple(affine_of(e) for e in idx)

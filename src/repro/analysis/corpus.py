@@ -1,11 +1,15 @@
-"""A corpus of known-bad programs, one per diagnostic category.
+"""A corpus of known-bad (and deliberately-clean) programs.
 
-These are the analyzer's negative controls: small navigational
-programs each seeded with exactly one class of defect, together with
-the check that must flag it and the category it must be flagged under.
-``repro lint --corpus`` (and the tier-1 test) runs every case and
-fails if any defect goes undetected or is misclassified — so a future
-change that quietly blinds an analysis pass fails fast.
+These are the analyzer's controls. The *negative* controls are small
+navigational programs each seeded with exactly one class of defect,
+together with the check that must flag it and the category it must be
+flagged under. The *positive* controls (``expect_clean=True``) are
+programs a naive syntactic key-equality test would reject but the
+affine dependence engine proves safe — they pin down the precision the
+engine buys, so a future change that regresses it to syntax matching
+fails fast too. ``repro lint --corpus`` (and the tier-1 test) runs
+every case and fails if any defect goes undetected, is misclassified,
+or any clean case draws a false positive.
 
 Each case carries its *own* registry: corpus programs are never
 installed in :data:`repro.navp.ir.REGISTRY`, so they can never leak
@@ -58,6 +62,7 @@ class CorpusCase:
     registry: dict
     root: str
     check: str
+    expect_clean: bool = False     # positive control: must NOT be flagged
     loop: str | None = None
     carried: tuple = ()
     layout: LayoutSpec | None = None
@@ -292,6 +297,131 @@ def _case_reduction_order() -> CorpusCase:
         racy_vars=("acc",))
 
 
+def _case_affine_offset() -> CorpusCase:
+    # write X[(1+i)-1], read X[i]: syntactically different keys, the
+    # same entry in the same iteration. A key-equality test sees two
+    # distinct expressions and reports a (phantom) carried dependence;
+    # the affine solver reduces both to coefficient 1, constant 0 and
+    # proves distance 0 — iteration-local, legal to distribute
+    prog = ir.Program("good-affine-offset", (
+        ir.For("i", C(4), (
+            ir.ComputeStmt("copy", (ir.NodeGet("X", (V("i"),)),),
+                           out="t"),
+            ir.NodeSet(
+                "X",
+                (ir.Bin("-", ir.Bin("+", C(1), V("i")), C(1)),),
+                V("t")),
+        )),
+    ))
+    return CorpusCase(
+        name=prog.name, category="carried-dependence",
+        registry={prog.name: prog}, root=prog.name,
+        check="loop", loop="i", expect_clean=True)
+
+
+def _case_gcd_disjoint() -> CorpusCase:
+    # write X[2i], read X[2i+1]: evens vs odds. 2d = 1 has no integer
+    # solution, so the GCD test proves the accesses disjoint across
+    # *all* iteration pairs — no dependence at all
+    prog = ir.Program("good-gcd-disjoint", (
+        ir.For("i", C(4), (
+            ir.ComputeStmt(
+                "copy",
+                (ir.NodeGet(
+                    "X",
+                    (ir.Bin("+", ir.Bin("*", C(2), V("i")), C(1)),)),),
+                out="t"),
+            ir.NodeSet("X", (ir.Bin("*", C(2), V("i")),), V("t")),
+        )),
+    ))
+    return CorpusCase(
+        name=prog.name, category="carried-dependence",
+        registry={prog.name: prog}, root=prog.name,
+        check="loop", loop="i", expect_clean=True)
+
+
+def _case_coupled_infeasible() -> CorpusCase:
+    # write X[i+1, i], read X[i, i]: the first subscript demands
+    # distance +1, the second distance 0 — coupled subscripts whose
+    # per-dimension solutions contradict, so no iteration pair can
+    # touch one entry. Dimension-by-dimension equality matching cannot
+    # see the contradiction; solving each dimension and intersecting
+    # the pinned distances can
+    prog = ir.Program("good-coupled-infeasible", (
+        ir.For("i", C(4), (
+            ir.ComputeStmt(
+                "copy", (ir.NodeGet("X", (V("i"), V("i"))),), out="t"),
+            ir.NodeSet(
+                "X", (ir.Bin("+", V("i"), C(1)), V("i")), V("t")),
+        )),
+    ))
+    return CorpusCase(
+        name=prog.name, category="carried-dependence",
+        registry={prog.name: prog}, root=prog.name,
+        check="loop", loop="i", expect_clean=True)
+
+
+def _case_nonaffine_mod_write() -> CorpusCase:
+    # every iteration writes acc[i % m] with m a runtime parameter:
+    # the modulus is not a literal, the key is not affine, and the
+    # engine must conservatively assume iterations can collide
+    prog = ir.Program("bad-nonaffine-mod-write", (
+        ir.For("i", C(4), (
+            ir.ComputeStmt("copy", (ir.NodeGet("X", (V("i"),)),),
+                           out="t"),
+            ir.NodeSet("acc", (ir.Bin("%", V("i"), V("m")),), V("t")),
+        )),
+    ), params=("m",))
+    return CorpusCase(
+        name=prog.name, category="write-collision",
+        registry={prog.name: prog}, root=prog.name,
+        check="loop", loop="i")
+
+
+def _case_scaled_read() -> CorpusCase:
+    # write X[2i], read X[i]: iteration 2 writes the entry iteration 4
+    # reads — a carried flow dependence whose distance *varies* with i,
+    # so no constant-distance handshake can order it
+    prog = ir.Program("bad-scaled-read", (
+        ir.For("i", C(4), (
+            ir.ComputeStmt("copy", (ir.NodeGet("X", (V("i"),)),),
+                           out="t"),
+            ir.NodeSet("X", (ir.Bin("*", C(2), V("i")),), V("t")),
+        )),
+    ))
+    return CorpusCase(
+        name=prog.name, category="carried-dependence",
+        registry={prog.name: prog}, root=prog.name,
+        check="loop", loop="i")
+
+
+def _case_nonaffine_alias() -> CorpusCase:
+    # two unordered writers address X[(k*k) % 3] and X[0]; with k = 3
+    # those are the same entry. The key is not affine, so the static
+    # analyzer cannot prove disjointness and must report the race —
+    # and the dynamic happens-before checker confirms it actually
+    # fires (the schedule fuzzer cross-validates this case)
+    w1 = ir.Program("bad-race-nonaffine-w1", (
+        ir.NodeSet(
+            "X",
+            (ir.Bin("%", ir.Bin("*", V("k"), V("k")), C(3)),),
+            C(1)),
+    ), params=("k",))
+    w2 = ir.Program("bad-race-nonaffine-w2", (
+        ir.NodeSet("X", (C(0),), C(2)),
+    ))
+    main = ir.Program("bad-nonaffine-alias", (
+        ir.HopStmt((C(0),)),
+        ir.InjectStmt(w1.name, bindings=(("k", C(3)),)),
+        ir.InjectStmt(w2.name),
+    ))
+    return CorpusCase(
+        name=main.name, category="data-race",
+        registry={p.name: p for p in (w1, w2, main)},
+        root=main.name, check="races",
+        racy_vars=("X",))
+
+
 CORPUS: tuple = (
     _case_write_collision(),
     _case_stale_carry(),
@@ -303,6 +433,12 @@ CORPUS: tuple = (
     _case_dropped_wait(),
     _case_key_alias(),
     _case_reduction_order(),
+    _case_affine_offset(),
+    _case_gcd_disjoint(),
+    _case_coupled_infeasible(),
+    _case_nonaffine_mod_write(),
+    _case_scaled_read(),
+    _case_nonaffine_alias(),
 )
 
 RACY_CORPUS: tuple = tuple(c for c in CORPUS if c.check == "races")
@@ -350,14 +486,20 @@ def installed(case: CorpusCase):
 def verify_corpus() -> list:
     """``(case, report, hit)`` for every corpus case.
 
-    ``hit`` is True when the case's defect was flagged under the
-    expected category at error-or-warning severity.
+    For a negative control, ``hit`` is True when the case's defect was
+    flagged under the expected category at error-or-warning severity.
+    For a positive control (``expect_clean``), ``hit`` is True when
+    the analysis raised *no* error or warning — a finding there is a
+    false positive.
     """
     results = []
     for case in CORPUS:
         report = run_case(case)
-        hit = any(d.category == case.category
-                  and d.severity in ("error", "warning")
-                  for d in report)
+        findings = [d for d in report
+                    if d.severity in ("error", "warning")]
+        if case.expect_clean:
+            hit = not findings
+        else:
+            hit = any(d.category == case.category for d in findings)
         results.append((case, report, hit))
     return results

@@ -6,27 +6,35 @@ conditions*" (Section 2). This module decides those conditions
 statically, in the style of classical array dependence analysis
 (Feautrier; Adutskevich et al.) adapted to the paradigm's
 dictionary-shaped node variables: accesses are compared by their
-*symbolic key expressions*, normalized so that ``k+1`` and ``1+k``
-agree, and classified as flow (write→read), anti (read→write) or
-output (write→write) dependences, loop-carried or iteration-local.
+*symbolic key expressions*, parsed into affine forms
+(:mod:`repro.analysis.affine`) and run through GCD/Banerjee-style
+tests (:mod:`repro.analysis.distance`), and classified as flow
+(write→read), anti (read→write) or output (write→write) dependences —
+each carrying a :class:`~repro.analysis.distance.DependenceVector`
+(distance/direction over the analyzed loop), not just a carried bit.
 
 For the transformations' legality gates the carried dependences are
 what matters:
 
-* a **write not indexed by the loop variable** (or two writes with
-  differing keys) means distinct iterations hit the same entry — a
-  write collision under any reordering or distribution;
-* a **read whose key matches no write key** of the same variable may
-  alias another iteration's write — the ``D[r-1, c]`` wavefront case;
+* a **write whose key can repeat across iterations** (coefficient zero
+  on the loop variable, a non-affine key like ``acc[i % 2]``, or two
+  writes whose keys overlap at nonzero distance) means distinct
+  iterations hit the same entry — a write collision under any
+  reordering or distribution;
+* a **read aliasing another iteration's write** — the ``D[r-1, c]``
+  wavefront case solves to distance ``+1``: illegal to distribute
+  blindly, but exactly the *forward* carried dependence that keyed
+  pipelining (:mod:`repro.transform.keyed_pipeline`) legalizes with a
+  wait/signal handshake;
 * an **agent variable read at or before its first in-iteration
   definition** carries a value between iterations (the loop cannot be
   split into concurrent messengers). Definitions that dominate every
   use in pre-order — the DSC accumulator pattern, where ``t`` is
   re-zeroed before accumulating — are legal and not flagged.
 
-The former structural rules in :mod:`repro.transform.deps` now
-delegate here, so the linter and the transformations share one notion
-of legality.
+The former structural rules in :mod:`repro.transform.deps` delegate
+here, so the linter and the transformations share one notion of
+legality; ``repro lint --loop VAR --json`` exposes the raw vectors.
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ from dataclasses import dataclass
 from ..navp import ir
 from . import visitor
 from .diagnostics import DiagnosticReport, error
+from .distance import DependenceVector, dependence_between
 from .summary import NodeAccess, summarize_body
 
 __all__ = [
@@ -55,7 +64,9 @@ class Dependence:
 
     ``src``/``dst`` are statement paths (body_at convention) rooted at
     the analyzed program; ``carried`` means the endpoints may fall in
-    *different* iterations of the analyzed loop.
+    *different* iterations of the analyzed loop; ``vector`` is the
+    distance/direction record of the affine test (None only for agent
+    dependences, which have no key to solve).
     """
 
     kind: str        # flow | anti | output
@@ -65,6 +76,7 @@ class Dependence:
     dst: tuple
     carried: bool
     detail: str = ""
+    vector: DependenceVector | None = None
 
 
 @dataclass(frozen=True)
@@ -82,7 +94,12 @@ class LoopAnalysis:
         return tuple(d for d in self.dependences if d.carried)
 
 
-def _node_dependences(loop_var: str, summaries) -> list:
+def _key_repr(key: tuple) -> str:
+    return f"[{', '.join(repr(e) for e in key)}]"
+
+
+def _node_dependences(loop_var: str, summaries, bound: int | None,
+                      free_vars: frozenset) -> list:
     reads: list[NodeAccess] = []
     writes: list[NodeAccess] = []
     pos_of: dict = {}
@@ -94,44 +111,61 @@ def _node_dependences(loop_var: str, summaries) -> list:
             writes.append(acc)
             pos_of[acc] = s.pos
 
+    def test(src: NodeAccess, dst: NodeAccess):
+        return dependence_between(src.raw_key, dst.raw_key, loop_var,
+                                  bound=bound, free_vars=free_vars)
+
     deps: list[Dependence] = []
-    write_keys: dict = {}
+
+    # -- write self-collisions: can iteration i and i' hit one entry? --
     for w in writes:
-        write_keys.setdefault(w.var, set()).add(w.key)
-        if not any(visitor.uses_var(e, loop_var) for e in w.raw_key):
+        vec = test(w, w)
+        if vec is not None and vec.carried:
+            if not any(visitor.uses_var(e, loop_var) for e in w.raw_key):
+                detail = "write not indexed by loop variable"
+            else:
+                detail = (f"write key may repeat across iterations "
+                          f"({vec.reason})")
             deps.append(Dependence(
                 OUTPUT, "node", w.var, w.path, w.path, carried=True,
-                detail="write not indexed by loop variable"))
+                detail=detail, vector=vec))
 
-    # write/write pairs with differing keys also collide across
-    # iterations even when each key mentions the loop variable
-    # (iteration i writing both X[i] and X[i+1] overlaps i+1's write).
-    for var, keys in write_keys.items():
-        if len(keys) > 1:
-            sites = [w for w in writes if w.var == var]
-            deps.append(Dependence(
-                OUTPUT, "node", var, sites[0].path, sites[-1].path,
-                carried=True, detail="writes with differing keys"))
+    # -- write/write pairs: overlapping keys collide across iterations --
+    for i, w1 in enumerate(writes):
+        for w2 in writes[i + 1:]:
+            if w1.var != w2.var:
+                continue
+            vec = test(w1, w2)
+            if vec is not None and vec.carried:
+                deps.append(Dependence(
+                    OUTPUT, "node", w1.var, w1.path, w2.path,
+                    carried=True,
+                    detail=f"writes overlap, {vec.describe()}",
+                    vector=vec))
 
+    # -- write/read pairs: flow and anti dependences ---------------------
     for r in reads:
-        keys = write_keys.get(r.var)
-        if keys is None:
-            continue
-        if r.key in keys:
-            # the read provably touches this iteration's own entry
-            matching = next(w for w in writes
-                            if w.var == r.var and w.key == r.key)
-            kind = FLOW if pos_of[matching] <= pos_of[r] else ANTI
-            deps.append(Dependence(kind, "node", r.var, matching.path,
-                                   r.path, carried=False))
-        else:
-            for w in writes:
-                if w.var != r.var:
-                    continue
+        for w in writes:
+            if w.var != r.var:
+                continue
+            vec = test(w, r)
+            if vec is None:
+                continue  # provably disjoint
+            if not vec.carried:
                 kind = FLOW if pos_of[w] <= pos_of[r] else ANTI
                 deps.append(Dependence(
-                    kind, "node", r.var, w.path, r.path, carried=True,
-                    detail="read key matches no write key"))
+                    kind, "node", r.var, w.path, r.path, carried=False,
+                    detail="iteration-local", vector=vec))
+                continue
+            if vec.distance is not None:
+                kind = FLOW if vec.distance > 0 else ANTI
+            else:
+                kind = FLOW if pos_of[w] <= pos_of[r] else ANTI
+            deps.append(Dependence(
+                kind, "node", r.var, w.path, r.path, carried=True,
+                detail=f"read aliases another iteration's write, "
+                       f"{vec.describe()}",
+                vector=vec))
     return deps
 
 
@@ -172,7 +206,16 @@ def analyze_loop(program: ir.Program, loop_var: str) -> LoopAnalysis:
     """
     path, loop = visitor.find_unique_loop(program, loop_var)
     summaries = tuple(summarize_body(loop.body, base_path=path))
-    deps = _node_dependences(loop_var, summaries) \
+    bound = loop.count.value \
+        if isinstance(loop.count, ir.Const) \
+        and isinstance(loop.count.value, int) \
+        and not isinstance(loop.count.value, bool) else None
+    # symbols assigned inside the body (inner loop variables, local
+    # agent assignments) take independent values at each access
+    free_vars = frozenset().union(
+        *(s.agent_defs for s in summaries)) - {loop_var} \
+        if summaries else frozenset()
+    deps = _node_dependences(loop_var, summaries, bound, free_vars) \
         + _agent_dependences(summaries)
     return LoopAnalysis(program=program, loop_var=loop_var,
                         loop_path=path, summaries=summaries,
@@ -198,33 +241,31 @@ def loop_diagnostics(program: ir.Program,
 
     for dep in analysis.carried:
         if dep.space == "node" and dep.kind == OUTPUT:
-            if dep.detail == "write not indexed by loop variable":
+            if dep.src == dep.dst:
                 stmt = visitor.stmt_at(program, dep.src)
                 emit(error(
                     "write-collision", program.name, dep.src,
                     f"{program.name}: node write "
-                    f"{stmt.name}{list(stmt.idx)!r} is not indexed by "
-                    f"loop variable {loop_var!r}; iterations would "
-                    f"collide"))
+                    f"{stmt.name}{list(stmt.idx)!r} can hit one entry "
+                    f"from different iterations of {loop_var!r} "
+                    f"({dep.detail}); iterations would collide"))
             else:
                 emit(error(
                     "write-collision", program.name, dep.dst,
                     f"{program.name}: the loop writes {dep.var!r} at "
-                    f"differing keys; iterations of {loop_var!r} would "
-                    f"collide"))
+                    f"overlapping keys ({dep.vector.describe()}); "
+                    f"iterations of {loop_var!r} would collide"))
         elif dep.space == "node":
-            stmt_summary = next(
-                s for s in analysis.summaries
-                for acc in s.node_reads
-                if acc.path == dep.dst and acc.var == dep.var)
-            read = next(acc for acc in stmt_summary.node_reads
+            read = next(acc for s in analysis.summaries
+                        for acc in s.node_reads
                         if acc.path == dep.dst and acc.var == dep.var)
             emit(error(
                 "carried-dependence", program.name, dep.dst,
-                f"{program.name}: {read.var}{list(read.raw_key)!r} is "
-                f"read but the loop writes {read.var} at different "
-                f"keys; a loop-carried dependence may exist over "
-                f"{loop_var!r}"))
+                f"{program.name}: {read.var}{list(read.raw_key)!r} "
+                f"reads an entry another iteration of {loop_var!r} "
+                f"writes ({dep.kind} dependence, "
+                f"{dep.vector.describe()}); a loop-carried dependence "
+                f"exists"))
         else:
             emit(error(
                 "carried-dependence", program.name, dep.dst,

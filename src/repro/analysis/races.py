@@ -53,6 +53,7 @@ from dataclasses import dataclass
 from ..navp import ir
 from . import visitor
 from .diagnostics import Diagnostic, DiagnosticReport, ERROR
+from .distance import keys_never_equal
 from .mhp import MHPAnalysis, build_mhp
 from .protocol import _sccs, analyze_protocol
 
@@ -121,15 +122,6 @@ def _render_key(key: tuple) -> str:
     return ", ".join(repr(e) for e in key)
 
 
-def _const_tuple(exprs) -> tuple | None:
-    values = []
-    for e in exprs:
-        if not isinstance(e, ir.Const):
-            return None
-        values.append(e.value)
-    return tuple(values)
-
-
 def _exclusive(path_a: tuple, path_b: tuple) -> bool:
     """True when the paths lie in opposite branches of one ``If``."""
     for pa, pb in zip(path_a, path_b):
@@ -195,17 +187,20 @@ class _Checker:
                     (acc.thread, acc.var), []).append(acc)
 
     # -- disjointness ------------------------------------------------------
+    # Affine, not merely constant: keys_never_equal treats every
+    # variable as an independent unknown on each side (sound across
+    # threads and instances) and proves disjointness from differing
+    # constants or a GCD obstruction; a non-affine dimension (``k % 2``)
+    # falls back to "maybe equal", keeping the check conservative.
     def places_disjoint(self, a: StaticAccess, b: StaticAccess) -> bool:
         if a.place is None or b.place is None:
             return False
-        ca, cb = _const_tuple(a.place), _const_tuple(b.place)
-        return ca is not None and cb is not None and ca != cb
+        return keys_never_equal(a.place, b.place)
 
     def keys_disjoint(self, a: StaticAccess, b: StaticAccess) -> bool:
         if not a.key or not b.key:
             return False
-        ca, cb = _const_tuple(a.key), _const_tuple(b.key)
-        return ca is not None and cb is not None and ca != cb
+        return keys_never_equal(a.key, b.key)
 
     # -- R1': instance separation -----------------------------------------
     def param_separated(self, a: StaticAccess, b: StaticAccess) -> bool:

@@ -1,0 +1,7 @@
+"""``python -m repro.cli`` — same entry point as ``python -m repro``."""
+
+import sys
+
+from . import main
+
+sys.exit(main())

@@ -1,0 +1,65 @@
+"""``repro bench`` — the pinned performance suite."""
+
+from __future__ import annotations
+
+import sys
+
+
+def configure(sub) -> None:
+    bench_p = sub.add_parser(
+        "bench", help="run the pinned performance suite")
+    bench_p.add_argument("--out", default="benchmarks/out",
+                         help="directory for BENCH_<date>.json snapshots "
+                              "(default benchmarks/out)")
+    bench_p.add_argument("--against", default=None,
+                         help="snapshot to compare against (default: the "
+                              "newest BENCH_*.json in --out)")
+    bench_p.add_argument("--threshold", type=float, default=0.85,
+                         help="regression threshold on the primary metric "
+                              "ratio (default 0.85)")
+    bench_p.add_argument("--smoke", action="store_true",
+                         help="small sizes, <60 s — the CI tier-1 mode")
+    bench_p.add_argument("--label", default="",
+                         help="free-form label stored in the snapshot")
+    bench_p.add_argument("--only", nargs="*", default=None,
+                         help="run a subset of benchmarks by name")
+    bench_p.add_argument("--no-write", action="store_true",
+                         help="run and report without writing a snapshot")
+    bench_p.add_argument("--repeats", type=int, default=3,
+                         help="runs per benchmark; the fastest is kept "
+                              "(default 3)")
+    bench_p.set_defaults(handler=_cmd_bench)
+
+
+def _cmd_bench(args) -> int:
+    from ..perf import (
+        compare_benches,
+        find_previous,
+        load_bench,
+        render_report,
+        run_suite,
+        write_bench,
+    )
+    from ..perf.report import make_snapshot
+
+    try:
+        results = run_suite(smoke=args.smoke, only=args.only,
+                            repeats=args.repeats)
+    except KeyError as exc:
+        print(f"unknown benchmark {exc.args[0]!r}", file=sys.stderr)
+        return 2
+    snapshot = make_snapshot(results, label=args.label, smoke=args.smoke)
+
+    previous_path = args.against or find_previous(args.out)
+    if previous_path is not None:
+        comparison = compare_benches(snapshot, load_bench(previous_path),
+                                     threshold=args.threshold)
+        comparison["against"] = str(previous_path)
+        snapshot["vs_baseline"] = comparison
+    if not args.no_write:
+        path = write_bench(snapshot, args.out)
+        print(f"wrote {path}")
+    print(render_report(snapshot))
+    if snapshot.get("vs_baseline", {}).get("regressions"):
+        return 1
+    return 0

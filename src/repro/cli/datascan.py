@@ -1,0 +1,34 @@
+"""``repro datascan`` — the computation-to-data scan study."""
+
+from __future__ import annotations
+
+
+def configure(sub) -> None:
+    ds_p = sub.add_parser("datascan",
+                          help="computation-to-data scan study")
+    ds_p.add_argument("--pes", type=int, default=8)
+    ds_p.add_argument("--items", type=int, default=200_000,
+                      help="items per PE")
+    ds_p.set_defaults(handler=_cmd_datascan)
+
+
+def _cmd_datascan(args) -> int:
+    from ..datascan import (
+        DataScanCase,
+        histogram,
+        run_navp_scan,
+        run_ship_data,
+        run_spmd_reduce,
+    )
+
+    case = DataScanCase(pes=args.pes, items_per_pe=args.items)
+    query = histogram(64)
+    ship = run_ship_data(case, query)
+    scan = run_navp_scan(case, query)
+    reduce_ = run_spmd_reduce(case, query)
+    print(f"{query.name} over {args.pes} x {args.items:,} items")
+    print(f"  ship-data    {ship.time:8.3f} s")
+    print(f"  navp-scan    {scan.time:8.3f} s  "
+          f"({ship.time / scan.time:.1f}x over shipping)")
+    print(f"  spmd-reduce  {reduce_.time:8.3f} s")
+    return 0

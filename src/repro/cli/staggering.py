@@ -1,0 +1,21 @@
+"""``repro staggering`` — the Section 5 phase-count comparison."""
+
+from __future__ import annotations
+
+from ..matmul import staggering_comparison
+
+
+def configure(sub) -> None:
+    stag_p = sub.add_parser("staggering",
+                            help="forward vs reverse staggering phases")
+    stag_p.add_argument("--max-n", type=int, default=16)
+    stag_p.set_defaults(handler=_cmd_staggering)
+
+
+def _cmd_staggering(args) -> int:
+    print(f"{'n':>4} {'forward':>8} {'reverse':>8}")
+    for n, fwd, rev in staggering_comparison(range(2, args.max_n + 1)):
+        print(f"{n:4d} {fwd:8d} {rev:8d}")
+    print("\nreverse staggering never needs more than 2 phases; forward "
+          "needs 3\nunless n is a power of two (Section 5, item 3).")
+    return 0

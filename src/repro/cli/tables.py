@@ -1,0 +1,65 @@
+"""``repro table`` / ``repro figure1`` / ``repro report`` — the
+paper's tables and figures."""
+
+from __future__ import annotations
+
+from ..perfmodel import (
+    build_figure1,
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+    figure1_report,
+)
+
+
+def configure(sub) -> None:
+    table_p = sub.add_parser("table", help="regenerate a paper table")
+    table_p.add_argument("number", type=int, choices=[1, 2, 3, 4])
+    table_p.set_defaults(handler=_cmd_table)
+
+    fig_p = sub.add_parser("figure1",
+                           help="regenerate the Figure 1 panels")
+    fig_p.set_defaults(handler=_cmd_figure1)
+
+    rep_p = sub.add_parser("report",
+                           help="regenerate the whole evaluation at once")
+    rep_p.add_argument("--quick", action="store_true",
+                       help="smallest matrix order per table only")
+    rep_p.set_defaults(handler=_cmd_report)
+
+
+def _cmd_table(args) -> int:
+    builder = {1: build_table1, 2: build_table2,
+               3: build_table3, 4: build_table4}[args.number]
+    comparison = builder()
+    print(comparison.render())
+    failures = comparison.failed_shapes()
+    if failures:
+        print("\nshape check failures:")
+        for claim, _ok, detail in failures:
+            print(f"  {claim}: {detail}")
+        return 1
+    print("\nshape checks: all passed")
+    return 0
+
+
+def _cmd_figure1(args) -> int:
+    panels = build_figure1()
+    for panel in panels:
+        print(panel.diagram)
+        print(f"(makespan {panel.time:.4f} s)\n")
+    bad = [claim for claim, ok, _d in figure1_report(panels) if not ok]
+    if bad:
+        print("failed claims:", "; ".join(bad))
+        return 1
+    print("all Figure 1 claims hold")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from ..perfmodel.report import generate_report
+
+    text = generate_report(quick=args.quick)
+    print(text)
+    return 0 if "FAILED" not in text else 1

@@ -1,0 +1,17 @@
+"""``repro variants`` — list the runnable matmul variants."""
+
+from __future__ import annotations
+
+from ..matmul import variant_names
+
+
+def configure(sub) -> None:
+    parser = sub.add_parser("variants",
+                            help="list runnable matmul variants")
+    parser.set_defaults(handler=_cmd_variants)
+
+
+def _cmd_variants(args) -> int:
+    for name in variant_names():
+        print(name)
+    return 0

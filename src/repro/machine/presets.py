@@ -21,7 +21,8 @@ from __future__ import annotations
 
 from .spec import MachineSpec, MemorySpec, NetworkSpec
 
-__all__ = ["SUN_BLADE_100", "MODERN_CLUSTER", "FAST_TEST_MACHINE"]
+__all__ = ["SUN_BLADE_100", "MODERN_CLUSTER", "FAST_TEST_MACHINE",
+           "PRESETS", "get_preset"]
 
 
 SUN_BLADE_100 = MachineSpec(
@@ -66,3 +67,21 @@ FAST_TEST_MACHINE = MachineSpec(
     network=NetworkSpec(bandwidth_Bps=1.0e8, latency_s=1.0e-5),
     memory=MemorySpec(),
 )
+
+
+# CLI-facing names (``repro plan --machine sun-blade-100``).
+PRESETS = {
+    "sun-blade-100": SUN_BLADE_100,
+    "modern-cluster": MODERN_CLUSTER,
+    "fast-test": FAST_TEST_MACHINE,
+}
+
+
+def get_preset(name: str) -> MachineSpec:
+    """Look up a preset by CLI name; ValueError lists the choices."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown machine preset {name!r}; choose from "
+            f"{', '.join(sorted(PRESETS))}") from None

@@ -1,0 +1,149 @@
+"""Static communication/span profiles and per-stage scoring.
+
+Two layers, deliberately separate:
+
+* :func:`static_profile` counts, from the IR alone, how many hops,
+  injections, events and kernel calls one run of a program executes —
+  loop trip counts multiply through, and ``InjectStmt`` recurses into
+  the injected program so a pipelined suite is profiled whole. With a
+  byte cost per hop (messenger state plus carried agent data) this
+  yields the plan's *communication volume*; the longest chain of
+  kernel calls no concurrency can overlap is its *span*.
+* :func:`score_stage` turns a stage into predicted seconds on a
+  machine preset via the calibrated analytic model
+  (:mod:`repro.perfmodel.analytic`) for the matmul variants, and
+  matching first-order formulas for the wavefront (fill/drain plus
+  dominant communication, same style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.spec import MachineSpec
+from ..navp import ir
+from ..perfmodel.analytic import predict
+from ..wavefront.problem import block_flops
+
+__all__ = ["CommProfile", "static_profile", "score_stage"]
+
+
+@dataclass(frozen=True)
+class CommProfile:
+    """Execution counts for one run, from the IR alone.
+
+    ``exact`` is False when some loop bound was not a literal constant
+    (its trip count was taken as 1).
+    """
+
+    hops: int = 0
+    injects: int = 0
+    waits: int = 0
+    signals: int = 0
+    kernel_calls: int = 0
+    exact: bool = True
+
+    def __add__(self, other: "CommProfile") -> "CommProfile":
+        return CommProfile(
+            self.hops + other.hops,
+            self.injects + other.injects,
+            self.waits + other.waits,
+            self.signals + other.signals,
+            self.kernel_calls + other.kernel_calls,
+            self.exact and other.exact,
+        )
+
+    def volume_bytes(self, machine: MachineSpec,
+                     carried_bytes: int = 0) -> int:
+        """Bytes on the wire: every hop moves the messenger state plus
+        its carried agent data; injections move the initial state."""
+        per_hop = machine.hop_state_bytes + carried_bytes
+        return self.hops * per_hop + self.injects * machine.hop_state_bytes
+
+    def as_dict(self) -> dict:
+        return {
+            "hops": self.hops, "injects": self.injects,
+            "waits": self.waits, "signals": self.signals,
+            "kernel_calls": self.kernel_calls, "exact": self.exact,
+        }
+
+
+def _profile_body(body, registry, depth: int) -> CommProfile:
+    total = CommProfile()
+    for stmt in body:
+        if isinstance(stmt, ir.For):
+            count = stmt.count
+            if (isinstance(count, ir.Const)
+                    and isinstance(count.value, int)
+                    and not isinstance(count.value, bool)):
+                mult, exact = count.value, True
+            else:
+                mult, exact = 1, False
+            inner = _profile_body(stmt.body, registry, depth)
+            total += CommProfile(
+                inner.hops * mult, inner.injects * mult,
+                inner.waits * mult, inner.signals * mult,
+                inner.kernel_calls * mult, exact and inner.exact)
+        elif isinstance(stmt, ir.If):
+            # take the heavier branch: an upper bound either way
+            then = _profile_body(stmt.then, registry, depth)
+            orelse = _profile_body(stmt.orelse, registry, depth)
+            total += max(then, orelse, key=lambda p: (
+                p.hops, p.kernel_calls, p.waits))
+        elif isinstance(stmt, ir.HopStmt):
+            total += CommProfile(hops=1)
+        elif isinstance(stmt, ir.InjectStmt):
+            child = registry.get(stmt.program)
+            total += CommProfile(injects=1)
+            if child is not None and depth < 8:
+                total += _profile_body(child.body, registry, depth + 1)
+        elif isinstance(stmt, ir.WaitStmt):
+            total += CommProfile(waits=1)
+        elif isinstance(stmt, ir.SignalStmt):
+            total += CommProfile(signals=1)
+        elif isinstance(stmt, ir.ComputeStmt):
+            total += CommProfile(kernel_calls=1)
+    return total
+
+
+def static_profile(program: ir.Program, registry=None) -> CommProfile:
+    """Execution counts for one run of ``program`` (inject closure)."""
+    if registry is None:
+        registry = ir.REGISTRY
+    return _profile_body(program.body, registry, 0)
+
+
+# -- per-stage seconds ------------------------------------------------------
+
+# matmul stage name -> analytic model variant
+_MATMUL_VARIANTS = {
+    "sequential": "sequential",
+    "dsc": "navp-1d-dsc",
+    "pipeline": "navp-1d-pipeline",
+    "phase-shift": "navp-1d-phase",
+}
+
+
+def _wf_visit(machine: MachineSpec, b: int, width: int) -> float:
+    return machine.flops_time(block_flops(b, width))
+
+
+def score_stage(kind: str, stage: str, n: int, ab: int, p: int,
+                machine: MachineSpec) -> float:
+    """Predicted seconds for one plan stage on ``machine``."""
+    if kind == "matmul-1d":
+        return predict(_MATMUL_VARIANTS[stage], n, ab, p, machine)
+    if kind == "wavefront":
+        nblocks = n // ab
+        width = n // p
+        visit = _wf_visit(machine, ab, width)
+        # the boundary row handed east plus the messenger state
+        hop = machine.network.message_time(
+            machine.hop_state_bytes + ab * machine.elem_size)
+        if stage == "sequential":
+            return nblocks * p * visit + nblocks * p * hop
+        if stage == "keyed-pipeline":
+            # fill p-1 stages, then every PE streams its rows
+            return (nblocks + p - 1) * visit + (p - 1) * hop
+        raise ValueError(f"unknown wavefront stage {stage!r}")
+    raise ValueError(f"unknown target kind {kind!r}")

@@ -1,0 +1,150 @@
+"""Rendering a :class:`~repro.plan.planner.Plan` for humans and tools.
+
+:func:`render_plan` produces the ``repro plan`` console report — the
+chosen sequence, the rejected candidates with their reasons, the
+per-stage analytic predictions and communication profiles, and the
+validation verdict. :func:`plan_to_dict` produces the JSON form the
+golden-plan tests pin down. :func:`render_ir` pretty-prints the
+emitted navigational IR (``--emit-ir``).
+"""
+
+from __future__ import annotations
+
+from ..analysis import visitor
+from ..navp import ir
+from .planner import Plan
+
+__all__ = ["render_plan", "plan_to_dict", "render_ir"]
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def render_ir(program: ir.Program, indent: str = "  ") -> str:
+    """An indented statement listing of one program."""
+    lines = [f"program {program.name}"
+             f"({', '.join(program.params)}):"]
+
+    def emit(body, depth: int) -> None:
+        pad = indent * depth
+        for stmt in body:
+            if isinstance(stmt, ir.For):
+                lines.append(f"{pad}for {stmt.var} in "
+                             f"range({stmt.count!r}):")
+                emit(stmt.body, depth + 1)
+            elif isinstance(stmt, ir.If):
+                lines.append(f"{pad}if {stmt.cond!r}:")
+                emit(stmt.then, depth + 1)
+                if stmt.orelse:
+                    lines.append(f"{pad}else:")
+                    emit(stmt.orelse, depth + 1)
+            elif isinstance(stmt, ir.Assign):
+                lines.append(f"{pad}{stmt.var} = {stmt.expr!r}")
+            elif isinstance(stmt, ir.ComputeStmt):
+                args = ", ".join(repr(a) for a in stmt.args)
+                lines.append(f"{pad}{stmt.out} = "
+                             f"{stmt.kernel}({args})")
+            elif isinstance(stmt, ir.NodeSet):
+                lines.append(f"{pad}{stmt.name}{list(stmt.idx)!r} = "
+                             f"{stmt.expr!r}")
+            elif isinstance(stmt, ir.HopStmt):
+                lines.append(f"{pad}hop(node{list(stmt.place)!r})")
+            elif isinstance(stmt, ir.InjectStmt):
+                binds = ", ".join(f"{v}={e!r}" for v, e in stmt.bindings)
+                lines.append(f"{pad}inject({stmt.program}, {binds})")
+            elif isinstance(stmt, ir.WaitStmt):
+                lines.append(f"{pad}wait({stmt.event}"
+                             f"{list(stmt.args)!r})")
+            elif isinstance(stmt, ir.SignalStmt):
+                lines.append(f"{pad}signal({stmt.event}"
+                             f"{list(stmt.args)!r})")
+            else:  # extension statements: fall back to their repr
+                lines.append(f"{pad}{stmt!r}")
+
+    emit(program.body, 1)
+    return "\n".join(lines)
+
+
+def render_plan(plan: Plan, emit_ir: bool = False) -> str:
+    lines = [
+        f"plan for {plan.target} on {plan.machine}",
+        f"  geometry: {plan.geometry} PEs, n={plan.n}, "
+        f"block order {plan.ab}",
+        f"  sequence: sequential -> {' -> '.join(plan.sequence)}",
+        "",
+    ]
+    for stage in plan.stages:
+        prof = stage.profile
+        lines.append(f"stage {stage.name}: predicted "
+                     f"{_fmt_s(stage.predicted_s)}")
+        lines.append(f"  emits: {', '.join(stage.programs)}")
+        lines.append(f"  why:   {stage.chosen}")
+        lines.append(
+            f"  comm:  {prof.hops} hops, {prof.injects} injections, "
+            f"{prof.waits} waits/{prof.signals} signals, "
+            f"{stage.comm_bytes / 1e6:.2f} MB moved; "
+            f"{prof.kernel_calls} kernel calls")
+        rejected = [c for c in stage.candidates if not c.viable]
+        for cand in rejected:
+            lines.append(f"  rejected {cand.transform}({cand.subject}): "
+                         f"{cand.detail}")
+        lines.append("")
+    lines.append(f"predicted speedup over sequential: "
+                 f"{plan.speedup:.2f}x on {plan.geometry} PEs")
+    val = plan.validation
+    if val.get("ran"):
+        verdict = ("bit-identical to the sequential program"
+                   if val.get("bit_identical")
+                   else "OUTPUT MISMATCH against the sequential program")
+        lines.append(
+            f"validation ({val.get('fabric')}): race-free; {verdict}")
+    else:
+        lines.append("validation: skipped (--no-validate)")
+    if emit_ir:
+        lines.append("")
+        for name in plan.final_stage.programs:
+            lines.append(render_ir(ir.get_program(name)))
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _path_json(path: tuple) -> list:
+    return [list(step) if isinstance(step, tuple) else step
+            for step in path]
+
+
+def plan_to_dict(plan: Plan) -> dict:
+    """The JSON form pinned by the golden-plan tests."""
+    return {
+        "target": plan.target,
+        "kind": plan.kind,
+        "machine": plan.machine,
+        "geometry": plan.geometry,
+        "n": plan.n,
+        "ab": plan.ab,
+        "sequence": list(plan.sequence),
+        "stages": [
+            {
+                "name": s.name,
+                "programs": list(s.programs),
+                "chosen": s.chosen,
+                "predicted_s": round(s.predicted_s, 6),
+                "comm": {**s.profile.as_dict(),
+                         "bytes": s.comm_bytes},
+                "candidates": [
+                    {
+                        "transform": c.transform,
+                        "subject": c.subject,
+                        "viable": c.viable,
+                        "detail": c.detail,
+                    }
+                    for c in s.candidates
+                ],
+            }
+            for s in plan.stages
+        ],
+        "validation": plan.validation,
+    }

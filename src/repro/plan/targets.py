@@ -1,0 +1,62 @@
+"""What the planner can plan: the paper's two case-study programs.
+
+A target names a sequential starting program plus the geometry
+parameters the paper's tables use. Keeping this a small registry —
+rather than auto-discovering arbitrary programs — is deliberate: the
+planner's *decisions* are general (they only consult the analyses),
+but scoring needs to know the problem shape (matrix order, block
+order) that each IR block entry stands for, and validation needs the
+matching data layout builders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PlanTarget", "TARGETS"]
+
+
+@dataclass(frozen=True)
+class PlanTarget:
+    """One plannable program family.
+
+    kind:
+        ``"matmul-1d"`` (Figure 2 and its 1-D chain) or
+        ``"wavefront"`` (the longest-common-subsequence lattice).
+    geometry:
+        Default PE count (``nb`` for matmul at the paper's fine
+        granularity N == P; ``p`` for the wavefront).
+    n / ab:
+        Problem order and algorithmic block order used for scoring
+        (matmul: Table 1's smallest unpaged run). For the wavefront
+        ``n`` is the lattice order and ``ab`` the block order ``b``.
+    """
+
+    name: str
+    kind: str
+    geometry: int
+    n: int
+    ab: int
+    description: str
+
+
+TARGETS = {
+    "navp-matmul": PlanTarget(
+        name="navp-matmul",
+        kind="matmul-1d",
+        geometry=3,
+        n=1536,
+        ab=512,
+        description="Figure 2 block matmul -> the 1-D chain "
+                    "(DSC, pipelining, phase shifting)",
+    ),
+    "navp-wavefront": PlanTarget(
+        name="navp-wavefront",
+        kind="wavefront",
+        geometry=4,
+        n=32,
+        ab=8,
+        description="LCS wavefront -> keyed (R6) pipelining of the "
+                    "row sweeps",
+    ),
+}

@@ -14,18 +14,21 @@ keeps the transformation-facing contract: a failed condition raises
 message, and anything the analyzer cannot decide (no unique loop, an
 unregistered node type) also raises rather than silently proceeding.
 
-What the analyzer enforces, conservatively, over the paradigm's
-dictionary-shaped node variables:
+What the analyzer decides, conservatively, over the paradigm's
+dictionary-shaped node variables — by solving each pair of key
+expressions into a distance/direction vector
+(:class:`~repro.analysis.distance.DependenceVector`):
 
-* every node-variable *write* inside the loop must be indexed by the
-  loop variable (distinct iterations write distinct entries);
-* no node variable may be both written and read inside the loop unless
-  every read's key expression is equal — after normalization of
-  commutative operands, so ``k+1`` matches ``1+k`` — to one of the
-  write keys. A read like ``D[r-1, c]`` against a write ``D[r, c]``
-  uses the loop variable but aliases the previous iteration's write,
-  which is exactly the flow dependence that makes wavefront rows
-  unpipelinable;
+* every node-variable *write* inside the loop must be provably unable
+  to hit one entry from two iterations (coefficient zero on the loop
+  variable, a non-affine key like ``acc[i % 2]`` with a variable
+  modulus, or overlapping keys at nonzero distance all fail);
+* a read aliasing another iteration's write is a carried flow/anti
+  dependence with a solved distance. ``D[r-1, c]`` against ``D[r, c]``
+  solves to distance ``+1``: illegal for plain pipelining — but a
+  *forward* (all-positive, exact) carried dependence is precisely what
+  :func:`check_forward_carried` certifies so keyed pipelining can turn
+  it into a wait/signal handshake;
 * no agent variable may be read at or before its first in-iteration
   definition (the value would carry between iterations); the DSC
   accumulator pattern, re-initialized before accumulating, passes.
@@ -37,14 +40,19 @@ carried variables to be read-only, see :func:`check_carries_read_only`.)
 
 from __future__ import annotations
 
-from ..analysis.deps import carried_write_diagnostics, loop_diagnostics
+from ..analysis.deps import (
+    FLOW,
+    analyze_loop,
+    carried_write_diagnostics,
+    loop_diagnostics,
+)
 from ..analysis.races import race_diagnostics
 from ..analysis.visitor import uses_var  # noqa: F401  (re-export)
 from ..errors import AnalysisError, TransformError
 from ..navp import ir
 
-__all__ = ["check_loop_independent", "check_carries_read_only",
-           "check_race_free", "uses_var"]
+__all__ = ["check_loop_independent", "check_forward_carried",
+           "check_carries_read_only", "check_race_free", "uses_var"]
 
 
 def _gate(report) -> None:
@@ -60,6 +68,44 @@ def check_loop_independent(program: ir.Program, loop_var: str) -> None:
     except AnalysisError as exc:
         raise TransformError(str(exc)) from exc
     _gate(report)
+
+
+def check_forward_carried(program: ir.Program, loop_var: str) -> tuple:
+    """The keyed-pipelining legality condition.
+
+    Concurrent per-iteration messengers can be ordered by a wait/signal
+    handshake only when every carried dependence of the loop is a node
+    flow dependence with an *exact positive* distance: iteration ``i``
+    then depends on data some earlier iteration ``i - d`` published,
+    and a wait on that iteration's key linearizes the pair. Anything
+    else — a write collision, an anti dependence (a later iteration
+    would overwrite what this one still reads), an agent-variable
+    carry, or a distance the affine solver could not pin — has no such
+    handshake and is refused.
+
+    Returns the carried flow dependences (possibly empty), which tell
+    the transformation *where* the waits and signals go.
+    """
+    try:
+        analysis = analyze_loop(program, loop_var)
+    except AnalysisError as exc:
+        raise TransformError(str(exc)) from exc
+    forward = []
+    for dep in analysis.carried:
+        ok = (dep.space == "node" and dep.kind == FLOW
+              and dep.vector is not None and dep.vector.exact
+              and dep.vector.distance is not None
+              and dep.vector.distance > 0)
+        if not ok:
+            what = dep.vector.describe() if dep.vector is not None \
+                else dep.detail
+            raise TransformError(
+                f"{program.name}: carried {dep.kind} dependence on "
+                f"{dep.var!r} is not a forward flow dependence with an "
+                f"exact distance ({what}); keyed pipelining cannot "
+                f"order it with a wait/signal handshake")
+        forward.append(dep)
+    return tuple(forward)
 
 
 def check_carries_read_only(program: ir.Program, loop_var: str,

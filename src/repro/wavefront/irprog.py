@@ -33,7 +33,8 @@ from ..navp.kernels import KERNELS, register_kernel
 from .navp import WavefrontResult, _gather, _layout
 from .problem import WavefrontCase, block_flops, solve_block
 
-__all__ = ["build_wavefront_ir", "run_ir_wavefront", "WF_KERNEL"]
+__all__ = ["build_wavefront_ir", "build_wavefront_seq_ir",
+           "run_ir_wavefront", "run_wavefront_program", "WF_KERNEL"]
 
 V = ir.Var
 C = ir.Const
@@ -103,6 +104,83 @@ def build_wavefront_ir(p: int, nblocks: int, b: int):
         ),
     ))
     return main, carrier
+
+
+def build_wavefront_seq_ir(p: int, nblocks: int, b: int) -> ir.Program:
+    """The *sequential* wavefront in the IR: one thread touring rows.
+
+    This is the Figure-6-shaped starting point the planner and the
+    keyed-pipelining transformation work from: a single messenger
+    sweeps each row of blocks west to east, reading the bottom
+    boundary row its previous sweep published in ``bottom[r-1]`` — the
+    forward carried dependence (distance ``+1`` over ``r``) that the
+    affine engine solves and keyed pipelining turns into the Figure-7
+    wait/signal handshake. Running it on any fabric gives the golden
+    answer the transformed suite must reproduce bit-identically.
+    """
+    tag = f"{p}x{nblocks}b{b}"
+    prev = ir.Bin("-", V("r"), C(1))
+    return ir.register_program(ir.Program(
+        f"wf-seq-{tag}",
+        (
+            ir.For("r", C(nblocks), (
+                ir.Assign("medge", C(None)),
+                ir.For("c", C(p), (
+                    ir.HopStmt((V("c"),)),
+                    ir.If(
+                        ir.Bin("<", C(0), V("r")),
+                        then=(
+                            ir.Assign("top",
+                                      ir.NodeGet("bottom", (prev,))),
+                        ),
+                        orelse=(
+                            ir.Assign("top", C(None)),
+                        ),
+                    ),
+                    ir.ComputeStmt(
+                        WF_KERNEL,
+                        (ir.NodeGet("W"), V("top"), V("medge"),
+                         V("r"), C(b)),
+                        out="res"),
+                    ir.NodeSet("D", (V("r"),),
+                               ir.Index(V("res"), (C(0),))),
+                    ir.NodeSet("bottom", (V("r"),),
+                               ir.Index(V("res"), (C(1),))),
+                    ir.Assign("medge", ir.Index(V("res"), (C(2),))),
+                )),
+            )),
+        ),
+    ))
+
+
+def run_wavefront_program(
+    main_name: str,
+    case: WavefrontCase,
+    p: int,
+    machine=None,
+    trace: bool = True,
+    fabric: str = "sim",
+    label: str | None = None,
+) -> WavefrontResult:
+    """Run any registered wavefront program against the strip layout.
+
+    Works for the sequential IR, the hand-built pipeline and the
+    keyed-pipelining output alike — which is what lets tests and the
+    planner compare their ``d`` fields bit-for-bit.
+    """
+    from ..navp.interp import IRMessenger
+
+    fab = make_fabric(fabric, Grid1D(p),
+                      machine=machine if machine is not None
+                      else SUN_BLADE_100,
+                      trace=trace)
+    _layout(fab, case, p)
+    fab.inject((0,), IRMessenger(main_name))
+    result = fab.run()
+    return WavefrontResult(
+        label or f"wavefront-ir:{main_name}", case, result.time,
+        d=_gather(result, case, p), trace=result.trace,
+        details={"pes": p, "carriers": case.nblocks})
 
 
 def run_ir_wavefront(

@@ -1,0 +1,168 @@
+"""The affine dependence engine: forms, distance vectors, disjointness."""
+
+import pytest
+
+from repro.analysis.affine import Affine, affine_of
+from repro.analysis.distance import dependence_between, keys_never_equal
+from repro.navp import ir
+
+V = ir.Var
+C = ir.Const
+
+
+def add(a, b):
+    return ir.Bin("+", a, b)
+
+
+def sub(a, b):
+    return ir.Bin("-", a, b)
+
+
+def mul(a, b):
+    return ir.Bin("*", a, b)
+
+
+def mod(a, b):
+    return ir.Bin("%", a, b)
+
+
+class TestAffineOf:
+    def test_const_and_var(self):
+        assert affine_of(C(7)) == Affine((), 7)
+        assert affine_of(V("i")) == Affine((("i", 1),), 0)
+
+    def test_linear_combination(self):
+        form = affine_of(add(mul(C(2), V("i")), sub(V("j"), C(3))))
+        assert form.coeff("i") == 2
+        assert form.coeff("j") == 1
+        assert form.const == -3
+
+    def test_syntactic_variants_normalize(self):
+        # (1+i)-1 and i are the same form: what key equality cannot see
+        assert affine_of(sub(add(C(1), V("i")), C(1))) \
+            == affine_of(V("i"))
+
+    def test_cancelling_terms_drop_out(self):
+        assert affine_of(sub(V("i"), V("i"))) == Affine((), 0)
+
+    def test_nonlinear_rejected(self):
+        assert affine_of(mul(V("i"), V("j"))) is None
+        assert affine_of(mod(V("i"), V("m"))) is None
+
+    def test_bool_consts_rejected(self):
+        assert affine_of(C(True)) is None
+
+
+class TestDependenceBetween:
+    def test_identical_keys_pin_distance_zero(self):
+        vec = dependence_between((V("i"),), (V("i"),), "i")
+        assert (vec.distance, vec.direction, vec.exact) == (0, "=", True)
+        assert not vec.carried
+
+    def test_offset_normalization_is_distance_zero(self):
+        # X[(1+i)-1] vs X[i]: the good-affine-offset corpus case
+        vec = dependence_between((sub(add(C(1), V("i")), C(1)),),
+                                 (V("i"),), "i")
+        assert vec.distance == 0 and not vec.carried
+
+    def test_shifted_key_pins_forward_distance(self):
+        # write bottom[r], read bottom[r-1]: the wavefront R6 shape
+        vec = dependence_between((V("r"),), (sub(V("r"), C(1)),), "r")
+        assert (vec.distance, vec.direction) == (1, "<")
+        assert vec.carried and vec.exact
+
+    def test_gcd_proves_evens_meet_no_odds(self):
+        assert dependence_between((mul(C(2), V("i")),),
+                                  (add(mul(C(2), V("i")), C(1)),),
+                                  "i") is None
+
+    def test_coupled_subscripts_infeasible(self):
+        # X[i+1, i] vs X[i, i]: dim pins +1 and 0 — contradiction
+        assert dependence_between((add(V("i"), C(1)), V("i")),
+                                  (V("i"), V("i")), "i") is None
+
+    def test_scaled_read_stays_conservative(self):
+        # X[2i] write vs X[i] read: feasible at varying distances
+        vec = dependence_between((mul(C(2), V("i")),), (V("i"),), "i")
+        assert vec.direction == "*" and not vec.exact
+
+    def test_nonaffine_key_stays_conservative(self):
+        vec = dependence_between((mod(V("i"), V("m")),),
+                                 (mod(V("i"), V("m")),), "i")
+        assert vec.direction == "*" and not vec.exact
+
+    def test_arity_mismatch_stays_conservative(self):
+        vec = dependence_between((V("i"),), (V("i"), C(0)), "i")
+        assert vec.direction == "*"
+
+    def test_bound_discards_out_of_range_distance(self):
+        # distance +5 cannot happen inside a 4-iteration loop
+        assert dependence_between((V("i"),), (sub(V("i"), C(5)),),
+                                  "i", bound=4) is None
+
+    def test_fixed_symbol_cancels(self):
+        # X[i+k] vs X[i+k] with k a parameter: still distance 0
+        vec = dependence_between((add(V("i"), V("k")),),
+                                 (add(V("i"), V("k")),), "i")
+        assert vec.distance == 0
+
+    def test_free_symbol_does_not_cancel(self):
+        # the same syntactic key, but j takes independent values at
+        # each access (an inner-loop variable): no pin survives
+        vec = dependence_between((add(V("i"), V("j")),),
+                                 (add(V("i"), V("j")),), "i",
+                                 free_vars=frozenset({"j"}))
+        assert vec.carried and vec.direction == "*"
+
+
+class TestModularSchedules:
+    """The congruence extension that legalizes phase-shifted tours."""
+
+    def test_identical_schedule_key_pins_zero_within_bound(self):
+        # C[mi, (2-mi+mj) % 3] against itself over mj, trip count 3:
+        # d ≡ 0 (mod 3) and |d| < 3 leaves only d = 0
+        key = (V("mi"), mod(add(sub(C(2), V("mi")), V("mj")), C(3)))
+        vec = dependence_between(key, key, "mj", bound=3)
+        assert (vec.distance, vec.carried) == (0, False)
+
+    def test_without_bound_only_the_congruence_is_known(self):
+        key = (mod(V("i"), C(4)),)
+        vec = dependence_between(key, key, "i")
+        assert vec.direction == "*" and "modulo 4" in vec.reason
+
+    def test_congruence_against_larger_bound_is_inexact(self):
+        # trip count 8 admits d in {-4, 0, 4}: carried, not pinned
+        key = (mod(V("i"), C(4)),)
+        vec = dependence_between(key, key, "i", bound=8)
+        assert vec.distance is None and vec.carried
+
+    def test_mixed_moduli_stay_conservative(self):
+        vec = dependence_between((mod(V("i"), C(3)),),
+                                 (mod(V("i"), C(4)),), "i")
+        assert vec.direction == "*"
+
+    def test_congruence_with_unreachable_residue_is_independent(self):
+        # X[(2i) % 4] against X[(2i+1) % 4]: the residues differ in
+        # parity, so no iteration pair can collide
+        vec = dependence_between((mod(mul(C(2), V("i")), C(4)),),
+                                 (mod(add(mul(C(2), V("i")), C(1)),
+                                      C(4)),), "i")
+        assert vec is None
+
+
+class TestKeysNeverEqual:
+    def test_distinct_constants_disjoint(self):
+        assert keys_never_equal((C(0),), (C(1),))
+
+    def test_same_variable_not_disjoint_across_threads(self):
+        # Var("k") on each side belongs to a different messenger: the
+        # cross-thread test must not assume they are equal
+        assert not keys_never_equal((add(V("k"), C(1)),),
+                                    (add(C(1), V("k")),))
+
+    def test_gcd_obstruction_disjoint(self):
+        assert keys_never_equal((mul(C(2), V("i")),),
+                                (add(mul(C(2), V("j")), C(1)),))
+
+    def test_nonaffine_not_disjoint(self):
+        assert not keys_never_equal((mod(V("i"), V("m")),), (C(0),))

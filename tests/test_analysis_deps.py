@@ -48,7 +48,11 @@ class TestWavefrontRejection:
         dep = carried[0]
         assert dep.kind == FLOW
         assert dep.var == "D"
-        assert dep.detail == "read key matches no write key"
+        # the affine engine solves the exact distance: the read at
+        # iteration r touches the entry written at iteration r-1
+        assert dep.vector.distance == 1
+        assert dep.vector.direction == "<"
+        assert dep.vector.exact
 
     def test_diagnosed_and_gated(self):
         report = loop_diagnostics(self._wavefront(), "r")

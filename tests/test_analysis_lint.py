@@ -100,7 +100,7 @@ class TestCorpus:
     def test_cli_corpus_mode(self, capsys):
         assert main(["lint", "--corpus"]) == 0
         out = capsys.readouterr().out
-        assert f"{len(CORPUS)}/{len(CORPUS)} corpus defects caught" in out
+        assert f"{len(CORPUS)}/{len(CORPUS)} corpus checks passed" in out
 
 
 class TestCliSurface:

@@ -26,10 +26,11 @@ def _case(name):
 
 
 class TestRacyCorpus:
-    def test_the_four_seeded_defects(self):
+    def test_the_five_seeded_defects(self):
         assert sorted(c.name for c in RACY_CORPUS) == [
             "bad-dropped-wait", "bad-key-alias",
-            "bad-reduction-order", "bad-unsignaled-write"]
+            "bad-nonaffine-alias", "bad-reduction-order",
+            "bad-unsignaled-write"]
 
     @pytest.mark.parametrize("case", RACY_CORPUS, ids=lambda c: c.name)
     def test_flagged_as_data_race(self, case):
