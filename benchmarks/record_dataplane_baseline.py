@@ -1,0 +1,123 @@
+"""Record the pre-data-plane baseline for the three wire benchmarks.
+
+The data-plane PR replaced the hop serialization and frame transport
+in place, so its "before" cannot be measured by checking out old code
+at bench time. Instead, :mod:`repro.perf.wirebench` preserves the old
+algorithms behind ``mode="legacy"`` (whole-graph in-band pickling, a
+header+payload join copy per send, bytes-concatenation receive) and
+``mode="uncoalesced"`` (one frame per hop — the pre-coalescing wire
+behaviour), and this script runs them at the *exact* pinned shapes of
+the ``payload_roundtrip`` / ``wire_throughput`` / ``wire_coalescing``
+suite entries, writing ``BENCH_<date>_prechange.json``.
+
+Run it on the same host as the post-change snapshot, then:
+
+    PYTHONPATH=src python benchmarks/record_dataplane_baseline.py
+    PYTHONPATH=src python -m repro.cli bench \\
+        --against benchmarks/out/BENCH_<date>_prechange.json
+
+``vs_baseline`` ratios in the resulting ``BENCH_<date>.json`` are then
+the data-plane improvement, measured like-for-like.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.perf.report import make_snapshot, write_bench  # noqa: E402
+from repro.perf.suite import (  # noqa: E402
+    _COALESCE_BATCH,
+    _COALESCE_HOPS,
+    _PAYLOAD_ORDER,
+    _WIRE_SIZES,
+)
+from repro.perf.wirebench import (  # noqa: E402
+    coalescing_microbench,
+    payload_roundtrip,
+    socket_throughput,
+)
+
+REPEATS = 3
+
+
+def _best(fn):
+    best = None
+    for _ in range(REPEATS):
+        res = fn()
+        if best is None or res["wall_s"] < best["wall_s"]:
+            best = res
+    return best
+
+
+def legacy_payload_roundtrip() -> dict:
+    reps = 600
+    res = _best(lambda: payload_roundtrip(
+        reps, order=_PAYLOAD_ORDER, mode="legacy"))
+    return {
+        "wall_s": res["wall_s"],
+        "events": reps,
+        "events_per_sec": res["roundtrips_per_sec"],
+        "meta": {"order": _PAYLOAD_ORDER,
+                 "snapshot_bytes": res["snapshot_bytes"],
+                 "mode": "legacy"},
+    }
+
+
+def legacy_wire_throughput() -> dict:
+    wall = 0.0
+    total = 0
+    per_size: dict = {}
+    for payload_bytes, frames in _WIRE_SIZES:
+        res = _best(lambda p=payload_bytes, f=frames: socket_throughput(
+            p, f, mode="legacy"))
+        wall += res["wall_s"]
+        total += payload_bytes * frames
+        per_size[str(payload_bytes)] = {
+            "frames_per_sec": res["frames_per_sec"],
+            "bytes_per_sec": res["bytes_per_sec"],
+        }
+    return {
+        "wall_s": wall,
+        "events": total,
+        "events_per_sec": total / wall,
+        "meta": {"per_size": per_size,
+                 "sizes": [list(s) for s in _WIRE_SIZES],
+                 "mode": "legacy"},
+    }
+
+
+def legacy_wire_coalescing() -> dict:
+    """Pre-change wire: no coalescing existed — one frame per hop."""
+    res = _best(lambda: coalescing_microbench(
+        _COALESCE_HOPS, coalesce=_COALESCE_BATCH, mode="uncoalesced"))
+    return {
+        "wall_s": res["wall_s"],
+        "events": _COALESCE_HOPS,
+        "events_per_sec": res["hops_per_sec"],
+        "meta": {"frames": res["frames"], "mode": "uncoalesced"},
+    }
+
+
+def main() -> int:
+    results = {
+        "payload_roundtrip": legacy_payload_roundtrip(),
+        "wire_throughput": legacy_wire_throughput(),
+        "wire_coalescing": legacy_wire_coalescing(),
+    }
+    snapshot = make_snapshot(
+        results,
+        label="pre-data-plane baseline (legacy codec + wire, best of 3)")
+    date = time.strftime("%Y-%m-%d")
+    path = write_bench(snapshot, Path(__file__).parent / "out",
+                       date=f"{date}_prechange")
+    for name, res in results.items():
+        print(f"{name:<20} {res['events_per_sec']:>14.0f} events/s "
+              f"({res['wall_s']:.3f}s)")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
 """Execution fabrics: virtual-time DES, threads, processes, sockets."""
 
-from . import effects
+from . import effects, payload
 from .desim import (
     Resource,
     Semaphore,
@@ -15,7 +15,7 @@ from .hb import HBTracker, Race, RaceAccess
 from .hosts import block_hosts, cyclic_hosts, host_count, resolve_hosts
 from .process import ProcessFabric
 from .sim import FabricResult, Message, SimFabric, SimPlace
-from .sizes import agent_nbytes, model_nbytes
+from .sizes import agent_nbytes, codec_nbytes, model_nbytes
 from .socket import PhiAccrualDetector, SocketFabric
 from .threads import ThreadFabric, ThreadPlace
 from .topology import Grid1D, Grid2D, Topology
@@ -23,6 +23,7 @@ from .trace import TraceEvent, TraceLog
 
 __all__ = [
     "effects",
+    "payload",
     "block_hosts",
     "cyclic_hosts",
     "host_count",
@@ -54,5 +55,6 @@ __all__ = [
     "TraceEvent",
     "TraceLog",
     "agent_nbytes",
+    "codec_nbytes",
     "model_nbytes",
 ]

@@ -59,6 +59,7 @@ from .trace import TraceLog
 
 __all__ = [
     "ControllerFabric",
+    "CreditGate",
     "WorkerCore",
     "Supervisor",
     "hop_fault_verdict",
@@ -223,6 +224,67 @@ class WorkerCore:
         else:  # pragma: no cover - protocol is closed
             raise FabricError(f"unknown worker command {op!r}")
         return None
+
+
+class CreditGate:
+    """Per-destination credit window with hop coalescing.
+
+    At most ``window`` un-credited ``run`` deliveries may be in flight
+    toward each destination; excess queues here. Whenever the window
+    has room, queued hops drain up to ``coalesce`` at a time through
+    one ``emit(dst, batch)`` call — the transport ships the batch as a
+    *single* frame, so fine-grained algorithmic-block traffic stops
+    paying per-frame header + syscall costs. One credit is still owed
+    per hop (the receiver unpacks a batch into individual mailbox
+    entries and pays each back separately), so the receiver-side
+    mailbox bound is unchanged: never more than ``window`` queued hops.
+
+    Coalescing is a send-time decision over queue contents, never a
+    payload rewrite; the resilient controller journals hops
+    individually *before* pushing them here, so a respawned worker's
+    replay re-drains the same queue and re-coalesces the same frames
+    deterministically.
+    """
+
+    __slots__ = ("window", "coalesce", "emit", "outstanding", "pending")
+
+    def __init__(self, window: int, coalesce: int, emit):
+        self.window = window
+        self.coalesce = max(1, coalesce)
+        self.emit = emit                       # (dst, [payload, ...])
+        self.outstanding: dict = defaultdict(int)
+        self.pending: dict = defaultdict(deque)
+
+    def push(self, dst, payload, flush: bool = True) -> None:
+        """Queue one hop payload toward ``dst`` (drains immediately
+        unless ``flush=False`` — used to batch a whole replay)."""
+        self.pending[dst].append(payload)
+        if flush:
+            self.pump(dst)
+
+    def credit(self, dst) -> None:
+        """The receiver retired one hop from its mailbox."""
+        if self.outstanding[dst] > 0:
+            self.outstanding[dst] -= 1
+        self.pump(dst)
+
+    def reset(self, dst) -> None:
+        """Forget in-flight state for a respawned destination (every
+        queued payload is already in the journal)."""
+        self.outstanding[dst] = 0
+        self.pending[dst].clear()
+
+    def pump(self, dst) -> None:
+        """Drain the queue in coalesced batches while credits last."""
+        pend = self.pending[dst]
+        out = self.outstanding
+        while pend and out[dst] < self.window:
+            batch = []
+            while (pend and out[dst] < self.window
+                   and len(batch) < self.coalesce):
+                batch.append(pend.popleft())
+                out[dst] += 1
+            self.emit(dst, batch)
 
 
 class Supervisor:

@@ -57,7 +57,6 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
-import pickle
 import queue as queue_mod
 import signal
 import time
@@ -66,6 +65,7 @@ from ..errors import DeadlockError, FabricError
 from ..resilience.faults import STATS as FAULT_STATS
 from ..resilience.faults import PlanRuntime
 from ..navp.interp import Interp
+from . import payload as payload_mod
 from .controller import ControllerFabric, WorkerCore, hop_fault_verdict
 from .sim import FabricResult
 
@@ -89,7 +89,8 @@ def _worker(host, coords, host_of, in_queue, host_queues, report_queue,
             return
         if tracing:
             hop_log.append((host, dst_host,
-                            len(pickle.dumps(payload)), payload[0]))
+                            payload_mod.encoded_nbytes(payload),
+                            payload[0]))
         host_queues[dst_host].put(("run", payload))
 
     def emit_report(msg):
@@ -360,7 +361,8 @@ class ProcessFabric(ControllerFabric):
                                 actor=payload[0], kind="fault",
                                 note="hop dropped (lost)",
                                 src_place=src_host,
-                                nbytes=len(pickle.dumps(payload)))
+                                nbytes=payload_mod.encoded_nbytes(
+                                    payload))
                         continue  # the continuation is gone
                     if verdict == "retransmit":
                         FAULT_STATS["fired"] += 1
@@ -398,9 +400,10 @@ class ProcessFabric(ControllerFabric):
                         time.sleep(min(spec.seconds, 0.1))
                     send(dst_host, ("run", payload))
                     if tracing:
-                        self._record_hop(now, src_host, dst_host,
-                                         len(pickle.dumps(payload)),
-                                         payload[0])
+                        self._record_hop(
+                            now, src_host, dst_host,
+                            payload_mod.encoded_nbytes(payload),
+                            payload[0])
                     sup.note_forward()
                     if (self._checkpoint_every is not None
                             and sup.forwards_since_ckpt

@@ -5,6 +5,16 @@ machine spec (4 bytes for the paper's single-precision matrices), not
 the in-memory size of the Python objects — the numerics may execute in
 float64 for accuracy while costs stay faithful to the paper's data
 volumes. Scalars and small control values are charged a flat overhead.
+
+Two rulers live here:
+
+* :func:`model_nbytes` / :func:`agent_nbytes` — the *model* sizes
+  above, used by the simulated cost machinery. An array **view**
+  charges its sliced elements only (``obj.size`` is the view's element
+  count, never the base buffer's), matching what the codec ships.
+* :func:`codec_nbytes` — the *codec-actual* serialized size, what the
+  socket/process transports really put on the wire for an object
+  (pickle frame plus out-of-band buffer bytes).
 """
 
 from __future__ import annotations
@@ -13,8 +23,9 @@ import numpy as np
 
 from ..machine.spec import MachineSpec
 from ..util.shadow import ShadowArray
+from .payload import encoded_nbytes
 
-__all__ = ["model_nbytes", "agent_nbytes"]
+__all__ = ["model_nbytes", "agent_nbytes", "codec_nbytes"]
 
 _SMALL_VALUE_BYTES = 16
 
@@ -25,7 +36,12 @@ def model_nbytes(obj, machine: MachineSpec) -> int:
         return 0
     if isinstance(obj, (np.ndarray, ShadowArray)):
         return obj.size * machine.elem_size
-    if isinstance(obj, (bytes, bytearray, memoryview)):
+    if isinstance(obj, memoryview):
+        # obj.nbytes, not len(obj): len() of a multi-dimensional or
+        # wide-format view is its first-dimension length, which
+        # undercharges (e.g. a float64 view by 8x)
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray)):
         return len(obj)
     if isinstance(obj, (list, tuple, set, frozenset)):
         return sum(model_nbytes(x, machine) for x in obj)
@@ -52,3 +68,11 @@ def agent_nbytes(messenger, machine: MachineSpec) -> int:
         if not name.startswith("_"):
             total += model_nbytes(value, machine)
     return total
+
+
+def codec_nbytes(obj) -> int:
+    """Codec-actual serialized size of ``obj`` (see
+    :func:`repro.fabric.payload.encoded_nbytes`): the pickle frame plus
+    every out-of-band buffer, which for a numpy view is the sliced
+    bytes only — the base array is never shipped."""
+    return encoded_nbytes(obj)

@@ -24,17 +24,36 @@ exponential backoff (:meth:`RecoveryPolicy.jittered_delays`), so peers
 that fail together do not retry in lockstep.
 
 **Backpressure.** Flow control is credit-based: a sender may have at
-most ``window`` unacknowledged continuation frames toward any one
-receiver, and a receiver returns one credit each time a frame leaves
+most ``window`` unacknowledged continuation *hops* toward any one
+receiver, and a receiver returns one credit each time a hop leaves
 its mailbox. A slow PE therefore *blocks its upstream sender* instead
 of growing an unbounded queue — observable as a bounded
 ``inbox_hwm`` in the per-worker ``transport`` trace events
 (:meth:`~repro.fabric.trace.TraceLog.mailbox_hwm`).
 
+**Zero-copy payloads.** Every pickled frame body goes through
+:mod:`repro.fabric.payload`: matrix blocks ship as out-of-band buffer
+segments of a multi-buffer frame (scatter/gather send, ``recv_into``
+receive), so a hop never copies its blocks into a contiguous blob on
+either side.
+
+**Hop coalescing.** Hops toward the same destination that are emitted
+back-to-back (a burst of ready carriers) batch into one RUN frame, up
+to ``coalesce`` hops per frame, under the same credit window — one
+credit per hop, so the receiver mailbox bound is unchanged. A batch is
+flushed when it reaches ``coalesce`` hops, when the sender's credit
+window is exhausted, when ``coalesce_delay_s`` elapses with hops
+pending, or when the worker goes idle (the barrier flush: a worker
+never blocks on its inbox with hops still buffered, so coalescing can
+delay a frame only while the sender is busy producing more). In
+resilient mode the controller's :class:`~repro.fabric.controller.
+CreditGate` does the batching; the journal stays per-hop, so replay
+after a crash re-coalesces deterministically.
+
 **Deadlines.** With ``hop_deadline_s`` set, every continuation frame
 carries an absolute deadline in its header; receivers count late
-arrivals (soft deadlines: the frame is still delivered), surfaced via
-:meth:`~repro.fabric.trace.TraceLog.deadline_misses`.
+arrivals per hop (soft deadlines: the frame is still delivered),
+surfaced via :meth:`~repro.fabric.trace.TraceLog.deadline_misses`.
 
 **Recovery.** In resilient mode (a fault plan, ``supervise=True`` or
 ``checkpoint_every``), hops route through the controller, which
@@ -58,20 +77,21 @@ from __future__ import annotations
 import math
 import multiprocessing as mp
 import os
-import pickle
 import queue
 import signal
 import socket as socket_mod
 import threading
 import time
-from collections import defaultdict, deque
+from collections import defaultdict
 
 from ..errors import DeadlockError, FabricError
 from ..navp.interp import Interp
 from ..resilience.faults import STATS as FAULT_STATS
 from ..resilience.faults import PlanRuntime
 from ..resilience.recovery import RecoveryPolicy
-from .controller import ControllerFabric, WorkerCore, hop_fault_verdict
+from . import payload as payload_mod
+from .controller import (ControllerFabric, CreditGate, WorkerCore,
+                         hop_fault_verdict)
 from .sim import FabricResult
 from .wire import (FRAME_CMD, FRAME_CREDIT, FRAME_HEARTBEAT, FRAME_HELLO,
                    FRAME_REPORT, FRAME_RUN, FrameSocket, WireClosed,
@@ -94,6 +114,19 @@ def _connect_with_backoff(addr, seed=None) -> socket_mod.socket:
         except OSError as exc:
             last = exc
     raise WireClosed(f"cannot connect to {addr}: {last}")
+
+
+def _send_obj(fs: FrameSocket, kind: int, obj, gen: int = 0,
+              deadline: float = 0.0) -> int:
+    """Codec-encode ``obj`` and send it as one multi-buffer frame."""
+    frame, buffers = payload_mod.encode(obj)
+    return fs.send(kind, frame, gen=gen, deadline=deadline,
+                   buffers=buffers)
+
+
+def _load_obj(frame):
+    """Decode a received frame's object over its out-of-band buffers."""
+    return payload_mod.decode(frame.payload, frame.buffers)
 
 
 class PhiAccrualDetector:
@@ -126,16 +159,19 @@ class PhiAccrualDetector:
 # ----------------------------------------------------------------------
 
 def _sock_worker(host, coords, host_of, ctl_addr, gen, resilient, tracing,
-                 window, heartbeat_s, hop_deadline_s, backoff_seed):
+                 window, heartbeat_s, hop_deadline_s, backoff_seed,
+                 coalesce, coalesce_delay_s):
     """One host process: a :class:`WorkerCore` behind TCP.
 
     Controller commands arrive as CMD frames on the controller
     connection; peer continuations (plain mode) as RUN frames on
-    accepted peer connections. Every RUN/``run`` arrival is paid back
-    with one credit when it leaves the mailbox.
+    accepted peer connections, each frame carrying a *batch* of one or
+    more hops. Every hop arrival is paid back with one credit when it
+    leaves the mailbox.
     """
     stats = {"inbox_hwm": 0, "window": window, "frames_in": 0,
              "bytes_in": 0, "frames_out": 0, "bytes_out": 0,
+             "hops_out": 0, "max_batch": 0,
              "late": 0, "credit_waits": 0}
     inbox: queue.Queue = queue.Queue()
     stop_evt = threading.Event()
@@ -158,13 +194,15 @@ def _sock_worker(host, coords, host_of, ctl_addr, gen, resilient, tracing,
         peer_listener.listen(16)
         my_addr = peer_listener.getsockname()
 
-    ctl.send(FRAME_HELLO, pickle.dumps(("hello", host, my_addr)), gen=gen)
+    _send_obj(ctl, FRAME_HELLO, ("hello", host, my_addr), gen=gen)
 
-    def note_arrival(nbytes: int, deadline: float) -> None:
+    def note_frame(nbytes: int, deadline: float, hops: int) -> None:
         stats["frames_in"] += 1
         stats["bytes_in"] += nbytes
         if deadline and time.time() > deadline:
-            stats["late"] += 1
+            stats["late"] += hops  # every hop in a late frame is late
+
+    def note_enqueued() -> None:
         with depth_lock:
             depth[0] += 1
             if depth[0] > stats["inbox_hwm"]:
@@ -183,11 +221,22 @@ def _sock_worker(host, coords, host_of, ctl_addr, gen, resilient, tracing,
                 return
             if frame.kind != FRAME_CMD:
                 continue
-            cmd = pickle.loads(frame.payload)
-            if cmd[0] == "run":
-                note_arrival(frame_nbytes(frame.payload), frame.deadline)
+            cmd = _load_obj(frame)
+            op = cmd[0]
+            if op == "run":
+                note_frame(frame_nbytes(frame.payload, frame.buffers),
+                           frame.deadline, 1)
+                note_enqueued()
                 inbox.put(("crun", cmd))
-            elif cmd[0] == "peers":
+            elif op == "runs":
+                # a coalesced frame: unpack to per-hop mailbox entries
+                # so each one pays its own credit back on dequeue
+                note_frame(frame_nbytes(frame.payload, frame.buffers),
+                           frame.deadline, len(cmd[1]))
+                for task in cmd[1]:
+                    note_enqueued()
+                    inbox.put(("crun", ("run", task)))
+            elif op == "peers":
                 # applied here, not in the main loop: a peer's first RUN
                 # frame can arrive while the main loop is busy, and its
                 # onward hop must not find an empty routing table
@@ -204,11 +253,15 @@ def _sock_worker(host, coords, host_of, ctl_addr, gen, resilient, tracing,
             except WireError:
                 return
             if frame.kind == FRAME_HELLO:
-                src = pickle.loads(frame.payload)[1]
+                src = _load_obj(frame)[1]
                 credit_back[src] = fs
             elif frame.kind == FRAME_RUN:
-                note_arrival(frame_nbytes(frame.payload), frame.deadline)
-                inbox.put(("prun", pickle.loads(frame.payload), src))
+                batch = _load_obj(frame)
+                note_frame(frame_nbytes(frame.payload, frame.buffers),
+                           frame.deadline, len(batch))
+                for task in batch:
+                    note_enqueued()
+                    inbox.put(("prun", task, src))
 
     def out_reader(fs: FrameSocket, credits: threading.Semaphore):
         while True:
@@ -248,8 +301,7 @@ def _sock_worker(host, coords, host_of, ctl_addr, gen, resilient, tracing,
                 raise WireError(f"host {host}: no peer table within 20s")
             fs = FrameSocket(
                 _connect_with_backoff(peer_table[dst], backoff_seed))
-            fs.send(FRAME_HELLO, pickle.dumps(("hello", host, None)),
-                    gen=gen)
+            _send_obj(fs, FRAME_HELLO, ("hello", host, None), gen=gen)
             credits = threading.Semaphore(window)
             threading.Thread(target=out_reader, args=(fs, credits),
                              daemon=True).start()
@@ -258,35 +310,66 @@ def _sock_worker(host, coords, host_of, ctl_addr, gen, resilient, tracing,
 
     def emit_report(msg):
         if msg[0] == "vars":
-            ctl.send(FRAME_REPORT,
-                     pickle.dumps(("stats", host, dict(stats))), gen=gen)
+            _send_obj(ctl, FRAME_REPORT, ("stats", host, dict(stats)),
+                      gen=gen)
             if tracing and hop_log:
-                ctl.send(FRAME_REPORT,
-                         pickle.dumps(("hoplog", host, hop_log)), gen=gen)
-        n = ctl.send(FRAME_REPORT, pickle.dumps(msg), gen=gen)
+                _send_obj(ctl, FRAME_REPORT, ("hoplog", host, hop_log),
+                          gen=gen)
+        n = _send_obj(ctl, FRAME_REPORT, msg, gen=gen)
         if msg[0] == "hop":
             stats["frames_out"] += 1
             stats["bytes_out"] += n
+            stats["hops_out"] += 1
 
-    def emit_hop(dst, payload):
+    # -- plain-mode hop coalescing ------------------------------------
+    # dst -> buffered task payloads whose credits are already held; a
+    # nonzero flush_due[0] is the monotonic deadline of the oldest one
+    pending_hops: dict = defaultdict(list)
+    flush_due = [0.0]
+
+    def flush_hops(only=None) -> None:
+        targets = (only,) if only is not None else tuple(pending_hops)
+        for dst in targets:
+            batch = pending_hops.get(dst)
+            if not batch:
+                continue
+            pending_hops[dst] = []
+            fs, _credits = peers_out[dst]
+            deadline = (time.time() + hop_deadline_s
+                        if hop_deadline_s else 0.0)
+            n = _send_obj(fs, FRAME_RUN, batch, gen=gen,
+                          deadline=deadline)
+            stats["frames_out"] += 1
+            stats["bytes_out"] += n
+            if len(batch) > stats["max_batch"]:
+                stats["max_batch"] = len(batch)
+        if not any(pending_hops.values()):
+            flush_due[0] = 0.0
+
+    def emit_hop(dst, task):
         if resilient:
-            emit_report(("hop", host, dst, payload))
+            emit_report(("hop", host, dst, task))
             return
-        fs, credits = get_peer(dst)
+        _fs, credits = get_peer(dst)
         if not credits.acquire(blocking=False):
-            # window exhausted: the receiver's mailbox is full — block
-            # until it hands a credit back (this IS the backpressure)
+            # window exhausted: ship everything buffered, then block
+            # until the receiver hands a credit back (this IS the
+            # backpressure — and the credit-exhaustion flush)
+            flush_hops()
             stats["credit_waits"] += 1
             if not credits.acquire(timeout=60.0):
                 raise WireError(
                     f"host {host}: no credit from host {dst} in 60s")
-        deadline = time.time() + hop_deadline_s if hop_deadline_s else 0.0
-        n = fs.send(FRAME_RUN, pickle.dumps(payload), gen=gen,
-                    deadline=deadline)
-        stats["frames_out"] += 1
-        stats["bytes_out"] += n
+        batch = pending_hops[dst]
+        batch.append(task)
+        stats["hops_out"] += 1
         if tracing:
-            hop_log.append((host, dst, n, payload[0]))
+            hop_log.append((host, dst,
+                            payload_mod.encoded_nbytes(task), task[0]))
+        if len(batch) >= coalesce:
+            flush_hops(dst)
+        elif flush_due[0] == 0.0 and coalesce_delay_s:
+            flush_due[0] = time.monotonic() + coalesce_delay_s
 
     core = WorkerCore(host, coords, host_of, emit_hop, emit_report,
                       dedup=resilient)
@@ -294,21 +377,24 @@ def _sock_worker(host, coords, host_of, ctl_addr, gen, resilient, tracing,
         while True:
             if core.ready:
                 core.step()
+                if flush_due[0] and time.monotonic() >= flush_due[0]:
+                    flush_hops()  # deadline flush: sender is busy but
+                    #               the batch has waited long enough
                 continue
+            flush_hops()  # barrier flush: never block with hops buffered
             item = inbox.get()
             tag = item[0]
             if tag == "cmd":
                 if item[1][0] == "sync":
                     # setup barrier: by per-connection FIFO, every
                     # earlier controller command is already applied
-                    ctl.send(FRAME_REPORT,
-                             pickle.dumps(("synced", host)), gen=gen)
+                    _send_obj(ctl, FRAME_REPORT, ("synced", host),
+                              gen=gen)
                 elif core.handle(item[1]) == "stop":
                     break
             elif tag == "crun":
                 took_from_mailbox()
-                ctl.send(FRAME_REPORT,
-                         pickle.dumps(("credit", host)), gen=gen)
+                _send_obj(ctl, FRAME_REPORT, ("credit", host), gen=gen)
                 core.handle(item[1])
             elif tag == "prun":
                 took_from_mailbox()
@@ -323,8 +409,9 @@ def _sock_worker(host, coords, host_of, ctl_addr, gen, resilient, tracing,
                 break  # controller went away; nothing left to serve
     except BaseException as exc:  # noqa: BLE001 - forwarded to controller
         try:
-            ctl.send(FRAME_REPORT, pickle.dumps(
-                ("error", host, f"{type(exc).__name__}: {exc}")), gen=gen)
+            _send_obj(ctl, FRAME_REPORT,
+                      ("error", host, f"{type(exc).__name__}: {exc}"),
+                      gen=gen)
         except WireError:  # pragma: no cover - controller also gone
             pass
     finally:
@@ -351,17 +438,22 @@ class SocketFabric(ControllerFabric):
                  supervise: bool | None = None, trace: bool = False,
                  window: int = 32, heartbeat_s: float = 0.025,
                  phi_threshold: float = 12.0,
-                 hop_deadline_s: float | None = None):
+                 hop_deadline_s: float | None = None,
+                 coalesce: int = 8, coalesce_delay_s: float = 0.0005):
         super().__init__(topology, machine, timeout, hosts, faults,
                          recovery, checkpoint_every, max_restarts,
                          supervise, trace)
         if window < 1:
             raise FabricError("flow-control window must be >= 1")
+        if coalesce < 1:
+            raise FabricError("coalesce batch bound must be >= 1")
         self._ctx = mp.get_context("fork")
         self.window = window
         self.heartbeat_s = heartbeat_s
         self.phi_threshold = phi_threshold
         self.hop_deadline_s = hop_deadline_s
+        self.coalesce = min(coalesce, window)
+        self.coalesce_delay_s = coalesce_delay_s
         self.lost: list = []            # casualties (drops, no recovery)
         self.stale_frames = 0           # dropped stale-generation frames
         self._gens: dict = defaultdict(int)     # host -> generation
@@ -386,7 +478,7 @@ class SocketFabric(ControllerFabric):
         if hello.kind != FRAME_HELLO:
             fs.close()
             return
-        _tag, host, peer_addr = pickle.loads(hello.payload)
+        _tag, host, peer_addr = _load_obj(hello)
         with self._reg_lock:
             if hello.gen != self._gens[host]:
                 self.stale_frames += 1  # a replaced worker's socket
@@ -414,8 +506,7 @@ class SocketFabric(ControllerFabric):
                 if det is not None:
                     det.beat(time.monotonic())
             elif frame.kind == FRAME_REPORT:
-                self._reports.put(
-                    ("report", host, pickle.loads(frame.payload)))
+                self._reports.put(("report", host, _load_obj(frame)))
 
     def _accept_loop(self) -> None:
         while True:
@@ -438,8 +529,8 @@ class SocketFabric(ControllerFabric):
         if fs is None:
             return 0
         try:
-            return fs.send(FRAME_CMD, pickle.dumps(cmd),
-                           gen=self._gens[host], deadline=deadline)
+            return _send_obj(fs, FRAME_CMD, cmd,
+                             gen=self._gens[host], deadline=deadline)
         except WireError:
             return 0
 
@@ -452,7 +543,8 @@ class SocketFabric(ControllerFabric):
             args=(host, coords_of_host[host], self._host_of, self._addr,
                   gen, self.resilient, self.trace.enabled, self.window,
                   self.heartbeat_s, self.hop_deadline_s,
-                  (self._plan.seed or 0) * 31 + host),
+                  (self._plan.seed or 0) * 31 + host,
+                  self.coalesce, self.coalesce_delay_s),
             daemon=True, name=f"sockhost{host}",
         )
         proc.start()
@@ -650,32 +742,26 @@ class SocketFabric(ControllerFabric):
         }
         programs = list(self._programs.values())
 
-        # Credit gate: at most `window` un-credited run commands toward
-        # each worker; excess waits in a pending queue. The worker
-        # returns one credit per run command leaving its mailbox.
-        gate_out: dict = defaultdict(int)
-        gate_pend: dict = defaultdict(deque)
-
-        def emit_run(h, cmd):
-            gate_out[h] += 1
-            dl = time.time() + self.hop_deadline_s \
-                if self.hop_deadline_s else 0.0
+        # Credit gate: at most `window` un-credited hops toward each
+        # worker; excess queues in the gate and drains in coalesced
+        # multi-run frames as credits return. The worker returns one
+        # credit per hop leaving its mailbox.
+        def emit_batch(h, batch):
+            dl = (time.time() + self.hop_deadline_s
+                  if self.hop_deadline_s else 0.0)
+            cmd = ("run", batch[0]) if len(batch) == 1 \
+                else ("runs", batch)
             self._send_cmd(h, cmd, deadline=dl)
 
-        def gate_send(h, cmd, journal=True):
+        gate = CreditGate(self.window, self.coalesce, emit_batch)
+
+        def gate_send(h, cmd, journal=True, flush=True):
             if journal:
                 sup.journal(h, cmd)
-            if gate_out[h] < self.window and not gate_pend[h]:
-                emit_run(h, cmd)
-            else:
-                gate_pend[h].append(cmd)
+            gate.push(h, cmd[1], flush=flush)
 
         def on_credit(h):
-            if gate_pend[h]:
-                emit_run(h, gate_pend[h].popleft())
-                gate_out[h] -= 1
-            elif gate_out[h] > 0:
-                gate_out[h] -= 1
+            gate.credit(h)
 
         def send(h, cmd):
             """Journal + deliver a non-run setup command."""
@@ -701,13 +787,13 @@ class SocketFabric(ControllerFabric):
             state, replay = sup.recovery_script(h)
             if state is not None:
                 self._send_cmd(h, ("restore", state))
-            gate_out[h] = 0
-            gate_pend[h].clear()  # every pending cmd is in the journal
+            gate.reset(h)  # every queued payload is in the journal
             for cmd in replay:
                 if cmd[0] == "run":
-                    gate_send(h, cmd, journal=False)
+                    gate_send(h, cmd, journal=False, flush=False)
                 else:
                     self._send_cmd(h, cmd)
+            gate.pump(h)  # replayed hops drain as coalesced frames
             if tracing:
                 now = time.perf_counter() - t0
                 self.trace.record(
@@ -788,21 +874,21 @@ class SocketFabric(ControllerFabric):
             elif op == "credit":
                 on_credit(msg[1])
             elif op == "hop":
-                _, src_host, dst_host, payload = msg
+                _, src_host, dst_host, task = msg
                 verdict, spec = hop_fault_verdict(
                     runtime, dst_host, self._recovery.enabled)
                 now = time.perf_counter() - t0
                 if verdict == "lost":
                     FAULT_STATS["fired"] += 1
                     FAULT_STATS["lost"] += 1
-                    self.lost.append(payload[0])
+                    self.lost.append(task[0])
                     if tracing:
                         self.trace.record(
                             t0=now, t1=now, place=dst_host,
-                            actor=payload[0], kind="fault",
+                            actor=task[0], kind="fault",
                             note="hop frame dropped (lost)",
                             src_place=src_host,
-                            nbytes=frame_nbytes(pickle.dumps(payload)))
+                            nbytes=payload_mod.encoded_nbytes(task))
                     continue  # the continuation is gone
                 if verdict == "retransmit":
                     FAULT_STATS["fired"] += 1
@@ -810,12 +896,12 @@ class SocketFabric(ControllerFabric):
                     if tracing:
                         self.trace.record(
                             t0=now, t1=now, place=dst_host,
-                            actor=payload[0], kind="fault",
+                            actor=task[0], kind="fault",
                             note="hop frame dropped (retransmitting)",
                             src_place=src_host)
                         self.trace.record(
                             t0=now, t1=now, place=dst_host,
-                            actor=payload[0], kind="retry",
+                            actor=task[0], kind="retry",
                             note="hop frame redelivered",
                             src_place=src_host)
                 elif verdict == "duplicate":
@@ -824,25 +910,25 @@ class SocketFabric(ControllerFabric):
                     if tracing:
                         self.trace.record(
                             t0=now, t1=now, place=dst_host,
-                            actor=payload[0], kind="fault",
+                            actor=task[0], kind="fault",
                             note="hop frame duplicated (dedup masks)",
                             src_place=src_host)
-                    gate_send(dst_host, ("run", payload))  # extra copy
+                    gate_send(dst_host, ("run", task))  # extra copy
                 elif verdict == "delay":
                     FAULT_STATS["fired"] += 1
                     FAULT_STATS["masked"] += 1
                     if tracing:
                         self.trace.record(
                             t0=now, t1=now, place=dst_host,
-                            actor=payload[0], kind="fault",
+                            actor=task[0], kind="fault",
                             note=f"hop frame delayed {spec.seconds}s",
                             src_place=src_host)
                     time.sleep(min(spec.seconds, 0.1))
-                gate_send(dst_host, ("run", payload))
+                gate_send(dst_host, ("run", task))
                 if tracing:
                     self._record_hop(
                         now, src_host, dst_host,
-                        frame_nbytes(pickle.dumps(payload)), payload[0])
+                        payload_mod.encoded_nbytes(task), task[0])
                 sup.note_forward()
                 if (self._checkpoint_every is not None
                         and sup.forwards_since_ckpt

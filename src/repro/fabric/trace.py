@@ -160,13 +160,24 @@ class TraceLog:
         return [e for e in self.events if e.kind == "checkpoint"]
 
     def lost_bytes(self) -> int:
-        """Modeled payload destroyed by faults (drops without recovery,
-        transfers into crashed PEs)."""
+        """Payload destroyed by faults (drops without recovery,
+        transfers into crashed PEs). Simulated fabrics charge modeled
+        bytes; the process/socket fabrics charge *codec-actual* bytes —
+        the serialized size the transport really lost, with numpy views
+        costing their sliced bytes only."""
         return sum(e.nbytes for e in self.events if e.kind == "fault")
 
     # -- transport queries (socket fabric) ---------------------------------
     def transport(self) -> list[TraceEvent]:
-        """Per-worker wire-counter summaries (socket fabric runs)."""
+        """Per-worker wire-counter summaries (socket fabric runs).
+
+        Each event's note packs ``key=value`` counters: ``frames_in``/
+        ``frames_out`` and ``bytes_in``/``bytes_out`` (whole frames,
+        codec-actual on-wire sizes including header, buffer table and
+        out-of-band buffer segments), ``hops_out`` (individual
+        continuations emitted, ≥ frames when coalescing batches them),
+        ``max_batch`` (most hops shipped in one frame), ``inbox_hwm``,
+        ``window``, ``late`` and ``credit_waits``."""
         return [e for e in self.events if e.kind == "transport"]
 
     def _transport_stat(self, key: str) -> dict:
@@ -180,12 +191,32 @@ class TraceLog:
         return out
 
     def mailbox_hwm(self) -> dict:
-        """Per-host inbox high-water mark (frames queued but not yet
+        """Per-host inbox high-water mark (hops queued but not yet
         executed). Under credit-based flow control this is bounded by
-        the sender window — the observable form of backpressure."""
+        the sender window — the observable form of backpressure — and
+        coalescing does not loosen the bound, because every hop in a
+        batched frame still holds its own credit."""
         return self._transport_stat("inbox_hwm")
 
     def deadline_misses(self) -> int:
-        """Frames that arrived after their propagated hop deadline
-        (they are still delivered — deadlines are soft — but counted)."""
+        """Hops that arrived after their propagated deadline (they are
+        still delivered — deadlines are soft — but counted; every hop
+        in a late coalesced frame counts individually)."""
         return sum(self._transport_stat("late").values())
+
+    def frames_sent(self) -> dict:
+        """Per-host count of data frames put on the wire. With hop
+        coalescing this is ≤ :meth:`hops_sent` for the same host; the
+        gap is the per-frame overhead coalescing saved."""
+        return self._transport_stat("frames_out")
+
+    def hops_sent(self) -> dict:
+        """Per-host count of individual continuation hops emitted,
+        regardless of how many frames carried them."""
+        return self._transport_stat("hops_out")
+
+    def max_coalesced_batch(self) -> int:
+        """Most hops any single frame carried during the run (1 when
+        coalescing never batched, 0 when no transport events exist)."""
+        return max(self._transport_stat("max_batch").values(),
+                   default=0)

@@ -1,6 +1,10 @@
 """Framed wire protocol for the socket fabric.
 
-Every message on a socket-fabric TCP connection is one *frame*:
+Every message on a socket-fabric TCP connection is one *frame*. Since
+VERSION 2, a frame is multi-buffer: the pickle stream travels as the
+*payload* and each out-of-band block buffer produced by
+:mod:`repro.fabric.payload` travels as its own segment, described by a
+buffer table between the header and the payload:
 
 ::
 
@@ -9,11 +13,17 @@ Every message on a socket-fabric TCP connection is one *frame*:
     | magic  | ver | kind| gen    | deadline (f64) | payload length |
     | "NAVP" | u8  | u8  | u16    | abs seconds    | u32            |
     +--------+-----+-----+--------+----------------+----------------+
-    | payload: `length` bytes of pickle                             |
+    | nbufs  | buffer table: nbufs x u64 byte lengths               |
+    | u16    |                                                      |
+    +--------+------------------------------------------------------+
+    | payload: `length` bytes of pickle stream                      |
+    +---------------------------------------------------------------+
+    | buffer 0 bytes | buffer 1 bytes | ... | buffer nbufs-1 bytes  |
     +---------------------------------------------------------------+
 
-* ``magic``/``ver`` reject accidental cross-talk and future format
-  drift loudly instead of desynchronizing the stream;
+* ``magic``/``ver`` reject accidental cross-talk and format drift
+  loudly instead of desynchronizing the stream — a VERSION-1 peer (no
+  buffer table) is refused at the first frame, never half-parsed;
 * ``kind`` is a small frame-type tag (see ``FRAME_*``) so transport
   control (heartbeats, credits) never pays pickle costs;
 * ``gen`` is the sender's **connection generation** — the controller
@@ -23,6 +33,14 @@ Every message on a socket-fabric TCP connection is one *frame*:
   propagated hop to hop so a receiver can count frames that arrived
   late (deadlines are *soft*: late frames are still delivered);
 * length-prefixing makes TCP's byte stream a message stream again.
+
+Neither side ever concatenates a frame: :meth:`FrameSocket.send`
+scatter/gathers ``header | table | payload | buffers`` through
+``socket.sendmsg`` (a single-buffer frame is the degenerate two-element
+gather — the old header+payload join copy is gone), and
+:meth:`FrameSocket.recv` reads each announced buffer straight into
+freshly allocated storage via ``recv_into``, handing the payload codec
+``memoryview``\\ s it can rebuild arrays over without another copy.
 
 :class:`FrameSocket` wraps a connected socket with locked sends (many
 threads may share one outbound connection) and an incremental receive
@@ -55,22 +73,29 @@ __all__ = [
 ]
 
 MAGIC = b"NAVP"
-VERSION = 1
-HEADER = struct.Struct("!4sBBHdI")  # magic, ver, kind, gen, deadline, len
+VERSION = 2  # 2: multi-buffer frames (buffer table + out-of-band segments)
+HEADER = struct.Struct("!4sBBHdIH")  # magic, ver, kind, gen, deadline,
+#                                      payload len, buffer count
+_LEN = struct.Struct("!Q")           # one buffer-table entry
 
 # Frame kinds. CMD/REPORT carry the controller protocol of
 # fabric/controller.py; RUN carries a peer-to-peer hop; HEARTBEAT,
 # CREDIT and HELLO are transport control.
 FRAME_CMD = 0        # controller -> worker command tuple
 FRAME_REPORT = 1     # worker -> controller report tuple
-FRAME_RUN = 2        # peer -> peer migrating continuation
+FRAME_RUN = 2        # peer -> peer migrating continuation(s)
 FRAME_HEARTBEAT = 3  # worker -> controller liveness beat
 FRAME_CREDIT = 4     # receiver -> sender flow-control credit
 FRAME_HELLO = 5      # connection preamble (identity + generation)
 
-# A continuation frame is a few KiB; anything near this bound is a
-# desynchronized stream or a hostile peer, not a messenger.
+# A continuation frame is a few KiB plus its block buffers; anything
+# near these bounds is a desynchronized stream or a hostile peer.
 MAX_FRAME = 256 * 1024 * 1024
+MAX_BUFFERS = 4096
+
+# sendmsg iovec batching: Linux caps a single call at IOV_MAX (1024)
+# segments; staying far under it keeps every call one syscall.
+_IOV_BATCH = 64
 
 
 class WireError(FabricError):
@@ -82,36 +107,71 @@ class WireClosed(WireError):
 
 
 class Frame:
-    __slots__ = ("kind", "gen", "deadline", "payload")
+    __slots__ = ("kind", "gen", "deadline", "payload", "buffers")
 
-    def __init__(self, kind: int, gen: int, deadline: float, payload: bytes):
+    def __init__(self, kind: int, gen: int, deadline: float,
+                 payload: bytes, buffers: list | None = None):
         self.kind = kind
         self.gen = gen
         self.deadline = deadline
         self.payload = payload
+        self.buffers = buffers if buffers is not None else []
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"Frame(kind={self.kind}, gen={self.gen}, "
-                f"deadline={self.deadline}, {len(self.payload)}B)")
+                f"deadline={self.deadline}, {len(self.payload)}B, "
+                f"{len(self.buffers)} buffer(s))")
+
+
+def _check_sizes(payload, buffers) -> int:
+    """Validate bounds; returns the total on-wire size."""
+    if len(buffers) > MAX_BUFFERS:
+        raise WireError(
+            f"frame carries {len(buffers)} buffers "
+            f"(bound {MAX_BUFFERS})")
+    total = HEADER.size + _LEN.size * len(buffers) + len(payload)
+    for b in buffers:
+        total += b.nbytes if isinstance(b, memoryview) else len(b)
+    if total - HEADER.size > MAX_FRAME:
+        raise WireError(
+            f"frame of {total - HEADER.size} bytes exceeds the "
+            f"{MAX_FRAME}-byte bound")
+    return total
+
+
+def _head_and_table(kind, payload, buffers, gen, deadline) -> bytes:
+    """Header plus buffer table (tiny; the only joined bytes per frame)."""
+    head = HEADER.pack(MAGIC, VERSION, kind, gen, deadline,
+                       len(payload), len(buffers))
+    if not buffers:
+        return head
+    sizes = [b.nbytes if isinstance(b, memoryview) else len(b)
+             for b in buffers]
+    return head + struct.pack(f"!{len(sizes)}Q", *sizes)
 
 
 def encode_frame(kind: int, payload: bytes, gen: int = 0,
-                 deadline: float = 0.0) -> bytes:
-    if len(payload) > MAX_FRAME:
-        raise WireError(
-            f"frame payload of {len(payload)} bytes exceeds the "
-            f"{MAX_FRAME}-byte bound")
-    return HEADER.pack(MAGIC, VERSION, kind, gen, deadline,
-                       len(payload)) + payload
+                 deadline: float = 0.0, buffers=()) -> bytes:
+    """One frame as a single byte string (tests and diagnostics; the
+    socket path gathers the parts instead of joining them)."""
+    _check_sizes(payload, buffers)
+    parts = [_head_and_table(kind, payload, buffers, gen, deadline),
+             payload]
+    parts.extend(bytes(b) for b in buffers)
+    return b"".join(parts)
 
 
-def frame_nbytes(payload: bytes) -> int:
-    """On-wire size of a frame carrying ``payload`` (header included)."""
-    return HEADER.size + len(payload)
+def frame_nbytes(payload, buffers=()) -> int:
+    """On-wire size of a frame carrying ``payload`` (+ ``buffers``),
+    header and buffer table included."""
+    total = HEADER.size + _LEN.size * len(buffers) + len(payload)
+    for b in buffers:
+        total += b.nbytes if isinstance(b, memoryview) else len(b)
+    return total
 
 
 class FrameSocket:
-    """A connected TCP socket speaking whole frames.
+    """A connected TCP socket speaking whole (multi-buffer) frames.
 
     ``send`` is serialized by a lock (the controller's forwarder and
     heartbeat/credit paths share outbound connections); ``recv`` is
@@ -119,7 +179,7 @@ class FrameSocket:
     thread), buffering partial reads until a whole frame is available.
     """
 
-    __slots__ = ("sock", "_send_lock", "_buf")
+    __slots__ = ("sock", "_send_lock", "_buf", "_pos")
 
     def __init__(self, sock: socket.socket):
         try:
@@ -128,21 +188,63 @@ class FrameSocket:
             pass  # not TCP (e.g. a unix socketpair in tests)
         self.sock = sock
         self._send_lock = threading.Lock()
-        self._buf = b""
+        self._buf = bytearray()
+        self._pos = 0
 
-    def send(self, kind: int, payload: bytes, gen: int = 0,
-             deadline: float = 0.0) -> int:
-        """Send one frame; returns its on-wire size."""
-        data = encode_frame(kind, payload, gen, deadline)
+    # -- send ----------------------------------------------------------
+    def send(self, kind: int, payload, gen: int = 0,
+             deadline: float = 0.0, buffers=()) -> int:
+        """Send one frame (scatter/gather, no joining); returns its
+        on-wire size. ``buffers`` are shipped out-of-band, in order."""
+        total = _check_sizes(payload, buffers)
+        parts = [_head_and_table(kind, payload, buffers, gen, deadline),
+                 payload]
+        parts.extend(buffers)
         with self._send_lock:
             try:
-                self.sock.sendall(data)
+                self._send_parts(parts, total)
             except OSError as exc:
                 raise WireClosed(f"send failed: {exc}") from exc
-        return len(data)
+        return total
 
-    def _read_exact(self, n: int) -> bytes:
-        while len(self._buf) < n:
+    def _send_parts(self, parts, total: int) -> None:
+        """Vectored write of every part, handling partial sends."""
+        sendmsg = getattr(self.sock, "sendmsg", None)
+        if sendmsg is None:  # pragma: no cover - exotic socket object
+            self.sock.sendall(b"".join(bytes(p) for p in parts))
+            return
+        sent = 0
+        if len(parts) <= _IOV_BATCH:
+            sent = sendmsg(parts)
+            if sent == total:
+                return  # fast path: one gather took the whole frame
+        # slow path (kernel buffer full or huge iovec): flat byte
+        # views, advancing past whatever each call accepted
+        views = [memoryview(p) for p in parts if len(p)]
+        views = [v if v.ndim == 1 and v.format == "B" else v.cast("B")
+                 for v in views]
+        n = sent
+        while True:
+            # advance past the n bytes the kernel accepted
+            while n > 0:
+                head = views[0]
+                if n >= len(head):
+                    n -= len(head)
+                    views.pop(0)
+                else:
+                    views[0] = head[n:]
+                    n = 0
+            if not views:
+                return
+            n = sendmsg(views[:_IOV_BATCH])
+
+    # -- receive -------------------------------------------------------
+    def _fill(self, n: int) -> None:
+        """Buffer at least ``n`` unconsumed bytes."""
+        if self._pos > 65536:  # drop consumed prefix before growing
+            del self._buf[:self._pos]
+            self._pos = 0
+        while len(self._buf) - self._pos < n:
             try:
                 chunk = self.sock.recv(65536)
             except OSError as exc:
@@ -150,21 +252,77 @@ class FrameSocket:
             if not chunk:
                 raise WireClosed("peer closed the connection")
             self._buf += chunk
-        out, self._buf = self._buf[:n], self._buf[n:]
+
+    def _read_exact(self, n: int) -> bytes:
+        self._fill(n)
+        pos = self._pos
+        out = bytes(memoryview(self._buf)[pos:pos + n])
+        self._pos = pos + n
+        if self._pos >= len(self._buf):  # fully drained: reset cheaply
+            self._buf = bytearray()
+            self._pos = 0
         return out
 
+    def _read_into(self, view: memoryview) -> None:
+        """Fill ``view`` exactly: drain the buffer, then read straight
+        into the destination (no intermediate copies for bulk data)."""
+        n = len(view)
+        pos = 0
+        buffered = len(self._buf) - self._pos
+        if buffered:
+            take = min(buffered, n)
+            view[:take] = memoryview(self._buf)[self._pos:
+                                                self._pos + take]
+            self._pos += take
+            if self._pos >= len(self._buf):
+                self._buf = bytearray()
+                self._pos = 0
+            pos = take
+        while pos < n:
+            try:
+                got = self.sock.recv_into(view[pos:])
+            except OSError as exc:
+                raise WireClosed(f"recv failed: {exc}") from exc
+            if not got:
+                raise WireClosed("peer closed the connection")
+            pos += got
+
     def recv(self) -> Frame:
-        """Block until one whole frame is available and return it."""
+        """Block until one whole frame is available and return it.
+
+        Out-of-band buffers are read into freshly allocated storage and
+        returned as writable ``memoryview``\\ s — the payload codec
+        rebuilds arrays over them with no further copy, and ownership
+        is the frame's alone (nothing else aliases the storage).
+        """
         header = self._read_exact(HEADER.size)
-        magic, version, kind, gen, deadline, length = HEADER.unpack(header)
+        magic, version, kind, gen, deadline, length, nbufs = \
+            HEADER.unpack(header)
         if magic != MAGIC:
             raise WireError(f"bad frame magic {magic!r}")
         if version != VERSION:
             raise WireError(
-                f"frame version {version} (this side speaks {VERSION})")
+                f"frame version {version} (this side speaks {VERSION}); "
+                f"mixed-version peers must be upgraded together")
         if length > MAX_FRAME:
             raise WireError(f"frame length {length} exceeds bound")
-        return Frame(kind, gen, deadline, self._read_exact(length))
+        if nbufs > MAX_BUFFERS:
+            raise WireError(f"frame buffer count {nbufs} exceeds bound")
+        sizes = ()
+        if nbufs:
+            table = self._read_exact(_LEN.size * nbufs)
+            sizes = struct.unpack(f"!{nbufs}Q", table)
+            if length + sum(sizes) > MAX_FRAME:
+                raise WireError(
+                    f"frame of {length + sum(sizes)} bytes (payload + "
+                    f"buffer table) exceeds bound")
+        payload = self._read_exact(length)
+        buffers = []
+        for size in sizes:
+            view = memoryview(bytearray(size))
+            self._read_into(view)
+            buffers.append(view)
+        return Frame(kind, gen, deadline, payload, buffers)
 
     def close(self) -> None:
         try:

@@ -21,6 +21,12 @@ Suite members
                        MPI Gentleman, SUMMA — the headline number)
 ``interp_throughput``  navigational-IR statement dispatch, no fabric
 ``pickle_roundtrip``   the hop payload: snapshot -> pickle -> restore
+``payload_roundtrip``  a *block-heavy* snapshot through the zero-copy
+                       codec (out-of-band buffers, no array copies)
+``wire_throughput``    multi-buffer frames through a real 127.0.0.1
+                       TCP pair at three payload sizes
+``wire_coalescing``    the same hop stream coalesced 8-per-frame
+                       versus one frame per hop
 """
 
 from __future__ import annotations
@@ -232,6 +238,92 @@ def bench_pickle_roundtrip(smoke: bool = False) -> dict:
         "events": reps,
         "events_per_sec": reps / wall,
         "meta": {"snapshot_bytes": nbytes},
+    }
+
+
+# --------------------------------------------------------------------------
+# 6/7/8. Data-plane benchmarks (zero-copy codec + wire)
+# --------------------------------------------------------------------------
+
+# Pinned workload shapes; the legacy-mode twins of these runs are
+# recorded by benchmarks/record_dataplane_baseline.py.
+_PAYLOAD_ORDER = 256
+_WIRE_SIZES = ((4096, 300), (65536, 150), (1 << 20, 40))
+_WIRE_SIZES_SMOKE = ((4096, 80), (65536, 40), (1 << 20, 10))
+_COALESCE_HOPS, _COALESCE_HOPS_SMOKE = 1600, 400
+_COALESCE_BATCH = 8
+
+
+@_bench("payload_roundtrip")
+def bench_payload_roundtrip(smoke: bool = False) -> dict:
+    """The large-block hop payload through the zero-copy codec: two
+    owned 256x256 float64 blocks plus a band view, encode + decode."""
+    from .wirebench import payload_roundtrip
+
+    reps = 60 if smoke else 600
+    res = payload_roundtrip(reps, order=_PAYLOAD_ORDER)
+    return {
+        "wall_s": res["wall_s"],
+        "events": reps,
+        "events_per_sec": res["roundtrips_per_sec"],
+        "meta": {"order": _PAYLOAD_ORDER,
+                 "snapshot_bytes": res["snapshot_bytes"]},
+    }
+
+
+@_bench("wire_throughput")
+def bench_wire_throughput(smoke: bool = False) -> dict:
+    """Block payloads through a real 127.0.0.1 TCP pair at three
+    payload sizes; ``events`` are *bytes* so ``events_per_sec`` is the
+    aggregate wire bandwidth including encode and decode."""
+    from .wirebench import socket_throughput
+
+    sizes = _WIRE_SIZES_SMOKE if smoke else _WIRE_SIZES
+    wall = 0.0
+    total = 0
+    per_size: dict = {}
+    for payload_bytes, frames in sizes:
+        res = socket_throughput(payload_bytes, frames)
+        wall += res["wall_s"]
+        total += payload_bytes * frames
+        per_size[str(payload_bytes)] = {
+            "frames_per_sec": res["frames_per_sec"],
+            "bytes_per_sec": res["bytes_per_sec"],
+        }
+    return {
+        "wall_s": wall,
+        "events": total,
+        "events_per_sec": total / wall,
+        "meta": {"per_size": per_size,
+                 "sizes": [list(s) for s in sizes]},
+    }
+
+
+@_bench("wire_coalescing")
+def bench_wire_coalescing(smoke: bool = False) -> dict:
+    """2-KiB hops through a TCP pair, 8 per frame; ``meta`` pins the
+    uncoalesced twin run so the frame-count reduction and speedup are
+    part of the snapshot."""
+    from .wirebench import coalescing_microbench
+
+    hops = _COALESCE_HOPS_SMOKE if smoke else _COALESCE_HOPS
+    res = coalescing_microbench(hops, coalesce=_COALESCE_BATCH,
+                                mode="coalesced")
+    solo = coalescing_microbench(hops, coalesce=_COALESCE_BATCH,
+                                 mode="uncoalesced")
+    return {
+        "wall_s": res["wall_s"],
+        "events": hops,
+        "events_per_sec": res["hops_per_sec"],
+        "meta": {
+            "coalesce": _COALESCE_BATCH,
+            "frames_coalesced": res["frames"],
+            "frames_uncoalesced": solo["frames"],
+            "frame_reduction": solo["frames"] / res["frames"],
+            "uncoalesced_hops_per_sec": solo["hops_per_sec"],
+            "speedup_vs_uncoalesced":
+                res["hops_per_sec"] / solo["hops_per_sec"],
+        },
     }
 
 

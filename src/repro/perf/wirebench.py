@@ -1,0 +1,283 @@
+"""Wire-level data-plane benchmarks (and their legacy baselines).
+
+Three measurable costs of shipping a hop, isolated from the fabric
+scheduling machinery:
+
+* :func:`payload_roundtrip` — serialize + deserialize an agent
+  snapshot whose bulk is matrix blocks;
+* :func:`socket_throughput` — frames/sec and bytes/sec through a real
+  ``127.0.0.1`` TCP socket pair at a given payload size;
+* :func:`coalescing_microbench` — the same hop stream shipped one
+  frame per hop versus ``coalesce`` hops per frame.
+
+Each runner takes a ``mode``:
+
+``"zero_copy"``
+    the current data plane — :mod:`repro.fabric.payload` out-of-band
+    buffers over :class:`repro.fabric.wire.FrameSocket`'s
+    scatter/gather send and ``recv_into`` receive;
+``"legacy"``
+    the pre-data-plane algorithms, preserved here so the committed
+    ``BENCH_*_prechange.json`` baseline stays reproducible: whole-graph
+    in-band pickling, a header+payload join copy per send, and a
+    bytes-concatenation receive buffer.
+
+The :mod:`repro.perf.suite` entries pin the zero-copy mode; the legacy
+mode exists only for ``benchmarks/record_dataplane_baseline.py`` and
+for regression tests that assert the improvement ratio.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import struct
+import time
+
+import numpy as np
+
+from ..fabric import payload as payload_mod
+from ..fabric.wire import FRAME_RUN, FrameSocket
+
+__all__ = [
+    "payload_roundtrip",
+    "socket_throughput",
+    "coalescing_microbench",
+]
+
+
+# --------------------------------------------------------------------------
+# legacy (pre-data-plane) transport, kept for baseline reproducibility
+# --------------------------------------------------------------------------
+
+_LEGACY_HEADER = struct.Struct("!4sBBHdI")  # the VERSION-1 frame header
+_LEGACY_MAGIC = b"NAVP"
+
+
+class _LegacySocket:
+    """The old single-buffer frame socket: every send joins header and
+    payload into one byte string, every receive grows a ``bytes``
+    buffer by concatenation and slices frames (copies) out of it."""
+
+    def __init__(self, sock: socket.socket):
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        self.sock = sock
+        self._buf = b""
+
+    def send(self, payload: bytes) -> int:
+        data = _LEGACY_HEADER.pack(
+            _LEGACY_MAGIC, 1, FRAME_RUN, 0, 0.0, len(payload)) + payload
+        self.sock.sendall(data)
+        return len(data)
+
+    def _read_exact(self, n: int) -> bytes:
+        while len(self._buf) < n:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("peer closed")
+            self._buf += chunk
+        out, self._buf = self._buf[:n], self._buf[n:]
+        return out
+
+    def recv(self) -> bytes:
+        header = self._read_exact(_LEGACY_HEADER.size)
+        *_ignored, length = _LEGACY_HEADER.unpack(header)
+        return self._read_exact(length)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def _tcp_pair():
+    """A connected pair of real TCP sockets over 127.0.0.1."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    client = socket.create_connection(listener.getsockname())
+    server, _ = listener.accept()
+    listener.close()
+    return client, server
+
+
+# --------------------------------------------------------------------------
+# 1. payload round-trip
+# --------------------------------------------------------------------------
+
+def _block_snapshot(order: int):
+    """An agent-snapshot-shaped payload whose bulk is matrix blocks:
+    two owned ``order x order`` float64 blocks plus a contiguous
+    row-band view (the codec must ship the view's bytes only)."""
+    a = np.arange(order * order, dtype=np.float64).reshape(order, order)
+    b = np.ones((order, order), dtype=np.float64)
+    return (
+        "__bench_block__",
+        {"A": a, "B": b, "band": a[: max(order // 8, 1)], "k": 7},
+        [("For", 3, order), ("Hop", 1)],
+    )
+
+
+def payload_roundtrip(reps: int, order: int = 256,
+                      mode: str = "zero_copy") -> dict:
+    """Encode + decode the block snapshot ``reps`` times."""
+    snap = _block_snapshot(order)
+    if mode == "zero_copy":
+        frame, buffers = payload_mod.encode(snap)
+        nbytes = payload_mod.nbytes(frame, buffers)
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            frame, buffers = payload_mod.encode(snap)
+            payload_mod.decode(frame, buffers)
+        wall = time.perf_counter() - t0
+    elif mode == "legacy":
+        blob = pickle.dumps(snap, protocol=pickle.HIGHEST_PROTOCOL)
+        nbytes = len(blob)
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            blob = pickle.dumps(snap, protocol=pickle.HIGHEST_PROTOCOL)
+            pickle.loads(blob)
+        wall = time.perf_counter() - t0
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    return {
+        "wall_s": wall,
+        "roundtrips": reps,
+        "roundtrips_per_sec": reps / wall,
+        "snapshot_bytes": nbytes,
+        "mode": mode,
+    }
+
+
+# --------------------------------------------------------------------------
+# 2. socket-pair throughput
+# --------------------------------------------------------------------------
+
+def _forked_producer(client, produce):
+    """Run ``produce`` in a forked child owning the client socket —
+    the fabric's workers are separate processes, so the bench keeps
+    sender and receiver out of each other's GIL. Returns the pid."""
+    pid = os.fork()
+    if pid == 0:  # pragma: no cover - child exits before coverage dump
+        try:
+            produce()
+        finally:
+            os._exit(0)
+    client.close()
+    return pid
+
+
+def socket_throughput(payload_bytes: int, frames: int,
+                      mode: str = "zero_copy") -> dict:
+    """Ship ``frames`` hop-shaped payloads of ``payload_bytes`` of
+    block data through a 127.0.0.1 TCP pair — sender in a forked
+    child, receiver here, like the fabric's worker processes. Wall
+    time covers encode + send + receive + decode."""
+    arr = np.arange(max(payload_bytes // 8, 1), dtype=np.float64)
+    obj = ("run", [("m0", [], 0, 0, ("__p__", {"A": arr}, []), 0)])
+    client, server = _tcp_pair()
+    received = 0
+
+    if mode == "zero_copy":
+        def produce():
+            out = FrameSocket(client)
+            for _ in range(frames):
+                frame, buffers = payload_mod.encode(obj)
+                out.send(FRAME_RUN, frame, buffers=buffers)
+    elif mode == "legacy":
+        def produce():
+            out = _LegacySocket(client)
+            for _ in range(frames):
+                out.send(pickle.dumps(
+                    obj, protocol=pickle.HIGHEST_PROTOCOL))
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+
+    pid = _forked_producer(client, produce)
+    t0 = time.perf_counter()
+    if mode == "zero_copy":
+        inp = FrameSocket(server)
+        for _ in range(frames):
+            frame = inp.recv()
+            payload_mod.decode(frame.payload, frame.buffers)
+            received += 1
+    else:
+        inp = _LegacySocket(server)
+        for _ in range(frames):
+            pickle.loads(inp.recv())
+            received += 1
+    wall = time.perf_counter() - t0
+    os.waitpid(pid, 0)
+    server.close()
+    assert received == frames
+    total = frames * arr.nbytes
+    return {
+        "wall_s": wall,
+        "frames": frames,
+        "payload_bytes": payload_bytes,
+        "frames_per_sec": frames / wall,
+        "bytes_per_sec": total / wall,
+        "mode": mode,
+    }
+
+
+# --------------------------------------------------------------------------
+# 3. coalescing microbenchmark
+# --------------------------------------------------------------------------
+
+def coalescing_microbench(hops: int, coalesce: int = 8,
+                          hop_bytes: int = 2048,
+                          mode: str = "coalesced") -> dict:
+    """Ship ``hops`` small hop payloads through a TCP pair either one
+    frame per hop (``mode="uncoalesced"``) or ``coalesce`` hops per
+    frame (``mode="coalesced"``); the receiver decodes and unrolls
+    every batch into individual hops, exactly like the fabric's
+    mailbox path."""
+    if mode == "coalesced":
+        batch_size = coalesce
+    elif mode == "uncoalesced":
+        batch_size = 1
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    # distinct arrays per hop: pickle memoizes repeated objects, so a
+    # shared block would make batched frames unrealistically small
+    elems = max(hop_bytes // 8, 1)
+    tasks = [
+        (f"m{i}", [], 0, 0,
+         ("__p__", {"a": np.full(elems, float(i))}, []), 0)
+        for i in range(hops)
+    ]
+    batches = [tasks[i:i + batch_size]
+               for i in range(0, hops, batch_size)]
+    client, server = _tcp_pair()
+
+    def produce():
+        out = FrameSocket(client)
+        for batch in batches:
+            frame, buffers = payload_mod.encode(batch)
+            out.send(FRAME_RUN, frame, buffers=buffers)
+
+    pid = _forked_producer(client, produce)
+    inp = FrameSocket(server)
+    unrolled = 0
+    t0 = time.perf_counter()
+    for _ in range(len(batches)):
+        frame = inp.recv()
+        for _hop in payload_mod.decode(frame.payload, frame.buffers):
+            unrolled += 1
+    wall = time.perf_counter() - t0
+    os.waitpid(pid, 0)
+    server.close()
+    assert unrolled == hops
+    return {
+        "wall_s": wall,
+        "hops": hops,
+        "frames": len(batches),
+        "hops_per_sec": hops / wall,
+        "mode": mode,
+    }

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.fabric.sizes import agent_nbytes, model_nbytes
+from repro.fabric.sizes import agent_nbytes, codec_nbytes, model_nbytes
 from repro.fabric.trace import TraceEvent, TraceLog
 from repro.machine import SUN_BLADE_100
 from repro.navp import Messenger
@@ -38,6 +38,38 @@ class TestModelNbytes:
     def test_scalars_flat_charge(self):
         assert model_nbytes(7, SUN_BLADE_100) == 16
         assert model_nbytes(3.14, SUN_BLADE_100) == 16
+
+    def test_memoryview_charges_nbytes_not_len(self):
+        """Regression: ``len()`` of a non-byte or multi-dimensional
+        memoryview is its first-dimension length, which undercharged
+        a float64 view by 8x (and a 2-D view by far more)."""
+        arr = np.zeros((10, 10), dtype=np.float64)
+        assert model_nbytes(memoryview(arr), SUN_BLADE_100) == 800
+        flat = memoryview(np.zeros(10, dtype=np.float64))
+        assert model_nbytes(flat, SUN_BLADE_100) == 80
+
+    def test_ndarray_view_charges_sliced_elements_only(self):
+        base = np.zeros((100, 100), dtype=np.float64)
+        view = base[:5]
+        assert model_nbytes(view, SUN_BLADE_100) == \
+            5 * 100 * SUN_BLADE_100.elem_size
+
+
+class TestCodecNbytes:
+    def test_view_costs_sliced_bytes_not_base(self):
+        base = np.zeros((256, 256), dtype=np.float64)
+        band = base[:8]  # 16 KiB slice of a 512 KiB base
+        cost = codec_nbytes(band)
+        assert band.nbytes <= cost < base.nbytes // 8
+
+    def test_matches_wire_framing(self):
+        """codec_nbytes is exactly what the socket fabric charges the
+        data-movement ledger per hop payload."""
+        from repro.fabric import payload
+
+        obj = {"A": np.ones(40_000), "k": 3}
+        frame, buffers = payload.encode(obj)
+        assert codec_nbytes(obj) == payload.nbytes(frame, buffers)
 
 
 class _Carrier(Messenger):

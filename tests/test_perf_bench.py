@@ -113,6 +113,40 @@ class TestCommittedBaseline:
         assert current["vs_baseline"]["regressions"] == []
 
 
+class TestDataPlaneBaseline:
+    def test_committed_snapshot_meets_issue_targets(self):
+        """The committed post-data-plane snapshot must hold the PR-7
+        headline against the committed legacy baseline: >=2x on the
+        large-block payload round-trip and the socket-pair bytes/sec
+        bench, and a >=3x frame reduction from hop coalescing."""
+        current = load_bench("benchmarks/out/BENCH_2026-08-07.json")
+        assert current["vs_baseline"]["against"].endswith(
+            "BENCH_2026-08-07_prechange.json")
+        ratios = current["vs_baseline"]["ratios"]
+        assert ratios["payload_roundtrip"]["events_per_sec"] >= 2.0
+        assert ratios["wire_throughput"]["events_per_sec"] >= 2.0
+        assert ratios["wire_coalescing"]["events_per_sec"] >= 1.3
+        assert current["vs_baseline"]["regressions"] == []
+        meta = current["results"]["wire_coalescing"]["meta"]
+        assert meta["frame_reduction"] >= 3.0
+
+    def test_legacy_modes_stay_runnable(self):
+        """The baseline is only honest if the legacy algorithms it
+        measured still execute — pin them with tiny workloads."""
+        from repro.perf.wirebench import (
+            coalescing_microbench,
+            payload_roundtrip,
+            socket_throughput,
+        )
+
+        legacy = payload_roundtrip(2, order=16, mode="legacy")
+        assert legacy["roundtrips_per_sec"] > 0
+        res = socket_throughput(1024, 4, mode="legacy")
+        assert res["frames_per_sec"] > 0
+        solo = coalescing_microbench(8, coalesce=4, mode="uncoalesced")
+        assert solo["frames"] == 8  # one frame per hop, by definition
+
+
 class TestLintGate:
     def test_lint_all_clean(self):
         # Subprocess: other tests register throwaway (and deliberately

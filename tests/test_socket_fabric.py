@@ -28,6 +28,7 @@ from repro.fabric.wire import (
     HEADER,
     MAGIC,
     MAX_FRAME,
+    VERSION,
     FrameSocket,
     WireClosed,
     WireError,
@@ -112,7 +113,7 @@ class TestWire:
         a, b = socket_mod.socketpair()
         right = FrameSocket(b)
         try:
-            a.sendall(HEADER.pack(MAGIC, 99, FRAME_CMD, 0, 0.0, 0))
+            a.sendall(HEADER.pack(MAGIC, 99, FRAME_CMD, 0, 0.0, 0, 0))
             with pytest.raises(WireError, match="version"):
                 right.recv()
         finally:
@@ -123,8 +124,8 @@ class TestWire:
         a, b = socket_mod.socketpair()
         right = FrameSocket(b)
         try:
-            a.sendall(HEADER.pack(MAGIC, 1, FRAME_CMD, 0, 0.0,
-                                  MAX_FRAME + 1))
+            a.sendall(HEADER.pack(MAGIC, VERSION, FRAME_CMD, 0, 0.0,
+                                  MAX_FRAME + 1, 0))
             with pytest.raises(WireError, match="exceeds"):
                 right.recv()
         finally:
