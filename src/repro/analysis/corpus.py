@@ -28,8 +28,8 @@ from .locality import LayoutSpec, check_locality, key_home
 from .protocol import protocol_diagnostics
 from .races import race_diagnostics
 
-__all__ = ["CorpusCase", "CORPUS", "RACY_CORPUS", "run_case",
-           "verify_corpus", "installed"]
+__all__ = ["CorpusCase", "CORPUS", "RACY_CORPUS", "LIVENESS_CORPUS",
+           "run_case", "verify_corpus", "installed"]
 
 V = ir.Var
 C = ir.Const
@@ -43,8 +43,10 @@ class CorpusCase:
         ``"loop"`` (:func:`~repro.analysis.deps.loop_diagnostics`),
         ``"carries"`` (:func:`carried_write_diagnostics`),
         ``"locality"`` (:func:`check_locality`), ``"protocol"``
-        (:func:`protocol_diagnostics`) or ``"races"``
-        (:func:`~repro.analysis.races.race_diagnostics`).
+        (:func:`protocol_diagnostics`), ``"races"``
+        (:func:`~repro.analysis.races.race_diagnostics`) or
+        ``"protocol_mc"``
+        (:func:`~repro.analysis.protocol_mc.mc_diagnostics`).
     category:
         The diagnostic category the case must be flagged under.
 
@@ -70,6 +72,7 @@ class CorpusCase:
     entry: tuple = (0,)            # where the root program is injected
     initial_signals: tuple = ()    # (event, args, count) primed per place
     racy_vars: tuple = ()          # node variables expected to race
+    window: int | None = None      # credit window for "protocol_mc" cases
 
     @property
     def primed(self) -> frozenset:
@@ -422,6 +425,138 @@ def _case_nonaffine_alias() -> CorpusCase:
         racy_vars=("X",))
 
 
+# -- liveness cases for the protocol model checker -------------------------
+
+def _case_credit_starvation() -> CorpusCase:
+    # Under a credit window of 1 there is a schedule where host 0 and
+    # host 1 each block in emit_hop toward the other while both
+    # in-flight hops wait for the blocked destination worker to
+    # dequeue them: a mutual credit-starvation deadlock. Without the
+    # gate (SimFabric) every schedule completes, so only the gated
+    # model-checker pass can find it.
+    px = ir.Program("bad-credit-px", (ir.HopStmt((C(1),)),))
+    qx = ir.Program("bad-credit-qx", (ir.HopStmt((C(0),)),))
+    main = ir.Program("bad-credit-window", (
+        ir.HopStmt((C(0),)),
+        ir.InjectStmt(px.name),
+        ir.InjectStmt(px.name),
+        ir.HopStmt((C(2),)),
+        ir.HopStmt((C(1),)),
+        ir.InjectStmt(qx.name),
+        ir.InjectStmt(qx.name),
+    ))
+    return CorpusCase(
+        name=main.name, category="credit-deadlock",
+        registry={px.name: px, qx.name: qx, main.name: main},
+        root=main.name, check="protocol_mc",
+        places=3, entry=(2,), window=1)
+
+
+def _case_token_steal() -> CorpusCase:
+    # Two racers compete for one GO token; only the role-0 racer
+    # re-signals it (closing the cycle) before signaling DONE. If role
+    # 1 reaches its wait first it steals the token: role 0 and main
+    # starve. Which racer registers its wait first is a pure
+    # same-instant tie — exactly what coalesced batch delivery and the
+    # schedule fuzzer reorder — so the deadlock is reachable but not
+    # inevitable, and the structural checker cannot decide it.
+    racer = ir.Program("bad-steal-racer", (
+        ir.WaitStmt("GO"),
+        ir.If(ir.Bin("==", V("role"), C(0)), (
+            ir.SignalStmt("GO"),
+            ir.SignalStmt("DONE"),
+        ), ()),
+    ), params=("role",))
+    main = ir.Program("bad-token-steal", (
+        ir.InjectStmt(racer.name, bindings=(("role", C(0)),)),
+        ir.InjectStmt(racer.name, bindings=(("role", C(1)),)),
+        ir.SignalStmt("GO"),
+        ir.WaitStmt("DONE"),
+    ))
+    return CorpusCase(
+        name=main.name, category="protocol-deadlock",
+        registry={racer.name: racer, main.name: main},
+        root=main.name, check="protocol_mc")
+
+
+def _case_hidden_cycle() -> CorpusCase:
+    # A wait/signal cycle laundered through injection: each waiter
+    # would spawn the program that signals the *other* waiter's event,
+    # so neither signal is ever performed. Structurally both signal
+    # sites look unguarded (they are the first statement of their own
+    # program), hence no signal-cycle finding — but every schedule
+    # deadlocks, which the model checker proves.
+    sa = ir.Program("bad-hidden-sa", (ir.SignalStmt("A"),))
+    sb = ir.Program("bad-hidden-sb", (ir.SignalStmt("B"),))
+    w1 = ir.Program("bad-hidden-w1", (
+        ir.WaitStmt("B"),
+        ir.InjectStmt(sa.name),
+    ))
+    w2 = ir.Program("bad-hidden-w2", (
+        ir.WaitStmt("A"),
+        ir.InjectStmt(sb.name),
+    ))
+    main = ir.Program("bad-hidden-cycle", (
+        ir.InjectStmt(w1.name),
+        ir.InjectStmt(w2.name),
+    ))
+    return CorpusCase(
+        name=main.name, category="protocol-deadlock",
+        registry={p.name: p for p in (sa, sb, w1, w2, main)},
+        root=main.name, check="protocol_mc")
+
+
+def _case_orphan_leak() -> CorpusCase:
+    # Producer signals SLOT four times, consumer only ever waits three:
+    # one token leaks on a key the consumer demonstrably knows how to
+    # consume. Runs to completion everywhere — only the token
+    # arithmetic over the verified-deadlock-free space can flag it.
+    producer = ir.Program("bad-orphan-producer", (
+        ir.For("i", C(4), (ir.SignalStmt("SLOT"),)),
+    ))
+    consumer = ir.Program("bad-orphan-consumer", (
+        ir.For("i", C(3), (ir.WaitStmt("SLOT"),)),
+    ))
+    main = ir.Program("bad-orphan-signal", (
+        ir.InjectStmt(producer.name),
+        ir.InjectStmt(consumer.name),
+    ))
+    return CorpusCase(
+        name=main.name, category="orphan-signal",
+        registry={p.name: p for p in (producer, consumer, main)},
+        root=main.name, check="protocol_mc")
+
+
+def _case_mc_clean() -> CorpusCase:
+    # A fig13-style primed handshake: EP and EC alternate, with EC
+    # primed once at setup. The structural checker sees a fully
+    # guarded signal cycle (its warning is unavoidable without
+    # counting tokens); the model checker explores the space under the
+    # primed token and proves every schedule terminates with EC back
+    # in its rest state.
+    producer = ir.Program("good-hs-producer", (
+        ir.For("i", C(3), (
+            ir.WaitStmt("EC"),
+            ir.SignalStmt("EP"),
+        )),
+    ))
+    consumer = ir.Program("good-hs-consumer", (
+        ir.For("i", C(3), (
+            ir.WaitStmt("EP"),
+            ir.SignalStmt("EC"),
+        )),
+    ))
+    main = ir.Program("good-mc-clean", (
+        ir.InjectStmt(producer.name),
+        ir.InjectStmt(consumer.name),
+    ))
+    return CorpusCase(
+        name=main.name, category="signal-cycle",
+        registry={p.name: p for p in (producer, consumer, main)},
+        root=main.name, check="protocol_mc",
+        expect_clean=True, initial_signals=(("EC", (), 1),))
+
+
 CORPUS: tuple = (
     _case_write_collision(),
     _case_stale_carry(),
@@ -439,9 +574,17 @@ CORPUS: tuple = (
     _case_nonaffine_mod_write(),
     _case_scaled_read(),
     _case_nonaffine_alias(),
+    _case_credit_starvation(),
+    _case_token_steal(),
+    _case_hidden_cycle(),
+    _case_orphan_leak(),
+    _case_mc_clean(),
 )
 
 RACY_CORPUS: tuple = tuple(c for c in CORPUS if c.check == "races")
+
+LIVENESS_CORPUS: tuple = tuple(c for c in CORPUS
+                               if c.check == "protocol_mc")
 
 
 def run_case(case: CorpusCase) -> DiagnosticReport:
@@ -458,6 +601,13 @@ def run_case(case: CorpusCase) -> DiagnosticReport:
     if case.check == "races":
         return race_diagnostics(root, registry=case.registry,
                                 primed=case.primed)
+    if case.check == "protocol_mc":
+        from .protocol_mc import DEFAULT_WINDOW, mc_diagnostics
+        return mc_diagnostics(
+            root, registry=case.registry, entry=case.entry,
+            places=case.places, initial_signals=case.initial_signals,
+            window=case.window if case.window is not None
+            else DEFAULT_WINDOW)
     raise ValueError(f"unknown corpus check {case.check!r}")
 
 

@@ -38,7 +38,7 @@ from .protocol import protocol_diagnostics
 from .summary import summarize
 
 __all__ = ["lint_program", "lint_registry", "seed_paper_programs",
-           "paper_layouts"]
+           "paper_layouts", "paper_mc_contexts", "root_entry_coord"]
 
 
 def _structure_diagnostics(program: ir.Program) -> DiagnosticReport:
@@ -205,3 +205,50 @@ def seed_paper_programs(g: int = 3) -> dict:
     build_fig15(g)
     build_wavefront_ir(g, 4, 4)
     return paper_layouts(g)
+
+
+def root_entry_coord(program: ir.Program) -> tuple:
+    """The injection coordinate a root program expects.
+
+    The paper mains all start by hopping to a fully concrete
+    coordinate; its dimensionality tells us whether the program lives
+    on a 1-D chain or a 2-D grid. Programs with no concrete hop
+    default to the 1-D origin.
+    """
+    for _path, stmt in visitor.walk_stmts(program.body):
+        if isinstance(stmt, ir.HopStmt):
+            coord = []
+            for e in stmt.place:
+                if not isinstance(e, ir.Const):
+                    return (0,)
+                coord.append(e.value)
+            return (0,) * len(coord)
+    return (0,)
+
+
+def paper_mc_contexts(g: int = 3) -> dict:
+    """Model-checking context per paper root: entry + primed signals.
+
+    Mirrors how the runners launch each family: 1-D chains and the
+    wavefront inject at ``(0,)`` with nothing primed; the Figure 11/13/
+    15 suites inject at ``(0, 0)`` with their declared setup-time
+    signals (Figure 13 pre-signals ``EC`` everywhere, "EC(i,j) is
+    signaled initially").
+    """
+    from ..matmul.ir2d import build_fig11, build_fig13, build_fig15
+    from ..transform.examples import derive_full_chain
+
+    contexts: dict = {}
+    for build in (build_fig11, build_fig13, build_fig15):
+        suite = build(g)
+        contexts[suite.entry.name] = {
+            "entry": (0, 0),
+            "initial_signals": tuple(suite.initial_signals),
+        }
+    chain = derive_full_chain(g)
+    for suite in (chain.pipelined_2d, chain.phased_2d):
+        contexts[suite.main.name] = {
+            "entry": (0, 0),
+            "initial_signals": tuple(suite.initial_signals),
+        }
+    return contexts

@@ -1,0 +1,758 @@
+"""Explicit-state semantics for navigational wait/signal protocols.
+
+This module is the engine room of the protocol model checker
+(:mod:`repro.analysis.protocol_mc`). It does two things:
+
+**Trace extraction** (:func:`extract_system`): run each injected
+program through a *concrete abstract interpretation* of the IR — loop
+bounds, hop coordinates and event keys are evaluated exactly (every
+paper program has ``Const`` bounds and affine tours over concrete
+bindings), while kernel outputs and node reads become an opaque token.
+Each messenger flattens into a finite sequence of synchronization
+events: ``hop(src, dst)``, ``wait(key)``, ``signal(key, count)`` and
+``spawn(child)``, where a key is ``(host, event, args)``. Anything the
+abstraction cannot evaluate at a *control* position (an opaque loop
+bound, branch condition, hop coordinate or event argument) raises
+:class:`AbstractionError` — the checker reports the program as
+unsupported instead of guessing.
+
+**State-space exploration** (:class:`Explorer`): exhaustive memoized
+DFS over the interleavings of those traces. A global state is the
+vector of per-thread ``(pc, phase)`` codes; the pending-signal
+multiset, per-``(src, dst)`` in-flight hop counts and per-host mailbox
+depths are all functions of that vector and are maintained
+incrementally with undo on backtrack. Hops are two micro-steps — a
+*send* (the messenger leaves its host; the destination mailbox deepens)
+and a *retire* (the destination worker dequeues it; the messenger
+resumes there) — which is exactly the window in which credit-based
+backpressure and hop coalescing reorder arrivals on the socket fabric.
+
+Partial-order reduction uses singleton stubborn sets ("eager" moves):
+a transition that can never be disabled by, and commutes to the left
+of, every other thread's remaining operations is executed immediately
+without branching. Under infinite-window semantics that covers sends,
+retires, signals, spawns, and waits on keys with a single waiting
+thread — the concrete analogue of the affine
+:func:`~repro.analysis.distance.keys_never_equal` disjointness oracle:
+two waits compete only when their *concrete* keys are equal, so a key
+owned by one thread commutes with the world. The only branch points
+left are waits on contended keys (and, in the credit-gated mode,
+everything — see below). Deadlock reachability is preserved because
+every eager move satisfies the stubborn-set conditions: it is enabled,
+cannot be disabled by others, and commutes (signals/sends only add
+tokens or counters; a single-waiter consume has no competitor). The
+state space is a DAG (every transition strictly advances some thread),
+so the ignoring problem of cycle-closing POR does not arise.
+
+Symmetric replicated instances — threads whose extracted traces are
+byte-identical, the concrete image of an
+:class:`~repro.analysis.mhp.ThreadClass` whose replication parameter
+never reaches a synchronization key — are interchangeable, so states
+are canonicalized by sorting their codes within each symmetry group
+before memoization.
+
+Two credit regimes are modeled:
+
+* ``window=None`` — the sim/thread/process-fabric semantics: sends are
+  never gated. Peaks of the per-host mailbox depth are still tracked.
+* ``gated=True`` with a finite window — the socket-fabric semantics:
+  a send toward ``dst`` requires ``in_flight(src, dst) < window``;
+  a messenger that commits to a full-window hop *blocks its entire
+  host* (the single-threaded worker sits in ``emit_hop``), freezing
+  co-located messengers and mailbox retirement until credit returns —
+  the mechanism behind real credit-starvation deadlocks. Gated
+  exploration branches on every enabled transition (no eager moves):
+  host blocking couples co-located operations, so the singleton
+  stubborn argument no longer applies.
+
+Per-destination mailbox peaks are computed *exactly* by dedicated
+passes that make retirement into one host lazy (a branch point) while
+everything else stays eager: delaying other hosts' retires or sends is
+never enabling under infinite-window semantics, and contended-key
+token allocation is still branched on, so the adversarial schedule
+that maximizes one mailbox is always explored.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..errors import AnalysisError
+from ..navp import ir
+
+__all__ = [
+    "AbstractionError", "ThreadTrace", "Schedule", "ExploreResult",
+    "Explorer", "extract_system", "extract_traces", "OPAQUE",
+]
+
+
+class AbstractionError(AnalysisError):
+    """The program escapes the checker's concrete abstraction."""
+
+
+class _Opaque:
+    """Unknown runtime value (kernel output, node data). Hashable so it
+    can sit inside env snapshots; any *control* use is rejected by the
+    extractor rather than guessed at."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<opaque>"
+
+
+OPAQUE = _Opaque()
+
+# thread phases
+_NOT_SPAWNED, _READY, _TRANSIT, _BLOCKED, _DONE = range(5)
+_PHASES = 5
+
+# transition kinds
+_SEND, _RETIRE, _BLOCK, _UNBLOCK, _CONSUME, _STEP = range(6)
+
+_KIND_NAMES = {_SEND: "send", _RETIRE: "retire", _BLOCK: "block",
+               _UNBLOCK: "unblock", _CONSUME: "wait", _STEP: "step"}
+
+
+@dataclass(frozen=True)
+class ThreadTrace:
+    """One messenger's finite synchronization trace.
+
+    ``ops`` entries (``path`` is the IR statement path, for messages):
+
+    - ``("hop", src_host, dst_host, path)``
+    - ``("wait", key, path)`` with ``key = (host, event, args)``
+    - ``("signal", key, count, path)``
+    - ``("spawn", child_index, host, path)``
+    """
+
+    label: str
+    program: str
+    ops: tuple
+    spawner: int | None = None
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A concrete interleaving — the counterexample currency.
+
+    ``steps`` is a tuple of ``(thread_label, action, detail)`` strings
+    describing the exact order of synchronization micro-steps from the
+    initial state to the property violation.
+    """
+
+    steps: tuple
+    blocked: tuple = ()   # (thread_label, why) at the final state
+
+    def describe(self, limit: int | None = None) -> str:
+        steps = self.steps if limit is None else self.steps[-limit:]
+        skipped = len(self.steps) - len(steps)
+        lines = []
+        if skipped:
+            lines.append(f"  ... {skipped} earlier step(s)")
+        lines.extend(f"  {i + skipped + 1}. {label}: {action} {detail}"
+                     for i, (label, action, detail) in enumerate(steps))
+        if self.blocked:
+            lines.append("  stuck: " + "; ".join(
+                f"{label} {why}" for label, why in self.blocked))
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "steps": [list(s) for s in self.steps],
+            "blocked": [list(b) for b in self.blocked],
+        }
+
+
+# --------------------------------------------------------------------------
+# trace extraction
+# --------------------------------------------------------------------------
+
+def _key_repr(key) -> str:
+    host, event, args = key
+    inner = event if not args else f"{event}{list(args)!r}"
+    return f"{inner}@{host!r}"
+
+
+class _Extractor:
+    def __init__(self, registry, max_ops: int):
+        self.registry = registry
+        self.max_ops = max_ops
+        self.traces: list = []
+        self.counts: dict = {}
+        self.budget = max_ops
+
+    def _resolve(self, name: str) -> ir.Program:
+        try:
+            return self.registry[name]
+        except KeyError:
+            raise AbstractionError(
+                f"injected program {name!r} is not in the registry"
+            ) from None
+
+    def _label(self, program: str) -> str:
+        n = self.counts.get(program, 0)
+        self.counts[program] = n + 1
+        return program if n == 0 else f"{program}#{n}"
+
+    def run(self, program: str, entry: tuple, env: dict,
+            spawner: int | None) -> int:
+        """Extract one thread (recursing into injections); its index."""
+        index = len(self.traces)
+        self.traces.append(None)  # reserve the slot: children come after
+        prog = self._resolve(program)
+        label = self._label(program)
+        ops: list = []
+        place = tuple(entry)
+        env = dict(env)
+        stack: list = [[(), 0, None]]
+
+        def ev(expr):
+            return self._eval(expr, env, prog.name)
+
+        while stack:
+            self.budget -= 1
+            if self.budget < 0:
+                raise AbstractionError(
+                    f"{prog.name}: trace exceeds {self.max_ops} "
+                    f"synchronization-relevant steps; the protocol is "
+                    f"too large for explicit-state checking")
+            frame = stack[-1]
+            path, pc, loop = frame
+            body = ir.body_at(prog, path)
+            if pc >= len(body):
+                if loop is not None:
+                    var, count = loop
+                    env[var] += 1
+                    if env[var] < count:
+                        frame[1] = 0
+                        continue
+                stack.pop()
+                continue
+            stmt = body[pc]
+            spath = path + (pc,)
+            frame[1] = pc + 1
+            cls = stmt.__class__
+            if cls is ir.Assign:
+                env[stmt.var] = ev(stmt.expr)
+            elif cls is ir.For:
+                count = ev(stmt.count)
+                if count is OPAQUE or not isinstance(count, int):
+                    raise AbstractionError(
+                        f"{prog.name} @ {list(spath)!r}: loop bound "
+                        f"over {stmt.var!r} is not statically evaluable")
+                if count > 0:
+                    env[stmt.var] = 0
+                    stack.append([path + (pc,), 0, (stmt.var, count)])
+            elif cls is ir.If:
+                cond = ev(stmt.cond)
+                if cond is OPAQUE:
+                    raise AbstractionError(
+                        f"{prog.name} @ {list(spath)!r}: branch "
+                        f"condition depends on runtime data")
+                target = stmt.then if cond else stmt.orelse
+                if target:
+                    branch = "then" if cond else "else"
+                    stack.append([path + ((pc, branch),), 0, None])
+            elif cls is ir.ComputeStmt:
+                env[stmt.out] = OPAQUE
+            elif cls is ir.NodeSet:
+                pass  # data-plane only: no synchronization effect
+            elif cls is ir.HopStmt:
+                coord = tuple(ev(e) for e in stmt.place)
+                if any(c is OPAQUE for c in coord):
+                    raise AbstractionError(
+                        f"{prog.name} @ {list(spath)!r}: hop "
+                        f"destination depends on runtime data")
+                ops.append(("hop", place, coord, spath))
+                place = coord
+            elif cls is ir.WaitStmt:
+                key = self._event_key(stmt, place, ev, prog.name, spath)
+                ops.append(("wait", key, spath))
+            elif cls is ir.SignalStmt:
+                key = self._event_key(stmt, place, ev, prog.name, spath)
+                count = ev(stmt.count)
+                if count is OPAQUE or not isinstance(count, int):
+                    raise AbstractionError(
+                        f"{prog.name} @ {list(spath)!r}: signal count "
+                        f"is not statically evaluable")
+                if count > 0:
+                    ops.append(("signal", key, count, spath))
+            elif cls is ir.InjectStmt:
+                child_env = {var: ev(e) for var, e in stmt.bindings}
+                child = self.run(stmt.program, place, child_env, index)
+                ops.append(("spawn", child, place, spath))
+            else:
+                raise AbstractionError(
+                    f"{prog.name} @ {list(spath)!r}: statement of "
+                    f"unknown type {cls.__name__!r}")
+        self.traces[index] = ThreadTrace(
+            label=label, program=prog.name, ops=tuple(ops),
+            spawner=spawner)
+        return index
+
+    def _event_key(self, stmt, place, ev, name, spath):
+        args = tuple(ev(e) for e in stmt.args)
+        if any(a is OPAQUE for a in args):
+            raise AbstractionError(
+                f"{name} @ {list(spath)!r}: event key "
+                f"{stmt.event!r} depends on runtime data")
+        return (place, stmt.event, args)
+
+    def _eval(self, expr, env, name):
+        cls = expr.__class__
+        if cls is ir.Const:
+            return expr.value
+        if cls is ir.Var:
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise AbstractionError(
+                    f"{name}: agent variable {expr.name!r} is unbound "
+                    f"during trace extraction") from None
+        if cls is ir.Bin:
+            a = self._eval(expr.left, env, name)
+            b = self._eval(expr.right, env, name)
+            if a is OPAQUE or b is OPAQUE:
+                return OPAQUE
+            try:
+                return ir._BIN_OPS[expr.op](a, b)
+            except Exception:
+                return OPAQUE
+        if cls is ir.Index:
+            base = self._eval(expr.base, env, name)
+            if base is OPAQUE:
+                return OPAQUE
+            try:
+                vals = tuple(self._eval(e, env, name) for e in expr.idx)
+                if any(v is OPAQUE for v in vals):
+                    return OPAQUE
+                key = vals[0] if len(vals) == 1 else vals
+                return base[key]
+            except Exception:
+                return OPAQUE
+        # NodeGet and anything unregistered: runtime data
+        return OPAQUE
+
+
+def extract_system(roots, registry=None, max_ops: int = 200_000) -> list:
+    """Extract traces for a system of concurrently injected roots.
+
+    ``roots`` is a list of ``(program_name, entry_coord, env)`` tuples;
+    every injected child becomes its own trace, in spawn pre-order.
+    Returns ``(traces, root_indices)``.
+    """
+    if registry is None:
+        registry = ir.REGISTRY
+    ex = _Extractor(registry, max_ops)
+    indices = [ex.run(name, tuple(entry), dict(env or {}), None)
+               for name, entry, env in roots]
+    return ex.traces, indices
+
+
+def extract_traces(root: str, registry=None, entry=(0,),
+                   env: dict | None = None,
+                   max_ops: int = 200_000) -> list:
+    """Single-root sugar over :func:`extract_system`."""
+    traces, _ = extract_system([(root, entry, env or {})], registry,
+                               max_ops=max_ops)
+    return traces
+
+
+# --------------------------------------------------------------------------
+# exploration
+# --------------------------------------------------------------------------
+
+@dataclass
+class ExploreResult:
+    """One exploration pass over a system of traces."""
+
+    complete: bool
+    states: int
+    transitions: int
+    eager_steps: int
+    naive_transitions: int     # what full branching would have expanded
+    deadlock: Schedule | None
+    terminals: int
+    peaks: dict                # host -> max mailbox depth reached
+    inflight_peaks: dict       # (src, dst) -> max in-flight hops
+    reason: str = ""           # why the pass stopped early, if it did
+
+    @property
+    def reduction_factor(self) -> float:
+        """Naive-over-explored transition ratio (POR effectiveness)."""
+        return self.naive_transitions / max(1, self.transitions)
+
+
+class Explorer:
+    """Memoized DFS over the interleavings of a trace system.
+
+    ``window=None`` explores the ungated (infinite-credit) semantics
+    with eager singleton-stubborn moves; ``gated=True`` (requires a
+    finite ``window``) explores the socket credit semantics with full
+    branching. ``lazy_hosts`` makes retirement into those hosts a
+    branch point (the exact-mailbox-peak passes).
+    """
+
+    def __init__(self, traces, roots, initial_pending=None, *,
+                 window: int | None = None, gated: bool = False,
+                 lazy_hosts: frozenset = frozenset(),
+                 max_states: int = 1_000_000,
+                 deadline_s: float | None = None,
+                 stop_on_deadlock: bool = True):
+        if gated and window is None:
+            raise ValueError("gated exploration needs a finite window")
+        self.traces = list(traces)
+        self.roots = list(roots)
+        self.window = window
+        self.gated = gated
+        self.lazy_hosts = frozenset(lazy_hosts)
+        self.max_states = max_states
+        self.deadline_s = deadline_s
+        self.stop_on_deadlock = stop_on_deadlock
+        self.initial_pending = dict(initial_pending or {})
+
+        n = len(self.traces)
+        self.codes = [_NOT_SPAWNED] * n
+        self.live = 0
+        for i in self.roots:
+            self.codes[i] = self._entry_code(i)
+        self.pending = dict(self.initial_pending)
+        self.inflight: dict = {}
+        self.depth: dict = {}
+        self.blocked: dict = {}
+        self.peaks: dict = {}
+        self.inflight_peaks: dict = {}
+
+        # key -> thread indices that ever wait on it (eager-wait rule)
+        waiters: dict = {}
+        for i, t in enumerate(self.traces):
+            for op in t.ops:
+                if op[0] == "wait":
+                    waiters.setdefault(op[1], set()).add(i)
+        self.single_waiter = {k: len(v) == 1 for k, v in waiters.items()}
+
+        # symmetry groups: byte-identical traces are interchangeable
+        by_ops: dict = {}
+        for i, t in enumerate(self.traces):
+            by_ops.setdefault((t.program, t.ops), []).append(i)
+        self.sym_groups = tuple(tuple(g) for g in by_ops.values()
+                                if len(g) > 1)
+
+    # -- state helpers -----------------------------------------------------
+
+    def _entry_code(self, i: int) -> int:
+        if self.traces[i].ops:
+            self.live += 1
+            return _READY  # pc 0
+        return _DONE       # empty program: born finished
+
+    def _advance_code(self, i: int, pc: int) -> int:
+        if pc >= len(self.traces[i].ops):
+            self.live -= 1
+            return pc * _PHASES + _DONE
+        return pc * _PHASES + _READY
+
+    def _host_of(self, i: int, pc: int):
+        op = self.traces[i].ops[pc]
+        kind = op[0]
+        if kind == "hop":
+            return op[1]
+        if kind == "spawn":
+            return op[2]
+        return op[1][0]  # wait/signal: key host
+
+    def _canonical(self):
+        codes = self.codes
+        if not self.sym_groups:
+            return tuple(codes)
+        arr = list(codes)
+        for group in self.sym_groups:
+            vals = sorted(arr[j] for j in group)
+            for j, v in zip(group, vals):
+                arr[j] = v
+        return tuple(arr)
+
+    # -- transitions -------------------------------------------------------
+
+    def _transition(self, i: int):
+        """The (at most one) enabled transition of thread ``i``."""
+        code = self.codes[i]
+        phase = code % _PHASES
+        if phase == _NOT_SPAWNED or phase == _DONE:
+            return None
+        pc = code // _PHASES
+        op = self.traces[i].ops[pc]
+        if phase == _TRANSIT:
+            if self.gated and self.blocked.get(op[2], 0):
+                return None  # destination worker is stuck in emit_hop
+            return _RETIRE
+        if phase == _BLOCKED:
+            if self.inflight.get((op[1], op[2]), 0) < self.window:
+                return _UNBLOCK
+            return None
+        # READY
+        host = self._host_of(i, pc)
+        if self.gated and self.blocked.get(host, 0):
+            return None  # a co-located messenger blocked the worker
+        kind = op[0]
+        if kind == "hop":
+            if self.window is None or \
+                    self.inflight.get((op[1], op[2]), 0) < self.window:
+                return _SEND
+            return _BLOCK if self.gated else None
+        if kind == "wait":
+            return _CONSUME if self.pending.get(op[1], 0) > 0 else None
+        return _STEP  # signal / spawn
+
+    def _apply(self, i: int, kind: int):
+        """Execute a transition; return its undo record."""
+        old = self.codes[i]
+        pc = old // _PHASES
+        op = self.traces[i].ops[pc]
+        old_live = self.live
+        child_old = None
+        if kind == _SEND or kind == _UNBLOCK:
+            sd = (op[1], op[2])
+            self.inflight[sd] = n = self.inflight.get(sd, 0) + 1
+            if n > self.inflight_peaks.get(sd, 0):
+                self.inflight_peaks[sd] = n
+            self.depth[op[2]] = d = self.depth.get(op[2], 0) + 1
+            if d > self.peaks.get(op[2], 0):
+                self.peaks[op[2]] = d
+            if kind == _UNBLOCK:
+                self.blocked[op[1]] -= 1
+            self.codes[i] = pc * _PHASES + _TRANSIT
+        elif kind == _RETIRE:
+            sd = (op[1], op[2])
+            self.inflight[sd] -= 1
+            self.depth[op[2]] -= 1
+            self.codes[i] = self._advance_code(i, pc + 1)
+        elif kind == _BLOCK:
+            self.blocked[op[1]] = self.blocked.get(op[1], 0) + 1
+            self.codes[i] = pc * _PHASES + _BLOCKED
+        elif kind == _CONSUME:
+            self.pending[op[1]] -= 1
+            self.codes[i] = self._advance_code(i, pc + 1)
+        else:  # _STEP: signal or spawn
+            if op[0] == "signal":
+                key = op[1]
+                self.pending[key] = self.pending.get(key, 0) + op[2]
+            else:
+                child = op[1]
+                child_old = self.codes[child]
+                self.codes[child] = self._entry_code(child)
+            self.codes[i] = self._advance_code(i, pc + 1)
+        return (i, old, kind, op, old_live, child_old)
+
+    def _revert(self, undo) -> None:
+        i, old, kind, op, old_live, child_old = undo
+        if kind == _SEND or kind == _UNBLOCK:
+            sd = (op[1], op[2])
+            self.inflight[sd] -= 1
+            self.depth[op[2]] -= 1
+            if kind == _UNBLOCK:
+                self.blocked[op[1]] += 1
+        elif kind == _RETIRE:
+            sd = (op[1], op[2])
+            self.inflight[sd] += 1
+            self.depth[op[2]] += 1
+        elif kind == _BLOCK:
+            self.blocked[op[1]] -= 1
+        elif kind == _CONSUME:
+            self.pending[op[1]] += 1
+        else:
+            if op[0] == "signal":
+                self.pending[op[1]] -= op[2]
+            else:
+                self.codes[op[1]] = child_old
+        self.codes[i] = old
+        self.live = old_live
+
+    def _eager(self, i: int):
+        """Singleton-stubborn transition of thread ``i``, if any.
+
+        Only meaningful in ungated mode: host blocking couples
+        co-located transitions, so gated exploration branches fully.
+        """
+        code = self.codes[i]
+        phase = code % _PHASES
+        if phase == _TRANSIT:
+            pc = code // _PHASES
+            if self.traces[i].ops[pc][2] not in self.lazy_hosts:
+                return _RETIRE
+            return None
+        if phase != _READY:
+            return None
+        pc = code // _PHASES
+        op = self.traces[i].ops[pc]
+        kind = op[0]
+        if kind == "hop" or kind == "signal" or kind == "spawn":
+            return _SEND if kind == "hop" else _STEP
+        # wait: eager only when this thread owns the key outright
+        if self.pending.get(op[1], 0) > 0 and self.single_waiter[op[1]]:
+            return _CONSUME
+        return None
+
+    # -- the DFS -----------------------------------------------------------
+
+    def _describe(self, i: int, kind: int) -> tuple:
+        t = self.traces[i]
+        pc = self.codes[i] // _PHASES
+        op = t.ops[min(pc, len(t.ops) - 1)]
+        if op[0] == "hop":
+            detail = f"{op[1]!r} -> {op[2]!r}"
+            action = _KIND_NAMES[kind] if kind in (
+                _SEND, _RETIRE, _BLOCK, _UNBLOCK) else "hop"
+        elif op[0] == "wait":
+            action, detail = "wait", _key_repr(op[1])
+        elif op[0] == "signal":
+            action, detail = "signal", _key_repr(op[1])
+        else:
+            action, detail = "inject", self.traces[op[1]].label
+        return (t.label, action, detail)
+
+    def _stuck_report(self) -> tuple:
+        out = []
+        for i, t in enumerate(self.traces):
+            code = self.codes[i]
+            phase = code % _PHASES
+            if phase in (_NOT_SPAWNED, _DONE):
+                continue
+            pc = code // _PHASES
+            op = t.ops[pc]
+            if phase == _TRANSIT:
+                why = (f"in transit {op[1]!r} -> {op[2]!r} "
+                       f"(destination worker never dequeues it)")
+            elif phase == _BLOCKED:
+                why = (f"blocked in emit_hop {op[1]!r} -> {op[2]!r} "
+                       f"(credit window exhausted)")
+            elif op[0] == "wait":
+                why = f"waiting on {_key_repr(op[1])} (never signaled)"
+            elif op[0] == "hop":
+                why = f"cannot send {op[1]!r} -> {op[2]!r}"
+            else:
+                why = f"frozen at blocked host before {op[0]}"
+            out.append((t.label, why))
+        return tuple(out)
+
+    def explore(self) -> ExploreResult:
+        seen: set = set()
+        states = transitions = eager_steps = naive = terminals = 0
+        deadlock = None
+        reason = ""
+        t0 = time.monotonic()
+        path: list = []          # (label, action, detail) applied steps
+        undo_log: list = []      # undo records, parallel to path
+
+        def apply_step(i, kind):
+            nonlocal transitions
+            path.append(self._describe(i, kind))
+            undo_log.append(self._apply(i, kind))
+            transitions += 1
+
+        def unwind(to_len):
+            while len(undo_log) > to_len:
+                self._revert(undo_log.pop())
+                path.pop()
+
+        # DFS frames: (undo_log length at entry, iterator of threads)
+        frames: list = []
+
+        def enter():
+            """Eager-close, memoize, enumerate. Returns branch list or
+            None when the state was already visited / is settled."""
+            nonlocal states, eager_steps, naive, terminals, deadlock
+            if not self.gated:
+                progress = True
+                while progress:
+                    progress = False
+                    for i in range(len(self.traces)):
+                        kind = self._eager(i)
+                        if kind is not None:
+                            naive += self.live
+                            apply_step(i, kind)
+                            eager_steps += 1
+                            progress = True
+            key = self._canonical()
+            if key in seen:
+                return None
+            seen.add(key)
+            states += 1
+            branches = [i for i in range(len(self.traces))
+                        if self._transition(i) is not None]
+            naive += len(branches)
+            if not branches:
+                if self.live > 0:
+                    if deadlock is None:
+                        deadlock = Schedule(tuple(path),
+                                            self._stuck_report())
+                else:
+                    terminals += 1
+                return None
+            return branches
+
+        # A frame's ``base`` is the undo-log length at its state's
+        # entry (post eager closure); the invariant is that the mutable
+        # state equals the frame's state whenever its next branch is
+        # taken, and subtrees unwind back to ``base`` when they return.
+        branches = enter()
+        if branches is not None:
+            frames.append((len(undo_log), iter(branches)))
+        ok = True
+        ticks = 0
+        while frames:
+            if deadlock is not None and self.stop_on_deadlock:
+                break
+            if states > self.max_states:
+                ok, reason = False, (
+                    f"state cap {self.max_states} exceeded")
+                break
+            ticks += 1
+            if self.deadline_s is not None and \
+                    (ticks & 0x3FF) == 0 and \
+                    time.monotonic() - t0 > self.deadline_s:
+                ok, reason = False, (
+                    f"deadline {self.deadline_s:.1f}s exceeded")
+                break
+            base, it = frames[-1]
+            i = next(it, None)
+            if i is None:
+                frames.pop()
+                unwind(frames[-1][0] if frames else 0)
+                continue
+            kind = self._transition(i)
+            if kind is None:  # unreachable: state is restored to the
+                continue      # frame's own before every branch
+            apply_step(i, kind)
+            sub = enter()
+            if sub is None:
+                unwind(base)
+            else:
+                frames.append((len(undo_log), iter(sub)))
+        # fully unwind so the explorer can be reused
+        unwind(0)
+        return ExploreResult(
+            complete=ok and (deadlock is None or self.stop_on_deadlock),
+            states=states, transitions=transitions,
+            eager_steps=eager_steps, naive_transitions=naive,
+            deadlock=deadlock, terminals=terminals,
+            peaks=dict(self.peaks),
+            inflight_peaks=dict(self.inflight_peaks),
+            reason=reason)
+
+
+def signal_totals(traces, initial_pending=None) -> dict:
+    """Per-key token balance assuming every thread runs to completion:
+    ``initial + signaled - waited``. Under proven deadlock-freedom the
+    leftover count per key is schedule-invariant, so orphan detection
+    is arithmetic, not search."""
+    totals = dict(initial_pending or {})
+    for t in traces:
+        for op in t.ops:
+            if op[0] == "signal":
+                totals[op[1]] = totals.get(op[1], 0) + op[2]
+            elif op[0] == "wait":
+                totals[op[1]] = totals.get(op[1], 0) - 1
+    return totals

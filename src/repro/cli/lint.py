@@ -29,6 +29,13 @@ only the direction is known). Statement paths are JSON lists in the
 as ``[index, "then"|"else"]``. Corpus mode (``--corpus --json``)
 instead reports ``{"mode": "corpus", "cases": [...], "caught",
 "total", "exit_code"}``.
+
+``--protocol-mc`` adds a ``protocol_mc`` object mapping each linted
+*root* to its :meth:`ModelCheckResult.to_json` verdict: ``status``,
+``deadlock_free``, ``max_mailbox_depth``/``window``/``bounded``,
+state-space ``stats`` (states explored, POR ``reduction_factor``,
+per-pass breakdown), and the concrete ``counterexample`` schedule when
+one exists (replayable on SimFabric — see ``docs/analysis.md``).
 """
 
 from __future__ import annotations
@@ -60,6 +67,19 @@ def configure(sub) -> None:
                         help="also run the static data-race analysis "
                              "over every linted root program's "
                              "injection closure")
+    lint_p.add_argument("--protocol-mc", action="store_true",
+                        dest="protocol_mc",
+                        help="also model-check every linted root "
+                             "program's injection closure for "
+                             "deadlock-freedom, bounded mailboxes, and "
+                             "orphan signals (in --corpus mode the "
+                             "liveness cases already run it)")
+    lint_p.add_argument("--mc-states", type=int, default=200_000,
+                        help="state cap per model-checking pass "
+                             "(default 200000)")
+    lint_p.add_argument("--mc-deadline", type=float, default=5.0,
+                        help="wall-clock cap in seconds per "
+                             "model-checking pass (default 5.0)")
     lint_p.add_argument("--strict", action="store_true",
                         help="treat warnings as errors for the exit "
                              "status")
@@ -177,6 +197,29 @@ def _cmd_lint(args) -> int:
             if name not in injected:  # roots carry their closures
                 extra.extend(race_diagnostics(ir.get_program(name)))
         report.extend(extra)
+    protocol_mc: dict = {}
+    if args.protocol_mc:
+        from ..analysis.lint import _injected_names, paper_mc_contexts
+        from ..analysis.lint import root_entry_coord
+        from ..analysis.protocol_mc import mc_diagnostics, model_check
+
+        contexts = paper_mc_contexts(args.g)
+        injected = _injected_names(ir.REGISTRY)
+        extra = DiagnosticReport()
+        for name in names:
+            if name in injected:  # roots carry their closures
+                continue
+            prog = ir.get_program(name)
+            ctx = contexts.get(name, {})
+            kwargs = dict(
+                entry=ctx.get("entry", root_entry_coord(prog)),
+                initial_signals=ctx.get("initial_signals", ()),
+                max_states=args.mc_states,
+                deadline_s=args.mc_deadline)
+            res = model_check(name, **kwargs)
+            extra.extend(mc_diagnostics(prog, result=res, **kwargs))
+            protocol_mc[name] = res.to_json()
+        report.extend(extra)
     loops: dict = {}
     if args.loop:
         extra = DiagnosticReport()
@@ -211,6 +254,8 @@ def _cmd_lint(args) -> int:
         }
         if args.loop:
             payload["loops"] = loops
+        if args.protocol_mc:
+            payload["protocol_mc"] = protocol_mc
         print(json.dumps(payload, indent=2, sort_keys=True))
         return code
 

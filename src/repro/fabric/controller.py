@@ -503,5 +503,25 @@ class ControllerFabric:
 
         walk(program.body)
 
+    def _mc_hint(self, window: int | None = None) -> str:
+        """Model-checker verdict suffix for a DeadlockError message.
+
+        ``self._programs`` already holds the exact injection closure
+        this run shipped to the workers, so the post-mortem checks what
+        actually ran — not whatever the global registry holds now.
+        Returns ``""`` when there is nothing useful to say; never
+        raises (the hint must not mask the deadlock it annotates).
+        """
+        try:
+            from ..analysis.protocol_mc import runtime_deadlock_hint
+            roots = [(name, coord, env)
+                     for coord, name, env in self._initial]
+            hint = runtime_deadlock_hint(roots, self._signals,
+                                         registry=self._programs,
+                                         window=window)
+        except Exception:  # pragma: no cover — defensive
+            hint = None
+        return "\n" + hint if hint else ""
+
     # -- identity ------------------------------------------------------
     kind = "distributed"  # overridden: "process" / "socket"

@@ -37,7 +37,7 @@ from .topology import Grid1D
 
 __all__ = ["ScheduleCheck", "CorpusFuzz", "fuzz_golden_suites",
            "fuzz_corpus", "run_corpus_case", "static_signatures",
-           "dynamic_signature"]
+           "dynamic_signature", "fuzz_deadlocks"]
 
 DEFAULT_SEEDS = tuple(range(20))
 
@@ -214,6 +214,41 @@ def run_corpus_case(case, perturb_seed: int | None = None,
         fabric.inject(case.entry, IRMessenger(case.root))
         fabric.run()
         return list(fabric.hb.races)
+
+
+def fuzz_deadlocks(case, seeds=DEFAULT_SEEDS, machine=None) -> tuple:
+    """Sweep fuzzed schedules, splitting seeds by liveness outcome.
+
+    Returns ``(deadlocked, clean)`` seed tuples. This is the dynamic
+    half of the model checker's cross-validation contract: a corpus
+    case the checker calls DEADLOCK must deadlock for at least one
+    seed, and one it VERIFIES must never deadlock. (Credit-starvation
+    verdicts are gated-semantics-only: SimFabric has no credit window,
+    so those cases must run clean here — that *is* the confirmation.)
+
+    By default the sweep runs on a zero-sync-overhead machine: with
+    inject/event costs at zero, every synchronization decision lands
+    in one same-virtual-time pool, which is exactly the schedule
+    freedom the perturbation shuffles (and a real fabric's coalesced
+    delivery exhibits). Non-zero overheads would serialize the ties
+    and mask schedule-dependent deadlocks.
+    """
+    from dataclasses import replace
+
+    from ..errors import DeadlockError
+
+    if machine is None:
+        machine = replace(FAST_TEST_MACHINE,
+                          inject_overhead_s=0.0, event_overhead_s=0.0)
+    deadlocked, clean = [], []
+    for seed in seeds:
+        try:
+            run_corpus_case(case, perturb_seed=seed, machine=machine)
+        except DeadlockError:
+            deadlocked.append(seed)
+        else:
+            clean.append(seed)
+    return tuple(deadlocked), tuple(clean)
 
 
 def fuzz_corpus(seeds=DEFAULT_SEEDS, cases=None, machine=None) -> list:

@@ -185,6 +185,7 @@ class ProcessFabric(ControllerFabric):
                     raise DeadlockError(
                         f"process fabric timed out; "
                         f"{len(known - done)} messenger(s) unaccounted"
+                        f"{self._mc_hint()}"
                     )
                 try:
                     msg = report_queue.get(timeout=min(remaining, 1.0))
@@ -318,6 +319,7 @@ class ProcessFabric(ControllerFabric):
                         f"process fabric timed out; "
                         f"{len(known - done)} messenger(s) unaccounted "
                         f"({sum(self.restarts.values())} respawn(s))"
+                        f"{self._mc_hint()}"
                     )
                 # fire due crash specs: a crash is a real SIGKILL
                 if runtime.pending_crashes():

@@ -235,7 +235,8 @@ class SimFabric:
         self.sim.deadlock_hint = self._deadlock_hint
         self.trace = TraceLog(enabled=trace)
         self._tracing = bool(trace)
-        self._ir_roots: list[str] = []
+        self._ir_roots: list = []   # (program, entry coord, env snapshot)
+        self._primed: list = []     # (coord, event, args, count)
         if race_check:
             from .hb import HBTracker
             self.hb: HBTracker | None = HBTracker(
@@ -293,6 +294,7 @@ class SimFabric:
         on node(i,j) for all values of i,j initially"."""
         place = self.place(coord)
         place.event(name, tuple(args)).release(count)
+        self._primed.append((place.coord, name, tuple(args), count))
         if self.hb is not None:
             self.hb.prime((place.index, name, tuple(args)), count)
 
@@ -302,7 +304,9 @@ class SimFabric:
             raise FabricError("cannot inject externally after run() started")
         interp = getattr(messenger, "interp", None)
         if interp is not None:
-            self._ir_roots.append(interp.program)
+            self._ir_roots.append((interp.program,
+                                   self.place(coord).coord,
+                                   dict(interp.env)))
         self._start(messenger, self.place(coord), delay=delay)
 
     # -- execution ----------------------------------------------------------
@@ -352,8 +356,11 @@ class SimFabric:
         """Extra DeadlockError text: fault casualties first (a deadlock
         under injected faults is usually *caused* by the lost
         messengers), then what the static wait/signal protocol pass
-        predicted for the injected IR programs (lazy import — the
-        fabric stays usable without the analysis package)."""
+        predicted for the injected IR programs, then the protocol
+        model checker's verdict — a VERIFIED program that deadlocked
+        anyway points the finger at the fabric or fault layer (lazy
+        imports — the fabric stays usable without the analysis
+        package)."""
         resil = self._resil
         fault_note = None
         if resil is not None and resil.lost:
@@ -362,13 +369,14 @@ class SimFabric:
                 "disabled: " + ", ".join(resil.lost))
         if not self._ir_roots:
             return fault_note
+        notes = []
         try:
             from ..analysis.protocol import protocol_diagnostics
             from ..navp import ir
         except Exception:  # pragma: no cover — analysis always ships
             return fault_note
         lines = []
-        for root in dict.fromkeys(self._ir_roots):
+        for root in dict.fromkeys(n for n, _c, _e in self._ir_roots):
             try:
                 report = protocol_diagnostics(ir.get_program(root))
             except Exception:
@@ -376,11 +384,21 @@ class SimFabric:
             for diag in report:
                 if diag.category in ("signal-cycle", "unmatched-wait"):
                     lines.append(f"  [{diag.category}] {diag}")
-        if not lines:
+        if lines:
+            notes.append(
+                "static protocol analysis of the injected programs "
+                "predicted:\n" + "\n".join(lines))
+        try:
+            from ..analysis.protocol_mc import runtime_deadlock_hint
+            verdict = runtime_deadlock_hint(self._ir_roots, self._primed,
+                                            window=None)
+        except Exception:  # pragma: no cover — hint must never raise
+            verdict = None
+        if verdict:
+            notes.append(verdict)
+        if not notes:
             return fault_note
-        static = ("static protocol analysis of the injected programs "
-                  "predicted:\n" + "\n".join(lines))
-        return f"{fault_note}\n{static}" if fault_note else static
+        return "\n".join(([fault_note] if fault_note else []) + notes)
 
     def _driver(self, messenger):
         gen = messenger.main()

@@ -669,7 +669,8 @@ class SocketFabric(ControllerFabric):
             if remaining <= 0:
                 raise DeadlockError(
                     f"socket fabric timed out; "
-                    f"{len(known - done)} messenger(s) unaccounted")
+                    f"{len(known - done)} messenger(s) unaccounted"
+                    f"{self._mc_hint(window=self.window)}")
             suspects = self._check_heartbeats(dead_gens)
             if suspects:
                 host, phi = suspects[0]
@@ -840,7 +841,8 @@ class SocketFabric(ControllerFabric):
                     f"socket fabric timed out; "
                     f"{len(known - done)} messenger(s) unaccounted "
                     f"({sum(self.restarts.values())} respawn(s))"
-                    f"{casualties}")
+                    f"{casualties}"
+                    f"{self._mc_hint(window=self.window)}")
             # fire due crash specs: a crash is a real SIGKILL
             if runtime.pending_crashes():
                 now = time.perf_counter() - t0

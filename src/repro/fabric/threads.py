@@ -201,6 +201,8 @@ class ThreadFabric:
             self._runtime = None
             self._recovery = RecoveryPolicy()
         self.lost: list[str] = []  # messengers destroyed by faults
+        self._ir_roots: list = []  # (program, entry coord, env snapshot)
+        self._primed: list = []    # (coord, event, args, count)
 
     def _resolve_place(self, spec_place):
         if isinstance(spec_place, int):
@@ -221,11 +223,18 @@ class ThreadFabric:
         self.place(coord).vars.update(node_vars)
 
     def signal_initial(self, coord, name: str, *args, count: int = 1) -> None:
-        self.place(coord).event_counts[(name, tuple(args))] += count
+        place = self.place(coord)
+        place.event_counts[(name, tuple(args))] += count
+        self._primed.append((place.coord, name, tuple(args), count))
 
     def inject(self, coord, messenger, delay: float = 0.0) -> None:
         if self._started:
             raise FabricError("cannot inject externally after run() started")
+        interp = getattr(messenger, "interp", None)
+        if interp is not None:
+            self._ir_roots.append((interp.program,
+                                   self.place(coord).coord,
+                                   dict(interp.env)))
         self._spawn(messenger, self.place(coord))
 
     # -- execution --------------------------------------------------------
@@ -259,9 +268,19 @@ class ThreadFabric:
                 "; fault injection destroyed messenger(s) with recovery "
                 "disabled: " + ", ".join(self.lost) if self.lost else ""
             )
+            verdict = ""
+            try:
+                from ..analysis.protocol_mc import runtime_deadlock_hint
+                hint = runtime_deadlock_hint(self._ir_roots, self._primed,
+                                             window=None)
+                if hint:
+                    verdict = "\n" + hint
+            except Exception:  # the hint must never mask the deadlock
+                pass
             raise DeadlockError(
                 f"thread fabric made no progress within {timeout}s "
                 f"({self._live} messenger(s) still live){casualties}"
+                f"{verdict}"
             )
         return FabricResult(
             time=time.perf_counter() - self._t0,

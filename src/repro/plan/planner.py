@@ -7,9 +7,11 @@ stage (see :mod:`repro.plan.candidates`). Every accepted step is
 and refuse illegal specs — so the emitted plan is a set of registered,
 runnable IR programs, not a description. Unless disabled, the winner
 is then validated the only way that settles it: the static race
-detector must pass over the final suite's injection closure, and a
-SimFabric run of the emitted IR must reproduce the sequential
-program's output bit for bit.
+detector must pass over the final suite's injection closure, the
+protocol model checker must prove it deadlock-free with bounded
+mailboxes (:mod:`repro.analysis.protocol_mc`), and a SimFabric run of
+the emitted IR must reproduce the sequential program's output bit for
+bit.
 """
 
 from __future__ import annotations
@@ -84,6 +86,36 @@ def _pick(candidates: list, transform: str) -> Candidate:
             f"planner: no viable {transform} candidate; "
             + "; ".join(f"{c.subject}: {c.detail}" for c in candidates))
     return viable[0]
+
+
+def _mc_gate(winner: ir.Program) -> dict:
+    """Model-check the winning suite; refuse a plan that fails it.
+
+    A plan's emitted programs are about to be handed to a fabric; the
+    protocol model checker (:mod:`repro.analysis.protocol_mc`) must
+    prove the winner deadlock-free with bounded mailboxes *before*
+    that happens. The explored-state count is recorded in the
+    validation dict (and pinned by the plan goldens) as a regression
+    guard on the abstraction.
+    """
+    from ..analysis.lint import root_entry_coord
+    from ..analysis.protocol_mc import model_check
+
+    res = model_check(winner.name, entry=root_entry_coord(winner))
+    if res.status != "VERIFIED":
+        detail = res.summary()
+        if res.counterexample is not None:
+            detail += "\n" + res.counterexample.describe()
+        raise TransformError(
+            f"planner: winning suite {winner.name!r} failed protocol "
+            f"model checking — {detail}")
+    return {
+        "protocol_mc": res.status,
+        "protocol_mc_states": res.stats.get("total_states"),
+        "protocol_mc_transitions": res.stats.get("total_transitions"),
+        "protocol_mc_max_mailbox_depth": res.max_mailbox_depth,
+        "protocol_mc_window": res.window,
+    }
 
 
 def _stage(target: PlanTarget, name: str, programs, chosen: str,
@@ -183,13 +215,15 @@ def _validate_matmul(seq: ir.Program, phased, nb: int,
                          fabric=fabric)
     c_phase, _ = run_stage(phased, layout_phase(a, b, nb), nb, nb, ab,
                            fabric=fabric)
-    return {
+    out = {
         "ran": True,
         "fabric": fabric,
         "race_free": True,
         "bit_identical": bool(np.array_equal(c_seq, c_phase)),
         "max_abs_err_vs_numpy": float(np.max(np.abs(c_phase - a @ b))),
     }
+    out.update(_mc_gate(phased.main))
+    return out
 
 
 # -- wavefront --------------------------------------------------------------
@@ -247,13 +281,15 @@ def _validate_wavefront(seq: ir.Program, suite, p: int, nblocks: int,
                                   fabric=fabric)
     r_kp = run_wavefront_program(suite.main.name, case, p, trace=False,
                                  fabric=fabric)
-    return {
+    out = {
         "ran": True,
         "fabric": fabric,
         "race_free": True,
         "bit_identical": bool(np.array_equal(r_seq.d, r_kp.d)),
         "pipeline_speedup_sim": float(r_seq.time / r_kp.time),
     }
+    out.update(_mc_gate(suite.main))
+    return out
 
 
 def make_plan(target_name: str, machine: MachineSpec,

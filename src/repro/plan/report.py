@@ -101,6 +101,12 @@ def render_plan(plan: Plan, emit_ir: bool = False) -> str:
                    else "OUTPUT MISMATCH against the sequential program")
         lines.append(
             f"validation ({val.get('fabric')}): race-free; {verdict}")
+        if val.get("protocol_mc") == "VERIFIED":
+            lines.append(
+                f"protocol: statically verified deadlock-free "
+                f"({val.get('protocol_mc_states')} states explored, "
+                f"mailbox peak {val.get('protocol_mc_max_mailbox_depth')}"
+                f" <= window {val.get('protocol_mc_window')})")
     else:
         lines.append("validation: skipped (--no-validate)")
     if emit_ir:

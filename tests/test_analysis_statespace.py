@@ -1,0 +1,207 @@
+"""The explicit-state engine: trace extraction and exploration."""
+
+import pytest
+
+from repro.analysis.statespace import (
+    OPAQUE,
+    AbstractionError,
+    Explorer,
+    extract_system,
+    extract_traces,
+    signal_totals,
+)
+from repro.navp import ir
+
+V = ir.Var
+C = ir.Const
+
+
+def _prog(name, body, params=()):
+    return ir.Program(name, tuple(body), tuple(params))
+
+
+def _reg(*programs):
+    return {p.name: p for p in programs}
+
+
+class TestExtraction:
+    def test_hops_waits_signals_become_ops(self):
+        reg = _reg(_prog("t", (
+            ir.HopStmt((C(1),)),
+            ir.WaitStmt("E", (C(2),)),
+            ir.SignalStmt("F", (), C(1)),
+            ir.HopStmt((C(0),)),
+        )))
+        (trace,) = extract_traces("t", reg)
+        kinds = [op[0] for op in trace.ops]
+        assert kinds == ["hop", "wait", "signal", "hop"]
+        hop0 = trace.ops[0]
+        assert hop0[1] == (0,) and hop0[2] == (1,)
+        # the wait key carries the host where the wait happens
+        assert trace.ops[1][1] == ((1,), "E", (2,))
+        assert trace.ops[3][2] == (0,)
+
+    def test_concrete_for_loop_unrolls(self):
+        reg = _reg(_prog("t", (
+            ir.For("i", C(3), (
+                ir.SignalStmt("E", (V("i"),), C(1)),
+            )),
+        )))
+        (trace,) = extract_traces("t", reg)
+        keys = [op[1] for op in trace.ops]
+        assert [k[2] for k in keys] == [(0,), (1,), (2,)]
+
+    def test_concrete_if_takes_one_branch(self):
+        reg = _reg(_prog("t", (
+            ir.If(ir.Bin("==", C(1), C(1)),
+                  (ir.SignalStmt("THEN", (), C(1)),),
+                  (ir.SignalStmt("ELSE", (), C(1)),)),
+        )))
+        (trace,) = extract_traces("t", reg)
+        assert [op[1][1] for op in trace.ops] == ["THEN"]
+
+    def test_compute_output_is_opaque_and_rejected_in_coords(self):
+        # a hop coordinate fed by a compute result escapes the
+        # abstraction — the checker must refuse, not guess
+        reg = _reg(_prog("t", (
+            ir.ComputeStmt("copy", (C(1),), out="x"),
+            ir.HopStmt((V("x"),)),
+        )))
+        with pytest.raises(AbstractionError):
+            extract_traces("t", reg)
+
+    def test_opaque_sentinel_is_not_an_int(self):
+        assert not isinstance(OPAQUE, int)
+
+    def test_inject_spawns_child_trace(self):
+        child = _prog("child", (ir.WaitStmt("GO", ()),), ())
+        main = _prog("main", (
+            ir.HopStmt((C(1),)),
+            ir.InjectStmt("child"),
+            ir.SignalStmt("DONE", (), C(1)),
+        ))
+        traces, roots = extract_system([("main", (0,), {})],
+                                       _reg(main, child))
+        assert len(traces) == 2
+        assert roots == [0]
+        spawn = traces[0].ops[1]
+        assert spawn[0] == "spawn" and spawn[1] == 1
+        assert traces[1].spawner == 0
+        # the child starts where its parent stood when it injected
+        assert traces[1].ops[0][1] == ((1,), "GO", ())
+
+    def test_unbound_param_is_unsupported(self):
+        reg = _reg(_prog("t", (ir.HopStmt((V("p"),)),), params=("p",)))
+        with pytest.raises(AbstractionError):
+            extract_traces("t", reg)
+
+    def test_env_binds_params(self):
+        reg = _reg(_prog("t", (ir.HopStmt((V("p"),)),), params=("p",)))
+        (trace,) = extract_traces("t", reg, env={"p": 2})
+        assert trace.ops[0][2] == (2,)
+
+
+def _explore(registry, roots, **kw):
+    traces, indices = extract_system(roots, registry)
+    pending = kw.pop("initial_pending", None)
+    return Explorer(traces, indices, pending, **kw).explore()
+
+
+class TestExplorer:
+    def test_clean_handshake_completes(self):
+        reg = _reg(
+            _prog("p", (ir.SignalStmt("E", (), C(1)),)),
+            _prog("c", (ir.WaitStmt("E", ()),)),
+        )
+        res = _explore(reg, [("p", (0,), {}), ("c", (0,), {})])
+        assert res.complete
+        assert res.deadlock is None
+        assert res.terminals >= 1
+
+    def test_never_signaled_wait_deadlocks_with_schedule(self):
+        reg = _reg(_prog("w", (ir.WaitStmt("NEVER", ()),)))
+        res = _explore(reg, [("w", (0,), {})])
+        assert res.deadlock is not None
+        assert "NEVER" in res.deadlock.describe()
+
+    def test_exploration_is_deterministic(self):
+        reg = _reg(
+            _prog("a", (ir.SignalStmt("X", (), C(1)),
+                        ir.WaitStmt("Y", ()),)),
+            _prog("b", (ir.SignalStmt("Y", (), C(1)),
+                        ir.WaitStmt("X", ()),)),
+        )
+        roots = [("a", (0,), {}), ("b", (0,), {})]
+        r1 = _explore(reg, roots)
+        r2 = _explore(reg, roots)
+        assert (r1.states, r1.transitions) == (r2.states, r2.transitions)
+        assert r1.deadlock is None
+
+    def test_por_never_expands_more_than_naive(self):
+        reg = _reg(
+            _prog("a", (ir.SignalStmt("X", (), C(1)),)),
+            _prog("b", (ir.SignalStmt("Y", (), C(1)),)),
+            _prog("c", (ir.WaitStmt("X", ()), ir.WaitStmt("Y", ()))),
+        )
+        res = _explore(reg, [("a", (0,), {}), ("b", (0,), {}),
+                             ("c", (0,), {})])
+        assert res.complete
+        assert res.reduction_factor >= 1.0
+
+    def test_lazy_hosts_find_exact_mailbox_peak(self):
+        # three messengers hop into host 1; with retirement lazy there,
+        # all three can be in the mailbox at once
+        progs = [_prog(f"m{i}", (ir.HopStmt((C(1),)),)) for i in range(3)]
+        reg = _reg(*progs)
+        roots = [(p.name, (0,), {}) for p in progs]
+        eager = _explore(reg, roots)
+        lazy = _explore(reg, roots, lazy_hosts=frozenset({(1,)}))
+        assert lazy.peaks.get((1,)) == 3
+        # the eager pass retires immediately — it underestimates
+        assert eager.peaks.get((1,), 0) <= lazy.peaks[(1,)]
+
+    def test_gated_window_deadlock_invisible_ungated(self):
+        # two hoppers each way at window=1: one send fills each window,
+        # the second sender blocks its whole host worker in emit_hop,
+        # and neither in-flight hop can retire into a stuck worker —
+        # mutual credit starvation. Without the gate every schedule
+        # completes.
+        px = _prog("g-px", (ir.HopStmt((C(1),)),))
+        qx = _prog("g-qx", (ir.HopStmt((C(0),)),))
+        reg = _reg(px, qx)
+        roots = [("g-px", (0,), {}), ("g-px", (0,), {}),
+                 ("g-qx", (1,), {}), ("g-qx", (1,), {})]
+        ungated = _explore(reg, roots)
+        assert ungated.deadlock is None and ungated.complete
+        gated = _explore(reg, roots, window=1, gated=True)
+        assert gated.deadlock is not None
+        assert "credit window exhausted" in gated.deadlock.describe()
+        # a window of 2 admits both hops at once: no starvation
+        relaxed = _explore(reg, roots, window=2, gated=True)
+        assert relaxed.deadlock is None and relaxed.complete
+
+    def test_state_cap_reports_incomplete(self):
+        # distinct hoppers racing into a lazy host branch on retirement
+        # order — enough states to trip a cap of 1
+        progs = [_prog(f"cap{i}", (ir.HopStmt((C(0),)),
+                                   ir.SignalStmt(f"S{i}", (), C(1))))
+                 for i in range(3)]
+        reg = _reg(*progs)
+        traces, indices = extract_system(
+            [(p.name, (1,), {}) for p in progs], reg)
+        res = Explorer(traces, indices, lazy_hosts=frozenset({(0,)}),
+                       max_states=1).explore()
+        assert not res.complete
+        assert res.reason
+
+
+class TestSignalTotals:
+    def test_totals_net_out_waits(self):
+        reg = _reg(
+            _prog("p", (ir.SignalStmt("E", (), C(2)),)),
+            _prog("c", (ir.WaitStmt("E", ()),)),
+        )
+        traces, _ = extract_system([("p", (0,), {}), ("c", (0,), {})],
+                                   reg)
+        totals = signal_totals(traces)
+        assert totals[((0,), "E", ())] == 1
