@@ -13,7 +13,10 @@ importable from ``repro.cli`` exactly as before the split.
 
 Commands
 --------
-``variants``                       list runnable matmul variants
+``variants [--json]``              list runnable matmul variants;
+                                   ``--json`` adds each variant's IR
+                                   form, fabrics and serveability from
+                                   the shared program catalog
 ``run VARIANT [--n --ab --geometry --real --fabric KIND]``
                                    run one variant; ``--real`` executes
                                    the numerics and verifies vs NumPy;
@@ -60,6 +63,22 @@ Commands
                                    ``--socket`` does the same over TCP,
                                    detecting the kill by heartbeat
                                    loss (see docs/resilience.md)
+``serve [--pool N --port P --addr-file PATH --chaos]``
+                                   run the persistent multi-tenant job
+                                   service: a warm pool of socket-
+                                   fabric workers leased to submitted
+                                   jobs, with admission control,
+                                   tenant fairness and checkpoint/
+                                   restart recovery (docs/serving.md)
+``submit PROGRAM [--tenant --priority --wait --json ...]``
+                                   submit one job to a running daemon
+                                   (``--addr host:port`` or
+                                   ``--addr-file PATH``)
+``status [JOB] [--resize N --json]``
+                                   daemon summary or one job record;
+                                   ``--resize`` grows/shrinks the pool
+``shutdown [--now]``               stop the daemon (draining running
+                                   jobs unless ``--now``)
 
 Exit codes
 ----------
@@ -85,7 +104,10 @@ from . import (
     lint,
     plan,
     run,
+    serve,
     staggering,
+    status,
+    submit,
     tables,
     variants,
     wavefront,
@@ -95,7 +117,7 @@ __all__ = ["main", "build_parser"]
 
 # registration order == ``repro --help`` listing order
 _MODULES = (variants, run, tables, staggering, wavefront, datascan,
-            plan, lint, fuzz, faults, bench)
+            plan, lint, fuzz, faults, bench, serve, submit, status)
 
 
 def build_parser() -> argparse.ArgumentParser:

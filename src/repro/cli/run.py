@@ -40,35 +40,41 @@ def configure(sub) -> None:
 def _cmd_run_on_fabric(args) -> int:
     """Run a variant's IR restatement on a real substrate."""
     import time as time_mod
+    from contextlib import nullcontext
 
     import numpy as np
 
-    from ..matmul import (
-        build_fig11,
-        build_fig13,
-        build_fig15,
-        build_gentleman_ir,
-        run_ir2d_suite,
-    )
-    from ..util.validation import random_matrix
+    from ..fabric import fabric_capabilities
+    from ..matmul import run_ir2d_suite
+    from ..serve.catalog import IR_CATALOG, build_job_suite
 
-    builders = {
-        "navp-2d-dsc": build_fig11,
-        "navp-2d-pipeline": build_fig13,
-        "navp-2d-phase": build_fig15,
-        "mpi-gentleman": build_gentleman_ir,
-    }
-    builder = builders.get(args.variant)
-    if builder is None:
+    if args.variant not in IR_CATALOG:
         print(f"--fabric {args.fabric} needs an IR form; available for: "
-              f"{', '.join(sorted(builders))}", file=sys.stderr)
+              f"{', '.join(sorted(IR_CATALOG))}", file=sys.stderr)
         return 2
+    # validate the request against the fabric's capability set up
+    # front, instead of failing deep inside the run
+    needed = {"ir-inject"}
+    if args.faults:
+        needed.add("fault-injection")
+    missing = needed - fabric_capabilities(args.fabric)
+    if missing:
+        print(f"the {args.fabric} fabric cannot run this request; "
+              f"missing capabilities: {', '.join(sorted(missing))}",
+              file=sys.stderr)
+        return 2
+    if args.faults:
+        from ..resilience import FaultPlan, injected
+        context = injected(FaultPlan.from_file(args.faults),
+                           recovery=not args.no_recovery)
+    else:
+        context = nullcontext()
     g = args.geometry
     ab = max(args.n // g, 1)
-    a, b = random_matrix(g * ab, 220), random_matrix(g * ab, 221)
-    suite = builder(g, a, b)
+    suite, a, b = build_job_suite(args.variant, g, seed=220, ab=ab)
     t0 = time_mod.perf_counter()
-    c, result = run_ir2d_suite(suite, args.fabric, trace=True)
+    with context:
+        c, result = run_ir2d_suite(suite, args.fabric, trace=True)
     wall = time_mod.perf_counter() - t0
     ok = bool(np.allclose(c, a @ b))
     print(f"{args.variant} ({suite.name}) on the {args.fabric} fabric: "

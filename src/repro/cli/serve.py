@@ -1,0 +1,65 @@
+"""``repro serve`` — run the persistent multi-tenant job service.
+
+Foreground daemon: binds, forks the warm worker pool, prints (and
+optionally writes) its address, then serves until ``repro shutdown``
+or Ctrl-C. See docs/serving.md for the architecture and protocol.
+"""
+
+from __future__ import annotations
+
+
+def configure(sub) -> None:
+    p = sub.add_parser("serve",
+                       help="run the multi-tenant job service daemon")
+    p.add_argument("--pool", type=int, default=4,
+                   help="warm worker processes (default 4)")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (default: ephemeral)")
+    p.add_argument("--addr-file", default=None, metavar="PATH",
+                   help="write host:port here once bound (what "
+                        "submit/status scripts read)")
+    p.add_argument("--window", type=int, default=32,
+                   help="per-worker credit window (default 32)")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="admission queue bound (default 64)")
+    p.add_argument("--tenant-cap", type=int, default=8,
+                   help="per-tenant in-flight job cap (default 8)")
+    p.add_argument("--job-timeout", type=float, default=60.0,
+                   help="per-job wall-clock bound in seconds")
+    p.add_argument("--max-restarts", type=int, default=2,
+                   help="per-job worker respawn budget (default 2)")
+    p.add_argument("--checkpoint-every", type=int, default=8,
+                   help="quiescent checkpoint cadence in forwarded "
+                        "hops (default 8)")
+    p.add_argument("--chaos", action="store_true",
+                   help="enable the kill-worker chaos verb (CI fault "
+                        "drills)")
+    p.add_argument("--no-mc-admission", action="store_true",
+                   help="skip the static protocol-deadlock gate at "
+                        "admission")
+    p.set_defaults(handler=_cmd_serve)
+
+
+def _cmd_serve(args) -> int:
+    from ..serve import ServeService
+
+    service = ServeService(
+        pool_size=args.pool, port=args.port, window=args.window,
+        max_depth=args.queue_depth, tenant_cap=args.tenant_cap,
+        job_timeout_s=args.job_timeout, max_restarts=args.max_restarts,
+        checkpoint_every=args.checkpoint_every, chaos=args.chaos,
+        mc_admission=not args.no_mc_admission,
+    )
+    host, port = service.start()
+    print(f"repro serve: listening on {host}:{port} "
+          f"(pool {args.pool}, window {args.window})", flush=True)
+    if args.addr_file:
+        with open(args.addr_file, "w", encoding="utf-8") as fh:
+            fh.write(f"{host}:{port}\n")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, tearing down", flush=True)
+        service.shutdown(drain=False)
+    print("repro serve: stopped", flush=True)
+    return 0

@@ -1,0 +1,84 @@
+"""``repro submit`` — submit one job to a running serve daemon.
+
+Exit codes: 0 submitted (and, with ``--wait``, completed); 1 the
+daemon rejected or failed the job; 2 the program is unknown (the
+error lists what the daemon can run — the same catalog ``repro
+variants --json`` shows).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def configure(sub) -> None:
+    p = sub.add_parser("submit",
+                       help="submit a job to a running serve daemon")
+    p.add_argument("program", help="catalog program name (see "
+                                   "'repro variants --json')")
+    p.add_argument("--addr", default=None, help="daemon host:port")
+    p.add_argument("--addr-file", default=None, metavar="PATH",
+                   help="read the daemon address from this file")
+    p.add_argument("--g", type=int, default=2,
+                   help="grid order (g*g logical PEs, default 2)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="input matrix seed (default 0)")
+    p.add_argument("--ab", type=int, default=4,
+                   help="algorithmic block order (default 4)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="pool workers to lease (default 2)")
+    p.add_argument("--tenant", default="default",
+                   help="tenant name for fairness and caps")
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher dispatches sooner (default 0)")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job finishes")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="--wait bound in seconds (default 60)")
+    p.add_argument("--json", action="store_true",
+                   help="print the job record as JSON")
+    p.set_defaults(handler=_cmd_submit)
+
+
+def _cmd_submit(args) -> int:
+    from ..errors import AdmissionError, ServeError
+    from ..serve.client import ServeClient, resolve_addr
+
+    try:
+        addr = resolve_addr(args.addr, args.addr_file)
+    except ServeError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        with ServeClient(addr) as client:
+            try:
+                jid = client.submit(
+                    args.program, g=args.g, seed=args.seed, ab=args.ab,
+                    workers=args.workers, tenant=args.tenant,
+                    priority=args.priority)
+            except AdmissionError as exc:
+                print(f"rejected: {exc}", file=sys.stderr)
+                return 2 if "unknown program" in str(exc) else 1
+            if not args.wait:
+                if args.json:
+                    print(json.dumps({"job": jid, "state": "pending"}))
+                else:
+                    print(jid)
+                return 0
+            record = client.wait(jid, timeout=args.timeout)
+    except ServeError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(record, indent=2))
+    else:
+        line = f"{record['job']}: {record['state']}"
+        if record.get("digest"):
+            line += f" digest={record['digest'][:16]}…"
+        if record.get("recovered"):
+            line += f" (recovered, {record['restarts']} respawn(s))"
+        if record.get("reason"):
+            line += f" — {record['reason']}"
+        print(line)
+    return 0 if record["state"] == "completed" else 1

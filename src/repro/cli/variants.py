@@ -1,6 +1,16 @@
-"""``repro variants`` — list the runnable matmul variants."""
+"""``repro variants`` — list the runnable matmul variants.
+
+``--json`` emits one machine-readable record per variant: whether it
+has a navigational-IR form (from the shared program catalog,
+:mod:`repro.serve.catalog`), which fabrics can run it, and whether
+the serve daemon accepts it — the same source of truth the daemon's
+admission control and ``repro run --fabric`` consult, so a submit
+script can discover what is runnable without hard-coding names.
+"""
 
 from __future__ import annotations
+
+import json
 
 from ..matmul import variant_names
 
@@ -8,10 +18,31 @@ from ..matmul import variant_names
 def configure(sub) -> None:
     parser = sub.add_parser("variants",
                             help="list runnable matmul variants")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable records (IR form, "
+                             "fabrics, serveability)")
     parser.set_defaults(handler=_cmd_variants)
 
 
 def _cmd_variants(args) -> int:
+    if not args.json:
+        for name in variant_names():
+            print(name)
+        return 0
+    from ..fabric.factory import FABRIC_KINDS
+    from ..serve.catalog import IR_CATALOG
+    records = []
     for name in variant_names():
-        print(name)
+        entry = IR_CATALOG.get(name)
+        records.append({
+            "name": name,
+            "ir": entry is not None,
+            "figure": entry.figure if entry else None,
+            "description": entry.description if entry else None,
+            # kinds beyond the simulator run the IR restatement; a
+            # generator-only variant stays on the model
+            "fabrics": list(FABRIC_KINDS) if entry else ["sim"],
+            "serveable": entry is not None,
+        })
+    print(json.dumps({"variants": records}, indent=2))
     return 0

@@ -71,6 +71,19 @@ class SimulationError(FabricError):
     """The discrete-event kernel was used incorrectly."""
 
 
+class ServeError(ReproError):
+    """A failure in the ``repro serve`` job service or its client."""
+
+
+class AdmissionError(ServeError):
+    """The job service refused to queue a submission.
+
+    The message is the rejection reason the client sees verbatim:
+    unknown program, queue depth bound, per-tenant cap, a lease wider
+    than the pool, or a statically detected protocol deadlock.
+    """
+
+
 class AnalysisError(ReproError):
     """A static analysis could not be performed on a program.
 

@@ -65,7 +65,46 @@ __all__ = [
     "hop_fault_verdict",
     "freeze_task",
     "thaw_task",
+    "reap_workers",
 ]
+
+
+def reap_workers(procs, grace_s: float = 5.0) -> None:
+    """Make every worker process exit, whatever state it is in.
+
+    Escalates politely: a shared ``grace_s`` join window (the stop
+    command may still be draining), then ``terminate`` (SIGTERM), then
+    ``SIGKILL`` for workers wedged past signals (e.g. blocked in a
+    long credit wait). Never raises — teardown runs on exception paths
+    and must not mask the error that triggered it. Used by every
+    fabric/pool that forks workers, so a failed or rejected run cannot
+    leave orphaned processes behind.
+    """
+    import os
+    import signal as signal_mod
+    import time as time_mod
+
+    procs = [p for p in procs if p is not None]
+    deadline = time_mod.monotonic() + grace_s
+    for p in procs:
+        try:
+            p.join(timeout=max(0.0, deadline - time_mod.monotonic()))
+        except (OSError, ValueError):  # pragma: no cover - already gone
+            continue
+    stragglers = [p for p in procs if p.is_alive()]
+    for p in stragglers:
+        try:
+            p.terminate()
+        except (OSError, ValueError):  # pragma: no cover
+            pass
+    for p in stragglers:
+        p.join(timeout=2.0)
+        if p.is_alive() and p.pid is not None:
+            try:
+                os.kill(p.pid, signal_mod.SIGKILL)
+            except OSError:  # pragma: no cover - raced its exit
+                pass
+            p.join(timeout=2.0)
 
 # Field offsets of a worker task record (see WorkerCore.execute).
 _ID, _CHILDREN, _SEQ, _AT, _INTERP, _HOPS = range(6)

@@ -66,7 +66,8 @@ from ..resilience.faults import STATS as FAULT_STATS
 from ..resilience.faults import PlanRuntime
 from ..navp.interp import Interp
 from . import payload as payload_mod
-from .controller import ControllerFabric, WorkerCore, hop_fault_verdict
+from .controller import (ControllerFabric, WorkerCore, hop_fault_verdict,
+                         reap_workers)
 from .sim import FabricResult
 
 __all__ = ["ProcessFabric"]
@@ -219,10 +220,7 @@ class ProcessFabric(ControllerFabric):
                     host_queues[h].put(("stop",))
                 except Exception:  # pragma: no cover - shutdown races
                     pass
-            for w in workers:
-                w.join(timeout=5.0)
-                if w.is_alive():
-                    w.terminate()
+            reap_workers(workers)
         return FabricResult(
             time=time.perf_counter() - t0,
             trace=self.trace,
@@ -291,9 +289,11 @@ class ProcessFabric(ControllerFabric):
             for h in range(self.n_hosts):
                 host_queues[h].put(("ckpt", cid))
 
-        for h in range(self.n_hosts):
-            spawn(h)
         try:
+            # spawning inside the try: a spawn failure midway must not
+            # leave the already-started workers orphaned
+            for h in range(self.n_hosts):
+                spawn(h)
             for c in coords:
                 if self._loads[c]:
                     send(self._host_of[c], ("load", c, self._loads[c]))
@@ -432,15 +432,12 @@ class ProcessFabric(ControllerFabric):
                     hosts_seen.add(msg[1])
                     places.update(msg[2])
         finally:
-            for h in range(self.n_hosts):
+            for h, q in host_queues.items():
                 try:
-                    host_queues[h].put(("stop",))
+                    q.put(("stop",))
                 except Exception:  # pragma: no cover - shutdown races
                     pass
-            for w in workers.values():
-                w.join(timeout=5.0)
-                if w.is_alive():
-                    w.terminate()
+            reap_workers(workers.values())
         return FabricResult(
             time=time.perf_counter() - t0,
             trace=self.trace,

@@ -91,7 +91,7 @@ from ..resilience.faults import PlanRuntime
 from ..resilience.recovery import RecoveryPolicy
 from . import payload as payload_mod
 from .controller import (ControllerFabric, CreditGate, WorkerCore,
-                         hop_fault_verdict)
+                         hop_fault_verdict, reap_workers)
 from .sim import FabricResult
 from .wire import (FRAME_CMD, FRAME_CREDIT, FRAME_HEARTBEAT, FRAME_HELLO,
                    FRAME_REPORT, FRAME_RUN, FrameSocket, WireClosed,
@@ -572,6 +572,10 @@ class SocketFabric(ControllerFabric):
             self._shutdown()
 
     def _shutdown(self) -> None:
+        """Tear the world down — also on exception paths, where a
+        worker may be wedged mid-protocol: every process must exit and
+        every 127.0.0.1 socket must close, or a failed run would leak
+        orphans into the caller's process table."""
         for host in list(self._conns):
             self._send_cmd(host, ("stop",))
         if self._listener is not None:
@@ -579,12 +583,11 @@ class SocketFabric(ControllerFabric):
                 self._listener.close()
             except OSError:  # pragma: no cover
                 pass
-        for proc in self._procs.values():
-            proc.join(timeout=5.0)
-            if proc.is_alive():
-                proc.terminate()
+        reap_workers(self._procs.values())
         for fs in self._conns.values():
             fs.close()
+        self._conns.clear()
+        self._procs.clear()
 
     def _record_hop(self, now, src, dst, nbytes, mid) -> None:
         self.trace.record(t0=now, t1=now, place=dst, actor=mid,

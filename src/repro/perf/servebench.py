@@ -1,0 +1,91 @@
+"""Serve-mode throughput: a warm pool versus per-job fabric setup.
+
+The serve daemon's economic argument is amortization: spawn the worker
+processes once, then every submission pays only admission, leasing and
+the job's own hops — while ``repro run --fabric socket`` pays process
+spawn, TCP accept and teardown *per run*. This benchmark measures both
+sides on the same workload (the Figure 11 DSC program, g=2, tiny
+blocks) so the snapshot pins the amortized speedup, not just a wall
+time.
+
+Used by the pinned ``serve_throughput`` suite entry
+(:mod:`repro.perf.suite`) and runnable standalone::
+
+    PYTHONPATH=src python -m repro.perf.servebench
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["serve_vs_perjob"]
+
+#: The pinned workload shape shared by both sides of the comparison.
+_PROGRAM = "navp-2d-dsc"
+_G = 2
+_AB = 4
+_WORKERS = 2
+
+
+def serve_vs_perjob(warm_jobs: int, perjob_runs: int,
+                    pool_size: int = 3) -> dict:
+    """Run ``warm_jobs`` submissions through one warm daemon and
+    ``perjob_runs`` cold socket-fabric runs of the same workload.
+
+    Returns per-job wall times for both sides plus the daemon's setup
+    cost, so callers can see both the amortized win and how many jobs
+    pay off the pool spawn.
+    """
+    from ..matmul import run_ir2d_suite
+    from ..serve import ServeClient, ServeService, build_job_suite
+
+    # -- warm side: one pool, many jobs --------------------------------
+    t0 = time.perf_counter()
+    service = ServeService(pool_size=pool_size, mc_admission=False,
+                           max_depth=max(2 * warm_jobs, 64),
+                           tenant_cap=max(2 * warm_jobs, 64))
+    addr = service.start()
+    setup_s = time.perf_counter() - t0
+    try:
+        with ServeClient(addr) as client:
+            t0 = time.perf_counter()
+            jids = [client.submit(_PROGRAM, g=_G, seed=i, ab=_AB,
+                                  workers=_WORKERS,
+                                  tenant=("even" if i % 2 else "odd"))
+                    for i in range(warm_jobs)]
+            for jid in jids:
+                record = client.wait(jid, timeout=120.0)
+                if record["state"] != "completed":   # pragma: no cover
+                    raise RuntimeError(f"bench job failed: {record}")
+            warm_wall = time.perf_counter() - t0
+    finally:
+        service.shutdown(drain=False)
+
+    # -- cold side: a fresh socket fabric per job ----------------------
+    t0 = time.perf_counter()
+    for i in range(perjob_runs):
+        suite, _a, _b = build_job_suite(_PROGRAM, _G, seed=i, ab=_AB)
+        run_ir2d_suite(suite, "socket")
+    perjob_wall = time.perf_counter() - t0
+
+    warm_per_job = warm_wall / warm_jobs
+    perjob_per_job = perjob_wall / perjob_runs
+    return {
+        "warm_jobs": warm_jobs,
+        "perjob_runs": perjob_runs,
+        "pool_size": pool_size,
+        "setup_s": setup_s,
+        "warm_wall_s": warm_wall,
+        "perjob_wall_s": perjob_wall,
+        "warm_per_job_s": warm_per_job,
+        "perjob_per_job_s": perjob_per_job,
+        "speedup_vs_perjob": perjob_per_job / warm_per_job,
+        # jobs needed before the pool spawn pays for itself
+        "breakeven_jobs": setup_s / max(perjob_per_job - warm_per_job,
+                                        1e-9),
+    }
+
+
+if __name__ == "__main__":   # pragma: no cover - manual profiling aid
+    import json
+    print(json.dumps(serve_vs_perjob(24, 4, pool_size=4), indent=2))

@@ -27,6 +27,8 @@ Suite members
                        TCP pair at three payload sizes
 ``wire_coalescing``    the same hop stream coalesced 8-per-frame
                        versus one frame per hop
+``serve_throughput``   jobs through a warm serve pool versus per-job
+                       socket-fabric setup (the amortization claim)
 """
 
 from __future__ import annotations
@@ -323,6 +325,37 @@ def bench_wire_coalescing(smoke: bool = False) -> dict:
             "uncoalesced_hops_per_sec": solo["hops_per_sec"],
             "speedup_vs_uncoalesced":
                 res["hops_per_sec"] / solo["hops_per_sec"],
+        },
+    }
+
+
+# --------------------------------------------------------------------------
+# 9. Serve-mode throughput
+# --------------------------------------------------------------------------
+
+_SERVE_JOBS, _SERVE_JOBS_SMOKE = (24, 4), (10, 2)   # (warm, per-job)
+
+
+@_bench("serve_throughput")
+def bench_serve_throughput(smoke: bool = False) -> dict:
+    """Submissions through one warm daemon versus cold socket-fabric
+    runs of the same g=2 workload; ``events`` are warm jobs completed,
+    and ``meta`` pins the amortized speedup and the breakeven point."""
+    from .servebench import serve_vs_perjob
+
+    warm, perjob = _SERVE_JOBS_SMOKE if smoke else _SERVE_JOBS
+    res = serve_vs_perjob(warm, perjob, pool_size=3 if smoke else 4)
+    return {
+        "wall_s": res["warm_wall_s"],
+        "events": warm,
+        "events_per_sec": warm / res["warm_wall_s"],
+        "meta": {
+            "pool_size": res["pool_size"],
+            "setup_s": res["setup_s"],
+            "warm_per_job_s": res["warm_per_job_s"],
+            "perjob_per_job_s": res["perjob_per_job_s"],
+            "speedup_vs_perjob": res["speedup_vs_perjob"],
+            "breakeven_jobs": res["breakeven_jobs"],
         },
     }
 

@@ -1,0 +1,121 @@
+"""The program catalog: which paper programs are runnable as jobs.
+
+One table maps the public matmul variant names to their navigational-IR
+suite builders. Everything that needs to agree on "what can run on a
+distributed fabric" reads this table — the serve daemon's admission
+control, the submit client's error messages, ``repro variants --json``
+and ``repro run --fabric`` — so a program added here becomes runnable
+everywhere at once.
+
+Admission also consults the static protocol model checker
+(:mod:`repro.analysis.protocol_mc`): a submission whose (program, g)
+pair is *provably* going to deadlock — e.g. the Figure 15 phased
+program at g=3, whose genuine protocol deadlock the checker found — is
+rejected with the verdict instead of burning a worker lease on a
+timeout. Verdicts are cached per (program, g, window): the checker
+explores the same state space for every job of that shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..errors import AdmissionError
+from ..matmul import (build_fig11, build_fig13, build_fig15,
+                      build_gentleman_ir)
+from ..util.validation import random_matrix
+
+__all__ = ["CatalogEntry", "IR_CATALOG", "REJECT_STATUSES",
+           "program_names", "get_entry", "build_job_suite",
+           "admission_verdict"]
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One runnable program: its builder plus catalog metadata."""
+
+    program: str        # public name (== the matmul variant name)
+    figure: str         # where the protocol is printed in the paper
+    builder: object     # (g, a, b) -> IR2DSuite, registers programs
+    description: str
+
+
+IR_CATALOG = {
+    "navp-2d-dsc": CatalogEntry(
+        "navp-2d-dsc", "Figure 11", build_fig11,
+        "2-D distribute-scatter-compute; row/column carriers with a "
+        "one-shot EP event"),
+    "navp-2d-pipeline": CatalogEntry(
+        "navp-2d-pipeline", "Figure 13", build_fig13,
+        "2-D pipelined; A/B carriers per k with the EP/EC slot "
+        "handshake"),
+    "navp-2d-phase": CatalogEntry(
+        "navp-2d-phase", "Figure 15", build_fig15,
+        "2-D phased, natural layout; rotated schedules stagger "
+        "implicitly"),
+    "mpi-gentleman": CatalogEntry(
+        "mpi-gentleman", "Gentleman's algorithm", build_gentleman_ir,
+        "Cannon-style shifts restated as navigational carriers"),
+}
+
+#: Model-checker statuses that prove a run cannot complete — admission
+#: rejects these up front. INCONCLUSIVE/UNSUPPORTED admit: absence of a
+#: proof is not a proof of absence, and the runtime still has its own
+#: timeout.
+REJECT_STATUSES = frozenset({"DEADLOCK", "CREDIT-DEADLOCK", "ORPHANS"})
+
+
+def program_names() -> tuple:
+    return tuple(sorted(IR_CATALOG))
+
+
+def get_entry(program: str) -> CatalogEntry:
+    entry = IR_CATALOG.get(program)
+    if entry is None:
+        raise AdmissionError(
+            f"unknown program {program!r}; runnable programs: "
+            f"{', '.join(program_names())}")
+    return entry
+
+
+def build_job_suite(program: str, g: int, seed: int, ab: int):
+    """Build the IR suite plus its input matrices for one job shape.
+
+    Deterministic in ``(program, g, seed, ab)``: A is
+    ``random_matrix(g*ab, seed)`` and B uses ``seed + 1``, so a client
+    can reproduce the inputs — and the expected digest — offline on
+    the sim fabric (cross-fabric runs are bit-identical).
+    Returns ``(suite, a, b)``.
+    """
+    entry = get_entry(program)
+    if g < 2:
+        raise AdmissionError(f"g must be >= 2 (got {g})")
+    if ab < 1:
+        raise AdmissionError(f"ab must be >= 1 (got {ab})")
+    a = random_matrix(g * ab, seed)
+    b = random_matrix(g * ab, seed + 1)
+    return entry.builder(g, a, b), a, b
+
+
+@lru_cache(maxsize=64)
+def admission_verdict(program: str, g: int, window: int | None = 32,
+                      deadline_s: float = 10.0):
+    """Cached static verdict for one (program, g) job shape.
+
+    Builds a throwaway suite (the matrices' *values* never enter the
+    protocol abstraction; only the event structure does) and
+    model-checks the injection closure under the serve credit window.
+    Returns the :class:`~repro.analysis.protocol_mc.ModelCheckResult`;
+    the caller decides what to do with non-``REJECT_STATUSES``.
+    """
+    from ..analysis.protocol_mc import model_check
+
+    suite, _a, _b = build_job_suite(program, g, seed=0, ab=1)
+    return model_check(
+        [(suite.entry.name, (0, 0), {})],
+        registry={p.name: p for p in suite.programs},
+        initial_signals=suite.initial_signals,
+        window=window,
+        deadline_s=deadline_s,
+    )

@@ -1,0 +1,113 @@
+"""ServeClient: the thin wire client of the serve daemon.
+
+Speaks the daemon's request/response protocol — a ``hello-client``
+HELLO, then CMD frames answered by REPORT frames — over the same
+:mod:`repro.fabric.wire` framing the workers use. Every verb is a
+method; an ``("err", reason)`` reply raises
+:class:`~repro.errors.ServeError` (or :class:`~repro.errors.
+AdmissionError` for rejections, so callers can tell "the daemon said
+no" from "the daemon broke").
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import AdmissionError, ServeError
+from ..fabric.socket import _connect_with_backoff, _load_obj, _send_obj
+from ..fabric.wire import (FRAME_CMD, FRAME_HELLO, FRAME_REPORT,
+                           FrameSocket, WireError)
+
+__all__ = ["ServeClient", "resolve_addr"]
+
+
+def resolve_addr(addr: str | None, addr_file: str | None) -> tuple:
+    """Turn ``--addr host:port`` / ``--addr-file path`` into an
+    address tuple. The file form is what scripts use: the daemon
+    writes its bound address there once listening."""
+    if addr:
+        host, _, port = addr.rpartition(":")
+        if not host or not port.isdigit():
+            raise ServeError(f"bad --addr {addr!r}; expected host:port")
+        return (host, int(port))
+    if addr_file:
+        try:
+            with open(addr_file, encoding="utf-8") as fh:
+                text = fh.read().strip()
+        except OSError as exc:
+            raise ServeError(f"cannot read --addr-file: {exc}") from exc
+        return resolve_addr(text, None)
+    raise ServeError("need --addr host:port or --addr-file PATH "
+                     "(repro serve prints and writes its address)")
+
+#: Reply reasons that are admissions decisions, not client errors —
+#: matched on the daemon's prefix-free reason strings.
+_ADMISSION_MARKERS = ("queue full", "tenant ", "statically rejected",
+                      "unknown program", "daemon is shutting down",
+                      "job wants ")
+
+
+class ServeClient:
+    def __init__(self, addr, timeout: float = 120.0):
+        self.addr = tuple(addr)
+        self.timeout = timeout
+        sock = _connect_with_backoff(self.addr)
+        sock.settimeout(timeout)
+        self._fs = FrameSocket(sock)
+        self._lock = threading.Lock()
+        _send_obj(self._fs, FRAME_HELLO, ("hello-client", None, None))
+
+    # -- plumbing ------------------------------------------------------
+    def _request(self, req):
+        with self._lock:
+            try:
+                _send_obj(self._fs, FRAME_CMD, req)
+                while True:
+                    frame = self._fs.recv()
+                    if frame.kind == FRAME_REPORT:
+                        break
+            except WireError as exc:
+                raise ServeError(
+                    f"lost the daemon at {self.addr}: {exc}") from exc
+        tag, payload = _load_obj(frame)
+        if tag == "ok":
+            return payload
+        if any(payload.startswith(m) or m in payload
+               for m in _ADMISSION_MARKERS):
+            raise AdmissionError(payload)
+        raise ServeError(payload)
+
+    def close(self) -> None:
+        self._fs.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # -- verbs ---------------------------------------------------------
+    def submit(self, program: str, **spec) -> str:
+        """Submit one job; returns its id (or raises AdmissionError)."""
+        out = self._request(("submit", {"program": program, **spec}))
+        return out["job"]
+
+    def status(self, jid: str | None = None) -> dict:
+        return self._request(("status", jid))
+
+    def wait(self, jid: str, timeout: float = 60.0) -> dict:
+        """Block until the job finishes (daemon-side); returns its
+        record, with ``timed_out`` set if it is still running."""
+        return self._request(("wait", jid, timeout))
+
+    def programs(self) -> list:
+        return self._request(("programs",))
+
+    def resize(self, n: int) -> int:
+        return self._request(("resize", n))
+
+    def kill_worker(self, wid: int | None = None) -> int:
+        return self._request(("kill-worker", wid))
+
+    def shutdown(self, drain: bool = True) -> dict:
+        return self._request(("shutdown", drain))

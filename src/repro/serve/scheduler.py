@@ -1,0 +1,242 @@
+"""JobRun: the per-job resilient controller over leased pool workers.
+
+One thread per running job. It is the serve-mode restatement of
+``SocketFabric._run_resilient`` with the world construction removed:
+instead of forking workers and binding a listener, it sends job
+headers over the pool's warm connections and tears down with
+``endjob`` frames. Everything stateful is per-job and lives here —
+the :class:`~repro.fabric.controller.Supervisor` (journal, quiescent
+checkpoints, respawn budget) and the
+:class:`~repro.fabric.controller.CreditGate` (per-host windows, hop
+coalescing) — so concurrent jobs are isolated: one job's SIGKILLed
+worker, exhausted budget, or timeout never touches another's.
+
+Recovery protocol when the monitor reports a replaced worker:
+
+1. ``Supervisor.authorize_respawn`` — budget exhausted means *this
+   job* fails (the pool already replaced the process regardless);
+2. re-send the job header and programs (the fresh worker's cache is
+   empty), then the last committed checkpoint state;
+3. ``CreditGate.reset`` + journal replay + ``pump`` — exactly the
+   socket fabric's replay, re-coalescing deterministically;
+4. ``(messenger id, hop count)`` dedup in the core makes the
+   at-least-once replay exactly-once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import queue
+import threading
+import time
+
+import numpy as np
+
+from ..errors import ResilienceError, ServeError
+from ..fabric.controller import CreditGate, Supervisor
+from ..fabric.hosts import cyclic_hosts, resolve_hosts
+from ..fabric.topology import Grid2D
+from ..navp.interp import Interp
+from ..resilience.recovery import RecoveryPolicy
+from .catalog import build_job_suite
+from .jobs import JobRecord, STATE_COMPLETED, STATE_FAILED
+
+__all__ = ["JobRun"]
+
+
+class JobRun(threading.Thread):
+    """Drive one leased job to completion (or failure)."""
+
+    def __init__(self, service, record: JobRecord, wids: list):
+        super().__init__(name=f"jobrun-{record.jid}", daemon=True)
+        self.service = service
+        self.record = record
+        self.wids = list(wids)          # job-local host h -> wids[h]
+        self.reports: queue.Queue = queue.Queue()
+
+    def post(self, msg) -> None:
+        self.reports.put(msg)
+
+    # -- lifecycle -----------------------------------------------------
+    def run(self) -> None:
+        record = self.record
+        t0 = time.perf_counter()
+        failed = False
+        try:
+            record.digest, record.ok = self._execute()
+            record.wall_s = time.perf_counter() - t0
+            record.finish(STATE_COMPLETED)
+        except Exception as exc:  # noqa: BLE001 - reported per job
+            failed = True
+            record.wall_s = time.perf_counter() - t0
+            record.finish(STATE_FAILED, f"{type(exc).__name__}: {exc}")
+        finally:
+            self.service.on_job_done(self, recycle=failed)
+
+    # -- the run -------------------------------------------------------
+    def _execute(self):
+        service = self.service
+        pool = service.pool
+        record = self.record
+        spec = record.spec
+        jid = record.jid
+        nh = len(self.wids)
+
+        suite, a, b = build_job_suite(spec.program, spec.g, spec.seed,
+                                      spec.ab)
+        topology = Grid2D(spec.g)
+        host_of = resolve_hosts(topology, cyclic_hosts(topology, nh))
+        coords = list(topology.coords)
+        coords_of_host = {
+            h: [c for c in coords if host_of[c] == h] for h in range(nh)
+        }
+
+        sup = Supervisor(RecoveryPolicy(), service.max_restarts)
+
+        def wid_of(h):
+            return self.wids[h]
+
+        def send_header(h):
+            pool.send(wid_of(h), ("job", jid, h, coords_of_host[h],
+                                  dict(host_of)))
+            pool.ship(wid_of(h), suite.programs)
+
+        def emit_batch(h, batch):
+            cmd = (("run", jid, batch[0]) if len(batch) == 1
+                   else ("runs", jid, batch))
+            pool.send(wid_of(h), cmd)
+
+        gate = CreditGate(service.window, service.coalesce, emit_batch)
+
+        def send(h, cmd):
+            """Journal + deliver one non-run, job-local command."""
+            sup.journal(h, cmd)
+            pool.send(wid_of(h), (cmd[0], jid) + tuple(cmd[1:]))
+
+        def gate_send(h, payload, journal=True, flush=True):
+            if journal:
+                sup.journal(h, ("run", payload))
+            gate.push(h, payload, flush=flush)
+
+        def recover(h):
+            """Bring this job back onto the replacement worker for
+            job-local host ``h`` (the pool already forked it)."""
+            try:
+                sup.authorize_respawn(h)
+            except ResilienceError as exc:
+                raise ServeError(str(exc)) from exc
+            record.restarts += 1
+            send_header(h)
+            state, replay = sup.recovery_script(h)
+            if state is not None:
+                pool.send(wid_of(h), ("restore", jid, state))
+            gate.reset(h)   # every queued payload is in the journal
+            for cmd in replay:
+                if cmd[0] == "run":
+                    gate_send(h, cmd[1], journal=False, flush=False)
+                else:
+                    pool.send(wid_of(h), (cmd[0], jid) + tuple(cmd[1:]))
+            gate.pump(h)
+
+        def checkpoint_all():
+            cid = sup.begin_checkpoint(range(nh))
+            for h in range(nh):
+                pool.send(wid_of(h), ("ckpt", jid, cid))
+
+        # -- setup: headers, programs, layout, initial events ----------
+        # One FIFO connection per worker carries header, programs,
+        # loads and runs in order, and cross-host hops all detour
+        # through this controller — so no setup barrier is needed.
+        for h in range(nh):
+            send_header(h)
+        for coord, node_vars in suite.layout.items():
+            send(host_of[coord], ("load", coord, node_vars))
+        for coord, name, args, count in suite.initial_signals:
+            send(host_of[coord], ("signal0", (coord, name, args, count)))
+
+        known: set = set()
+        done: set = set()
+        mid = f"{jid}/m0"
+        known.add(mid)
+        gate_send(host_of[(0, 0)], (
+            mid, [], 0, (0, 0),
+            Interp(suite.entry.name, {}).agent_snapshot(), 0,
+        ))
+
+        # -- event loop ------------------------------------------------
+        deadline = time.monotonic() + service.job_timeout_s
+        while not known <= done:
+            msg = self._next_report(deadline, done, known)
+            tag = msg[0]
+            if tag == "respawned":
+                recover(self.wids.index(msg[1]))
+                continue
+            op, body = msg[1], msg[2]
+            if op == "done":
+                done.add(body[1])
+                known.update(body[2])
+            elif op == "credit":
+                gate.credit(body[1])
+            elif op == "hop":
+                _, _src, dst, task = body
+                gate_send(dst, task)
+                sup.note_forward()
+                if (service.checkpoint_every is not None
+                        and sup.forwards_since_ckpt
+                        >= service.checkpoint_every):
+                    checkpoint_all()
+            elif op == "ckpt":
+                sup.commit_checkpoint(body[1], body[2], body[3])
+            elif op == "error":
+                raise ServeError(f"worker host {body[1]}: {body[2]}")
+
+        # -- collect ---------------------------------------------------
+        for h in range(nh):
+            pool.send(wid_of(h), ("collect", jid))
+        places: dict = {}
+        hosts_seen: set = set()
+        while len(hosts_seen) < nh:
+            msg = self._next_report(deadline, hosts_seen, range(nh),
+                                    phase="collect")
+            if msg[0] == "respawned":
+                h = self.wids.index(msg[1])
+                recover(h)
+                pool.send(wid_of(h), ("collect", jid))
+                continue
+            op, body = msg[1], msg[2]
+            if op == "vars":
+                hosts_seen.add(body[1])
+                places.update(body[2])
+            elif op == "credit":
+                gate.credit(body[1])
+            elif op == "error":
+                raise ServeError(f"worker host {body[1]}: {body[2]}")
+
+        for h in range(nh):
+            pool.send(wid_of(h), ("endjob", jid))
+
+        # -- assemble + verify -----------------------------------------
+        sample = next(iter(suite.layout.values()))["C"]
+        ab = sample.shape[0]
+        g = spec.g
+        c = np.empty((g * ab, g * ab), dtype=sample.dtype)
+        for (i, j), node_vars in places.items():
+            c[i * ab:(i + 1) * ab, j * ab:(j + 1) * ab] = node_vars["C"]
+        digest = hashlib.sha256(c.tobytes()).hexdigest()
+        return digest, bool(np.allclose(c, a @ b))
+
+    def _next_report(self, deadline, have, want, phase="run"):
+        """Block for the next report, enforcing the job deadline."""
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                missing = len(set(want) - set(have))
+                raise ServeError(
+                    f"job timed out after "
+                    f"{self.service.job_timeout_s:.0f}s "
+                    f"({phase}: {missing} outstanding, "
+                    f"{self.record.restarts} respawn(s))")
+            try:
+                return self.reports.get(timeout=min(remaining, 0.1))
+            except queue.Empty:
+                continue

@@ -1,0 +1,459 @@
+"""The serve daemon: listener, dispatcher, failure monitor, verbs.
+
+One TCP listener serves both populations: pool workers connect with a
+``("hello-worker", wid, _)`` frame and stream heartbeats + job
+reports; clients connect with ``("hello-client", _, _)`` and speak a
+request/response protocol of CMD frames answered by REPORT frames —
+``("ok", payload)`` or ``("err", reason)``. Both ride the same
+:mod:`repro.fabric.wire` VERSION-2 multi-buffer framing as every hop
+in the system.
+
+Threads, and what each owns:
+
+* **accept loop** — hands each connection to a handler thread;
+* **worker handlers** — heartbeats to the pool's detectors, job
+  reports routed to the owning :class:`~repro.serve.scheduler.JobRun`,
+  EOF turned into a death event;
+* **client handlers** — one per connection (a blocking ``wait`` verb
+  must not stall other clients);
+* **dispatcher** — admission queue -> pool leases, woken by submits,
+  completions, respawns and resizes;
+* **monitor** — phi-accrual suspicion + EOF events -> pool respawn,
+  then the leasing job's recovery (or its failure, if the respawn
+  budget is spent).
+
+Admission control answers at submit time (see
+:class:`~repro.serve.queue.JobQueue` for the bounds, and
+:func:`~repro.serve.catalog.admission_verdict` for the static
+protocol-deadlock gate).
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import socket as socket_mod
+import threading
+import time
+
+from ..errors import AdmissionError, ServeError
+from ..fabric.factory import fabric_capabilities
+from ..fabric.socket import _load_obj, _send_obj
+from ..fabric.wire import (FRAME_CMD, FRAME_HEARTBEAT, FRAME_HELLO,
+                           FRAME_REPORT, FrameSocket, WireError)
+from .catalog import REJECT_STATUSES, admission_verdict, program_names
+from .jobs import JobRecord, JobSpec, STATE_FAILED, STATE_RUNNING
+from .pool import WorkerPool
+from .queue import JobQueue
+from .scheduler import JobRun
+
+__all__ = ["ServeService"]
+
+#: Capabilities the pool substrate must offer for serve mode at all,
+#: plus the ones specific features lean on. The pool runs on the
+#: socket transport, so this always holds — but the query keeps the
+#: dependency honest and is the same check ``repro run`` uses.
+_REQUIRED_CAPS = frozenset({"ir-inject", "real-transport", "serve-pool",
+                            "checkpoint", "respawn"})
+
+
+class ServeService:
+    """A long-lived multi-tenant job service over a warm worker pool."""
+
+    def __init__(self, pool_size: int = 4, port: int = 0,
+                 window: int = 32, coalesce: int = 8,
+                 heartbeat_s: float = 0.025, phi_threshold: float = 12.0,
+                 max_depth: int = 64, tenant_cap: int = 8,
+                 checkpoint_every: int | None = 8, max_restarts: int = 2,
+                 job_timeout_s: float = 60.0, chaos: bool = False,
+                 mc_admission: bool = True):
+        missing = _REQUIRED_CAPS - fabric_capabilities("socket")
+        if missing:  # pragma: no cover - the table satisfies this
+            raise ServeError(
+                f"socket fabric lacks capabilities required by serve: "
+                f"{', '.join(sorted(missing))}")
+        self.pool_size = pool_size
+        self.port = port
+        self.window = window
+        self.coalesce = min(coalesce, window)
+        self.heartbeat_s = heartbeat_s
+        self.phi_threshold = phi_threshold
+        self.checkpoint_every = checkpoint_every
+        self.max_restarts = max_restarts
+        self.job_timeout_s = job_timeout_s
+        self.chaos = chaos
+        self.mc_admission = mc_admission
+
+        self.pool: WorkerPool | None = None
+        self.queue = JobQueue(max_depth=max_depth, tenant_cap=tenant_cap)
+        self.jobs: dict[str, JobRecord] = {}
+        self.runs: dict[str, JobRun] = {}
+        self.running_of: dict[str, int] = {}   # tenant -> running count
+        self.rejections: dict[str, int] = {}   # reason -> count (bounded)
+        self.completed = 0
+        self.failed = 0
+
+        self._lock = threading.RLock()
+        self._dispatch_evt = threading.Event()
+        self._deaths: queue_mod.Queue = queue_mod.Queue()
+        self._stop_evt = threading.Event()
+        self._stopped_evt = threading.Event()
+        self._stopping = False
+        self._seq = 0
+        self._t0 = time.monotonic()
+        self._listener = None
+        self.addr = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> tuple:
+        """Bind, spawn the pool, start the service threads; returns the
+        daemon address."""
+        self._listener = socket_mod.socket(socket_mod.AF_INET,
+                                           socket_mod.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", self.port))
+        self._listener.listen(64)
+        self.addr = self._listener.getsockname()
+        threading.Thread(target=self._accept_loop, daemon=True,
+                         name="serve-accept").start()
+        self.pool = WorkerPool(self.addr, heartbeat_s=self.heartbeat_s,
+                               phi_threshold=self.phi_threshold)
+        try:
+            for _ in range(self.pool_size):
+                self.pool.spawn()
+        except BaseException:
+            # a half-built pool must not leak processes or the port
+            self.pool.stop_all()
+            self._listener.close()
+            raise
+        threading.Thread(target=self._dispatch_loop, daemon=True,
+                         name="serve-dispatch").start()
+        threading.Thread(target=self._monitor_loop, daemon=True,
+                         name="serve-monitor").start()
+        return self.addr
+
+    def serve_forever(self) -> None:
+        """Block until a ``shutdown`` verb (or :meth:`shutdown`)."""
+        self._stopped_evt.wait()
+
+    def shutdown(self, drain: bool = True) -> dict:
+        """Stop accepting, cancel the queue, optionally drain running
+        jobs, then reap the pool and close the listener."""
+        with self._lock:
+            if self._stopping:
+                self._stopped_evt.wait()
+                return {"cancelled": 0, "drained": 0}
+            self._stopping = True
+            cancelled = self.queue.cancel_all()
+            for rec in cancelled:
+                rec.finish(STATE_FAILED, "cancelled at shutdown")
+                self.failed += 1
+            runs = list(self.runs.values())
+        drained = 0
+        if drain:
+            for run in runs:
+                run.join(timeout=self.job_timeout_s + 10.0)
+                drained += 1
+        self._stop_evt.set()
+        self._dispatch_evt.set()
+        if self.pool is not None:
+            self.pool.stop_all()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._stopped_evt.set()
+        return {"cancelled": len(cancelled), "drained": drained}
+
+    # -- the control plane (also used in-process by tests/benchmarks) --
+    def submit(self, raw_spec) -> dict:
+        """Admit one submission or raise :class:`AdmissionError`."""
+        try:
+            spec = JobSpec.from_dict(raw_spec)
+            if spec.program not in program_names():
+                raise AdmissionError(
+                    f"unknown program {spec.program!r}; runnable "
+                    f"programs: {', '.join(program_names())}")
+            with self._lock:
+                pool_total = len(self.pool.workers)
+            if spec.workers > pool_total:
+                raise AdmissionError(
+                    f"job wants {spec.workers} worker(s) but the pool "
+                    f"has {pool_total}; resize the pool or narrow the "
+                    f"lease")
+            if self.mc_admission:
+                verdict = admission_verdict(spec.program, spec.g,
+                                            self.window)
+                if verdict.status in REJECT_STATUSES:
+                    # first line only: the full counterexample schedule
+                    # is hundreds of steps (repro lint shows it all)
+                    detail = (verdict.detail or verdict.summary()
+                              ).splitlines()[0]
+                    raise AdmissionError(
+                        f"statically rejected: {verdict.status} — "
+                        f"{detail} (run the protocol model checker "
+                        f"for the full schedule)")
+            with self._lock:
+                if self._stopping:
+                    raise AdmissionError("daemon is shutting down")
+                record = JobRecord(jid=f"j{self._seq}", spec=spec,
+                                   seq=self._seq,
+                                   submitted_s=self._now())
+                reason = self.queue.admit_reason(record, self.running_of)
+                if reason is not None:
+                    raise AdmissionError(reason)
+                self._seq += 1
+                self.jobs[record.jid] = record
+                self.queue.push(record)
+        except AdmissionError as exc:
+            with self._lock:
+                if len(self.rejections) < 64:
+                    key = str(exc)
+                    self.rejections[key] = self.rejections.get(key, 0) + 1
+            raise
+        self._dispatch_evt.set()
+        return {"job": record.jid, "state": record.state}
+
+    def status(self, jid: str | None = None) -> dict:
+        if jid is not None:
+            with self._lock:
+                record = self.jobs.get(jid)
+            if record is None:
+                raise ServeError(f"unknown job {jid!r}")
+            return record.to_dict()
+        with self._lock:
+            states: dict = {}
+            for rec in self.jobs.values():
+                states[rec.state] = states.get(rec.state, 0) + 1
+            return {
+                "uptime_s": round(self._now(), 3),
+                "pool": self.pool.snapshot(),
+                "queue": self.queue.snapshot(),
+                "jobs": states,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": sum(self.rejections.values()),
+                "tenants_running": dict(self.running_of),
+            }
+
+    def wait_job(self, jid: str, timeout: float = 60.0) -> dict:
+        with self._lock:
+            record = self.jobs.get(jid)
+        if record is None:
+            raise ServeError(f"unknown job {jid!r}")
+        record.done.wait(timeout)
+        out = record.to_dict()
+        if not record.done.is_set():
+            out["timed_out"] = True
+        return out
+
+    def resize(self, n: int) -> int:
+        size = self.pool.resize(n)
+        self._dispatch_evt.set()
+        return size
+
+    def kill_worker(self, wid: int | None = None) -> int:
+        """Chaos verb: SIGKILL one (preferably leased) worker."""
+        if not self.chaos:
+            raise ServeError("chaos verbs are disabled; start the "
+                             "daemon with chaos enabled")
+        with self.pool.lock:
+            candidates = sorted(
+                self.pool.workers.values(),
+                key=lambda w: (w.lease is None, w.wid))
+            if wid is not None:
+                candidates = [w for w in candidates if w.wid == wid]
+            if not candidates:
+                raise ServeError(f"no such worker to kill: {wid!r}")
+            target = candidates[0].wid
+        if not self.pool.kill(target):
+            raise ServeError(f"worker {target} is not running")
+        return target
+
+    # -- dispatcher ----------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while not self._stop_evt.is_set():
+            self._dispatch_evt.wait(timeout=0.1)
+            self._dispatch_evt.clear()
+            while True:
+                with self._lock:
+                    if self._stopping:
+                        break
+                    record = self.queue.take(self.pool.free_count(),
+                                             self.running_of)
+                    if record is None:
+                        break
+                    wids = self.pool.lease(record.spec.workers,
+                                           record.jid)
+                    if wids is None:   # raced a death; requeue
+                        self.queue.push(record)
+                        break
+                    record.state = STATE_RUNNING
+                    record.started_s = self._now()
+                    tenant = record.spec.tenant
+                    self.running_of[tenant] = (
+                        self.running_of.get(tenant, 0) + 1)
+                    run = JobRun(self, record, wids)
+                    self.runs[record.jid] = run
+                run.start()
+
+    def on_job_done(self, run: JobRun, recycle: bool = False) -> None:
+        """Called by a finishing JobRun (both outcomes)."""
+        record = run.record
+        if recycle:
+            # a failed job's workers may hold arbitrary mid-protocol
+            # state (or be wedged executing); replace the processes
+            # rather than trust ``endjob`` hygiene
+            for wid in run.wids:
+                try:
+                    self.pool.respawn(wid)
+                except ServeError:
+                    pass  # slot stays dead; resize can refill it
+        with self._lock:
+            self.pool.release(run.wids)
+            self.runs.pop(record.jid, None)
+            tenant = record.spec.tenant
+            left = self.running_of.get(tenant, 1) - 1
+            if left > 0:
+                self.running_of[tenant] = left
+            else:
+                self.running_of.pop(tenant, None)
+            if record.state == STATE_FAILED:
+                self.failed += 1
+            else:
+                self.completed += 1
+        self._dispatch_evt.set()
+
+    # -- failure monitor -----------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._stop_evt.is_set():
+            dead: dict = {}
+            try:
+                kind, wid, gen = self._deaths.get(
+                    timeout=max(self.heartbeat_s * 4, 0.05))
+                if kind == "gone":
+                    dead[wid] = gen
+            except queue_mod.Empty:
+                pass
+            for wid, _phi in self.pool.suspects():
+                dead.setdefault(wid, self.pool.current_gen(wid))
+            for wid, gen in dead.items():
+                if self._stop_evt.is_set():
+                    return
+                if self.pool.current_gen(wid) != gen:
+                    continue   # already replaced (recycle or races)
+                jid = self.pool.lease_of(wid)
+                try:
+                    self.pool.respawn(wid)
+                except ServeError as exc:
+                    if jid is not None:
+                        run = self.runs.get(jid)
+                        if run is not None:
+                            run.post(("jr", "error",
+                                      ("error", wid, str(exc))))
+                    continue
+                if jid is not None:
+                    run = self.runs.get(jid)
+                    if run is not None:
+                        run.post(("respawned", wid))
+                self._dispatch_evt.set()
+
+    # -- connections ---------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return   # listener closed: shutdown
+            threading.Thread(target=self._serve_conn,
+                             args=(FrameSocket(conn),),
+                             daemon=True).start()
+
+    def _serve_conn(self, fs: FrameSocket) -> None:
+        try:
+            hello = fs.recv()
+        except WireError:
+            fs.close()
+            return
+        if hello.kind != FRAME_HELLO:
+            fs.close()
+            return
+        tag = _load_obj(hello)
+        if tag[0] == "hello-worker":
+            self._serve_worker(fs, tag[1], hello.gen)
+        elif tag[0] == "hello-client":
+            self._serve_client(fs)
+        else:
+            fs.close()
+
+    def _serve_worker(self, fs: FrameSocket, wid: int, gen: int) -> None:
+        if not self.pool.attach(wid, gen, fs):
+            fs.close()   # stale generation: a replaced worker's socket
+            return
+        while True:
+            try:
+                frame = fs.recv()
+            except WireError:
+                self._deaths.put(("gone", wid, gen))
+                return
+            if frame.gen != self.pool.current_gen(wid):
+                self.pool.stale_frames += 1
+                continue
+            if frame.kind == FRAME_HEARTBEAT:
+                self.pool.beat(wid, gen)
+            elif frame.kind == FRAME_REPORT:
+                _tag, jid, msg = _load_obj(frame)
+                self._route(wid, jid, msg)
+
+    def _route(self, wid: int, jid, msg) -> None:
+        with self._lock:
+            run = self.runs.get(jid) if jid is not None else None
+        if run is None:
+            return   # report for a finished/failed job: drop
+        if wid not in run.wids:
+            return   # lease moved on; a zombie's late report
+        run.post(("jr", msg[0], msg))
+
+    # -- the client protocol -------------------------------------------
+    def _serve_client(self, fs: FrameSocket) -> None:
+        while True:
+            try:
+                frame = fs.recv()
+            except WireError:
+                fs.close()
+                return
+            if frame.kind != FRAME_CMD:
+                continue
+            try:
+                reply = ("ok", self._handle(_load_obj(frame)))
+            except (AdmissionError, ServeError) as exc:
+                reply = ("err", str(exc))
+            except Exception as exc:  # noqa: BLE001 - protocol-level
+                reply = ("err", f"{type(exc).__name__}: {exc}")
+            try:
+                _send_obj(fs, FRAME_REPORT, reply)
+            except WireError:
+                fs.close()
+                return
+
+    def _handle(self, req):
+        if not isinstance(req, tuple) or not req:
+            raise ServeError("malformed request")
+        verb = req[0]
+        if verb == "submit":
+            return self.submit(req[1])
+        if verb == "status":
+            return self.status(req[1])
+        if verb == "wait":
+            return self.wait_job(req[1], req[2])
+        if verb == "programs":
+            return list(program_names())
+        if verb == "resize":
+            return self.resize(int(req[1]))
+        if verb == "kill-worker":
+            return self.kill_worker(req[1])
+        if verb == "shutdown":
+            return self.shutdown(drain=bool(req[1]))
+        raise ServeError(f"unknown verb {verb!r}")
+
+    def _now(self) -> float:
+        return time.monotonic() - self._t0

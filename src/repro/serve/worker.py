@@ -1,0 +1,145 @@
+"""The pool worker process: one warm WorkerCore host, many jobs.
+
+A pool worker is the serve-mode sibling of the socket fabric's
+``_sock_worker``: the same :class:`~repro.fabric.controller.WorkerCore`
+execution engine behind the same wire.py frames, but the *process*
+outlives any one job. What stays warm across jobs — the whole point of
+the pool — is the fork, the TCP connection + handshake, the numpy
+import, and the cache of registered IR programs, so a job lease costs
+a few small frames instead of world construction.
+
+Commands are job-tagged: a ``("job", jid, ...)`` header creates a
+fresh core for that job (node variables, event tables, dedup set —
+nothing leaks between jobs or tenants), and every subsequent
+data-plane command carries the jid. A command for any other jid is
+dropped — after a job ends (or this worker is re-leased following a
+controller-side failure), stale frames of the old job cannot touch
+the new one. ``("register", programs)`` is deliberately *not*
+job-tagged: the program registry is the worker-lifetime cache.
+
+All hops route through the daemon (like socket resilient mode): the
+per-job journal and credit gate live with the job's controller, so a
+SIGKILLed worker's replacement replays exactly this job's traffic.
+Credit is paid per hop as it is handed to the core — a frame is only
+consumed when the core is idle, so the daemon-side window still
+bounds this worker's backlog.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from ..fabric.controller import WorkerCore
+from ..fabric.socket import _connect_with_backoff, _load_obj, _send_obj
+from ..fabric.wire import (FRAME_CMD, FRAME_HEARTBEAT, FRAME_HELLO,
+                           FRAME_REPORT, FrameSocket, WireError)
+
+__all__ = ["pool_worker_main"]
+
+
+def pool_worker_main(wid, ctl_addr, gen, heartbeat_s, backoff_seed):
+    """Entry point of one pool worker process."""
+    inbox: queue.Queue = queue.Queue()
+    stop_evt = threading.Event()
+    stats = {"jobs": 0, "frames_in": 0}
+
+    ctl = FrameSocket(_connect_with_backoff(ctl_addr, backoff_seed))
+    _send_obj(ctl, FRAME_HELLO, ("hello-worker", wid, None), gen=gen)
+
+    def ctl_reader():
+        while True:
+            try:
+                frame = ctl.recv()
+            except WireError:
+                inbox.put(("stop",))
+                return
+            if frame.kind != FRAME_CMD:
+                continue
+            stats["frames_in"] += 1
+            inbox.put(_load_obj(frame))
+
+    def heartbeat_loop():
+        while not stop_evt.wait(heartbeat_s):
+            try:
+                ctl.send(FRAME_HEARTBEAT, b"", gen=gen)
+            except WireError:
+                return
+
+    threading.Thread(target=ctl_reader, daemon=True).start()
+    threading.Thread(target=heartbeat_loop, daemon=True).start()
+
+    current = {"jid": None, "core": None, "host": None}
+
+    def emit_report(msg):
+        try:
+            _send_obj(ctl, FRAME_REPORT, ("jr", current["jid"], msg),
+                      gen=gen)
+        except WireError:
+            pass  # daemon gone; the main loop will see the stop
+
+    def emit_hop(dst_host, payload):
+        emit_report(("hop", current["host"], dst_host, payload))
+
+    try:
+        while True:
+            core = current["core"]
+            if core is not None and core.ready:
+                core.step()
+                continue
+            cmd = inbox.get()
+            op = cmd[0]
+            if op == "stop":
+                break
+            if op == "register":
+                # worker-lifetime program cache — the daemon tracks what
+                # it shipped here and skips re-sending across jobs
+                from ..navp import ir
+                for program in cmd[1]:
+                    ir.register_program(program, replace=True)
+                continue
+            if op == "job":
+                _, jid, host, coords, host_of = cmd
+                current["jid"] = jid
+                current["host"] = host
+                current["core"] = WorkerCore(
+                    host, [tuple(c) for c in coords], dict(host_of),
+                    emit_hop, emit_report, dedup=True)
+                stats["jobs"] += 1
+                continue
+            # everything below is job-tagged: (op, jid, ...)
+            jid = cmd[1]
+            if jid != current["jid"] or current["core"] is None:
+                continue  # stale frame of a finished/abandoned job
+            core = current["core"]
+            if op == "endjob":
+                current["jid"] = None
+                current["core"] = None
+                current["host"] = None
+            elif op in ("run", "runs"):
+                tasks = [cmd[2]] if op == "run" else cmd[2]
+                for task in tasks:
+                    emit_report(("credit", current["host"]))
+                    core.handle(("run", task))
+            elif op == "load":
+                core.handle(("load", tuple(cmd[2]), cmd[3]))
+            elif op == "signal0":
+                core.handle(("signal0", cmd[2]))
+            elif op == "ckpt":
+                core.handle(("ckpt", cmd[2]))
+            elif op == "restore":
+                core.handle(("restore", cmd[2]))
+            elif op == "collect":
+                core.handle(("collect",))
+    except BaseException as exc:  # noqa: BLE001 - forwarded to daemon
+        try:
+            _send_obj(ctl, FRAME_REPORT,
+                      ("jr", current["jid"],
+                       ("error", current["host"],
+                        f"{type(exc).__name__}: {exc}")),
+                      gen=gen)
+        except WireError:
+            pass
+    finally:
+        stop_evt.set()
+        ctl.close()

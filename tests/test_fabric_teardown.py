@@ -1,0 +1,76 @@
+"""Teardown on exception paths: no orphans after a failed run.
+
+Regression tests for the distributed fabrics' cleanup contract: when a
+run *fails* (a worker hits an error mid-protocol), every worker
+process must still exit and the controller's listener must close —
+a failed job must not leak orphaned processes into the caller's
+process table or keep 127.0.0.1 ports bound. This is what lets a
+long-lived daemon (repro serve) survive thousands of failed jobs.
+
+The forced failure is a hop to a coordinate outside the topology: the
+executing worker raises MigrationError, reports it, and the
+controller turns that into a FabricError — with workers mid-protocol
+(the other host is idle in its mailbox wait).
+"""
+
+import multiprocessing as mp
+import time
+
+import pytest
+
+from repro.errors import FabricError
+from repro.fabric import Grid1D, make_fabric
+from repro.navp import ir
+
+C = ir.Const
+
+
+@pytest.fixture()
+def bad_hop_program():
+    return ir.register_program(
+        ir.Program("teardown-bad-hop",
+                   body=(ir.HopStmt((C(7),)),)),  # (7,) not in Grid1D(2)
+        replace=True)
+
+
+def _assert_no_children(deadline_s: float = 10.0) -> None:
+    end = time.monotonic() + deadline_s
+    while time.monotonic() < end:
+        kids = mp.active_children()   # also joins finished children
+        if not kids:
+            return
+        time.sleep(0.05)
+    raise AssertionError(
+        f"orphaned worker process(es) after failed run: "
+        f"{[k.name for k in mp.active_children()]}")
+
+
+@pytest.mark.parametrize("kind", ["process", "socket"])
+def test_failed_plain_run_leaves_no_orphans(kind, bad_hop_program):
+    fabric = make_fabric(kind, Grid1D(2), trace=False, timeout=30.0)
+    fabric.inject((0,), bad_hop_program.name)
+    with pytest.raises(FabricError):
+        fabric.run()
+    _assert_no_children()
+
+
+@pytest.mark.parametrize("kind", ["process", "socket"])
+def test_failed_resilient_run_leaves_no_orphans(kind, bad_hop_program):
+    """The resilient path has more to leak — journals, respawned
+    generations, the supervisor — and must still reap everything."""
+    fabric = make_fabric(kind, Grid1D(2), trace=False, timeout=30.0,
+                         supervise=True, max_restarts=1)
+    fabric.inject((0,), bad_hop_program.name)
+    with pytest.raises(FabricError):
+        fabric.run()
+    _assert_no_children()
+
+
+def test_socket_listener_closed_after_failure(bad_hop_program):
+    """The bound control port must be released on the failure path."""
+    fabric = make_fabric("socket", Grid1D(2), trace=False, timeout=30.0)
+    fabric.inject((0,), bad_hop_program.name)
+    with pytest.raises(FabricError):
+        fabric.run()
+    assert fabric._listener.fileno() == -1      # closed, port released
+    _assert_no_children()

@@ -58,6 +58,21 @@ class TestSmokeBench:
             run_suite(smoke=True, only=["nope"])
 
 
+class TestServeBench:
+    def test_warm_pool_beats_perjob_setup(self):
+        """The serve subsystem's economic claim, pinned: the amortized
+        per-job cost on a warm pool must beat spinning up a socket
+        fabric per run. The real gap is ~5-10x; 1.5x leaves room for a
+        loaded CI box without letting the claim silently rot."""
+        res = run_suite(smoke=True, only=["serve_throughput"],
+                        repeats=1)["serve_throughput"]
+        meta = res["meta"]
+        assert meta["speedup_vs_perjob"] > 1.5
+        assert meta["warm_per_job_s"] < meta["perjob_per_job_s"]
+        # a short queue pays off the pool spawn
+        assert meta["breakeven_jobs"] < 10
+
+
 class TestComparison:
     def _snap(self, ev_per_sec, wall, smoke=False):
         return make_snapshot(

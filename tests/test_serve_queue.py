@@ -1,0 +1,136 @@
+"""The serve job model, admission queue, and program catalog — pure
+units, no processes or sockets."""
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.serve.catalog import (IR_CATALOG, REJECT_STATUSES,
+                                 admission_verdict, build_job_suite,
+                                 get_entry, program_names)
+from repro.serve.jobs import JobRecord, JobSpec
+from repro.serve.queue import JobQueue
+
+
+def _rec(seq, tenant="t", priority=0, workers=2, **kw) -> JobRecord:
+    spec = JobSpec(program="navp-2d-dsc", tenant=tenant,
+                   priority=priority, workers=workers, **kw)
+    return JobRecord(jid=f"j{seq}", spec=spec, seq=seq)
+
+
+class TestJobSpec:
+    def test_roundtrip(self):
+        spec = JobSpec(program="navp-2d-dsc", g=3, seed=7, ab=4,
+                       workers=3, tenant="alice", priority=2)
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("raw,match", [
+        ({"program": "x", "g": 1}, "g must be"),
+        ({"program": "x", "ab": 0}, "ab must be"),
+        ({"program": "x", "workers": 0}, "workers must be"),
+        ({"program": "x", "g": 2, "workers": 5}, "1..4"),
+        ({"program": "x", "tenant": ""}, "tenant"),
+        ({"program": "x", "nonsense": 1}, "unknown job spec field"),
+        ({}, "needs a 'program'"),
+        ("not-a-dict", "must be a mapping"),
+    ])
+    def test_validation_rejects(self, raw, match):
+        with pytest.raises(AdmissionError, match=match):
+            JobSpec.from_dict(raw)
+
+
+class TestAdmission:
+    def test_depth_bound(self):
+        q = JobQueue(max_depth=2, tenant_cap=10)
+        for i in range(2):
+            assert q.admit_reason(_rec(i), {}) is None
+            q.push(_rec(i))
+        reason = q.admit_reason(_rec(3), {})
+        assert reason is not None and "queue full" in reason
+
+    def test_tenant_cap_counts_pending_plus_running(self):
+        q = JobQueue(max_depth=100, tenant_cap=3)
+        q.push(_rec(0, tenant="a"))
+        q.push(_rec(1, tenant="a"))
+        # 2 pending + 1 running == cap -> the fourth is refused
+        reason = q.admit_reason(_rec(2, tenant="a"), {"a": 1})
+        assert reason is not None and "'a'" in reason
+        # another tenant is unaffected
+        assert q.admit_reason(_rec(3, tenant="b"), {"a": 1}) is None
+
+
+class TestDispatchOrder:
+    def test_priority_wins(self):
+        q = JobQueue()
+        q.push(_rec(0, priority=0))
+        q.push(_rec(1, priority=5))
+        assert q.take(4, {}).seq == 1
+
+    def test_tenant_fairness_among_equal_priority(self):
+        """The tenant with fewer running jobs dispatches first, even
+        if the busy tenant submitted earlier."""
+        q = JobQueue()
+        q.push(_rec(0, tenant="busy"))
+        q.push(_rec(1, tenant="idle"))
+        assert q.take(4, {"busy": 3}).spec.tenant == "idle"
+
+    def test_fifo_within_tenant(self):
+        q = JobQueue()
+        q.push(_rec(1, tenant="a"))
+        q.push(_rec(0, tenant="a"))
+        assert q.take(4, {}).seq == 0
+
+    def test_backfill_skips_wide_jobs(self):
+        """A job wider than the free workers does not block a narrow
+        job behind it."""
+        q = JobQueue()
+        q.push(_rec(0, workers=4, g=3))
+        q.push(_rec(1, workers=1))
+        assert q.take(2, {}).seq == 1
+        assert q.take(2, {}) is None             # the wide one waits
+        assert q.take(4, {}).seq == 0
+
+    def test_cancel_all_drains(self):
+        q = JobQueue()
+        q.push(_rec(0))
+        q.push(_rec(1))
+        assert [r.seq for r in q.cancel_all()] == [0, 1]
+        assert len(q) == 0
+
+
+class TestCatalog:
+    def test_catalog_covers_the_four_ir_programs(self):
+        assert program_names() == ("mpi-gentleman", "navp-2d-dsc",
+                                   "navp-2d-phase", "navp-2d-pipeline")
+
+    def test_unknown_program_is_an_admission_error(self):
+        with pytest.raises(AdmissionError, match="unknown program"):
+            get_entry("nonesuch")
+
+    def test_build_job_suite_is_deterministic(self):
+        _s1, a1, b1 = build_job_suite("navp-2d-dsc", 2, seed=9, ab=4)
+        _s2, a2, b2 = build_job_suite("navp-2d-dsc", 2, seed=9, ab=4)
+        assert (a1 == a2).all() and (b1 == b2).all()
+        _s3, a3, _b3 = build_job_suite("navp-2d-dsc", 2, seed=10, ab=4)
+        assert not (a1 == a3).all()
+
+    def test_admission_verdict_rejects_the_fig15_deadlock(self):
+        """PR 8's headline find — the Figure 15 protocol deadlock at
+        g=3 — is exactly what admission control must refuse."""
+        verdict = admission_verdict("navp-2d-phase", 3)
+        assert verdict.status in REJECT_STATUSES
+
+    def test_admission_verdict_admits_fig11(self):
+        verdict = admission_verdict("navp-2d-dsc", 2)
+        assert verdict.status not in REJECT_STATUSES
+
+    def test_admission_verdict_is_cached(self):
+        one = admission_verdict("navp-2d-dsc", 2)
+        again = admission_verdict("navp-2d-dsc", 2)
+        assert one is again                      # lru_cache hit
+
+    def test_every_entry_builds(self):
+        for name in IR_CATALOG:
+            suite, a, _b = build_job_suite(name, 2, seed=1, ab=2)
+            assert suite.g == 2
+            assert a.shape == (4, 4)
+            assert suite.programs                # ships a closure
