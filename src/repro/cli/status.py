@@ -70,6 +70,16 @@ def _cmd_status(args) -> int:
     print(f"jobs completed {out['completed']}  failed {out['failed']}  "
           f"rejected {out['rejected']}  "
           f"running {out['jobs'].get('running', 0)}")
+    durability = out.get("durability")
+    if durability:
+        rec = durability["recovered"]
+        led = durability["ledger"]
+        print(f"durable at {durability['state_dir']}  "
+              f"(session {rec['sessions'] + 1}"
+              f"{', recovered from crash' if rec['unclean'] else ''}): "
+              f"{rec['terminal']} finished / {rec['requeued']} queued / "
+              f"{rec['resumed']} in-flight recovered; ledger "
+              f"{led['appends']} append(s), {led['fsyncs']} fsync(s)")
     return 0
 
 

@@ -32,6 +32,11 @@ def configure(sub) -> None:
                    help="tenant name for fairness and caps")
     p.add_argument("--priority", type=int, default=0,
                    help="higher dispatches sooner (default 0)")
+    p.add_argument("--idempotency-key", default=None, metavar="KEY",
+                   help="exactly-once handle: resubmitting with the "
+                        "same key returns the original job instead of "
+                        "running a duplicate (default: auto-generated "
+                        "per invocation)")
     p.add_argument("--wait", action="store_true",
                    help="block until the job finishes")
     p.add_argument("--timeout", type=float, default=60.0,
@@ -53,18 +58,21 @@ def _cmd_submit(args) -> int:
     try:
         with ServeClient(addr) as client:
             try:
-                jid = client.submit(
-                    args.program, g=args.g, seed=args.seed, ab=args.ab,
+                info = client.submit_info(
+                    args.program, idempotency_key=args.idempotency_key,
+                    g=args.g, seed=args.seed, ab=args.ab,
                     workers=args.workers, tenant=args.tenant,
                     priority=args.priority)
+                jid = info["job"]
             except AdmissionError as exc:
                 print(f"rejected: {exc}", file=sys.stderr)
                 return 2 if "unknown program" in str(exc) else 1
             if not args.wait:
                 if args.json:
-                    print(json.dumps({"job": jid, "state": "pending"}))
+                    print(json.dumps(info))
                 else:
-                    print(jid)
+                    suffix = " (deduped)" if info.get("deduped") else ""
+                    print(f"{jid}{suffix}")
                 return 0
             record = client.wait(jid, timeout=args.timeout)
     except ServeError as exc:

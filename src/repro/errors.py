@@ -84,6 +84,16 @@ class AdmissionError(ServeError):
     """
 
 
+class LedgerError(ServeError):
+    """The durable job ledger hit unrecoverable corruption or misuse.
+
+    A torn *final* record (a crash mid-write) is tolerated silently on
+    replay; this error means something worse — garbage in the middle
+    of a segment, a record for a job the log never admitted, or an
+    operation on a ledger in the wrong state.
+    """
+
+
 class AnalysisError(ReproError):
     """A static analysis could not be performed on a program.
 

@@ -16,9 +16,13 @@ Used by the pinned ``serve_throughput`` suite entry
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
+import threading
 import time
 
-__all__ = ["serve_vs_perjob"]
+__all__ = ["serve_vs_perjob", "serve_durability"]
 
 #: The pinned workload shape shared by both sides of the comparison.
 _PROGRAM = "navp-2d-dsc"
@@ -86,6 +90,90 @@ def serve_vs_perjob(warm_jobs: int, perjob_runs: int,
     }
 
 
+class _IdlePool:
+    """Pool stand-in for pure control-plane benchmarks: admission only
+    reads the pool's size, and with no dispatcher thread running the
+    admitted jobs just accumulate in the queue — so the measured wall
+    is submit-path cost, not job execution."""
+
+    workers = {0: None}
+
+
+def _admission_only_service(jobs: int, state_dir: str | None):
+    from ..serve import ServeService
+    from ..serve.ledger import JobLedger
+
+    service = ServeService(mc_admission=False, max_depth=4 * jobs,
+                           tenant_cap=4 * jobs)
+    service.pool = _IdlePool()
+    if state_dir is not None:
+        service.state_dir = state_dir
+        service.ledger = JobLedger(os.path.join(state_dir, "wal"))
+        service.ledger.open()
+    return service
+
+
+def serve_durability(jobs: int, threads: int = 8) -> dict:
+    """Submit latency with the fsync'd write-ahead ledger versus pure
+    in-memory admission, on the identical code path.
+
+    ``threads`` concurrent submitters drive the same admission path
+    twice — once durable (every admit write-ahead logged + fsync'd),
+    once in-memory — so the delta isolates what durability costs per
+    acknowledged job and the ledger stats show group commit at work
+    (concurrent appends sharing fsyncs keeps the overhead bounded as
+    submitters multiply).
+    """
+    per_thread = max(1, jobs // threads)
+    total = per_thread * threads
+
+    def drive(service) -> float:
+        barrier = threading.Barrier(threads + 1)
+
+        def submitter(tid: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                service.submit({"program": _PROGRAM, "g": _G, "ab": _AB,
+                                "seed": tid * per_thread + i, "workers": 1,
+                                "tenant": f"t{tid}",
+                                "key": f"bench-{tid}-{i}"})
+
+        workers = [threading.Thread(target=submitter, args=(tid,))
+                   for tid in range(threads)]
+        for w in workers:
+            w.start()
+        barrier.wait()
+        t0 = time.perf_counter()
+        for w in workers:
+            w.join()
+        return time.perf_counter() - t0
+
+    state_dir = tempfile.mkdtemp(prefix="repro-servebench-")
+    try:
+        durable = _admission_only_service(total, state_dir)
+        durable_wall = drive(durable)
+        ledger_stats = durable.ledger.stats()
+        durable.ledger.close()
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+    memory = _admission_only_service(total, None)
+    memory_wall = drive(memory)
+
+    return {
+        "jobs": total,
+        "threads": threads,
+        "durable_wall_s": durable_wall,
+        "memory_wall_s": memory_wall,
+        "durable_submits_per_sec": total / durable_wall,
+        "memory_submits_per_sec": total / memory_wall,
+        "overhead_per_submit_ms": (durable_wall - memory_wall) / total
+        * 1e3,
+        "ledger": ledger_stats,
+    }
+
+
 if __name__ == "__main__":   # pragma: no cover - manual profiling aid
     import json
     print(json.dumps(serve_vs_perjob(24, 4, pool_size=4), indent=2))
+    print(json.dumps(serve_durability(96), indent=2))

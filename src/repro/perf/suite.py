@@ -29,6 +29,9 @@ Suite members
                        versus one frame per hop
 ``serve_throughput``   jobs through a warm serve pool versus per-job
                        socket-fabric setup (the amortization claim)
+``serve_durability``   concurrent submits through the fsync'd
+                       write-ahead ledger versus in-memory admission
+                       (the group-commit overhead bound)
 """
 
 from __future__ import annotations
@@ -356,6 +359,34 @@ def bench_serve_throughput(smoke: bool = False) -> dict:
             "perjob_per_job_s": res["perjob_per_job_s"],
             "speedup_vs_perjob": res["speedup_vs_perjob"],
             "breakeven_jobs": res["breakeven_jobs"],
+        },
+    }
+
+
+_DURABILITY_JOBS, _DURABILITY_JOBS_SMOKE = 96, 24
+
+
+@_bench("serve_durability")
+def bench_serve_durability(smoke: bool = False) -> dict:
+    """Concurrent submits with the fsync'd ledger versus in-memory
+    admission on the identical path; ``events`` are durable submits
+    acknowledged, and ``meta`` pins the per-submit overhead and the
+    group-commit evidence (fsyncs < appends under concurrency)."""
+    from .servebench import serve_durability
+
+    jobs = _DURABILITY_JOBS_SMOKE if smoke else _DURABILITY_JOBS
+    res = serve_durability(jobs, threads=4 if smoke else 8)
+    return {
+        "wall_s": res["durable_wall_s"],
+        "events": res["jobs"],
+        "events_per_sec": res["durable_submits_per_sec"],
+        "meta": {
+            "threads": res["threads"],
+            "memory_submits_per_sec": res["memory_submits_per_sec"],
+            "overhead_per_submit_ms": res["overhead_per_submit_ms"],
+            "ledger_appends": res["ledger"]["appends"],
+            "ledger_fsyncs": res["ledger"]["fsyncs"],
+            "group_committed": res["ledger"]["group_committed"],
         },
     }
 

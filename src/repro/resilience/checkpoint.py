@@ -87,6 +87,15 @@ class CheckpointStore:
         keys = self.keys()
         return self.load(keys[-1]) if keys else None
 
+    def try_load(self, key: str, default: Any = None) -> Any:
+        """:meth:`load`, but ``default`` instead of an error when the
+        key has never been saved (e.g. a resumed job that crashed
+        before its first committed checkpoint)."""
+        try:
+            return self.load(key)
+        except ResilienceError:
+            return default
+
 
 class MemoryStore(CheckpointStore):
     """In-memory store; the default for SimFabric and tests.

@@ -26,9 +26,16 @@ worker processes and leases them to submitted jobs:
     the per-job resilient controller (credit gate, journal, quiescent
     checkpoints, respawn recovery) over leased pool workers.
 
+:mod:`~repro.serve.ledger`
+    The durable control plane: an append-only fsync'd JSONL
+    write-ahead log of every job lifecycle transition, with segment
+    rotation, compaction, and torn-tail tolerance — what lets a
+    daemon restarted on the same ``--state-dir`` recover every job.
+
 :mod:`~repro.serve.service` / :mod:`~repro.serve.client`
     The daemon (listener, dispatcher, failure monitor, control verbs)
-    and the thin client speaking the same wire.py frames as workers.
+    and the exactly-once client: auto-reconnect under per-request
+    deadlines, idempotency-keyed submission.
 """
 
 from .catalog import (IR_CATALOG, REJECT_STATUSES, admission_verdict,
@@ -36,6 +43,7 @@ from .catalog import (IR_CATALOG, REJECT_STATUSES, admission_verdict,
 from .client import ServeClient
 from .jobs import (JOB_STATES, JobRecord, JobSpec, STATE_COMPLETED,
                    STATE_FAILED, STATE_PENDING, STATE_RUNNING)
+from .ledger import JobLedger, LedgerReplay, replay_ledger
 from .queue import JobQueue
 from .service import ServeService
 
@@ -53,6 +61,9 @@ __all__ = [
     "STATE_RUNNING",
     "STATE_COMPLETED",
     "STATE_FAILED",
+    "JobLedger",
+    "LedgerReplay",
+    "replay_ledger",
     "ServeService",
     "ServeClient",
 ]

@@ -29,7 +29,7 @@ STATE_FAILED = "failed"
 JOB_STATES = (STATE_PENDING, STATE_RUNNING, STATE_COMPLETED, STATE_FAILED)
 
 _SPEC_FIELDS = ("program", "g", "seed", "ab", "workers", "tenant",
-                "priority")
+                "priority", "key")
 
 
 @dataclass(frozen=True)
@@ -50,6 +50,7 @@ class JobSpec:
     workers: int = 2
     tenant: str = "default"
     priority: int = 0
+    key: str | None = None   # idempotency key: resubmit == same job
 
     def validate(self) -> "JobSpec":
         if self.g < 2:
@@ -62,6 +63,10 @@ class JobSpec:
                 f"(got {self.workers})")
         if not self.tenant or not isinstance(self.tenant, str):
             raise AdmissionError("tenant must be a non-empty string")
+        if self.key is not None and (
+                not self.key or not isinstance(self.key, str)):
+            raise AdmissionError(
+                "idempotency key must be a non-empty string or omitted")
         return self
 
     def to_dict(self) -> dict:
@@ -99,6 +104,7 @@ class JobRecord:
     submitted_s: float = 0.0              # monotonic, daemon-relative
     started_s: float | None = None
     finished_s: float | None = None
+    resumed: bool = False                 # re-admitted by ledger replay
     done: threading.Event = field(default_factory=threading.Event)
 
     @property
@@ -118,6 +124,7 @@ class JobRecord:
             "reason": self.reason,
             "restarts": self.restarts,
             "recovered": self.recovered,
+            "resumed": self.resumed,
             "digest": self.digest,
             "ok": self.ok,
             "wall_s": self.wall_s,

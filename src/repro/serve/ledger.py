@@ -1,0 +1,396 @@
+"""The durable job ledger: an append-only, fsync'd JSONL write-ahead log.
+
+Everything the serve daemon must not forget across a crash goes
+through here *before* the client hears about it: a job is admitted,
+dispatched, checkpoint-committed, and finished as ledger records, so a
+daemon restarted on the same ``--state-dir`` can replay the log and
+answer ``status``/``wait`` for every job it ever accepted — re-queue
+the ones that never ran, resume the ones that were mid-flight, and
+refuse to run a deduplicated idempotent resubmission twice.
+
+Design points, in the order a crash investigator would ask about them:
+
+* **Durability unit.** One record per line, JSON, appended and
+  fsync'd before the daemon acts on it (write-ahead). Appends from
+  concurrent submit threads share fsyncs by *group commit*: the first
+  thread into the sync section fsyncs once for every line written so
+  far, and the others observe their line already covered and return
+  without touching the disk. Under concurrency the fsync count is
+  bounded by the batch count, not the record count.
+
+* **Torn tails.** A crash mid-``write`` can leave a half line at the
+  end of a segment. Replay drops a non-JSON (or newline-less) *final*
+  line and counts it in ``torn_records``; garbage anywhere else is
+  real corruption and raises :class:`~repro.errors.LedgerError` — a
+  WAL that silently skips interior records is worse than none.
+
+* **Segments + compaction.** Records land in ``wal-NNNNNNNN.jsonl``
+  segments, rotated every ``segment_max`` records; each daemon boot
+  starts a fresh segment (so a torn tail is always in an old, closed
+  file). :meth:`compact` rewrites all closed segments into one
+  synthetic segment holding the minimal transition sequence per job —
+  ``replay(compacted) == replay(full)`` by construction, which the
+  tests pin. Compaction is crash-safe: the replacement is written to a
+  temp file, fsync'd, renamed over the oldest closed segment, and only
+  then are the rest unlinked (re-applying a leftover segment's records
+  is idempotent).
+
+* **Clean close.** :meth:`close` appends a ``close`` record; a boot
+  that replays a log whose last record is not a ``close`` knows the
+  previous daemon died unclean and reports it (``clean_close``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+
+from ..errors import LedgerError
+
+__all__ = ["JobLedger", "LedgerReplay", "ReplayedJob", "replay_ledger",
+           "TERMINAL_STATES"]
+
+_SEGMENT_FMT = "wal-{:08d}.jsonl"
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".jsonl"
+
+#: Job states a ``done`` record may carry; a replayed job in one of
+#: these never runs again.
+TERMINAL_STATES = frozenset({"completed", "failed"})
+
+
+@dataclass
+class ReplayedJob:
+    """One job's state as reconstructed from the ledger."""
+
+    jid: str
+    seq: int
+    spec: dict
+    key: str | None = None          # idempotency key, if the submit had one
+    state: str = "pending"          # pending | running | completed | failed
+    reason: str = ""
+    digest: str | None = None
+    ok: bool | None = None
+    wall_s: float | None = None
+    restarts: int = 0
+    last_cid: int | None = None     # last fully-committed checkpoint id
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+
+@dataclass
+class LedgerReplay:
+    """What a ledger directory replays to."""
+
+    jobs: dict = field(default_factory=dict)   # jid -> ReplayedJob
+    clean_close: bool = True                   # last record was a close
+    sessions: int = 0                          # open records seen
+    records: int = 0                           # records applied
+    torn_records: int = 0                      # dropped half-written tails
+    segments: int = 0
+    max_seq: int = -1
+
+    def by_key(self) -> dict:
+        """Idempotency key -> jid, for dedup across restarts."""
+        return {job.key: job.jid for job in self.jobs.values()
+                if job.key is not None}
+
+
+def _segment_paths(root: str) -> list:
+    try:
+        names = os.listdir(root)
+    except FileNotFoundError:
+        return []
+    return [os.path.join(root, n) for n in sorted(names)
+            if n.startswith(_SEGMENT_PREFIX) and n.endswith(_SEGMENT_SUFFIX)]
+
+
+def _segment_index(path: str) -> int:
+    name = os.path.basename(path)
+    return int(name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)])
+
+
+def _apply(replay: LedgerReplay, record: dict) -> None:
+    """Fold one record into the replay state. Transitions are
+    idempotent so re-applied records (compaction leftovers, duplicated
+    appends) converge to the same state."""
+    kind = record.get("t")
+    if kind == "open":
+        replay.sessions += 1
+        replay.clean_close = False
+        return
+    if kind == "close":
+        replay.clean_close = True
+        return
+    jid = record.get("jid")
+    if jid is None:
+        raise LedgerError(f"ledger record without a jid: {record!r}")
+    if kind == "admitted":
+        job = replay.jobs.get(jid)
+        if job is None or not job.terminal:
+            replay.jobs[jid] = ReplayedJob(
+                jid=jid, seq=int(record["seq"]), spec=dict(record["spec"]),
+                key=record.get("key"))
+        replay.max_seq = max(replay.max_seq, int(record["seq"]))
+        return
+    job = replay.jobs.get(jid)
+    if job is None:
+        raise LedgerError(
+            f"ledger record for a never-admitted job: {record!r}")
+    if kind == "dispatched":
+        if not job.terminal:
+            job.state = "running"
+    elif kind == "ckpt":
+        job.last_cid = int(record["cid"])
+    elif kind == "done":
+        state = record["state"]
+        if state not in TERMINAL_STATES:
+            raise LedgerError(f"done record with non-terminal state "
+                              f"{state!r}: {record!r}")
+        job.state = state
+        job.reason = record.get("reason", "")
+        job.digest = record.get("digest")
+        job.ok = record.get("ok")
+        job.wall_s = record.get("wall_s")
+        job.restarts = int(record.get("restarts", 0))
+    else:
+        raise LedgerError(f"unknown ledger record type {kind!r}")
+
+
+def _replay_lines(replay: LedgerReplay, text: str, last_segment: bool,
+                  path: str) -> None:
+    lines = text.split("\n")
+    # a complete file ends with "\n" -> final split element is ""
+    complete = lines and lines[-1] == ""
+    if complete:
+        lines.pop()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        torn_position = (i == len(lines) - 1) and not complete
+        try:
+            record = json.loads(line)
+        except ValueError:
+            if torn_position:
+                replay.torn_records += 1   # crash mid-write: drop the tail
+                continue
+            raise LedgerError(
+                f"corrupt ledger record (not a torn tail) in {path} "
+                f"line {i + 1}: {line[:80]!r}")
+        if not isinstance(record, dict):
+            raise LedgerError(f"ledger record is not an object: {line[:80]!r}")
+        _apply(replay, record)
+        replay.records += 1
+
+
+def replay_ledger(root: str) -> LedgerReplay:
+    """Replay every segment under ``root`` into a :class:`LedgerReplay`.
+
+    Tolerates a torn final line per segment (a record interrupted by a
+    crash mid-write) and an empty or missing directory; raises
+    :class:`~repro.errors.LedgerError` on interior corruption.
+    """
+    replay = LedgerReplay()
+    paths = _segment_paths(root)
+    replay.segments = len(paths)
+    for n, path in enumerate(paths):
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+        _replay_lines(replay, text, last_segment=(n == len(paths) - 1),
+                      path=path)
+    return replay
+
+
+def _synthesize(job: ReplayedJob) -> list:
+    """The minimal record sequence that replays to ``job``'s state."""
+    out = [{"t": "admitted", "jid": job.jid, "seq": job.seq,
+            "spec": job.spec, "key": job.key}]
+    if job.state == "running":
+        out.append({"t": "dispatched", "jid": job.jid})
+    if job.last_cid is not None:
+        out.append({"t": "ckpt", "jid": job.jid, "cid": job.last_cid})
+    if job.terminal:
+        out.append({"t": "done", "jid": job.jid, "state": job.state,
+                    "reason": job.reason, "digest": job.digest,
+                    "ok": job.ok, "wall_s": job.wall_s,
+                    "restarts": job.restarts})
+    return out
+
+
+class JobLedger:
+    """Writer side of the WAL; one instance per daemon session.
+
+    ``open()`` replays what previous sessions left behind, starts a
+    fresh segment, and appends an ``open`` record; ``append`` is
+    thread-safe and returns only after the record is fsync'd (group
+    commit batches concurrent callers onto shared fsyncs); ``close``
+    appends the clean-close marker. Appends after ``close`` are
+    dropped, not errors — teardown races (a job finishing while the
+    daemon exits) must not mask the real shutdown path.
+    """
+
+    def __init__(self, root: str, segment_max: int = 1024,
+                 fsync: bool = True, compact_segments: int = 4,
+                 _fsync_fn=None):
+        self.root = root
+        self.segment_max = max(1, segment_max)
+        self.fsync = fsync
+        self.compact_segments = compact_segments
+        self._fsync_fn = _fsync_fn if _fsync_fn is not None else os.fsync
+        os.makedirs(root, exist_ok=True)
+        self._lock = threading.Lock()        # file handle + counters
+        self._sync_lock = threading.Lock()   # group-commit section
+        self._fh = None
+        self._seg_index = 0
+        self._seg_records = 0
+        self._write_seq = 0
+        self._synced_seq = 0
+        # observability (read by stats()/the durability bench)
+        self.appends = 0
+        self.fsyncs = 0
+        self.dropped_after_close = 0
+        self.rotations = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def open(self) -> LedgerReplay:
+        """Replay prior sessions, maybe compact them, start a fresh
+        segment, and record the session open. Returns the replay."""
+        replay = replay_ledger(self.root)
+        closed = _segment_paths(self.root)
+        if len(closed) > self.compact_segments:
+            self._compact_paths(closed, replay)
+        with self._lock:
+            if self._fh is not None:
+                raise LedgerError("ledger is already open")
+            paths = _segment_paths(self.root)
+            self._seg_index = (_segment_index(paths[-1]) + 1) if paths else 0
+            self._open_segment()
+        self.append({"t": "open", "recovering": not replay.clean_close,
+                     "session": replay.sessions + 1})
+        return replay
+
+    def close(self, drained: bool = True) -> None:
+        """Append the clean-close marker and close the segment."""
+        self.append({"t": "close", "drained": bool(drained)})
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                self._fsync_fn(self._fh.fileno())
+                self.fsyncs += 1
+                self._fh.close()
+                self._fh = None
+
+    # -- the write path ------------------------------------------------
+    def append(self, record: dict) -> bool:
+        """Write + fsync one record; False if the ledger is closed."""
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            if self._fh is None:
+                self.dropped_after_close += 1
+                return False
+            if self._seg_records >= self.segment_max:
+                self._rotate()
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            self._seg_records += 1
+            self.appends += 1
+            self._write_seq += 1
+            my_seq = self._write_seq
+        if self.fsync:
+            self._commit(my_seq)
+        return True
+
+    def _commit(self, my_seq: int) -> None:
+        """Group commit: fsync once for every line written so far; a
+        caller whose line an earlier fsync already covered returns
+        without touching the disk."""
+        if self._synced_seq >= my_seq:
+            return
+        with self._sync_lock:
+            if self._synced_seq >= my_seq:
+                return   # a concurrent committer covered us meanwhile
+            with self._lock:
+                if self._fh is None:          # closed under us: close fsynced
+                    return
+                target = self._write_seq
+                fd = self._fh.fileno()
+            self._fsync_fn(fd)
+            self.fsyncs += 1
+            self._synced_seq = target
+
+    def _open_segment(self) -> None:
+        path = os.path.join(self.root, _SEGMENT_FMT.format(self._seg_index))
+        self._fh = open(path, "a", encoding="utf-8")
+        self._seg_records = 0
+
+    def _rotate(self) -> None:
+        """Called under ``_lock``: seal the current segment (fsync'd so
+        nothing in a closed file is ever lost) and open the next."""
+        self._fh.flush()
+        self._fsync_fn(self._fh.fileno())
+        self.fsyncs += 1
+        self._fh.close()
+        self._synced_seq = self._write_seq
+        self._seg_index += 1
+        self.rotations += 1
+        self._open_segment()
+
+    # -- compaction ----------------------------------------------------
+    def compact(self) -> int:
+        """Rewrite all *closed* segments into one synthetic segment;
+        returns the number of records it holds. The live segment (the
+        one this session appends to) is never touched."""
+        with self._lock:
+            live = (os.path.join(self.root,
+                                 _SEGMENT_FMT.format(self._seg_index))
+                    if self._fh is not None else None)
+        closed = [p for p in _segment_paths(self.root) if p != live]
+        if not closed:
+            return 0
+        replay = LedgerReplay()
+        for n, path in enumerate(closed):
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                _replay_lines(replay, fh.read(),
+                              last_segment=(n == len(closed) - 1), path=path)
+        return self._compact_paths(closed, replay)
+
+    def _compact_paths(self, closed: list, replay: LedgerReplay) -> int:
+        records = []
+        for _ in range(replay.sessions):
+            records.append({"t": "open", "compacted": True})
+        jobs = sorted(replay.jobs.values(), key=lambda j: j.seq)
+        for job in jobs:
+            records.extend(_synthesize(job))
+        if replay.clean_close:
+            records.append({"t": "close", "compacted": True})
+        tmp = os.path.join(self.root, "compact.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record, separators=(",", ":"),
+                                    sort_keys=True) + "\n")
+            fh.flush()
+            self._fsync_fn(fh.fileno())
+        # atomic switch: the compacted file takes the oldest closed
+        # segment's name, then the rest go. A crash between the rename
+        # and an unlink leaves stale segments whose records re-apply
+        # idempotently on the next replay.
+        os.replace(tmp, closed[0])
+        for path in closed[1:]:
+            os.unlink(path)
+        return len(records)
+
+    # -- observability -------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "segments": len(_segment_paths(self.root)),
+                "appends": self.appends,
+                "fsyncs": self.fsyncs,
+                "group_committed": self.appends - self.fsyncs,
+                "rotations": self.rotations,
+                "dropped_after_close": self.dropped_after_close,
+            }

@@ -59,6 +59,12 @@ class JobQueue:
     def push(self, record: JobRecord) -> None:
         self._pending.append(record)
 
+    def restore(self, records) -> None:
+        """Boot-time re-admission of replayed jobs, ordered by their
+        original admission sequence. Bypasses admit_reason: these jobs
+        already passed admission in a previous daemon session."""
+        self._pending.extend(sorted(records, key=lambda r: r.seq))
+
     # -- dispatch ------------------------------------------------------
     def take(self, free_workers: int, running_of: dict) -> JobRecord | None:
         """Pop the next record to dispatch, or None if nothing fits."""

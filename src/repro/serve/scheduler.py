@@ -21,6 +21,19 @@ Recovery protocol when the monitor reports a replaced worker:
    socket fabric's replay, re-coalescing deterministically;
 4. ``(messenger id, hop count)`` dedup in the core makes the
    at-least-once replay exactly-once.
+
+Durable daemons extend the same machinery across a *daemon* crash:
+every fully-committed coordinated checkpoint is persisted as a resume
+bundle — the per-host states, each host's journal suffix (the
+controller→worker channel state the cut does not cover), and the
+controller's ``known``/``done`` sets — to the service's checkpoint
+store under ``cut:{jid}``. A restarted daemon hands the bundle back
+via ``bundle=`` and :meth:`JobRun._execute` restores every host and
+replays the suffixes instead of running setup; the same (mid, hops)
+dedup makes the cross-restart replay exactly-once too. The bundle is
+consistent because reports arrive FIFO per worker: every ``done`` a
+host sent before answering the marker is folded into ``known``/
+``done`` before the commit that persists them.
 """
 
 from __future__ import annotations
@@ -47,11 +60,14 @@ __all__ = ["JobRun"]
 class JobRun(threading.Thread):
     """Drive one leased job to completion (or failure)."""
 
-    def __init__(self, service, record: JobRecord, wids: list):
+    def __init__(self, service, record: JobRecord, wids: list,
+                 store=None, bundle=None):
         super().__init__(name=f"jobrun-{record.jid}", daemon=True)
         self.service = service
         self.record = record
         self.wids = list(wids)          # job-local host h -> wids[h]
+        self.store = store              # CheckpointStore for cut bundles
+        self.bundle = bundle            # resume bundle from a prior daemon
         self.reports: queue.Queue = queue.Queue()
 
     def post(self, msg) -> None:
@@ -149,21 +165,45 @@ class JobRun(threading.Thread):
         # through this controller — so no setup barrier is needed.
         for h in range(nh):
             send_header(h)
-        for coord, node_vars in suite.layout.items():
-            send(host_of[coord], ("load", coord, node_vars))
-        for coord, name, args, count in suite.initial_signals:
-            send(host_of[coord], ("signal0", (coord, name, args, count)))
 
         known: set = set()
         done: set = set()
-        mid = f"{jid}/m0"
-        known.add(mid)
-        gate_send(host_of[(0, 0)], (
-            mid, [], 0, (0, 0),
-            Interp(suite.entry.name, {}).agent_snapshot(), 0,
-        ))
+        if self.bundle is not None:
+            # Resume a job a previous daemon session left mid-flight:
+            # restore every host to the bundled cut, re-journal + replay
+            # each journal suffix (the in-flight controller->worker
+            # payloads the cut did not cover), and seed known/done from
+            # the cut instead of injecting the entry messenger. The
+            # (mid, hops) dedup in the worker core absorbs anything the
+            # replay re-delivers.
+            known.update(self.bundle.get("known", ()))
+            done.update(self.bundle.get("done", ()))
+            for h in range(nh):
+                state = self.bundle.get("states", {}).get(h)
+                if state is not None:
+                    sup.ckpt_state[h] = state
+                    pool.send(wid_of(h), ("restore", jid, state))
+            for h in range(nh):
+                for cmd in self.bundle.get("journal", {}).get(h, ()):
+                    if cmd[0] == "run":
+                        gate_send(h, cmd[1], journal=True, flush=False)
+                    else:
+                        send(h, cmd)
+                gate.pump(h)
+        else:
+            for coord, node_vars in suite.layout.items():
+                send(host_of[coord], ("load", coord, node_vars))
+            for coord, name, args, count in suite.initial_signals:
+                send(host_of[coord], ("signal0", (coord, name, args, count)))
+            mid = f"{jid}/m0"
+            known.add(mid)
+            gate_send(host_of[(0, 0)], (
+                mid, [], 0, (0, 0),
+                Interp(suite.entry.name, {}).agent_snapshot(), 0,
+            ))
 
         # -- event loop ------------------------------------------------
+        commits: dict = {}   # ckpt id -> hosts that have committed
         deadline = time.monotonic() + service.job_timeout_s
         while not known <= done:
             msg = self._next_report(deadline, done, known)
@@ -187,6 +227,10 @@ class JobRun(threading.Thread):
                     checkpoint_all()
             elif op == "ckpt":
                 sup.commit_checkpoint(body[1], body[2], body[3])
+                committed = commits.setdefault(body[2], set())
+                committed.add(body[1])
+                if len(committed) == nh and self.store is not None:
+                    self._persist_cut(sup, body[2], nh, known, done)
             elif op == "error":
                 raise ServeError(f"worker host {body[1]}: {body[2]}")
 
@@ -224,6 +268,27 @@ class JobRun(threading.Thread):
             c[i * ab:(i + 1) * ab, j * ab:(j + 1) * ab] = node_vars["C"]
         digest = hashlib.sha256(c.tobytes()).hexdigest()
         return digest, bool(np.allclose(c, a @ b))
+
+    def _persist_cut(self, sup, cid, nh, known, done):
+        """Every host committed checkpoint ``cid``: persist the resume
+        bundle a restarted daemon needs to continue this job.
+
+        The journal suffix per host is the controller->worker channel
+        state — payloads forwarded after the cut that a restored worker
+        has not seen. ``known``/``done`` are captured *now* (all
+        commits arrived), which is consistent because reports are FIFO
+        per connection: any ``done`` sent before a host's commit is
+        already folded in, and over-delivery into sets is idempotent.
+        """
+        bundle = {
+            "cid": cid,
+            "states": {h: sup.ckpt_state.get(h) for h in range(nh)},
+            "journal": {h: sup.ledger.entries(h) for h in range(nh)},
+            "known": set(known),
+            "done": set(done),
+        }
+        self.store.save(f"cut:{self.record.jid}", bundle)
+        self.service.on_job_checkpoint(self.record, cid)
 
     def _next_report(self, deadline, have, want, phase="run"):
         """Block for the next report, enforcing the job deadline."""

@@ -30,6 +30,7 @@ protocol-deadlock gate).
 
 from __future__ import annotations
 
+import os
 import queue as queue_mod
 import socket as socket_mod
 import threading
@@ -40,8 +41,10 @@ from ..fabric.factory import fabric_capabilities
 from ..fabric.socket import _load_obj, _send_obj
 from ..fabric.wire import (FRAME_CMD, FRAME_HEARTBEAT, FRAME_HELLO,
                            FRAME_REPORT, FrameSocket, WireError)
+from ..resilience.checkpoint import DiskStore, MemoryStore
 from .catalog import REJECT_STATUSES, admission_verdict, program_names
 from .jobs import JobRecord, JobSpec, STATE_FAILED, STATE_RUNNING
+from .ledger import JobLedger, LedgerReplay
 from .pool import WorkerPool
 from .queue import JobQueue
 from .scheduler import JobRun
@@ -65,7 +68,7 @@ class ServeService:
                  max_depth: int = 64, tenant_cap: int = 8,
                  checkpoint_every: int | None = 8, max_restarts: int = 2,
                  job_timeout_s: float = 60.0, chaos: bool = False,
-                 mc_admission: bool = True):
+                 mc_admission: bool = True, state_dir: str | None = None):
         missing = _REQUIRED_CAPS - fabric_capabilities("socket")
         if missing:  # pragma: no cover - the table satisfies this
             raise ServeError(
@@ -82,6 +85,15 @@ class ServeService:
         self.job_timeout_s = job_timeout_s
         self.chaos = chaos
         self.mc_admission = mc_admission
+        self.state_dir = state_dir
+
+        # durable control plane (wired in start() when state_dir is set)
+        self.ledger: JobLedger | None = None
+        self.store = MemoryStore(copy_payloads=False)
+        self.idem: dict[str, str] = {}   # idempotency key -> jid
+        self.recovery_summary = {"terminal": 0, "requeued": 0,
+                                 "resumed": 0, "unclean": False,
+                                 "sessions": 0}
 
         self.pool: WorkerPool | None = None
         self.queue = JobQueue(max_depth=max_depth, tenant_cap=tenant_cap)
@@ -106,9 +118,20 @@ class ServeService:
     # -- lifecycle -----------------------------------------------------
     def start(self) -> tuple:
         """Bind, spawn the pool, start the service threads; returns the
-        daemon address."""
+        daemon address. With a ``state_dir``, the ledger is replayed
+        and every surviving job recovered *before* the listener binds,
+        so no client can observe a half-recovered daemon."""
+        if self.state_dir is not None:
+            os.makedirs(self.state_dir, exist_ok=True)
+            self.store = DiskStore(os.path.join(self.state_dir, "ckpt"))
+            self.ledger = JobLedger(os.path.join(self.state_dir, "wal"))
+            self._recover(self.ledger.open())
         self._listener = socket_mod.socket(socket_mod.AF_INET,
                                            socket_mod.SOCK_STREAM)
+        # a restarted daemon must be able to rebind its old port while
+        # the previous session's accepted connections sit in TIME_WAIT
+        self._listener.setsockopt(socket_mod.SOL_SOCKET,
+                                  socket_mod.SO_REUSEADDR, 1)
         self._listener.bind(("127.0.0.1", self.port))
         self._listener.listen(64)
         self.addr = self._listener.getsockname()
@@ -123,6 +146,8 @@ class ServeService:
             # a half-built pool must not leak processes or the port
             self.pool.stop_all()
             self._listener.close()
+            if self.ledger is not None:
+                self.ledger.close(drained=False)
             raise
         threading.Thread(target=self._dispatch_loop, daemon=True,
                          name="serve-dispatch").start()
@@ -134,18 +159,68 @@ class ServeService:
         """Block until a ``shutdown`` verb (or :meth:`shutdown`)."""
         self._stopped_evt.wait()
 
-    def shutdown(self, drain: bool = True) -> dict:
-        """Stop accepting, cancel the queue, optionally drain running
-        jobs, then reap the pool and close the listener."""
+    def _recover(self, replay: LedgerReplay) -> None:
+        """Fold a ledger replay into live daemon state (boot only, no
+        lock needed: nothing else runs yet). Terminal jobs become
+        answerable history; the rest go back on the queue — jobs a
+        previous session had dispatched are flagged ``resumed`` so
+        dispatch hands them their persisted cut bundle."""
+        summary = self.recovery_summary
+        summary["unclean"] = not replay.clean_close
+        summary["sessions"] = replay.sessions
+        requeue = []
+        for job in sorted(replay.jobs.values(), key=lambda j: j.seq):
+            spec = JobSpec.from_dict(dict(job.spec))
+            record = JobRecord(jid=job.jid, spec=spec, seq=job.seq,
+                               submitted_s=self._now())
+            if job.key is not None:
+                self.idem[job.key] = job.jid
+            if job.terminal:
+                record.digest = job.digest
+                record.ok = job.ok
+                record.wall_s = job.wall_s
+                record.restarts = job.restarts
+                record.finish(job.state, job.reason)
+                if job.state == STATE_FAILED:
+                    self.failed += 1
+                else:
+                    self.completed += 1
+                summary["terminal"] += 1
+            else:
+                record.resumed = job.state == STATE_RUNNING
+                requeue.append(record)
+                summary["resumed" if record.resumed else "requeued"] += 1
+            self.jobs[record.jid] = record
+        self.queue.restore(requeue)
+        if replay.max_seq >= 0:
+            self._seq = replay.max_seq + 1
+
+    def shutdown(self, drain: bool = True,
+                 preserve_pending: bool | None = None) -> dict:
+        """Stop admitting, optionally drain running jobs, then reap the
+        pool, close the listener, and cleanly close the ledger.
+
+        A durable daemon (``state_dir`` set) *preserves* pending jobs
+        by default instead of cancelling them — they are already in the
+        ledger, so the next session re-admits them; cancelling would
+        turn a routine restart into failed jobs. A non-durable daemon
+        keeps the old behaviour (pending jobs fail with "cancelled at
+        shutdown" — there is nowhere for them to survive).
+        """
+        preserve = (self.state_dir is not None
+                    if preserve_pending is None else preserve_pending)
         with self._lock:
             if self._stopping:
                 self._stopped_evt.wait()
-                return {"cancelled": 0, "drained": 0}
+                return {"cancelled": 0, "drained": 0, "preserved": 0}
             self._stopping = True
-            cancelled = self.queue.cancel_all()
-            for rec in cancelled:
-                rec.finish(STATE_FAILED, "cancelled at shutdown")
-                self.failed += 1
+            cancelled = []
+            preserved = len(self.queue) if preserve else 0
+            if not preserve:
+                cancelled = self.queue.cancel_all()
+                for rec in cancelled:
+                    rec.finish(STATE_FAILED, "cancelled at shutdown")
+                    self.failed += 1
             runs = list(self.runs.values())
         drained = 0
         if drain:
@@ -161,14 +236,41 @@ class ServeService:
                 self._listener.close()
             except OSError:  # pragma: no cover
                 pass
+        if self.ledger is not None:
+            self.ledger.close(drained=drain)
         self._stopped_evt.set()
-        return {"cancelled": len(cancelled), "drained": drained}
+        return {"cancelled": len(cancelled), "drained": drained,
+                "preserved": preserved}
 
     # -- the control plane (also used in-process by tests/benchmarks) --
+    def _dedup(self, spec: JobSpec) -> dict | None:
+        """Under ``_lock``: the exactly-once answer for a replayed
+        idempotency key, or None for a fresh submission. Key reuse with
+        a *different* spec is a client bug, rejected loudly."""
+        if spec.key is None or spec.key not in self.idem:
+            return None
+        prior = self.jobs[self.idem[spec.key]]
+        if prior.spec.to_dict() != spec.to_dict():
+            raise AdmissionError(
+                f"idempotency key {spec.key!r} was already used with a "
+                f"different spec (job {prior.jid})")
+        return {"job": prior.jid, "state": prior.state, "deduped": True}
+
     def submit(self, raw_spec) -> dict:
-        """Admit one submission or raise :class:`AdmissionError`."""
+        """Admit one submission or raise :class:`AdmissionError`.
+
+        Exactly-once: a spec carrying an idempotency ``key`` the daemon
+        has seen — in this session or replayed from the ledger of a
+        previous one — returns the original jid instead of admitting a
+        duplicate, so clients can blindly resubmit after an ambiguous
+        failure.
+        """
         try:
             spec = JobSpec.from_dict(raw_spec)
+            with self._lock:
+                deduped = self._dedup(spec)
+                if deduped is not None:
+                    return deduped
             if spec.program not in program_names():
                 raise AdmissionError(
                     f"unknown program {spec.program!r}; runnable "
@@ -195,6 +297,9 @@ class ServeService:
             with self._lock:
                 if self._stopping:
                     raise AdmissionError("daemon is shutting down")
+                deduped = self._dedup(spec)   # raced a same-key submit
+                if deduped is not None:
+                    return deduped
                 record = JobRecord(jid=f"j{self._seq}", spec=spec,
                                    seq=self._seq,
                                    submitted_s=self._now())
@@ -203,6 +308,8 @@ class ServeService:
                     raise AdmissionError(reason)
                 self._seq += 1
                 self.jobs[record.jid] = record
+                if spec.key is not None:
+                    self.idem[spec.key] = record.jid
                 self.queue.push(record)
         except AdmissionError as exc:
             with self._lock:
@@ -210,8 +317,23 @@ class ServeService:
                     key = str(exc)
                     self.rejections[key] = self.rejections.get(key, 0) + 1
             raise
+        # write-ahead: durable before the client hears the jid, so a
+        # crash after the reply can never forget an acknowledged job
+        self._ledger_append({"t": "admitted", "jid": record.jid,
+                             "seq": record.seq, "spec": spec.to_dict(),
+                             "key": spec.key})
         self._dispatch_evt.set()
         return {"job": record.jid, "state": record.state}
+
+    def _ledger_append(self, entry: dict) -> None:
+        """Best-effort durable append: a ledger-less daemon and a disk
+        hiccup both degrade to in-memory-only state rather than taking
+        the control plane down mid-request."""
+        if self.ledger is not None:
+            try:
+                self.ledger.append(entry)
+            except OSError:  # pragma: no cover - disk failure path
+                pass
 
     def status(self, jid: str | None = None) -> dict:
         if jid is not None:
@@ -224,7 +346,7 @@ class ServeService:
             states: dict = {}
             for rec in self.jobs.values():
                 states[rec.state] = states.get(rec.state, 0) + 1
-            return {
+            out = {
                 "uptime_s": round(self._now(), 3),
                 "pool": self.pool.snapshot(),
                 "queue": self.queue.snapshot(),
@@ -234,6 +356,13 @@ class ServeService:
                 "rejected": sum(self.rejections.values()),
                 "tenants_running": dict(self.running_of),
             }
+            if self.state_dir is not None:
+                out["durability"] = {
+                    "state_dir": self.state_dir,
+                    "recovered": dict(self.recovery_summary),
+                    "ledger": self.ledger.stats(),
+                }
+            return out
 
     def wait_job(self, jid: str, timeout: float = 60.0) -> dict:
         with self._lock:
@@ -292,8 +421,16 @@ class ServeService:
                     tenant = record.spec.tenant
                     self.running_of[tenant] = (
                         self.running_of.get(tenant, 0) + 1)
-                    run = JobRun(self, record, wids)
+                    run = JobRun(self, record, wids, store=self.store)
                     self.runs[record.jid] = run
+                if record.resumed:
+                    # a previous daemon session had this job in flight;
+                    # hand over its last fully-committed cut (None means
+                    # no commit landed — the run restarts from scratch,
+                    # deterministically reproducing the same digest)
+                    run.bundle = self.store.try_load(f"cut:{record.jid}")
+                self._ledger_append({"t": "dispatched",
+                                     "jid": record.jid})
                 run.start()
 
     def on_job_done(self, run: JobRun, recycle: bool = False) -> None:
@@ -321,7 +458,18 @@ class ServeService:
                 self.failed += 1
             else:
                 self.completed += 1
+        self._ledger_append({
+            "t": "done", "jid": record.jid, "state": record.state,
+            "reason": record.reason, "digest": record.digest,
+            "ok": record.ok, "wall_s": record.wall_s,
+            "restarts": record.restarts})
         self._dispatch_evt.set()
+
+    def on_job_checkpoint(self, record: JobRecord, cid: int) -> None:
+        """A JobRun fully committed checkpoint ``cid`` (every host
+        answered the marker and the resume bundle is on disk); make the
+        fact durable so recovery knows a bundle exists."""
+        self._ledger_append({"t": "ckpt", "jid": record.jid, "cid": cid})
 
     # -- failure monitor -----------------------------------------------
     def _monitor_loop(self) -> None:
@@ -423,12 +571,16 @@ class ServeService:
                 return
             if frame.kind != FRAME_CMD:
                 continue
+            # errors travel structured — ("err", code, reason) — so the
+            # client classifies by code, not by sniffing reason strings
             try:
                 reply = ("ok", self._handle(_load_obj(frame)))
-            except (AdmissionError, ServeError) as exc:
-                reply = ("err", str(exc))
+            except AdmissionError as exc:
+                reply = ("err", "admission", str(exc))
+            except ServeError as exc:
+                reply = ("err", "serve", str(exc))
             except Exception as exc:  # noqa: BLE001 - protocol-level
-                reply = ("err", f"{type(exc).__name__}: {exc}")
+                reply = ("err", "internal", f"{type(exc).__name__}: {exc}")
             try:
                 _send_obj(fs, FRAME_REPORT, reply)
             except WireError:

@@ -1,0 +1,214 @@
+"""Daemon crash-recovery, out of process: the acceptance drill for the
+durable control plane.
+
+The headline test SIGKILLs the real daemon binary mid-stream under two
+concurrent tenants, restarts it on the same ``--state-dir`` and port,
+and proves (a) the surviving client reconnects transparently, (b)
+idempotent resubmission of every key returns the original jids with
+zero duplicate runs, and (c) every job converges bit-exact to its
+sim-fabric golden. A second drill SIGTERMs a draining daemon and
+checks the ledger closes cleanly with no orphan processes.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import replay_ledger
+from repro.serve.client import ServeClient, resolve_addr
+from tests.test_serve_service import _sim_digest
+
+_SRC = str(Path(__file__).parent.parent / "src")
+
+
+def _spawn_daemon(state_dir, addr_file, port=0, pool=2):
+    """Start ``repro serve`` as a real subprocess; returns (proc, addr)
+    once the daemon has written its pid:host:port file."""
+    if os.path.exists(addr_file):
+        os.unlink(addr_file)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--pool", str(pool), "--port", str(port),
+         "--state-dir", str(state_dir), "--addr-file", str(addr_file),
+         "--no-mc-admission", "--job-timeout", "60"],
+        env={**os.environ, "PYTHONPATH": _SRC},
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if os.path.exists(addr_file) and os.path.getsize(addr_file):
+            return proc, resolve_addr(None, str(addr_file))
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"daemon died during startup:\n{proc.stdout.read()}")
+        time.sleep(0.1)
+    proc.kill()
+    raise AssertionError("daemon never wrote its addr file")
+
+
+def _await_exit(proc, timeout=60.0) -> int:
+    try:
+        return proc.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise AssertionError(
+            f"daemon did not exit in {timeout}s:\n{proc.stdout.read()}")
+
+
+def _no_strays(state_dir, deadline_s=20.0) -> None:
+    """No process on the box still references our unique state dir —
+    the daemon and every (forked, same-cmdline) pool worker are gone."""
+    needle = str(state_dir).encode()
+    end = time.monotonic() + deadline_s
+    while True:
+        strays = []
+        for pid in os.listdir("/proc"):
+            if not pid.isdigit() or int(pid) == os.getpid():
+                continue
+            try:
+                with open(f"/proc/{pid}/cmdline", "rb") as fh:
+                    if needle in fh.read():
+                        strays.append(pid)
+            except OSError:
+                continue
+        if not strays:
+            return
+        if time.monotonic() > end:
+            raise AssertionError(f"stray process(es) after daemon "
+                                 f"death: {strays}")
+        time.sleep(0.2)
+
+
+@pytest.fixture()
+def goldens():
+    return {s: _sim_digest("navp-2d-dsc", 2, s, 4) for s in range(8)}
+
+
+class TestDaemonSigkillRestart:
+    def test_jobs_converge_bit_exact_with_zero_duplicates(
+            self, tmp_path, goldens):
+        state = tmp_path / "state"
+        addr_file = tmp_path / "addr"
+        proc, addr = _spawn_daemon(state, addr_file)
+        restarted = None
+        client = ServeClient(addr, timeout=120.0)
+        try:
+            submits = {}   # seed -> (key, jid)
+            for s in range(8):
+                key = f"drill-{s}"
+                out = client.submit_info(
+                    "navp-2d-dsc", idempotency_key=key, g=2, seed=s,
+                    ab=4, workers=1,
+                    tenant=("alice" if s % 2 else "bob"))
+                submits[s] = (key, out["job"])
+                assert not out.get("deduped")
+
+            # SIGKILL mid-stream: some jobs running, some still queued
+            os.kill(proc.pid, signal.SIGKILL)
+            _await_exit(proc, timeout=20.0)
+            _no_strays(state)   # workers self-terminate on daemon death
+
+            # the addr file is now a tombstone and says so
+            with pytest.raises(ServeError, match="stale addr file"):
+                resolve_addr(None, str(addr_file))
+
+            # restart on the SAME port + state dir; the same client
+            # object reconnects through its jittered-backoff loop
+            restarted, _ = _spawn_daemon(state, addr_file, port=addr[1])
+            status = client.status()
+            assert client.reconnects >= 1
+            recovered = status["durability"]["recovered"]
+            assert recovered["unclean"] is True
+            assert (recovered["terminal"] + recovered["requeued"]
+                    + recovered["resumed"]) == 8
+
+            # exactly-once: resubmitting every key after the ambiguous
+            # failure returns the original jids, runs nothing twice
+            for s, (key, jid) in submits.items():
+                out = client.submit_info(
+                    "navp-2d-dsc", idempotency_key=key, g=2, seed=s,
+                    ab=4, workers=1,
+                    tenant=("alice" if s % 2 else "bob"))
+                assert out["job"] == jid, (s, out)
+                assert out["deduped"] is True
+
+            for s, (_key, jid) in submits.items():
+                rec = client.wait(jid, timeout=120.0)
+                assert rec["state"] == "completed", (s, rec)
+                assert rec["digest"] == goldens[s], (
+                    f"seed {s}: digest drifted across the restart")
+
+            status = client.status()
+            assert status["completed"] == 8   # zero duplicate runs
+            assert status["failed"] == 0
+        finally:
+            client.close()
+            for p in (proc, restarted):
+                if p is not None and p.poll() is None:
+                    p.kill()
+                    p.wait(timeout=20.0)
+        _no_strays(state)
+
+
+class TestDaemonSigtermDrain:
+    def test_drain_closes_ledger_cleanly(self, tmp_path, goldens):
+        state = tmp_path / "state"
+        addr_file = tmp_path / "addr"
+        proc, addr = _spawn_daemon(state, addr_file)
+        try:
+            with ServeClient(addr, reconnect=False) as client:
+                jids = [client.submit("navp-2d-dsc", g=2, seed=s, ab=4,
+                                      workers=1) for s in (0, 1)]
+                for s, jid in zip((0, 1), jids):
+                    rec = client.wait(jid, timeout=90.0)
+                    assert rec["state"] == "completed"
+                    assert rec["digest"] == goldens[s]
+            os.kill(proc.pid, signal.SIGTERM)
+            assert _await_exit(proc, timeout=60.0) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=20.0)
+        _no_strays(state)
+        replay = replay_ledger(str(state / "wal"))
+        assert replay.clean_close is True     # drain flushed + marked
+        assert replay.torn_records == 0
+        assert len(replay.jobs) == 2
+        assert all(j.terminal for j in replay.jobs.values())
+
+    def test_sigterm_preserves_pending_for_next_session(self, tmp_path):
+        """Drain mode finishes running jobs but *preserves* queued ones
+        — they are already durable, and the next session re-admits
+        them instead of failing them."""
+        state = tmp_path / "state"
+        addr_file = tmp_path / "addr"
+        proc, addr = _spawn_daemon(state, addr_file, pool=1)
+        restarted = None
+        try:
+            with ServeClient(addr) as client:
+                jids = [client.submit("navp-2d-dsc", g=2, seed=s, ab=4,
+                                      workers=1, idempotency_key=f"p{s}")
+                        for s in range(4)]
+                os.kill(proc.pid, signal.SIGTERM)   # most still queued
+                assert _await_exit(proc, timeout=90.0) == 0
+
+                restarted, _ = _spawn_daemon(state, addr_file,
+                                             port=addr[1], pool=1)
+                for jid in jids:
+                    rec = client.wait(jid, timeout=120.0)
+                    assert rec["state"] == "completed", rec
+                status = client.status()
+                assert status["failed"] == 0      # nothing cancelled
+                assert status["completed"] == 4
+        finally:
+            for p in (proc, restarted):
+                if p is not None and p.poll() is None:
+                    p.kill()
+                    p.wait(timeout=20.0)
+        _no_strays(state)
