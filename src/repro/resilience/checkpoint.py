@@ -135,6 +135,12 @@ class DiskStore(CheckpointStore):
     File names are SHA-1 of the key (keys may hold slashes/colons); a
     plain-text ``index`` file preserves save order and the mapping back
     to human-readable keys.
+
+    ``save`` returns only after the bundle is fsync'd (file, then the
+    rename via a directory sync): callers write a record elsewhere —
+    the serve daemon's ``ckpt`` ledger line — advertising that this cut
+    exists, and that record must never outlive the bundle across a
+    power loss.
     """
 
     def __init__(self, root: str):
@@ -146,15 +152,29 @@ class DiskStore(CheckpointStore):
         digest = hashlib.sha1(key.encode()).hexdigest()
         return os.path.join(self.root, digest + ".ckpt")
 
+    def _sync_dir(self) -> None:
+        fd = os.open(self.root, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - fs without dir fsync
+            pass
+        finally:
+            os.close(fd)
+
     def save(self, key: str, payload: Any) -> None:
         path = self._path(key)
         tmp = path + ".tmp"
         with open(tmp, "wb") as fh:
             pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)  # atomic: a crash never leaves a torn file
         if key not in self.keys():
             with open(self._index_path, "a") as fh:
                 fh.write(key + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        self._sync_dir()
 
     def load(self, key: str) -> Any:
         path = self._path(key)

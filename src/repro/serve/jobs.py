@@ -105,6 +105,8 @@ class JobRecord:
     started_s: float | None = None
     finished_s: float | None = None
     resumed: bool = False                 # re-admitted by ledger replay
+    durable: bool = True                  # admitted record is fsync'd; the
+                                          # dispatcher skips it until then
     done: threading.Event = field(default_factory=threading.Event)
 
     @property

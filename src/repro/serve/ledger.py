@@ -19,10 +19,14 @@ Design points, in the order a crash investigator would ask about them:
   bounded by the batch count, not the record count.
 
 * **Torn tails.** A crash mid-``write`` can leave a half line at the
-  end of a segment. Replay drops a non-JSON (or newline-less) *final*
-  line and counts it in ``torn_records``; garbage anywhere else is
-  real corruption and raises :class:`~repro.errors.LedgerError` — a
-  WAL that silently skips interior records is worse than none.
+  end of the segment a session was appending to when it died — the
+  *last* segment, or one whose successor begins a new session's
+  ``open`` record. Replay drops a non-JSON (or newline-less) final
+  line in exactly those segments and counts it in ``torn_records``;
+  garbage anywhere else — interior lines, or the tail of a segment
+  sealed by an fsync'd rotation — is real corruption and raises
+  :class:`~repro.errors.LedgerError`. A WAL that silently skips
+  records is worse than none.
 
 * **Segments + compaction.** Records land in ``wal-NNNNNNNN.jsonl``
   segments, rotated every ``segment_max`` records; each daemon boot
@@ -161,7 +165,22 @@ def _apply(replay: LedgerReplay, record: dict) -> None:
         raise LedgerError(f"unknown ledger record type {kind!r}")
 
 
-def _replay_lines(replay: LedgerReplay, text: str, last_segment: bool,
+def _starts_new_session(text: str) -> bool:
+    """True if a segment's first record is a session ``open`` — the
+    marker that its predecessor was the last file some earlier session
+    wrote, and may therefore legitimately end in a torn tail."""
+    for line in text.split("\n"):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            return False
+        return isinstance(record, dict) and record.get("t") == "open"
+    return False
+
+
+def _replay_lines(replay: LedgerReplay, text: str, allow_torn: bool,
                   path: str) -> None:
     lines = text.split("\n")
     # a complete file ends with "\n" -> final split element is ""
@@ -175,11 +194,13 @@ def _replay_lines(replay: LedgerReplay, text: str, last_segment: bool,
         try:
             record = json.loads(line)
         except ValueError:
-            if torn_position:
+            if torn_position and allow_torn:
                 replay.torn_records += 1   # crash mid-write: drop the tail
                 continue
+            what = ("torn tail in a sealed segment" if torn_position
+                    else "not a torn tail")
             raise LedgerError(
-                f"corrupt ledger record (not a torn tail) in {path} "
+                f"corrupt ledger record ({what}) in {path} "
                 f"line {i + 1}: {line[:80]!r}")
         if not isinstance(record, dict):
             raise LedgerError(f"ledger record is not an object: {line[:80]!r}")
@@ -187,21 +208,36 @@ def _replay_lines(replay: LedgerReplay, text: str, last_segment: bool,
         replay.records += 1
 
 
+def _replay_segments(replay: LedgerReplay, paths: list,
+                     tail_open: bool) -> None:
+    """Fold ``paths`` (in order) into ``replay``. A torn final line is
+    tolerated only where a crash could have produced one: the last
+    segment given (``tail_open`` True when its successor is a live
+    session's segment) or a segment whose successor starts a new
+    session — every other segment was sealed by an fsync'd rotation,
+    so garbage at its end is real corruption and raises."""
+    texts = []
+    for path in paths:
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            texts.append(fh.read())
+    for n, (path, text) in enumerate(zip(paths, texts)):
+        allow = (tail_open if n == len(paths) - 1
+                 else _starts_new_session(texts[n + 1]))
+        _replay_lines(replay, text, allow_torn=allow, path=path)
+
+
 def replay_ledger(root: str) -> LedgerReplay:
     """Replay every segment under ``root`` into a :class:`LedgerReplay`.
 
-    Tolerates a torn final line per segment (a record interrupted by a
-    crash mid-write) and an empty or missing directory; raises
-    :class:`~repro.errors.LedgerError` on interior corruption.
+    Tolerates an empty or missing directory and a torn final line (a
+    record interrupted by a crash mid-write) in the last segment or in
+    a segment a later session rotated away from; raises
+    :class:`~repro.errors.LedgerError` on any other corruption.
     """
     replay = LedgerReplay()
     paths = _segment_paths(root)
     replay.segments = len(paths)
-    for n, path in enumerate(paths):
-        with open(path, encoding="utf-8", errors="replace") as fh:
-            text = fh.read()
-        _replay_lines(replay, text, last_segment=(n == len(paths) - 1),
-                      path=path)
+    _replay_segments(replay, paths, tail_open=True)
     return replay
 
 
@@ -316,11 +352,21 @@ class JobLedger:
             with self._lock:
                 if self._fh is None:          # closed under us: close fsynced
                     return
+                if self._synced_seq >= my_seq:
+                    return   # a rotate sealed (and fsync'd) our segment
                 target = self._write_seq
-                fd = self._fh.fileno()
-            self._fsync_fn(fd)
+                # fsync a dup, not the raw fd: a concurrent append may
+                # rotate, closing the segment's fd and recycling its
+                # number for the next segment — the dup keeps the open
+                # file description alive for the sync
+                fd = os.dup(self._fh.fileno())
+            try:
+                self._fsync_fn(fd)
+            finally:
+                os.close(fd)
             self.fsyncs += 1
-            self._synced_seq = target
+            with self._lock:
+                self._synced_seq = max(self._synced_seq, target)
 
     def _open_segment(self) -> None:
         path = os.path.join(self.root, _SEGMENT_FMT.format(self._seg_index))
@@ -352,10 +398,9 @@ class JobLedger:
         if not closed:
             return 0
         replay = LedgerReplay()
-        for n, path in enumerate(closed):
-            with open(path, encoding="utf-8", errors="replace") as fh:
-                _replay_lines(replay, fh.read(),
-                              last_segment=(n == len(closed) - 1), path=path)
+        # the last closed segment's successor is this session's live
+        # one, which started with an ``open`` — its tail may be torn
+        _replay_segments(replay, closed, tail_open=True)
         return self._compact_paths(closed, replay)
 
     def _compact_paths(self, closed: list, replay: LedgerReplay) -> int:

@@ -67,9 +67,15 @@ class JobQueue:
 
     # -- dispatch ------------------------------------------------------
     def take(self, free_workers: int, running_of: dict) -> JobRecord | None:
-        """Pop the next record to dispatch, or None if nothing fits."""
+        """Pop the next record to dispatch, or None if nothing fits.
+
+        A record still waiting on its write-ahead ``admitted`` ledger
+        append (``durable`` False) counts toward depth and tenant caps
+        but is never handed out — dispatching it could put a
+        ``dispatched`` record on disk before its ``admitted``.
+        """
         fits = [r for r in self._pending
-                if r.spec.workers <= free_workers]
+                if r.durable and r.spec.workers <= free_workers]
         if not fits:
             return None
         top = max(r.spec.priority for r in fits)

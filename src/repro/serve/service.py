@@ -310,6 +310,11 @@ class ServeService:
                 self.jobs[record.jid] = record
                 if spec.key is not None:
                     self.idem[spec.key] = record.jid
+                # queued now so depth/tenant accounting is exact, but
+                # invisible to the dispatcher until the admitted record
+                # is durable — a ``dispatched`` record must never reach
+                # the ledger ahead of its ``admitted``
+                record.durable = self.ledger is None
                 self.queue.push(record)
         except AdmissionError as exc:
             with self._lock:
@@ -317,11 +322,15 @@ class ServeService:
                     key = str(exc)
                     self.rejections[key] = self.rejections.get(key, 0) + 1
             raise
-        # write-ahead: durable before the client hears the jid, so a
-        # crash after the reply can never forget an acknowledged job
+        # write-ahead: durable before the dispatcher may run the job
+        # and before the client hears the jid, so a crash can neither
+        # forget an acknowledged job nor replay a dispatch of an
+        # unrecorded one
         self._ledger_append({"t": "admitted", "jid": record.jid,
                              "seq": record.seq, "spec": spec.to_dict(),
                              "key": spec.key})
+        with self._lock:
+            record.durable = True
         self._dispatch_evt.set()
         return {"job": record.jid, "state": record.state}
 

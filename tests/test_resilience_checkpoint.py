@@ -74,6 +74,26 @@ class TestStores:
         with pytest.raises(ResilienceError):
             store.load("never-saved")
 
+    def test_disk_store_save_is_fsynced(self, tmp_path, monkeypatch):
+        """save returns only after the bundle and index line are
+        fsync'd: the serve ledger writes a ``ckpt`` record advertising
+        the cut, and that record must never outlive it."""
+        import os
+
+        synced = []
+        real_fsync = os.fsync
+
+        def counting_fsync(fd):
+            synced.append(fd)
+            real_fsync(fd)
+
+        monkeypatch.setattr("repro.resilience.checkpoint.os.fsync",
+                            counting_fsync)
+        store = DiskStore(str(tmp_path / "ckpts"))
+        store.save("cut:1", ConsistentCut(time=1.0))
+        assert len(synced) >= 2   # payload file + index append (+ dir)
+        assert DiskStore(str(tmp_path / "ckpts")).load("cut:1").time == 1.0
+
 
 class TestScheduledCuts:
     def test_cut_captures_mid_flight_messenger(self):

@@ -128,6 +128,25 @@ class TestTornTail:
         assert replay.torn_records == 1
         assert set(replay.jobs) == {"j0", "j1"}
 
+    def test_torn_tail_in_a_sealed_segment_raises(self, tmp_path):
+        """A rotated-away segment was fsync'd before its session moved
+        on — a half line at its end is corruption (the successor starts
+        with an ordinary record, not a new session's open), not a
+        forgivable crash tail."""
+        led = JobLedger(str(tmp_path), segment_max=2)
+        led.open()
+        for i in range(4):
+            led.append(_adm(f"j{i}", i))
+        led.close()
+        segs = sorted(p for p in os.listdir(tmp_path)
+                      if p.startswith("wal-"))
+        assert len(segs) >= 3
+        with open(os.path.join(tmp_path, segs[1]), "a",
+                  encoding="utf-8") as fh:
+            fh.write('{"t":"adm')
+        with pytest.raises(LedgerError, match="sealed segment"):
+            replay_ledger(str(tmp_path))
+
     def test_interior_corruption_raises(self, tmp_path):
         led = JobLedger(str(tmp_path))
         led.open()
@@ -226,6 +245,32 @@ class TestGroupCommit:
         assert stats["fsyncs"] < stats["appends"]
         assert stats["group_committed"] > 0
         assert len(replay_ledger(str(tmp_path)).jobs) == 80
+
+    def test_group_commit_across_rotation(self, tmp_path):
+        """Committers racing a rotation must not fsync a recycled fd
+        (spurious EBADF, or syncing the wrong file) — the dup'd
+        descriptor keeps the sealed segment alive for the straggler."""
+        def slow_fsync(fd):
+            os.fsync(fd)
+            time.sleep(0.001)
+
+        led = JobLedger(str(tmp_path), segment_max=5,
+                        _fsync_fn=slow_fsync)
+        led.open()
+
+        def worker(tid):
+            for i in range(20):
+                led.append(_adm(f"j{tid}-{i}", tid * 20 + i))
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        led.close()
+        assert led.rotations > 0
+        assert len(replay_ledger(str(tmp_path)).jobs) == 120
 
     def test_fsync_disabled_never_syncs_in_append(self, tmp_path):
         calls = []
@@ -330,6 +375,28 @@ class TestInProcessRestart:
             assert rec2["state"] == "completed"
             assert rec2["digest"] == digest
             assert svc2.completed == 1   # recovered, not re-run
+
+    def test_dispatch_gated_on_durable_admitted_record(self, tmp_path):
+        """Until the admitted record's fsync returns, the dispatcher
+        cannot see the job — so a ``dispatched`` ledger record can
+        never land ahead of its ``admitted``, which would poison the
+        next boot's replay."""
+        with durable_serving(tmp_path, pool_size=1) as svc:
+            takeable = []
+            orig = svc.ledger.append
+
+            def probing_append(record):
+                if record.get("t") == "admitted":
+                    with svc._lock:
+                        takeable.append(svc.queue.take(99, {}))
+                return orig(record)
+
+            svc.ledger.append = probing_append
+            out = svc.submit({"program": "navp-2d-dsc", "g": 2,
+                              "seed": 0, "ab": 4, "workers": 1})
+            assert takeable == [None]   # invisible mid-append
+            rec = svc.wait_job(out["job"], timeout=60.0)
+            assert rec["state"] == "completed"
 
     def test_key_reuse_with_different_spec_rejected(self, tmp_path):
         with durable_serving(tmp_path, pool_size=1) as svc:
